@@ -1,0 +1,141 @@
+// Reproduces Fig 10: controller throughput as a function of the number of
+// writer threads. Each call-signaling event (call start, participant join,
+// config freeze, call end) updates controller state and writes it to the
+// KV store (the paper's Redis), whose simulated per-op latency is the
+// 0.3-4.2 ms range reported in §6.6. Threads overlap those waits, so
+// throughput scales with the thread count; the paper sustains 1.4x the
+// trace's peak load with 10 threads.
+//
+// Flags: --hours=1 --threads_max=12
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/controller.h"
+
+namespace sb {
+namespace {
+
+struct CallWork {
+  const CallRecord* record;
+  const CallConfig* config;
+};
+
+/// Replays one call's full event sequence against the controller + store.
+/// Returns the number of store-backed events processed.
+std::size_t replay_call(Switchboard& controller, KvStore& store,
+                        const CallWork& work) {
+  const CallRecord& r = *work.record;
+  std::size_t events = 0;
+  controller.call_started(r.id, r.legs.front().location, r.start_s);
+  ++events;
+  const std::string legs_key = "call:" + std::to_string(r.id.value()) + ":legs";
+  for (std::size_t leg = 1; leg < r.legs.size(); ++leg) {
+    // §6.6: "these threads write back to Redis the changes to the call
+    // config as additional participants join".
+    store.incr(legs_key, 1);
+    ++events;
+  }
+  if (r.duration_s > controller.freeze_delay_s()) {
+    controller.config_frozen(r.id, *work.config,
+                             r.start_s + controller.freeze_delay_s());
+    ++events;
+  }
+  controller.call_ended(r.id, r.start_s + r.duration_s);
+  ++events;
+  return events;
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  const double hours = bench::arg_double(argc, argv, "hours", 1.0);
+  const std::size_t threads_max =
+      bench::arg_size(argc, argv, "threads_max", 12);
+
+  Scenario scenario = make_apac_scenario();
+  const LoadModel loads = LoadModel::paper_default();
+  const EvalContext ctx{&scenario.world(), &scenario.topology(),
+                        &scenario.latency(), scenario.registry.get(), &loads};
+
+  const double start = kSecondsPerDay + 2.0 * kSecondsPerHour;
+  const CallRecordDatabase db =
+      scenario.trace->generate(start, start + hours * kSecondsPerHour);
+  std::vector<CallWork> work;
+  work.reserve(db.size());
+  std::size_t total_events = 0;
+  for (const CallRecord& r : db.records()) {
+    work.push_back({&r, &scenario.registry->get(r.config)});
+    total_events += 1 + (r.legs.size() - 1) +
+                    (r.duration_s > 300.0 ? 1 : 0) + 1;
+  }
+
+  // Peak event arrival rate of the trace (busiest 60 s window).
+  std::vector<std::size_t> per_minute(
+      static_cast<std::size_t>(hours * 60.0) + 1, 0);
+  for (const CallRecord& r : db.records()) {
+    const auto m = static_cast<std::size_t>((r.start_s - start) / 60.0);
+    per_minute[std::min(m, per_minute.size() - 1)] +=
+        2 + r.legs.size();  // rough events per call
+  }
+  double peak_rate = 0.0;
+  for (std::size_t count : per_minute) {
+    peak_rate = std::max(peak_rate, static_cast<double>(count) / 60.0);
+  }
+
+  std::cout << "Fig 10: controller throughput vs KV-store writer threads\n"
+            << "trace: " << db.size() << " calls, " << total_events
+            << " events, peak event rate "
+            << format_double(peak_rate, 1) << "/s\n"
+            << "KV write latency: 0.3-4.2 ms (log-uniform; the paper's "
+               "observed Redis range)\n\n";
+
+  TextTable table({"threads", "events/s", "speedup", "x trace peak",
+                   "mean write ms"});
+  double base_rate = 0.0;
+  for (std::size_t threads = 1; threads <= threads_max;
+       threads = threads < 2 ? 2 : threads + 2) {
+    KvStore store;
+    ControllerOptions options;
+    Switchboard controller(ctx, options);
+    controller.attach_store(&store);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> events{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= work.size()) return;
+          events += replay_call(controller, store, work[i]);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double rate = static_cast<double>(events.load()) / elapsed;
+    if (base_rate == 0.0) base_rate = rate;
+    table.row()
+        .cell(static_cast<std::uint64_t>(threads))
+        .cell(rate, 0)
+        .cell(rate / base_rate)
+        .cell(rate / peak_rate, 1)
+        .cell(store.stats().mean_latency_ms(), 2);
+  }
+  std::cout << table;
+  std::cout << "\nthroughput scales with threads (threads overlap ~ms store "
+               "writes); the paper reports 1.4x its production peak at 10 "
+               "threads — our synthetic trace peak is far smaller than "
+               "Teams's, hence the larger multiples\n";
+  return 0;
+}
+
+}  // namespace sb
+
+int main(int argc, char** argv) { return sb::run(argc, argv); }

@@ -1,0 +1,45 @@
+// Reproduces Fig 8: average fraction of participants that have joined as a
+// function of time since the meeting started. The paper freezes the call
+// config at A = 300 s because ~80% of participants have joined by then.
+//
+// Flags: --hours=6
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace sb;
+  const double hours = bench::arg_double(argc, argv, "hours", 6.0);
+
+  Scenario scenario = make_apac_scenario();
+  // A busy Tuesday window.
+  const double start = kSecondsPerDay + 2.0 * kSecondsPerHour;
+  const CallRecordDatabase db =
+      scenario.trace->generate(start, start + hours * kSecondsPerHour);
+  std::vector<double> offsets = db.join_offsets();
+  std::sort(offsets.begin(), offsets.end());
+
+  std::cout << "Fig 8: average fraction of participants joined since "
+               "meeting start (" << db.size() << " calls, "
+            << offsets.size() << " legs)\n\n";
+  TextTable table({"seconds", "fraction joined"});
+  for (double t : {0.0, 30.0, 60.0, 120.0, 180.0, 240.0, 300.0, 420.0, 600.0,
+                   900.0, 1800.0}) {
+    const auto joined = static_cast<double>(
+        std::upper_bound(offsets.begin(), offsets.end(), t) -
+        offsets.begin());
+    table.row()
+        .cell(format_double(t, 0))
+        .cell(joined / static_cast<double>(offsets.size()));
+  }
+  std::cout << table;
+
+  const auto at300 = static_cast<double>(
+      std::upper_bound(offsets.begin(), offsets.end(), 300.0) -
+      offsets.begin());
+  std::cout << "\nfraction joined by A=300 s: "
+            << format_double(at300 / static_cast<double>(offsets.size()), 3)
+            << " (paper: ~0.80 -> freeze the config at A = 300 s)\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// google-benchmark microbenchmarks for the realtime path: MP selector
+// assign/freeze/end cycles and KV-store operations (without injected
+// latency, to measure the data-structure cost itself).
+#include <benchmark/benchmark.h>
+
+#include "core/realtime.h"
+#include "geo/world_presets.h"
+#include "kvstore/kvstore.h"
+
+namespace sb {
+namespace {
+
+struct Fixture {
+  GeoModel geo = make_apac_world();
+  CallConfigRegistry registry;
+  LoadModel loads = LoadModel::paper_default();
+  AllocationPlan plan{48, 1, 5, 1800.0};
+  CallConfig config = CallConfig::make({{LocationId(0), 3}},
+                                       MediaType::kVideo);
+
+  Fixture() {
+    const ConfigId id = registry.intern(config);
+    plan.config_columns = {id};
+    for (TimeSlot t = 0; t < 48; ++t) {
+      for (std::uint32_t x = 0; x < 5; ++x) {
+        plan.set_quota(t, 0, DcId(x), 1u << 20);  // effectively unlimited
+      }
+    }
+  }
+
+  [[nodiscard]] EvalContext ctx() {
+    return EvalContext{&geo.world, &geo.topology, &geo.latency, &registry,
+                       &loads};
+  }
+};
+
+void BM_SelectorAssignFreezeEnd(benchmark::State& state) {
+  Fixture f;
+  RealtimeSelector selector(f.ctx(), &f.plan, {});
+  std::uint32_t next = 0;
+  for (auto _ : state) {
+    const CallId call(next++);
+    selector.on_call_start(call, LocationId(0), 0.0);
+    selector.on_config_frozen(call, f.config, 300.0);
+    selector.on_call_end(call, 400.0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 3);
+}
+BENCHMARK(BM_SelectorAssignFreezeEnd);
+
+void BM_ClosestDcLookup(benchmark::State& state) {
+  Fixture f;
+  const std::vector<DcId> dcs = f.geo.world.dc_ids();
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.geo.latency.closest_dc(
+        LocationId(i++ % f.geo.world.location_count()), dcs));
+  }
+}
+BENCHMARK(BM_ClosestDcLookup);
+
+void BM_KvStoreSetNoLatency(benchmark::State& state) {
+  KvStoreOptions options;
+  options.inject_latency = false;
+  KvStore store(options);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    store.set("call:" + std::to_string(i++ % 4096) + ":dc", "3");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KvStoreSetNoLatency);
+
+void BM_KvStoreIncrNoLatency(benchmark::State& state) {
+  KvStoreOptions options;
+  options.inject_latency = false;
+  KvStore store(options);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.incr("call:" + std::to_string(i++ % 64) + ":legs", 1));
+  }
+}
+BENCHMARK(BM_KvStoreIncrNoLatency);
+
+void BM_AclComputation(benchmark::State& state) {
+  Fixture f;
+  const CallConfig spread = CallConfig::make(
+      {{LocationId(0), 4}, {LocationId(1), 2}, {LocationId(5), 1}},
+      MediaType::kVideo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acl_ms(spread, DcId(1), f.geo.latency));
+  }
+}
+BENCHMARK(BM_AclComputation);
+
+}  // namespace
+}  // namespace sb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// google-benchmark microbenchmarks for the LP solvers: dense tableau vs
+// revised simplex across problem sizes, plus a provisioning-LP-shaped
+// instance (sparse columns, capacity peaks).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "lp/solver.h"
+
+namespace sb::lp {
+namespace {
+
+Model make_random_lp(std::size_t vars, std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  std::vector<double> witness(vars);
+  for (std::size_t i = 0; i < vars; ++i) {
+    witness[i] = rng.uniform(0.0, 10.0);
+    m.add_variable(0.0, kInf, rng.uniform(0.1, 5.0));
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < vars; ++i) {
+      if (!rng.chance(0.3)) continue;
+      const double coeff = rng.uniform(-2.0, 3.0);
+      terms.push_back({static_cast<int>(i), coeff});
+      lhs += coeff * witness[i];
+    }
+    if (terms.empty()) continue;
+    m.add_constraint(std::move(terms),
+                     rng.chance(0.5) ? Sense::kLe : Sense::kGe,
+                     lhs + (rng.chance(0.5) ? 1.0 : -1.0) * rng.uniform(0, 2));
+  }
+  return m;
+}
+
+/// A provisioning-shaped LP: T slots x C configs x X DCs share variables
+/// with per-slot capacity-peak rows and completeness equalities.
+Model make_provisioning_lp(std::size_t slots, std::size_t configs,
+                           std::size_t dcs, std::uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  std::vector<int> cp(dcs);
+  for (std::size_t x = 0; x < dcs; ++x) {
+    cp[x] = m.add_variable(0.0, kInf, rng.uniform(0.9, 1.4));
+  }
+  for (std::size_t t = 0; t < slots; ++t) {
+    std::vector<std::vector<Term>> dc_rows(dcs);
+    for (std::size_t c = 0; c < configs; ++c) {
+      std::vector<Term> completeness;
+      for (std::size_t x = 0; x < dcs; ++x) {
+        const int s = m.add_variable(0.0, kInf, 1e-6 * rng.uniform(5, 100));
+        dc_rows[x].push_back({s, rng.uniform(0.01, 0.1)});
+        completeness.push_back({s, 1.0});
+      }
+      m.add_constraint(std::move(completeness), Sense::kEq,
+                       rng.uniform(0.0, 50.0));
+    }
+    for (std::size_t x = 0; x < dcs; ++x) {
+      dc_rows[x].push_back({cp[x], -1.0});
+      m.add_constraint(std::move(dc_rows[x]), Sense::kLe, 0.0);
+    }
+  }
+  return m;
+}
+
+void BM_DenseSimplexRandom(benchmark::State& state) {
+  const Model m = make_random_lp(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(1)), 7);
+  SolveOptions options;
+  options.method = Method::kDense;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve(m, options));
+  }
+}
+BENCHMARK(BM_DenseSimplexRandom)->Args({20, 15})->Args({60, 40})->Args({120, 80});
+
+void BM_RevisedSimplexRandom(benchmark::State& state) {
+  const Model m = make_random_lp(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(1)), 7);
+  SolveOptions options;
+  options.method = Method::kRevised;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve(m, options));
+  }
+}
+BENCHMARK(BM_RevisedSimplexRandom)
+    ->Args({20, 15})
+    ->Args({60, 40})
+    ->Args({120, 80});
+
+void BM_ProvisioningShapedLp(benchmark::State& state) {
+  const Model m = make_provisioning_lp(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(1)), 5, 11);
+  for (auto _ : state) {
+    const Solution s = solve(m);
+    if (!s.optimal()) state.SkipWithError("not optimal");
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_ProvisioningShapedLp)
+    ->Args({6, 10})
+    ->Args({12, 16})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sb::lp
+
+BENCHMARK_MAIN();

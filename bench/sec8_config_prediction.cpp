@@ -1,0 +1,90 @@
+// Reproduces §8: predicting the call configuration of recurring meetings.
+// A variable-length multi-order Markov chain over each participant's
+// attendance history feeds a logistic regression; per-participant
+// predictions aggregate into a predicted per-country participant count.
+// The paper reports RMSE 0.97 / MAE 0.90 for the model vs 24.90 / 23.60 for
+// the previous-instance baseline, with the gap widest on large meetings.
+//
+// Flags: --series=600 --train_frac=0.8
+#include <iostream>
+
+#include "bench_util.h"
+#include "predict/config_predictor.h"
+
+int main(int argc, char** argv) {
+  using namespace sb;
+  const std::size_t series_count = bench::arg_size(argc, argv, "series", 600);
+  const double train_frac = bench::arg_double(argc, argv, "train_frac", 0.8);
+
+  const GeoModel apac = make_apac_world();
+  Rng rng(2026);
+  SeriesGenParams params;
+  params.series_count = series_count;
+  auto series = generate_meeting_series(apac.world, params, rng);
+  const auto split =
+      static_cast<std::size_t>(static_cast<double>(series.size()) * train_frac);
+  const std::vector<MeetingSeries> train(series.begin(),
+                                         series.begin() + static_cast<long>(split));
+  const std::vector<MeetingSeries> test(series.begin() + static_cast<long>(split),
+                                        series.end());
+
+  ConfigPredictor model;
+  model.train(train);
+
+  const std::size_t locations = apac.world.location_count();
+  const PredictionEval ours = evaluate_model(model, test, locations);
+  const PredictionEval baseline = evaluate_previous_instance(test, locations);
+
+  std::cout << "§8: call-config prediction for recurring meetings\n"
+            << "training: " << train.size() << " series; evaluation: "
+            << ours.instances << " held-out final instances\n\n";
+  TextTable table({"Predictor", "RMSE", "MAE", "paper RMSE", "paper MAE"});
+  table.row()
+      .cell("MOMC + logistic")
+      .cell(ours.rmse)
+      .cell(ours.mae)
+      .cell("0.97")
+      .cell("0.90");
+  table.row()
+      .cell("previous instance")
+      .cell(baseline.rmse)
+      .cell(baseline.mae)
+      .cell("24.90")
+      .cell("23.60");
+  std::cout << table;
+
+  // Large-meeting breakout: the paper notes the baseline is "particularly
+  // inaccurate" for meetings with dozens/hundreds of participants.
+  std::vector<MeetingSeries> large;
+  std::vector<MeetingSeries> small;
+  for (const MeetingSeries& s : test) {
+    (s.roster.size() > 40 ? large : small).push_back(s);
+  }
+  if (!large.empty()) {
+    print_banner(std::cout, "breakout by roster size");
+    TextTable breakout(
+        {"subset", "series", "model RMSE", "baseline RMSE", "improvement"});
+    for (const auto& [label, subset] :
+         {std::pair<const char*, const std::vector<MeetingSeries>&>{"large "
+                                                                    "(>40)",
+                                                                    large},
+          {"small (<=40)", small}}) {
+      const PredictionEval m = evaluate_model(model, subset, locations);
+      const PredictionEval b = evaluate_previous_instance(subset, locations);
+      breakout.row()
+          .cell(label)
+          .cell(static_cast<std::uint64_t>(subset.size()))
+          .cell(m.rmse)
+          .cell(b.rmse)
+          .cell(b.rmse > 0 ? format_double(b.rmse / std::max(m.rmse, 1e-9), 1)
+                                 + "x"
+                           : "-");
+    }
+    std::cout << breakout;
+  }
+  std::cout << "\nmodel beats the previous-instance baseline by "
+            << format_double(baseline.rmse / std::max(ours.rmse, 1e-9), 1)
+            << "x on RMSE (paper: ~25x; exact factor depends on the "
+               "synthetic attendance volatility)\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Reproduces Table 3: resources provisioned (compute cores, total WAN
+// capacity), cost, and mean ACL for Round-Robin, Locality-First, and
+// Switchboard, with and without backup capacity, normalized to RR.
+//
+// Paper's shape (values normalized to RR):
+//                without backup               with backup
+//          cores  WAN   cost  ACL       cores  WAN   cost  ACL
+//   RR     1.00   1.00  1.00  1.00      1.00   1.00  1.00  1.00
+//   LF     1.08   0.18  0.35  0.45      1.10   0.55  0.64  0.45
+//   SB     1.00   0.14  0.29  0.51      1.00   0.43  0.49  0.45
+//
+// The absolute numbers depend on the (synthetic) workload and cost model;
+// the orderings and rough factors are what this bench validates.
+//
+// Flags: --slot_s=7200 --configs=24 --rate_scale=1 --link_failures=1
+#include <iostream>
+
+#include "baselines/locality_first.h"
+#include "baselines/round_robin.h"
+#include "bench_util.h"
+#include "core/allocation_plan.h"
+#include "core/provisioner.h"
+
+namespace sb {
+namespace {
+
+struct SchemeRow {
+  std::string name;
+  double cores = 0.0;
+  double wan = 0.0;
+  double compute_cost = 0.0;
+  double network_cost = 0.0;
+  double acl = 0.0;
+
+  [[nodiscard]] double cost() const { return compute_cost + network_cost; }
+};
+
+void print_block(const std::string& title, const std::vector<SchemeRow>& rows) {
+  print_banner(std::cout, title);
+  const SchemeRow& rr = rows.front();
+  TextTable table({"Scheme", "Cores", "WAN", "Cost", "Mean ACL", "Cores(raw)",
+                   "WAN Gbps", "ACL ms", "cost(compute)", "cost(network)"});
+  for (const SchemeRow& r : rows) {
+    table.row()
+        .cell(r.name)
+        .cell(r.cores / rr.cores)
+        .cell(r.wan / rr.wan)
+        .cell(r.cost() / rr.cost())
+        .cell(r.acl / rr.acl)
+        .cell(r.cores, 1)
+        .cell(r.wan, 3)
+        .cell(r.acl, 1)
+        .cell(r.compute_cost, 1)
+        .cell(r.network_cost, 1);
+  }
+  std::cout << table;
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  const double slot_s = bench::arg_double(argc, argv, "slot_s", 7200.0);
+  const std::size_t configs = bench::arg_size(argc, argv, "configs", 24);
+  const double rate_scale = bench::arg_double(argc, argv, "rate_scale", 1.0);
+  const bool link_failures =
+      bench::arg_double(argc, argv, "link_failures", 1.0) != 0.0;
+
+  std::cout << "Table 3: provisioning comparison (RR / LF / SB)\n"
+            << "workload: APAC design day, slot=" << slot_s / 3600.0
+            << "h, top-" << configs << " configs, rate_scale=" << rate_scale
+            << ", link_failures=" << link_failures << "\n";
+
+  Scenario scenario = make_apac_scenario({.rate_scale = rate_scale});
+  const LoadModel loads = LoadModel::paper_default();
+  const EvalContext ctx{&scenario.world(), &scenario.topology(),
+                        &scenario.latency(), scenario.registry.get(), &loads};
+  const DemandMatrix demand =
+      bench::design_day_demand(scenario, slot_s, configs);
+  std::cout << "total concurrent-call demand (slot-summed): "
+            << format_double(demand.total(), 0) << "\n";
+
+  const World& world = scenario.world();
+  const Topology& topo = scenario.topology();
+
+  for (const bool with_backup : {false, true}) {
+    BaselineOptions base_options;
+    base_options.with_backup = with_backup;
+    base_options.include_link_failures = link_failures;
+    const BaselineResult rr =
+        provision_round_robin(demand, ctx, base_options);
+    const BaselineResult lf =
+        provision_locality_first(demand, ctx, base_options);
+
+    ProvisionOptions sb_options;
+    sb_options.with_backup = with_backup;
+    sb_options.include_link_failures = link_failures;
+    SwitchboardProvisioner provisioner(ctx, sb_options);
+    const ProvisionResult sb = provisioner.provision(demand);
+
+    // §6.3: with backup capacity, Switchboard's allocation stage (Eq 10)
+    // serves locally and matches LF's latency; report the operated ACL.
+    double sb_acl = sb.mean_acl_ms;
+    if (with_backup) {
+      AllocationPlanner planner(ctx, {});
+      sb_acl = planner.plan(demand, sb.capacity, slot_s).mean_acl_ms;
+    }
+
+    std::vector<SchemeRow> rows;
+    rows.push_back({"RR", rr.capacity.total_cores(),
+                    rr.capacity.total_wan_gbps(),
+                    rr.capacity.compute_cost(world),
+                    rr.capacity.network_cost(topo), rr.mean_acl_ms});
+    rows.push_back({"LF", lf.capacity.total_cores(),
+                    lf.capacity.total_wan_gbps(),
+                    lf.capacity.compute_cost(world),
+                    lf.capacity.network_cost(topo), lf.mean_acl_ms});
+    rows.push_back({"SB", sb.capacity.total_cores(),
+                    sb.capacity.total_wan_gbps(),
+                    sb.capacity.compute_cost(world),
+                    sb.capacity.network_cost(topo), sb_acl});
+    print_block(with_backup ? "With backup capacity (single DC or WAN link "
+                              "failure survivable)"
+                            : "Without backup capacity",
+                rows);
+
+    const double savings_rr = 1.0 - rows[2].cost() / rows[0].cost();
+    const double savings_lf = 1.0 - rows[2].cost() / rows[1].cost();
+    std::cout << "SB cost savings: " << format_double(100.0 * savings_rr, 0)
+              << "% vs RR, " << format_double(100.0 * savings_lf, 0)
+              << "% vs LF (paper with backup: 51% and 23%)\n";
+  }
+  return 0;
+}
+
+}  // namespace sb
+
+int main(int argc, char** argv) { return sb::run(argc, argv); }

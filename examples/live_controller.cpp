@@ -1,0 +1,135 @@
+// Live controller: runs the full Switchboard loop the way the service
+// would — provision for the day, build the allocation plan, then replay a
+// synthetic busy window through the realtime selector via the
+// discrete-event simulator, reporting latency, migrations, and how realized
+// usage compares with what was provisioned.
+//
+// Flags: --hours=4 --configs=30
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/controller.h"
+#include "sim/simulator.h"
+#include "trace/scenario.h"
+
+namespace {
+
+double flag(int argc, char** argv, const std::string& name, double fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::strtod(arg.c_str() + prefix.size(), nullptr);
+    }
+  }
+  return fallback;
+}
+
+/// Routes simulator events into the Switchboard controller.
+class ControllerAllocator final : public sb::CallAllocator {
+ public:
+  explicit ControllerAllocator(sb::Switchboard& controller)
+      : controller_(&controller) {}
+  sb::DcId on_call_start(sb::CallId call, sb::LocationId first,
+                         sb::SimTime now) override {
+    return controller_->call_started(call, first, now);
+  }
+  sb::FreezeResult on_config_frozen(sb::CallId call,
+                                    const sb::CallConfig& config,
+                                    sb::SimTime now) override {
+    return controller_->config_frozen(call, config, now);
+  }
+  void on_call_end(sb::CallId call, sb::SimTime now) override {
+    controller_->call_ended(call, now);
+  }
+  [[nodiscard]] std::string name() const override { return "switchboard"; }
+
+ private:
+  sb::Switchboard* controller_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sb;
+  const double hours = flag(argc, argv, "hours", 4.0);
+  const auto configs = static_cast<std::size_t>(flag(argc, argv, "configs", 30));
+
+  Scenario scenario = make_apac_scenario();
+  const LoadModel loads = LoadModel::paper_default();
+  const EvalContext ctx{&scenario.world(), &scenario.topology(),
+                        &scenario.latency(), scenario.registry.get(), &loads};
+  const World& world = scenario.world();
+
+  // Offline stage: provision and plan for the day (top-K configs, with a
+  // §5.2 cushion so realized Poisson load fits the plan's slots).
+  DemandMatrix full = scenario.trace->expected_demand(
+      3600.0, kSecondsPerDay, 2 * kSecondsPerDay);
+  std::vector<ConfigId> top;
+  for (std::size_t i = 0; i < std::min(configs, full.config_count()); ++i) {
+    top.push_back(full.config_at(i));
+  }
+  DemandMatrix demand = make_demand_matrix(top, full.slot_count());
+  for (TimeSlot t = 0; t < full.slot_count(); ++t) {
+    for (std::size_t c = 0; c < top.size(); ++c) {
+      demand.set_demand(t, c, full.demand(t, c) * 1.3);
+    }
+  }
+
+  ControllerOptions options;
+  options.provision.include_link_failures = false;  // keep the demo quick
+  options.slot_s = 3600.0;
+  Switchboard controller(ctx, options);
+  std::cout << "provisioning (" << world.dc_count() << " DCs)...\n";
+  const ProvisionResult& provision = controller.provision(demand);
+  std::cout << "building the day's allocation plan...\n\n";
+  controller.build_allocation_plan(demand, kSecondsPerDay);
+
+  // Realtime stage: replay a busy window.
+  const double start = kSecondsPerDay + 2.0 * kSecondsPerHour;
+  const CallRecordDatabase db =
+      scenario.trace->generate(start, start + hours * kSecondsPerHour);
+  std::cout << "replaying " << db.size() << " calls over "
+            << format_double(hours, 1) << " h...\n\n";
+
+  ControllerAllocator allocator(controller);
+  Simulator sim(ctx);
+  const SimReport report = sim.run(db, allocator);
+
+  TextTable table({"metric", "value"});
+  table.row().cell("calls served").cell(static_cast<std::uint64_t>(report.calls));
+  table.row().cell("peak concurrent calls").cell(report.peak_concurrent_calls);
+  table.row().cell("mean ACL (ms)").cell(report.mean_acl_ms, 1);
+  table.row()
+      .cell("migrations")
+      .cell(std::to_string(report.migrations) + " (" +
+            format_double(100.0 * report.migration_fraction, 2) + "%)");
+  table.row()
+      .cell("first joiner in majority country")
+      .cell(format_double(100.0 * report.first_joiner_majority_fraction, 1) +
+            "%");
+  std::cout << table;
+
+  print_banner(std::cout, "realized peak usage vs provisioned capacity");
+  TextTable usage({"DC", "realized cores", "provisioned", "headroom"});
+  for (DcId dc : world.dc_ids()) {
+    const double realized = report.dc_peak_cores[dc.value()];
+    const double provisioned = provision.capacity.dc_total_cores(dc);
+    usage.row()
+        .cell(world.datacenter(dc).name)
+        .cell(realized, 1)
+        .cell(provisioned, 1)
+        .cell(provisioned > 0.01
+                  ? format_double(100.0 * (1.0 - realized / provisioned), 0) +
+                        "%"
+                  : "n/a");
+  }
+  std::cout << usage;
+  std::cout << "\n(headroom is expected: capacity also covers the day's "
+               "other peaks, failure scenarios, and the planning cushion; "
+               "small negative headroom comes from long-tail configs the "
+               "top-K plan does not cover, which §5.2's cushion absorbs in "
+               "production)\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "baselines/locality_first.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/backup_lp.h"
+#include "core/failure.h"
+
+namespace sb {
+
+namespace {
+
+/// Min-ACL DC among a config's usable DCs under a scenario.
+DcId best_dc(const CallConfig& config, const EvalContext& ctx,
+             const FailureScenario& scenario) {
+  const World& world = *ctx.world;
+  std::vector<DcId> usable;
+  for (DcId dc : region_candidates(config, world)) {
+    if (!dc_available(scenario, dc)) continue;
+    const LocationId dc_loc = world.datacenter(dc).location;
+    bool blocked = false;
+    for (const ConfigEntry& e : config.entries()) {
+      if (uses_failed_link(scenario, *ctx.topology, dc_loc, e.location)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) usable.push_back(dc);
+  }
+  if (usable.empty()) {
+    for (DcId dc : region_candidates(config, world)) {
+      if (dc_available(scenario, dc)) usable.push_back(dc);
+    }
+  }
+  require(!usable.empty(), "locality first: no DC available under scenario");
+  return min_acl_dc(config, usable, *ctx.latency);
+}
+
+}  // namespace
+
+PlacementMatrix locality_first_placement(const DemandMatrix& demand,
+                                         const EvalContext& ctx) {
+  PlacementMatrix placement(demand.slot_count(), demand.config_count(),
+                            ctx.world->dc_count());
+  for (std::size_t c = 0; c < demand.config_count(); ++c) {
+    const CallConfig& config = ctx.registry->get(demand.config_at(c));
+    const DcId dc = best_dc(config, ctx, FailureScenario::none());
+    for (TimeSlot t = 0; t < demand.slot_count(); ++t) {
+      const double d = demand.demand(t, c);
+      if (d > 0.0) placement.set_calls(t, c, dc, d);
+    }
+  }
+  return placement;
+}
+
+BaselineResult provision_locality_first(const DemandMatrix& demand,
+                                        const EvalContext& ctx,
+                                        const BaselineOptions& options) {
+  const World& world = *ctx.world;
+  const Topology& topo = *ctx.topology;
+
+  PlacementMatrix base = locality_first_placement(demand, ctx);
+  const UsageProfile base_usage = compute_usage(base, demand, ctx);
+
+  BaselineResult result{plan_from_usage(base_usage), std::move(base), 0.0};
+  result.mean_acl_ms = mean_acl_ms(result.placement, demand, ctx);
+
+  if (!options.with_backup) return result;
+
+  // Backup compute: the Eq 1-2 LP over the serving peaks.
+  result.capacity.dc_backup_cores =
+      solve_backup_lp(result.capacity.dc_serving_cores);
+
+  // WAN capacity across failure scenarios.
+  for (const FailureScenario& scenario :
+       enumerate_failures(world, topo, options.include_link_failures)) {
+    if (scenario.type == FailureScenario::Type::kNone) continue;
+
+    PlacementMatrix shifted(demand.slot_count(), demand.config_count(),
+                            world.dc_count());
+    for (std::size_t c = 0; c < demand.config_count(); ++c) {
+      const CallConfig& config = ctx.registry->get(demand.config_at(c));
+      const DcId nominal = best_dc(config, ctx, FailureScenario::none());
+
+      // Where do this config's calls sit under the scenario?
+      std::vector<std::pair<DcId, double>> shares;
+      const LocationId nominal_loc = world.datacenter(nominal).location;
+      bool nominal_usable = dc_available(scenario, nominal);
+      if (nominal_usable) {
+        for (const ConfigEntry& e : config.entries()) {
+          if (uses_failed_link(scenario, topo, nominal_loc, e.location)) {
+            nominal_usable = false;
+            break;
+          }
+        }
+      }
+      if (nominal_usable) {
+        shares.emplace_back(nominal, 1.0);
+      } else {
+        // Failover to the next-closest usable DC (lowest ACL among
+        // survivors / DCs whose paths avoid the failed link). The Eq 1-2 LP
+        // sized the backup cores; the WAN impact follows the short detour.
+        shares.emplace_back(best_dc(config, ctx, scenario), 1.0);
+      }
+      for (TimeSlot t = 0; t < demand.slot_count(); ++t) {
+        const double d = demand.demand(t, c);
+        if (d <= 0.0) continue;
+        for (const auto& [dc, w] : shares) {
+          shifted.add_calls(t, c, dc, d * w);
+        }
+      }
+    }
+    const std::vector<double> peaks =
+        compute_usage(shifted, demand, ctx).link_peaks();
+    for (std::size_t l = 0; l < peaks.size(); ++l) {
+      result.capacity.link_gbps[l] =
+          std::max(result.capacity.link_gbps[l], peaks[l]);
+    }
+  }
+  return result;
+}
+
+}  // namespace sb

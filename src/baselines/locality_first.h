@@ -1,0 +1,24 @@
+// Locality-First baseline (§3.2): host every call at the DC with the lowest
+// ACL. Best latency and modest WAN use, but each DC must be provisioned for
+// its local demand peak — and the sum of time-shifted local peaks exceeds
+// the global peak — plus skew-driven backup from the Eq 1-2 LP.
+#pragma once
+
+#include "baselines/baseline.h"
+
+namespace sb {
+
+/// The LF no-failure placement: all of D_tc at the config's min-ACL DC.
+PlacementMatrix locality_first_placement(const DemandMatrix& demand,
+                                         const EvalContext& ctx);
+
+/// Full LF provisioning: serving cores = per-DC local peaks, backup cores
+/// via the Eq 1-2 LP, WAN capacity as the per-link max across failure
+/// scenarios (a failed DC's calls redistribute over the survivors in
+/// proportion to their planned backup; calls dodging a failed link move to
+/// the best alive DC whose paths avoid it).
+BaselineResult provision_locality_first(const DemandMatrix& demand,
+                                        const EvalContext& ctx,
+                                        const BaselineOptions& options = {});
+
+}  // namespace sb

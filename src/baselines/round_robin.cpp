@@ -1,0 +1,109 @@
+#include "baselines/round_robin.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/failure.h"
+
+namespace sb {
+
+std::vector<DcId> region_candidates(const CallConfig& config,
+                                    const World& world) {
+  const std::string& region =
+      world.location(config.majority_location()).region;
+  std::vector<DcId> dcs = world.dcs_in_region(region);
+  if (dcs.empty()) dcs = world.dc_ids();
+  return dcs;
+}
+
+namespace {
+
+/// RR placement under a failure scenario: each config spreads equally over
+/// its usable regional DCs (alive, and with paths avoiding a failed link);
+/// if the link failure leaves nothing usable, the alive DCs carry the
+/// nominal spread.
+PlacementMatrix rr_scenario_placement(const DemandMatrix& demand,
+                                      const EvalContext& ctx,
+                                      const FailureScenario& scenario) {
+  const World& world = *ctx.world;
+  PlacementMatrix placement(demand.slot_count(), demand.config_count(),
+                            world.dc_count());
+  for (std::size_t c = 0; c < demand.config_count(); ++c) {
+    const CallConfig& config = ctx.registry->get(demand.config_at(c));
+    const std::vector<DcId> regional = region_candidates(config, world);
+    std::vector<DcId> usable;
+    for (DcId dc : regional) {
+      if (!dc_available(scenario, dc)) continue;
+      const LocationId dc_loc = world.datacenter(dc).location;
+      bool blocked = false;
+      for (const ConfigEntry& e : config.entries()) {
+        if (uses_failed_link(scenario, *ctx.topology, dc_loc, e.location)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) usable.push_back(dc);
+    }
+    if (usable.empty()) {
+      for (DcId dc : regional) {
+        if (dc_available(scenario, dc)) usable.push_back(dc);
+      }
+    }
+    require(!usable.empty(), "round robin: no DC available under scenario");
+    const double share = 1.0 / static_cast<double>(usable.size());
+    for (TimeSlot t = 0; t < demand.slot_count(); ++t) {
+      const double d = demand.demand(t, c);
+      if (d <= 0.0) continue;
+      for (DcId dc : usable) placement.set_calls(t, c, dc, d * share);
+    }
+  }
+  return placement;
+}
+
+}  // namespace
+
+PlacementMatrix round_robin_placement(const DemandMatrix& demand,
+                                      const EvalContext& ctx) {
+  return rr_scenario_placement(demand, ctx, FailureScenario::none());
+}
+
+BaselineResult provision_round_robin(const DemandMatrix& demand,
+                                     const EvalContext& ctx,
+                                     const BaselineOptions& options) {
+  const World& world = *ctx.world;
+  const Topology& topo = *ctx.topology;
+
+  PlacementMatrix base = round_robin_placement(demand, ctx);
+  const UsageProfile base_usage = compute_usage(base, demand, ctx);
+
+  BaselineResult result{plan_from_usage(base_usage), std::move(base), 0.0};
+  result.mean_acl_ms = mean_acl_ms(result.placement, demand, ctx);
+
+  if (!options.with_backup) return result;
+
+  // §3.1 backup: each DC holds serving_peak / (n - 1) extra so the failed
+  // DC's equal share fits across the survivors.
+  const std::size_t n = world.dc_count();
+  require(n >= 2, "provision_round_robin: backup needs >= 2 DCs");
+  for (std::size_t x = 0; x < n; ++x) {
+    result.capacity.dc_backup_cores[x] =
+        result.capacity.dc_serving_cores[x] / static_cast<double>(n - 1);
+  }
+
+  // WAN capacity must cover the worst failure scenario's per-link peak.
+  for (const FailureScenario& scenario :
+       enumerate_failures(world, topo, options.include_link_failures)) {
+    if (scenario.type == FailureScenario::Type::kNone) continue;
+    const PlacementMatrix shifted =
+        rr_scenario_placement(demand, ctx, scenario);
+    const std::vector<double> peaks =
+        compute_usage(shifted, demand, ctx).link_peaks();
+    for (std::size_t l = 0; l < peaks.size(); ++l) {
+      result.capacity.link_gbps[l] =
+          std::max(result.capacity.link_gbps[l], peaks[l]);
+    }
+  }
+  return result;
+}
+
+}  // namespace sb

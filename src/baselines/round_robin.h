@@ -1,0 +1,23 @@
+// Round-Robin baseline (§3.1): spread every config's calls equally over the
+// DCs of its region. Minimizes compute (every DC carries 1/n of the global
+// peak, and single-DC-failure backup is peak/(n(n-1)) per DC) but sprays
+// calls to far-off DCs, inflating WAN capacity and latency.
+#pragma once
+
+#include "baselines/baseline.h"
+
+namespace sb {
+
+/// The RR no-failure placement: D_tc / n to each regional DC.
+PlacementMatrix round_robin_placement(const DemandMatrix& demand,
+                                      const EvalContext& ctx);
+
+/// Full RR provisioning: serving cores from the equal-spread peaks, backup
+/// cores per §3.1's formula, WAN capacity as the per-link max across all
+/// failure scenarios (failed DC's share re-spread over survivors; calls
+/// avoiding a failed link re-spread over DCs whose paths avoid it).
+BaselineResult provision_round_robin(const DemandMatrix& demand,
+                                     const EvalContext& ctx,
+                                     const BaselineOptions& options = {});
+
+}  // namespace sb

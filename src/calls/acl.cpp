@@ -1,0 +1,45 @@
+#include "calls/acl.h"
+
+#include "common/error.h"
+
+namespace sb {
+
+double acl_ms(const CallConfig& config, DcId dc, const LatencyMatrix& latency) {
+  double total = 0.0;
+  std::uint32_t participants = 0;
+  for (const ConfigEntry& e : config.entries()) {
+    total += latency.latency_ms(dc, e.location) * e.count;
+    participants += e.count;
+  }
+  return total / participants;
+}
+
+std::vector<DcId> feasible_dcs(const CallConfig& config,
+                               const std::vector<DcId>& candidates,
+                               const LatencyMatrix& latency,
+                               double threshold_ms) {
+  require(!candidates.empty(), "feasible_dcs: empty candidate set");
+  std::vector<DcId> ok;
+  for (DcId dc : candidates) {
+    if (acl_ms(config, dc, latency) <= threshold_ms) ok.push_back(dc);
+  }
+  if (ok.empty()) ok.push_back(min_acl_dc(config, candidates, latency));
+  return ok;
+}
+
+DcId min_acl_dc(const CallConfig& config, const std::vector<DcId>& candidates,
+                const LatencyMatrix& latency) {
+  require(!candidates.empty(), "min_acl_dc: empty candidate set");
+  DcId best = candidates.front();
+  double best_acl = acl_ms(config, best, latency);
+  for (DcId dc : candidates) {
+    const double a = acl_ms(config, dc, latency);
+    if (a < best_acl) {
+      best = dc;
+      best_acl = a;
+    }
+  }
+  return best;
+}
+
+}  // namespace sb

@@ -1,0 +1,100 @@
+#include "calls/call_config.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "geo/world.h"
+
+namespace sb {
+
+CallConfig CallConfig::make(std::vector<ConfigEntry> entries, MediaType media) {
+  require(!entries.empty(), "CallConfig: need at least one entry");
+  std::sort(entries.begin(), entries.end(),
+            [](const ConfigEntry& a, const ConfigEntry& b) {
+              return a.location < b.location;
+            });
+  std::vector<ConfigEntry> merged;
+  for (const ConfigEntry& e : entries) {
+    require(e.location.valid(), "CallConfig: invalid location");
+    require(e.count > 0, "CallConfig: zero participant count");
+    if (!merged.empty() && merged.back().location == e.location) {
+      merged.back().count += e.count;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  return CallConfig(std::move(merged), media);
+}
+
+std::uint32_t CallConfig::total_participants() const {
+  std::uint32_t total = 0;
+  for (const ConfigEntry& e : entries_) total += e.count;
+  return total;
+}
+
+LocationId CallConfig::majority_location() const {
+  LocationId best = entries_.front().location;
+  std::uint32_t best_count = entries_.front().count;
+  for (const ConfigEntry& e : entries_) {
+    if (e.count > best_count) {
+      best = e.location;
+      best_count = e.count;
+    }
+  }
+  return best;
+}
+
+std::string CallConfig::describe(const World& world) const {
+  std::string out = "((";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += world.location(entries_[i].location).name;
+    out += '-';
+    out += std::to_string(entries_[i].count);
+  }
+  out += "),";
+  out += to_string(media_);
+  out += ')';
+  return out;
+}
+
+std::size_t CallConfig::hash() const {
+  std::size_t h = static_cast<std::size_t>(media_) * 0x9e3779b97f4a7c15ULL;
+  for (const ConfigEntry& e : entries_) {
+    h ^= (static_cast<std::size_t>(e.location.value()) << 17) ^ e.count;
+    h *= 0x9e3779b97f4a7c15ULL;
+  }
+  return h;
+}
+
+ConfigId CallConfigRegistry::intern(const CallConfig& config) {
+  if (const ConfigId existing = find(config); existing.valid()) {
+    return existing;
+  }
+  const ConfigId id(static_cast<std::uint32_t>(configs_.size()));
+  configs_.push_back(config);
+  index_.emplace(config, id);
+  return id;
+}
+
+ConfigId CallConfigRegistry::find(const CallConfig& config) const {
+  const auto it = index_.find(config);
+  return it == index_.end() ? ConfigId{} : it->second;
+}
+
+const CallConfig& CallConfigRegistry::get(ConfigId id) const {
+  require(id.valid() && id.value() < configs_.size(),
+          "CallConfigRegistry::get: id out of range");
+  return configs_[id.value()];
+}
+
+std::vector<ConfigId> CallConfigRegistry::ids() const {
+  std::vector<ConfigId> out;
+  out.reserve(configs_.size());
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    out.push_back(ConfigId(static_cast<std::uint32_t>(i)));
+  }
+  return out;
+}
+
+}  // namespace sb

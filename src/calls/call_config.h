@@ -1,0 +1,88 @@
+// Call configurations (§5.1): the unit of forecasting and provisioning.
+// A config is the multiset of participant locations plus the call's media
+// type, e.g. ((India-2, Japan-1), audio). Calls with the same config are
+// fungible for resource purposes, and there are orders of magnitude fewer
+// configs than calls, which is what keeps the LP tractable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "calls/media.h"
+#include "common/types.h"
+
+namespace sb {
+
+class World;
+
+/// One (location, participant count) component of a call config.
+struct ConfigEntry {
+  LocationId location;
+  std::uint32_t count = 0;
+
+  friend bool operator==(const ConfigEntry&, const ConfigEntry&) = default;
+};
+
+/// A canonicalized call configuration. Construct via make(); entries are
+/// sorted by location and duplicate locations are merged, so equal configs
+/// compare equal structurally.
+class CallConfig {
+ public:
+  /// Builds a canonical config. Throws if entries is empty, any count is 0,
+  /// or any location id is invalid.
+  static CallConfig make(std::vector<ConfigEntry> entries, MediaType media);
+
+  [[nodiscard]] const std::vector<ConfigEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] MediaType media() const { return media_; }
+
+  [[nodiscard]] std::uint32_t total_participants() const;
+
+  /// Location contributing the most participants (ties: lowest id). §5.4
+  /// uses this: ~95% of calls have the first joiner in the majority country.
+  [[nodiscard]] LocationId majority_location() const;
+
+  /// True if all participants share one location ("intra-country" in §6.3).
+  [[nodiscard]] bool single_location() const { return entries_.size() == 1; }
+
+  /// Human-readable form, e.g. "((IN-2,JP-1),audio)".
+  [[nodiscard]] std::string describe(const World& world) const;
+
+  [[nodiscard]] std::size_t hash() const;
+
+  friend bool operator==(const CallConfig&, const CallConfig&) = default;
+
+ private:
+  CallConfig(std::vector<ConfigEntry> entries, MediaType media)
+      : entries_(std::move(entries)), media_(media) {}
+
+  std::vector<ConfigEntry> entries_;
+  MediaType media_ = MediaType::kAudio;
+};
+
+/// Interns CallConfigs into dense ConfigIds so downstream modules can use
+/// vectors keyed by config. Not thread-safe; populate before fan-out.
+class CallConfigRegistry {
+ public:
+  /// Returns the existing id for an equal config, or registers a new one.
+  ConfigId intern(const CallConfig& config);
+
+  /// Lookup without inserting; invalid ConfigId if absent.
+  [[nodiscard]] ConfigId find(const CallConfig& config) const;
+
+  [[nodiscard]] const CallConfig& get(ConfigId id) const;
+  [[nodiscard]] std::size_t size() const { return configs_.size(); }
+  [[nodiscard]] std::vector<ConfigId> ids() const;
+
+ private:
+  struct Hash {
+    std::size_t operator()(const CallConfig& c) const { return c.hash(); }
+  };
+  std::vector<CallConfig> configs_;
+  std::unordered_map<CallConfig, ConfigId, Hash> index_;
+};
+
+}  // namespace sb

@@ -1,0 +1,175 @@
+#include "calls/io.h"
+
+#include <charconv>
+#include <ostream>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/table.h"
+
+namespace sb {
+
+namespace {
+
+double parse_double(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    require(used == text.size(), what + ": trailing characters in '" + text +
+                                     "'");
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidArgument(what + ": cannot parse number '" + text + "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string legs_field(const CallRecord& record, const World& world) {
+  std::string out;
+  for (std::size_t i = 0; i < record.legs.size(); ++i) {
+    if (i > 0) out += ';';
+    out += world.location(record.legs[i].location).name;
+    out += '@';
+    out += format_double(record.legs[i].join_offset_s, 3);
+  }
+  return out;
+}
+
+}  // namespace
+
+MediaType parse_media_type(const std::string& text) {
+  if (text == "audio") return MediaType::kAudio;
+  if (text == "screen") return MediaType::kScreenShare;
+  if (text == "video") return MediaType::kVideo;
+  throw InvalidArgument("parse_media_type: unknown media '" + text + "'");
+}
+
+CallConfig parse_call_config(const std::string& text, const World& world) {
+  // Format: ((IN-2,JP-1),audio)
+  require(text.size() > 6 && text.front() == '(' && text.back() == ')',
+          "parse_call_config: malformed '" + text + "'");
+  const std::size_t inner_close = text.rfind("),");
+  require(inner_close != std::string::npos && text[1] == '(',
+          "parse_call_config: malformed '" + text + "'");
+  const std::string entries_text = text.substr(2, inner_close - 2);
+  const std::string media_text =
+      text.substr(inner_close + 2, text.size() - inner_close - 3);
+
+  std::vector<ConfigEntry> entries;
+  for (const std::string& part : split(entries_text, ',')) {
+    const std::size_t dash = part.rfind('-');
+    require(dash != std::string::npos && dash > 0,
+            "parse_call_config: bad entry '" + part + "'");
+    const std::string name = part.substr(0, dash);
+    const auto loc = world.find_location(name);
+    require(loc.has_value(), "parse_call_config: unknown location '" + name +
+                                 "'");
+    const double count = parse_double(part.substr(dash + 1), "count");
+    require(count >= 1.0, "parse_call_config: bad count in '" + part + "'");
+    entries.push_back({*loc, static_cast<std::uint32_t>(count)});
+  }
+  return CallConfig::make(std::move(entries), parse_media_type(media_text));
+}
+
+void write_records_csv(std::ostream& out, const CallRecordDatabase& db,
+                       const CallConfigRegistry& registry, const World& world) {
+  CsvWriter writer(out);
+  writer.write_row({"call_id", "start_s", "duration_s", "media", "legs"});
+  for (const CallRecord& record : db.records()) {
+    const CallConfig& config = registry.get(record.config);
+    writer.write_row({std::to_string(record.id.value()),
+                      format_double(record.start_s, 3),
+                      format_double(record.duration_s, 3),
+                      to_string(config.media()), legs_field(record, world)});
+  }
+}
+
+CallRecordDatabase read_records_csv(const std::string& csv,
+                                    CallConfigRegistry& registry,
+                                    const World& world) {
+  const auto rows = parse_csv(csv);
+  require(!rows.empty() && rows[0].size() == 5 && rows[0][0] == "call_id",
+          "read_records_csv: missing or malformed header");
+  CallRecordDatabase db;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    require(row.size() == 5,
+            "read_records_csv: row " + std::to_string(r) + " has " +
+                std::to_string(row.size()) + " fields");
+    CallRecord record;
+    record.id = CallId(static_cast<std::uint32_t>(
+        parse_double(row[0], "call_id")));
+    record.start_s = parse_double(row[1], "start_s");
+    record.duration_s = parse_double(row[2], "duration_s");
+    const MediaType media = parse_media_type(row[3]);
+
+    std::vector<ConfigEntry> entries;
+    for (const std::string& leg_text : split(row[4], ';')) {
+      const std::size_t at = leg_text.find('@');
+      require(at != std::string::npos,
+              "read_records_csv: bad leg '" + leg_text + "'");
+      const std::string name = leg_text.substr(0, at);
+      const auto loc = world.find_location(name);
+      require(loc.has_value(),
+              "read_records_csv: unknown location '" + name + "'");
+      record.legs.push_back(
+          CallLeg{*loc, parse_double(leg_text.substr(at + 1), "offset")});
+      entries.push_back({*loc, 1});
+    }
+    require(!record.legs.empty(), "read_records_csv: record without legs");
+    record.config = registry.intern(CallConfig::make(std::move(entries), media));
+    db.add(std::move(record));
+  }
+  return db;
+}
+
+void write_demand_csv(std::ostream& out, const DemandMatrix& demand,
+                      const CallConfigRegistry& registry, const World& world) {
+  CsvWriter writer(out);
+  std::vector<std::string> header{"slot"};
+  for (std::size_t c = 0; c < demand.config_count(); ++c) {
+    header.push_back(registry.get(demand.config_at(c)).describe(world));
+  }
+  writer.write_row(header);
+  for (TimeSlot t = 0; t < demand.slot_count(); ++t) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (std::size_t c = 0; c < demand.config_count(); ++c) {
+      row.push_back(format_double(demand.demand(t, c), 6));
+    }
+    writer.write_row(row);
+  }
+}
+
+DemandMatrix read_demand_csv(const std::string& csv,
+                             CallConfigRegistry& registry, const World& world) {
+  const auto rows = parse_csv(csv);
+  require(rows.size() >= 2 && rows[0].size() >= 2 && rows[0][0] == "slot",
+          "read_demand_csv: missing or malformed header");
+  std::vector<ConfigId> configs;
+  for (std::size_t c = 1; c < rows[0].size(); ++c) {
+    configs.push_back(registry.intern(parse_call_config(rows[0][c], world)));
+  }
+  DemandMatrix demand = make_demand_matrix(configs, rows.size() - 1);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    require(rows[r].size() == rows[0].size(),
+            "read_demand_csv: ragged row " + std::to_string(r));
+    for (std::size_t c = 1; c < rows[r].size(); ++c) {
+      demand.set_demand(static_cast<TimeSlot>(r - 1), c - 1,
+                        parse_double(rows[r][c], "demand"));
+    }
+  }
+  return demand;
+}
+
+}  // namespace sb

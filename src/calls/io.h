@@ -1,0 +1,46 @@
+// CSV interchange for call records and demand matrices, so real deployments
+// can feed their own data into the pipeline (and benches can export series
+// for external plotting).
+//
+// Record CSV columns: call_id,start_s,duration_s,media,legs
+//   legs is ";"-separated "COUNTRY@join_offset" entries ordered by offset,
+//   e.g. "IN@0;IN@12.5;JP@230". The call config is derived from the legs
+//   and media and interned into the registry on read.
+//
+// Demand CSV: header "slot,<config>,<config>,..." where each config is its
+// canonical description, e.g. "((IN-2,JP-1),audio)"; one row per time slot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "calls/call_record.h"
+#include "calls/demand.h"
+#include "geo/world.h"
+
+namespace sb {
+
+/// Parses a canonical config description ("((IN-2,JP-1),audio)") against a
+/// world's location names. Throws InvalidArgument on malformed input or
+/// unknown locations/media.
+CallConfig parse_call_config(const std::string& text, const World& world);
+
+/// Parses a media-type label ("audio", "screen", "video").
+MediaType parse_media_type(const std::string& text);
+
+void write_records_csv(std::ostream& out, const CallRecordDatabase& db,
+                       const CallConfigRegistry& registry, const World& world);
+
+/// Reads records written by write_records_csv (or hand-authored in the same
+/// format); configs are interned into `registry`.
+CallRecordDatabase read_records_csv(const std::string& csv,
+                                    CallConfigRegistry& registry,
+                                    const World& world);
+
+void write_demand_csv(std::ostream& out, const DemandMatrix& demand,
+                      const CallConfigRegistry& registry, const World& world);
+
+DemandMatrix read_demand_csv(const std::string& csv,
+                             CallConfigRegistry& registry, const World& world);
+
+}  // namespace sb

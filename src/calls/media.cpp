@@ -1,0 +1,48 @@
+#include "calls/media.h"
+
+#include "common/error.h"
+
+namespace sb {
+
+std::string to_string(MediaType media) {
+  switch (media) {
+    case MediaType::kAudio:
+      return "audio";
+    case MediaType::kScreenShare:
+      return "screen";
+    case MediaType::kVideo:
+      return "video";
+  }
+  throw InternalError("to_string: bad MediaType");
+}
+
+LoadModel::LoadModel(std::array<double, kMediaTypeCount> cores_per_participant,
+                     std::array<double, kMediaTypeCount> mbps_per_participant)
+    : cores_(cores_per_participant), mbps_(mbps_per_participant) {
+  for (std::size_t i = 0; i < kMediaTypeCount; ++i) {
+    require(cores_[i] > 0.0 && mbps_[i] > 0.0,
+            "LoadModel: loads must be positive");
+  }
+}
+
+LoadModel LoadModel::paper_default() {
+  // Audio leg ~80 kbps and 0.01 core; video 35x network and 3x compute;
+  // screen-share 15x network and 1.5x compute (Table 1 midpoints).
+  return LoadModel({0.010, 0.015, 0.030}, {0.08, 1.20, 2.80});
+}
+
+double LoadModel::cores_per_participant(MediaType media) const {
+  return cores_[static_cast<std::size_t>(media)];
+}
+
+double LoadModel::mbps_per_participant(MediaType media) const {
+  return mbps_[static_cast<std::size_t>(media)];
+}
+
+double LoadModel::offload_ratio(MediaType media) const {
+  const double audio_ratio = mbps_[0] / cores_[0];
+  const double ratio = mbps_per_participant(media) / cores_per_participant(media);
+  return ratio / audio_ratio;
+}
+
+}  // namespace sb

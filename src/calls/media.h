@@ -1,0 +1,50 @@
+// Media types and the per-participant resource load model of Table 1.
+//
+// A call's media type is the most demanding stream anyone shares (§5.1):
+// audio by default, video if anyone turns a camera on and nobody shares a
+// screen, screen-share as soon as anyone shares a screen. Video has the
+// highest network-to-compute ratio (30-40x network for 2-4x compute), which
+// is why Switchboard offloads audio calls to remote DCs first (§6.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sb {
+
+enum class MediaType : std::uint8_t { kAudio = 0, kScreenShare = 1, kVideo = 2 };
+
+inline constexpr std::size_t kMediaTypeCount = 3;
+
+/// Short label for tables ("audio", "screen", "video").
+std::string to_string(MediaType media);
+
+/// Per-participant resource loads by media type: CL_m (cores) and NL_m
+/// (Mbps, both directions aggregated) from Table 2's notation.
+class LoadModel {
+ public:
+  /// Constructs from explicit per-media loads (index = MediaType value).
+  LoadModel(std::array<double, kMediaTypeCount> cores_per_participant,
+            std::array<double, kMediaTypeCount> mbps_per_participant);
+
+  /// Table 1's relative values on plausible absolute bases:
+  /// audio 1x/1x, screen-share 1.5x/15x, video 3x/35x.
+  static LoadModel paper_default();
+
+  /// Cores one participant of a `media` call consumes on the MP server.
+  [[nodiscard]] double cores_per_participant(MediaType media) const;
+
+  /// WAN Mbps one participant's call leg carries (up + down aggregate).
+  [[nodiscard]] double mbps_per_participant(MediaType media) const;
+
+  /// Network-to-compute load ratio normalized to audio's ratio; Table 1's
+  /// right column, the quantity that orders offload preference.
+  [[nodiscard]] double offload_ratio(MediaType media) const;
+
+ private:
+  std::array<double, kMediaTypeCount> cores_;
+  std::array<double, kMediaTypeCount> mbps_;
+};
+
+}  // namespace sb

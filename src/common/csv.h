@@ -1,0 +1,36 @@
+// Minimal CSV writing/parsing. Benches optionally dump their series as CSV
+// (for external plotting) and tests round-trip small tables through it.
+// Supports RFC-4180-style quoting for fields containing commas, quotes, or
+// newlines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sb {
+
+/// Streams rows of string fields as CSV to an ostream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience for numeric rows: first field is a label, the rest are
+  /// values formatted with the given precision.
+  void write_row(const std::string& label, const std::vector<double>& values,
+                 int precision = 6);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Quotes a single field if needed.
+std::string csv_escape(const std::string& field);
+
+/// Parses one CSV document into rows of fields. Handles quoted fields with
+/// embedded commas/quotes/newlines; a trailing newline is not required.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace sb

@@ -1,0 +1,96 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sb {
+
+void Summary::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double Summary::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double Summary::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  require(!xs.empty(), "quantile: empty input");
+  require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double rmse(std::span<const double> truth, std::span<const double> estimate) {
+  require(truth.size() == estimate.size(), "rmse: size mismatch");
+  require(!truth.empty(), "rmse: empty input");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - estimate[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+double mae(std::span<const double> truth, std::span<const double> estimate) {
+  require(truth.size() == estimate.size(), "mae: size mismatch");
+  require(!truth.empty(), "mae: empty input");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += std::abs(truth[i] - estimate[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
+                                    std::size_t points) {
+  require(!samples.empty(), "empirical_cdf: empty input");
+  require(points >= 2, "empirical_cdf: need at least 2 points");
+  std::sort(samples.begin(), samples.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(points);
+  const auto n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < points; ++i) {
+    const double frac =
+        static_cast<double>(i + 1) / static_cast<double>(points);
+    const auto idx = static_cast<std::size_t>(
+        std::min(n - 1.0, std::ceil(frac * n) - 1.0));
+    cdf.push_back({samples[idx], frac});
+  }
+  return cdf;
+}
+
+}  // namespace sb

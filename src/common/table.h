@@ -1,0 +1,43 @@
+// Aligned text-table rendering for the benchmark harness. Every bench binary
+// reproduces one of the paper's tables/figures as rows on stdout; this
+// printer keeps their output uniform and diff-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sb {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with a fixed precision so normalized results line up.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  TextTable& row();
+
+  TextTable& cell(const std::string& text);
+  TextTable& cell(double value, int precision = 2);
+  TextTable& cell(std::int64_t value);
+  TextTable& cell(std::uint64_t value);
+
+  /// Renders with a header underline and two-space column gaps.
+  [[nodiscard]] std::string str() const;
+
+  /// Convenience: writes str() to the stream.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with the given precision (std::fixed).
+std::string format_double(double value, int precision = 2);
+
+/// Prints a section banner ("== title ==") used between experiment blocks.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace sb

@@ -1,0 +1,58 @@
+// Fixed-size thread pool. Used to run independent LP failure-scenario solves
+// concurrently (§5.3's per-scenario decomposition) and by the Fig 10
+// controller throughput benchmark's writer threads.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sb {
+
+/// A minimal work-queue thread pool. Tasks are std::function<void()>;
+/// submit() wraps arbitrary callables and returns a future. Destruction
+/// drains outstanding tasks before joining.
+class ThreadPool {
+ public:
+  /// @param thread_count number of workers; 0 means hardware_concurrency
+  ///        (at least 1).
+  explicit ThreadPool(std::size_t thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn(args...)`; the returned future carries the result or the
+  /// exception thrown by the task.
+  template <typename Fn, typename... Args>
+  auto submit(Fn&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<Fn, Args...>> {
+    using Result = std::invoke_result_t<Fn, Args...>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        [fn = std::forward<Fn>(fn),
+         ... args = std::forward<Args>(args)]() mutable {
+          return std::invoke(std::move(fn), std::move(args)...);
+        });
+    std::future<Result> result = task->get_future();
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace sb

@@ -1,0 +1,76 @@
+// Strong identifier and time types shared across all Switchboard modules.
+//
+// Every entity in the system (datacenter, location, WAN link, call config,
+// call) is addressed by a dense 32-bit index into a registry owned by the
+// module that defines the entity. Raw integers are easy to mix up, so each
+// index is wrapped in a distinct StrongId instantiation; conversion to the
+// underlying integer is explicit via value().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace sb {
+
+/// A type-safe wrapper around a dense 32-bit index.
+///
+/// @tparam Tag an empty struct that makes each instantiation a distinct type.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  /// Sentinel for "no id"; default construction yields an invalid id so that
+  /// accidentally unset ids are caught by valid() checks rather than aliasing
+  /// entity 0.
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId, StrongId) = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct DcTag {};
+struct LocationTag {};
+struct LinkTag {};
+struct ConfigTag {};
+struct CallTag {};
+
+/// Datacenter index within a World.
+using DcId = StrongId<DcTag>;
+/// Participant location (country) index within a World.
+using LocationId = StrongId<LocationTag>;
+/// WAN link index within a Topology.
+using LinkId = StrongId<LinkTag>;
+/// Interned call-configuration index within a CallConfigRegistry.
+using ConfigId = StrongId<ConfigTag>;
+/// Call index within a trace / call-record database.
+using CallId = StrongId<CallTag>;
+
+/// Index of a provisioning time slot (e.g. a 30-minute bucket).
+using TimeSlot = std::uint32_t;
+
+/// Seconds since the start of a trace. Double so that sub-second simulator
+/// events (KV-store latencies, join jitter) need no unit juggling.
+using SimTime = double;
+
+}  // namespace sb
+
+namespace std {
+template <typename Tag>
+struct hash<sb::StrongId<Tag>> {
+  size_t operator()(sb::StrongId<Tag> id) const noexcept {
+    return std::hash<typename sb::StrongId<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,180 @@
+#include "core/allocation_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace sb {
+
+AllocationPlan::AllocationPlan(std::size_t slot_count, std::size_t config_count,
+                               std::size_t dc_count, double slot_s)
+    : fractional(slot_count, config_count, dc_count),
+      slots_(slot_count),
+      configs_(config_count),
+      dcs_(dc_count),
+      slot_s_(slot_s),
+      quotas_(slot_count * config_count * dc_count, 0) {
+  require(slot_s > 0.0, "AllocationPlan: slot width");
+}
+
+std::uint32_t AllocationPlan::quota(TimeSlot t, std::size_t c, DcId dc) const {
+  require(t < slots_ && c < configs_ && dc.valid() && dc.value() < dcs_,
+          "AllocationPlan::quota: out of range");
+  return quotas_[(static_cast<std::size_t>(t) * configs_ + c) * dcs_ +
+                 dc.value()];
+}
+
+void AllocationPlan::set_quota(TimeSlot t, std::size_t c, DcId dc,
+                               std::uint32_t calls) {
+  require(t < slots_ && c < configs_ && dc.valid() && dc.value() < dcs_,
+          "AllocationPlan::set_quota: out of range");
+  quotas_[(static_cast<std::size_t>(t) * configs_ + c) * dcs_ + dc.value()] =
+      calls;
+}
+
+TimeSlot AllocationPlan::slot_at(SimTime offset_s) const {
+  if (offset_s <= 0.0) return 0;
+  const auto slot = static_cast<std::size_t>(offset_s / slot_s_);
+  return static_cast<TimeSlot>(std::min(slot, slots_ - 1));
+}
+
+std::size_t AllocationPlan::column_of(ConfigId config) const {
+  for (std::size_t i = 0; i < config_columns.size(); ++i) {
+    if (config_columns[i] == config) return i;
+  }
+  return npos;
+}
+
+AllocationPlanner::AllocationPlanner(EvalContext ctx, AllocationOptions options)
+    : ctx_(ctx), options_(options) {
+  require(ctx_.world && ctx_.topology && ctx_.latency && ctx_.registry &&
+              ctx_.loads,
+          "AllocationPlanner: incomplete context");
+}
+
+AllocationPlan AllocationPlanner::plan(const DemandMatrix& demand,
+                                       const CapacityPlan& capacity,
+                                       double slot_s) const {
+  const World& world = *ctx_.world;
+  const Topology& topo = *ctx_.topology;
+  const std::size_t slots = demand.slot_count();
+  const std::size_t config_count = demand.config_count();
+  const std::vector<DcId> all_dcs = world.dc_ids();
+
+  struct Candidates {
+    std::vector<DcId> dcs;
+    std::vector<HostingProfile> profiles;
+  };
+  std::vector<Candidates> cands(config_count);
+  for (std::size_t c = 0; c < config_count; ++c) {
+    const CallConfig& config = ctx_.registry->get(demand.config_at(c));
+    cands[c].dcs = feasible_dcs(config, all_dcs, *ctx_.latency,
+                                options_.acl_threshold_ms);
+    for (DcId dc : cands[c].dcs) {
+      cands[c].profiles.push_back(make_hosting_profile(config, dc, ctx_));
+    }
+  }
+
+  lp::Model model;
+  std::vector<std::vector<int>> s_var(slots * config_count);
+  for (TimeSlot t = 0; t < slots; ++t) {
+    for (std::size_t c = 0; c < config_count; ++c) {
+      if (demand.demand(t, c) <= 0.0) continue;
+      auto& vars = s_var[static_cast<std::size_t>(t) * config_count + c];
+      for (std::size_t k = 0; k < cands[c].dcs.size(); ++k) {
+        // Eq 10: minimize total latency-weighted placement.
+        vars.push_back(model.add_variable(0.0, lp::kInf,
+                                          cands[c].profiles[k].acl_ms, ""));
+      }
+    }
+  }
+
+  for (TimeSlot t = 0; t < slots; ++t) {
+    std::vector<std::vector<lp::Term>> dc_rows(world.dc_count());
+    std::vector<std::vector<lp::Term>> link_rows(topo.link_count());
+    for (std::size_t c = 0; c < config_count; ++c) {
+      const auto& vars = s_var[static_cast<std::size_t>(t) * config_count + c];
+      for (std::size_t k = 0; k < vars.size(); ++k) {
+        const HostingProfile& profile = cands[c].profiles[k];
+        dc_rows[cands[c].dcs[k].value()].push_back(
+            {vars[k], profile.cores_per_call});
+        for (const auto& [l, gbps] : profile.link_gbps_per_call) {
+          link_rows[l.value()].push_back({vars[k], gbps});
+        }
+      }
+    }
+    for (std::size_t x = 0; x < world.dc_count(); ++x) {
+      if (dc_rows[x].empty()) continue;
+      model.add_constraint(
+          std::move(dc_rows[x]), lp::Sense::kLe,
+          capacity.dc_total_cores(DcId(static_cast<std::uint32_t>(x))));
+    }
+    for (std::size_t l = 0; l < topo.link_count(); ++l) {
+      if (link_rows[l].empty()) continue;
+      model.add_constraint(std::move(link_rows[l]), lp::Sense::kLe,
+                           capacity.link_gbps[l]);
+    }
+  }
+  for (TimeSlot t = 0; t < slots; ++t) {
+    for (std::size_t c = 0; c < config_count; ++c) {
+      const auto& vars = s_var[static_cast<std::size_t>(t) * config_count + c];
+      if (vars.empty()) continue;
+      std::vector<lp::Term> terms;
+      for (int v : vars) terms.push_back({v, 1.0});
+      model.add_constraint(std::move(terms), lp::Sense::kEq,
+                           demand.demand(t, c));
+    }
+  }
+
+  const lp::Solution solution = lp::solve(model, options_.lp_options);
+  if (!solution.optimal()) {
+    throw SolveError("allocation LP returned " +
+                     lp::to_string(solution.status) +
+                     " (is the capacity plan sufficient for this demand?)");
+  }
+
+  AllocationPlan plan(slots, config_count, world.dc_count(), slot_s);
+  plan.config_columns = demand.configs();
+  for (TimeSlot t = 0; t < slots; ++t) {
+    for (std::size_t c = 0; c < config_count; ++c) {
+      const auto& vars = s_var[static_cast<std::size_t>(t) * config_count + c];
+      if (vars.empty()) continue;
+      // Fractional optimum, then largest-remainder rounding to an integral
+      // quota totalling ceil(D_tc) so the realtime selector always has at
+      // least the expected number of slots.
+      std::vector<double> shares(vars.size());
+      double placed = 0.0;
+      for (std::size_t k = 0; k < vars.size(); ++k) {
+        shares[k] = solution.values[vars[k]];
+        plan.fractional.set_calls(t, c, cands[c].dcs[k], shares[k]);
+        placed += shares[k];
+      }
+      auto total = static_cast<std::uint32_t>(std::ceil(placed - 1e-9));
+      std::vector<std::uint32_t> quota(vars.size());
+      std::uint32_t assigned = 0;
+      for (std::size_t k = 0; k < vars.size(); ++k) {
+        quota[k] = static_cast<std::uint32_t>(shares[k]);
+        assigned += quota[k];
+      }
+      std::vector<std::size_t> order(vars.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return shares[a] - std::floor(shares[a]) >
+               shares[b] - std::floor(shares[b]);
+      });
+      for (std::size_t i = 0; assigned < total; ++i) {
+        ++quota[order[i % order.size()]];
+        ++assigned;
+      }
+      for (std::size_t k = 0; k < vars.size(); ++k) {
+        plan.set_quota(t, c, cands[c].dcs[k], quota[k]);
+      }
+    }
+  }
+  plan.mean_acl_ms = mean_acl_ms(plan.fractional, demand, ctx_);
+  return plan;
+}
+
+}  // namespace sb

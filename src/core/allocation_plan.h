@@ -1,0 +1,81 @@
+// The daily MP allocation plan (§5.3 "Allocation plan"): with capacities
+// fixed at the provisioned values, a second LP minimizes total ACL (Eq 10)
+// and emits, per time slot and call config, how many calls each DC should
+// host. The fractional optimum is rounded to integral per-DC "slots" that
+// the realtime selector debits as calls arrive (§5.4b).
+#pragma once
+
+#include <cstdint>
+
+#include "calls/demand.h"
+#include "core/capacity_plan.h"
+#include "core/placement.h"
+#include "lp/solver.h"
+
+namespace sb {
+
+struct AllocationOptions {
+  double acl_threshold_ms = kDefaultAclThresholdMs;
+  lp::SolveOptions lp_options;
+};
+
+/// The plan consumed by the realtime selector. Slot quotas are integral:
+/// quota(t, c, x) concurrent calls of config column c may sit at DC x
+/// during slot t.
+class AllocationPlan {
+ public:
+  AllocationPlan(std::size_t slot_count, std::size_t config_count,
+                 std::size_t dc_count, double slot_s);
+
+  [[nodiscard]] std::uint32_t quota(TimeSlot t, std::size_t config_col,
+                                    DcId dc) const;
+  void set_quota(TimeSlot t, std::size_t config_col, DcId dc,
+                 std::uint32_t calls);
+
+  /// Maps a simulation time (seconds from the plan's start) to a slot,
+  /// clamping beyond-horizon times to the last slot.
+  [[nodiscard]] TimeSlot slot_at(SimTime offset_s) const;
+
+  [[nodiscard]] std::size_t slot_count() const { return slots_; }
+  [[nodiscard]] std::size_t config_count() const { return configs_; }
+  [[nodiscard]] std::size_t dc_count() const { return dcs_; }
+  [[nodiscard]] double slot_seconds() const { return slot_s_; }
+
+  /// The config interned at each column (copied from the demand matrix the
+  /// plan was built against).
+  std::vector<ConfigId> config_columns;
+  /// Call-weighted mean ACL of the fractional optimum.
+  double mean_acl_ms = 0.0;
+  /// The fractional LP optimum (kept for evaluation/benches).
+  PlacementMatrix fractional;
+
+  /// Column index of `config` in this plan, or npos if unplanned.
+  [[nodiscard]] std::size_t column_of(ConfigId config) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::size_t slots_;
+  std::size_t configs_;
+  std::size_t dcs_;
+  double slot_s_;
+  std::vector<std::uint32_t> quotas_;
+};
+
+/// Builds allocation plans. Context members must outlive the planner.
+class AllocationPlanner {
+ public:
+  AllocationPlanner(EvalContext ctx, AllocationOptions options);
+
+  /// Solves Eq 10 under the given capacities and rounds to integral slots.
+  /// Throws SolveError if demand does not fit the capacities (which cannot
+  /// happen when `capacity` came from provisioning the same demand).
+  [[nodiscard]] AllocationPlan plan(const DemandMatrix& demand,
+                                    const CapacityPlan& capacity,
+                                    double slot_s) const;
+
+ private:
+  EvalContext ctx_;
+  AllocationOptions options_;
+};
+
+}  // namespace sb

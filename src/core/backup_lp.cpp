@@ -1,0 +1,44 @@
+#include "core/backup_lp.h"
+
+#include "common/error.h"
+#include "lp/solver.h"
+
+namespace sb {
+
+std::vector<double> solve_backup_lp(const std::vector<double>& serving_cores) {
+  require(!serving_cores.empty(), "solve_backup_lp: no DCs");
+  const std::size_t n = serving_cores.size();
+  if (n == 1) {
+    if (serving_cores[0] > 0.0) {
+      throw SolveError(
+          "solve_backup_lp: single-DC deployment cannot survive DC failure");
+    }
+    return {0.0};
+  }
+  lp::Model model;
+  std::vector<int> backup(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    backup[x] = model.add_variable(0.0, lp::kInf, 1.0,
+                                   "backup" + std::to_string(x));
+  }
+  for (std::size_t x = 0; x < n; ++x) {
+    std::vector<lp::Term> terms;
+    for (std::size_t y = 0; y < n; ++y) {
+      if (y != x) terms.push_back({backup[y], 1.0});
+    }
+    model.add_constraint(std::move(terms), lp::Sense::kGe, serving_cores[x],
+                         "cover" + std::to_string(x));
+  }
+  const lp::Solution solution = lp::solve(model);
+  if (!solution.optimal()) {
+    throw SolveError("solve_backup_lp: solver returned " +
+                     lp::to_string(solution.status));
+  }
+  std::vector<double> result(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    result[x] = solution.values[backup[x]];
+  }
+  return result;
+}
+
+}  // namespace sb

@@ -1,0 +1,17 @@
+// The §3.2 backup-capacity LP (Eq 1-2): given per-DC serving capacity,
+// provision the minimum total backup so that any single DC's serving load
+// fits into the other DCs' backup. Used by the Locality-First baseline and
+// by the "peak-aware off" ablation (Fig 4b's "default backup plan").
+#pragma once
+
+#include <vector>
+
+namespace sb {
+
+/// Minimizes sum_x Backup_x subject to Serving_x <= sum_{y != x} Backup_y
+/// for every DC x (Eq 1-2). Returns the per-DC backup vector. With a single
+/// DC the problem is infeasible unless its serving capacity is zero; this
+/// throws SolveError in that case.
+std::vector<double> solve_backup_lp(const std::vector<double>& serving_cores);
+
+}  // namespace sb

@@ -1,0 +1,83 @@
+#include "core/capacity_plan.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sb {
+
+double CapacityPlan::dc_total_cores(DcId dc) const {
+  require(dc.valid() && dc.value() < dc_serving_cores.size(),
+          "dc_total_cores: bad dc");
+  return dc_serving_cores[dc.value()] + dc_backup_cores[dc.value()];
+}
+
+double CapacityPlan::total_cores() const {
+  double acc = 0.0;
+  for (double v : dc_serving_cores) acc += v;
+  for (double v : dc_backup_cores) acc += v;
+  return acc;
+}
+
+double CapacityPlan::total_wan_gbps() const {
+  double acc = 0.0;
+  for (double v : link_gbps) acc += v;
+  return acc;
+}
+
+double CapacityPlan::compute_cost(const World& world) const {
+  require(dc_serving_cores.size() == world.dc_count(),
+          "compute_cost: shape mismatch");
+  double acc = 0.0;
+  for (std::size_t x = 0; x < dc_serving_cores.size(); ++x) {
+    const double cores = dc_serving_cores[x] + dc_backup_cores[x];
+    acc += world.datacenter(DcId(static_cast<std::uint32_t>(x))).core_cost *
+           cores;
+  }
+  return acc;
+}
+
+double CapacityPlan::network_cost(const Topology& topo) const {
+  require(link_gbps.size() == topo.link_count(),
+          "network_cost: shape mismatch");
+  double acc = 0.0;
+  for (std::size_t l = 0; l < link_gbps.size(); ++l) {
+    acc += topo.link(LinkId(static_cast<std::uint32_t>(l))).cost_per_gbps *
+           link_gbps[l];
+  }
+  return acc;
+}
+
+double CapacityPlan::total_cost(const World& world, const Topology& topo) const {
+  return compute_cost(world) + network_cost(topo);
+}
+
+CapacityPlan CapacityPlan::zeros(const World& world, const Topology& topo) {
+  CapacityPlan plan;
+  plan.dc_serving_cores.assign(world.dc_count(), 0.0);
+  plan.dc_backup_cores.assign(world.dc_count(), 0.0);
+  plan.link_gbps.assign(topo.link_count(), 0.0);
+  return plan;
+}
+
+CapacityPlan max_capacity(const CapacityPlan& a, const CapacityPlan& b) {
+  require(a.dc_serving_cores.size() == b.dc_serving_cores.size() &&
+              a.link_gbps.size() == b.link_gbps.size(),
+          "max_capacity: shape mismatch");
+  CapacityPlan out = a;
+  for (std::size_t x = 0; x < out.dc_serving_cores.size(); ++x) {
+    // Compare total cores per DC; keep the larger split.
+    const double at = a.dc_serving_cores[x] + a.dc_backup_cores[x];
+    const double bt = b.dc_serving_cores[x] + b.dc_backup_cores[x];
+    if (bt > at) {
+      out.dc_serving_cores[x] = b.dc_serving_cores[x];
+      out.dc_backup_cores[x] = b.dc_backup_cores[x];
+    }
+  }
+  for (std::size_t l = 0; l < out.link_gbps.size(); ++l) {
+    out.link_gbps[l] = std::max(a.link_gbps[l], b.link_gbps[l]);
+  }
+  return out;
+}
+
+}  // namespace sb

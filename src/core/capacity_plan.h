@@ -1,0 +1,40 @@
+// Capacity plans: how many MP cores each DC gets and how many Gbps each WAN
+// link gets — the output of MP capacity provisioning (§2.1) for Switchboard
+// and both baselines, plus the Table 3 cost/usage accounting.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "geo/topology.h"
+#include "geo/world.h"
+
+namespace sb {
+
+/// Provisioned capacity, split into serving and backup components per DC
+/// (Switchboard's peak-aware plan may fold backup into serving slack, in
+/// which case dc_backup is the increment over the no-failure requirement).
+struct CapacityPlan {
+  std::vector<double> dc_serving_cores;  ///< indexed by DcId
+  std::vector<double> dc_backup_cores;   ///< indexed by DcId
+  std::vector<double> link_gbps;         ///< indexed by LinkId
+
+  [[nodiscard]] double dc_total_cores(DcId dc) const;
+  [[nodiscard]] double total_cores() const;
+  [[nodiscard]] double total_wan_gbps() const;
+
+  /// Eq 3's cost: sum of DC_Cost(x) * cores(x) + WAN_Cost(l) * gbps(l).
+  [[nodiscard]] double compute_cost(const World& world) const;
+  [[nodiscard]] double network_cost(const Topology& topo) const;
+  [[nodiscard]] double total_cost(const World& world,
+                                  const Topology& topo) const;
+
+  /// Empty plan shaped for a world/topology.
+  static CapacityPlan zeros(const World& world, const Topology& topo);
+};
+
+/// Takes the per-resource maximum of two plans (Eq 7/8's combination across
+/// failure scenarios). Shapes must match.
+CapacityPlan max_capacity(const CapacityPlan& a, const CapacityPlan& b);
+
+}  // namespace sb

@@ -1,0 +1,79 @@
+#include "core/controller.h"
+
+#include "common/error.h"
+
+namespace sb {
+
+Switchboard::Switchboard(EvalContext ctx, ControllerOptions options)
+    : ctx_(ctx), options_(options) {
+  require(ctx_.world && ctx_.topology && ctx_.latency && ctx_.registry &&
+              ctx_.loads,
+          "Switchboard: incomplete context");
+  // Realtime service is available before any plan exists: the selector then
+  // runs pure closest-DC assignment.
+  selector_ = std::make_unique<RealtimeSelector>(ctx_, nullptr,
+                                                 options_.realtime);
+}
+
+const ProvisionResult& Switchboard::provision(const DemandMatrix& demand) {
+  SwitchboardProvisioner provisioner(ctx_, options_.provision);
+  provision_result_ = provisioner.provision(demand);
+  return *provision_result_;
+}
+
+const AllocationPlan& Switchboard::build_allocation_plan(
+    const DemandMatrix& demand, SimTime plan_start_s) {
+  require(provision_result_.has_value(),
+          "build_allocation_plan: call provision() first");
+  AllocationPlanner planner(ctx_, options_.allocation);
+  plan_ = planner.plan(demand, provision_result_->capacity, options_.slot_s);
+  std::lock_guard lock(selector_mutex_);
+  selector_ = std::make_unique<RealtimeSelector>(
+      ctx_, &*plan_, options_.realtime, plan_start_s);
+  return *plan_;
+}
+
+DcId Switchboard::call_started(CallId call, LocationId first_joiner,
+                               SimTime now) {
+  DcId dc;
+  {
+    std::lock_guard lock(selector_mutex_);
+    dc = selector_->on_call_start(call, first_joiner, now);
+  }
+  if (store_) {
+    store_->set("call:" + std::to_string(call.value()) + ":dc",
+                std::to_string(dc.value()));
+  }
+  return dc;
+}
+
+FreezeResult Switchboard::config_frozen(CallId call, const CallConfig& config,
+                                        SimTime now) {
+  FreezeResult result;
+  {
+    std::lock_guard lock(selector_mutex_);
+    result = selector_->on_config_frozen(call, config, now);
+  }
+  if (store_) {
+    store_->set("call:" + std::to_string(call.value()) + ":dc",
+                std::to_string(result.dc.value()));
+  }
+  return result;
+}
+
+void Switchboard::call_ended(CallId call, SimTime now) {
+  {
+    std::lock_guard lock(selector_mutex_);
+    selector_->on_call_end(call, now);
+  }
+  if (store_) {
+    store_->erase("call:" + std::to_string(call.value()) + ":dc");
+  }
+}
+
+RealtimeSelector::Stats Switchboard::realtime_stats() const {
+  std::lock_guard lock(selector_mutex_);
+  return selector_->stats();
+}
+
+}  // namespace sb

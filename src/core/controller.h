@@ -1,0 +1,73 @@
+// The Switchboard controller facade (Fig 6): wires the offline pipeline
+// (demand -> capacity provisioning -> allocation plan) to the realtime MP
+// selector, with optional per-event persistence to a KV store (the paper's
+// Redis) — the configuration the Fig 10 controller benchmark measures.
+//
+// This is the primary public API of the library; see examples/quickstart.cpp.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "core/allocation_plan.h"
+#include "core/provisioner.h"
+#include "core/realtime.h"
+#include "kvstore/kvstore.h"
+
+namespace sb {
+
+struct ControllerOptions {
+  ProvisionOptions provision;
+  AllocationOptions allocation;
+  RealtimeOptions realtime;
+  /// Provisioning/allocation slot width in seconds (§5.2: 30 minutes).
+  double slot_s = 1800.0;
+};
+
+/// One controller instance per deployment. Offline methods (provision,
+/// build_allocation_plan) are heavyweight and not thread-safe against each
+/// other; realtime methods are thread-safe and may be called concurrently
+/// by many call-signaling threads.
+class Switchboard {
+ public:
+  Switchboard(EvalContext ctx, ControllerOptions options);
+
+  /// Runs MP capacity provisioning (§5.3); stores and returns the result.
+  const ProvisionResult& provision(const DemandMatrix& demand);
+
+  /// Builds the daily allocation plan (Eq 10) from the last provision()
+  /// capacities, and resets the realtime selector to consume it.
+  /// `plan_start_s` anchors slot 0 of the plan on the simulation clock.
+  const AllocationPlan& build_allocation_plan(const DemandMatrix& demand,
+                                              SimTime plan_start_s);
+
+  /// Realtime events (§5.4). call_started returns the initial DC.
+  DcId call_started(CallId call, LocationId first_joiner, SimTime now);
+  FreezeResult config_frozen(CallId call, const CallConfig& config,
+                             SimTime now);
+  void call_ended(CallId call, SimTime now);
+
+  [[nodiscard]] RealtimeSelector::Stats realtime_stats() const;
+  [[nodiscard]] const std::optional<ProvisionResult>& provision_result() const {
+    return provision_result_;
+  }
+  [[nodiscard]] double freeze_delay_s() const {
+    return options_.realtime.freeze_delay_s;
+  }
+
+  /// Attaches a state store; subsequent realtime events persist call state
+  /// (writes happen outside the selector lock so they overlap).
+  void attach_store(KvStore* store) { store_ = store; }
+
+ private:
+  EvalContext ctx_;
+  ControllerOptions options_;
+  std::optional<ProvisionResult> provision_result_;
+  std::optional<AllocationPlan> plan_;
+  std::unique_ptr<RealtimeSelector> selector_;
+  mutable std::mutex selector_mutex_;
+  KvStore* store_ = nullptr;
+};
+
+}  // namespace sb

@@ -1,0 +1,46 @@
+#include "core/failure.h"
+
+namespace sb {
+
+FailureScenario FailureScenario::none() {
+  return FailureScenario{Type::kNone, DcId{}, LinkId{}, "F0"};
+}
+
+FailureScenario FailureScenario::dc_failure(DcId dc, const World& world) {
+  return FailureScenario{Type::kDc, dc, LinkId{},
+                         "F_" + world.datacenter(dc).name};
+}
+
+FailureScenario FailureScenario::link_failure(LinkId link,
+                                              const Topology& topo) {
+  return FailureScenario{Type::kLink, DcId{}, link,
+                         "F_" + topo.link(link).name};
+}
+
+std::vector<FailureScenario> enumerate_failures(const World& world,
+                                                const Topology& topo,
+                                                bool include_link_failures) {
+  std::vector<FailureScenario> scenarios;
+  scenarios.push_back(FailureScenario::none());
+  for (DcId dc : world.dc_ids()) {
+    scenarios.push_back(FailureScenario::dc_failure(dc, world));
+  }
+  if (include_link_failures) {
+    for (LinkId link : topo.link_ids()) {
+      scenarios.push_back(FailureScenario::link_failure(link, topo));
+    }
+  }
+  return scenarios;
+}
+
+bool dc_available(const FailureScenario& scenario, DcId dc) {
+  return scenario.type != FailureScenario::Type::kDc || scenario.dc != dc;
+}
+
+bool uses_failed_link(const FailureScenario& scenario, const Topology& topo,
+                      LocationId dc_location, LocationId participant) {
+  if (scenario.type != FailureScenario::Type::kLink) return false;
+  return topo.in_path(scenario.link, dc_location, participant);
+}
+
+}  // namespace sb

@@ -1,0 +1,44 @@
+// Failure scenarios of §5.3's failure model: no failure, any single DC, or
+// any single WAN link. Provisioning solves one LP per scenario and combines
+// capacities with a per-resource max (Eq 7/8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "geo/topology.h"
+#include "geo/world.h"
+
+namespace sb {
+
+struct FailureScenario {
+  enum class Type { kNone, kDc, kLink };
+
+  Type type = Type::kNone;
+  DcId dc;      ///< valid iff type == kDc
+  LinkId link;  ///< valid iff type == kLink
+  std::string name;
+
+  [[nodiscard]] static FailureScenario none();
+  [[nodiscard]] static FailureScenario dc_failure(DcId dc, const World& world);
+  [[nodiscard]] static FailureScenario link_failure(LinkId link,
+                                                    const Topology& topo);
+};
+
+/// All scenarios: F0, one per DC, and (optionally) one per WAN link.
+std::vector<FailureScenario> enumerate_failures(const World& world,
+                                                const Topology& topo,
+                                                bool include_link_failures);
+
+/// True if DC `dc` can host config legs in this scenario: the DC itself has
+/// not failed. Link feasibility is per (config, dc) — see uses_failed_link.
+bool dc_available(const FailureScenario& scenario, DcId dc);
+
+/// True if hosting a call at `dc_location` with a participant at
+/// `participant` would traverse the scenario's failed link. Paths are fixed
+/// (no rerouting, §5.3): such placements are simply forbidden.
+bool uses_failed_link(const FailureScenario& scenario, const Topology& topo,
+                      LocationId dc_location, LocationId participant);
+
+}  // namespace sb

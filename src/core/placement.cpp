@@ -1,0 +1,157 @@
+#include "core/placement.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sb {
+
+PlacementMatrix::PlacementMatrix(std::size_t slot_count,
+                                 std::size_t config_count,
+                                 std::size_t dc_count)
+    : slots_(slot_count),
+      configs_(config_count),
+      dcs_(dc_count),
+      cells_(slot_count * config_count * dc_count, 0.0) {
+  require(slot_count > 0 && config_count > 0 && dc_count > 0,
+          "PlacementMatrix: empty shape");
+}
+
+std::size_t PlacementMatrix::index(TimeSlot t, std::size_t c, DcId dc) const {
+  require(t < slots_ && c < configs_ && dc.valid() && dc.value() < dcs_,
+          "PlacementMatrix: index out of range");
+  return (static_cast<std::size_t>(t) * configs_ + c) * dcs_ + dc.value();
+}
+
+double PlacementMatrix::calls(TimeSlot t, std::size_t c, DcId dc) const {
+  return cells_[index(t, c, dc)];
+}
+
+void PlacementMatrix::set_calls(TimeSlot t, std::size_t c, DcId dc,
+                                double calls) {
+  cells_[index(t, c, dc)] = calls;
+}
+
+void PlacementMatrix::add_calls(TimeSlot t, std::size_t c, DcId dc,
+                                double calls) {
+  cells_[index(t, c, dc)] += calls;
+}
+
+double PlacementMatrix::total_calls(TimeSlot t, std::size_t c) const {
+  double acc = 0.0;
+  for (std::size_t x = 0; x < dcs_; ++x) {
+    acc += calls(t, c, DcId(static_cast<std::uint32_t>(x)));
+  }
+  return acc;
+}
+
+std::vector<double> UsageProfile::dc_peaks() const {
+  std::vector<double> peaks(dc_cores.size(), 0.0);
+  for (std::size_t x = 0; x < dc_cores.size(); ++x) {
+    for (double v : dc_cores[x]) peaks[x] = std::max(peaks[x], v);
+  }
+  return peaks;
+}
+
+std::vector<double> UsageProfile::link_peaks() const {
+  std::vector<double> peaks(link_gbps.size(), 0.0);
+  for (std::size_t l = 0; l < link_gbps.size(); ++l) {
+    for (double v : link_gbps[l]) peaks[l] = std::max(peaks[l], v);
+  }
+  return peaks;
+}
+
+UsageProfile compute_usage(const PlacementMatrix& placement,
+                           const DemandMatrix& demand, const EvalContext& ctx) {
+  require(ctx.world && ctx.topology && ctx.registry && ctx.loads,
+          "compute_usage: incomplete context");
+  require(placement.slot_count() == demand.slot_count() &&
+              placement.config_count() == demand.config_count(),
+          "compute_usage: placement/demand shape mismatch");
+  const World& world = *ctx.world;
+  const Topology& topo = *ctx.topology;
+  require(placement.dc_count() == world.dc_count(),
+          "compute_usage: dc count mismatch");
+
+  UsageProfile usage;
+  usage.dc_cores.assign(world.dc_count(),
+                        std::vector<double>(placement.slot_count(), 0.0));
+  usage.link_gbps.assign(topo.link_count(),
+                         std::vector<double>(placement.slot_count(), 0.0));
+
+  for (std::size_t c = 0; c < placement.config_count(); ++c) {
+    const CallConfig& config = ctx.registry->get(demand.config_at(c));
+    for (std::size_t x = 0; x < world.dc_count(); ++x) {
+      const DcId dc(static_cast<std::uint32_t>(x));
+      const HostingProfile profile = make_hosting_profile(config, dc, ctx);
+      for (TimeSlot t = 0; t < placement.slot_count(); ++t) {
+        const double calls = placement.calls(t, c, dc);
+        if (calls <= 0.0) continue;
+        usage.dc_cores[x][t] += calls * profile.cores_per_call;
+        for (const auto& [l, gbps] : profile.link_gbps_per_call) {
+          usage.link_gbps[l.value()][t] += calls * gbps;
+        }
+      }
+    }
+  }
+  return usage;
+}
+
+HostingProfile make_hosting_profile(const CallConfig& config, DcId dc,
+                                    const EvalContext& ctx) {
+  require(ctx.world && ctx.topology && ctx.loads && ctx.latency,
+          "make_hosting_profile: incomplete context");
+  HostingProfile profile;
+  profile.cores_per_call =
+      ctx.loads->cores_per_participant(config.media()) *
+      config.total_participants();
+  profile.acl_ms = acl_ms(config, dc, *ctx.latency);
+  const LocationId dc_loc = ctx.world->datacenter(dc).location;
+  const double mbps = ctx.loads->mbps_per_participant(config.media());
+  for (const ConfigEntry& e : config.entries()) {
+    for (LinkId l : ctx.topology->path(dc_loc, e.location)) {
+      const double gbps = mbps * e.count / kMbpsPerGbps;
+      bool merged = false;
+      for (auto& [link, load] : profile.link_gbps_per_call) {
+        if (link == l) {
+          load += gbps;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) profile.link_gbps_per_call.emplace_back(l, gbps);
+    }
+  }
+  return profile;
+}
+
+double mean_acl_ms(const PlacementMatrix& placement, const DemandMatrix& demand,
+                   const EvalContext& ctx) {
+  require(ctx.latency && ctx.registry, "mean_acl_ms: incomplete context");
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t c = 0; c < placement.config_count(); ++c) {
+    const CallConfig& config = ctx.registry->get(demand.config_at(c));
+    for (std::size_t x = 0; x < placement.dc_count(); ++x) {
+      const DcId dc(static_cast<std::uint32_t>(x));
+      const double acl = acl_ms(config, dc, *ctx.latency);
+      for (TimeSlot t = 0; t < placement.slot_count(); ++t) {
+        const double calls = placement.calls(t, c, dc);
+        if (calls <= 0.0) continue;
+        weighted += calls * acl;
+        total += calls;
+      }
+    }
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+CapacityPlan plan_from_usage(const UsageProfile& usage) {
+  CapacityPlan plan;
+  plan.dc_serving_cores = usage.dc_peaks();
+  plan.dc_backup_cores.assign(plan.dc_serving_cores.size(), 0.0);
+  plan.link_gbps = usage.link_peaks();
+  return plan;
+}
+
+}  // namespace sb

@@ -1,0 +1,494 @@
+#include "core/provisioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "core/backup_lp.h"
+
+namespace sb {
+
+namespace {
+
+/// Per-config data reused across rows of one scenario LP.
+struct ConfigPlan {
+  std::vector<DcId> candidates;           ///< DCs this config may use
+  std::vector<HostingProfile> profiles;   ///< parallel to candidates
+};
+
+/// Candidate DCs (and their hosting profiles) per config column under a
+/// scenario: the DC must be alive, no leg may ride the failed link, and the
+/// ACL threshold (Eq 4) must hold — with the paper's min-ACL fallback when
+/// nothing qualifies.
+std::vector<ConfigPlan> build_config_plans(const DemandMatrix& demand,
+                                           const FailureScenario& scenario,
+                                           const EvalContext& ctx,
+                                           double acl_threshold_ms) {
+  const World& world = *ctx.world;
+  const Topology& topo = *ctx.topology;
+  const std::vector<DcId> all_dcs = world.dc_ids();
+  std::vector<ConfigPlan> plans(demand.config_count());
+  for (std::size_t c = 0; c < demand.config_count(); ++c) {
+    const CallConfig& config = ctx.registry->get(demand.config_at(c));
+    std::vector<DcId> avail;
+    for (DcId dc : all_dcs) {
+      if (!dc_available(scenario, dc)) continue;
+      const LocationId dc_loc = world.datacenter(dc).location;
+      bool blocked = false;
+      for (const ConfigEntry& e : config.entries()) {
+        if (uses_failed_link(scenario, topo, dc_loc, e.location)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) avail.push_back(dc);
+    }
+    if (avail.empty()) {
+      // A link failure isolating every DC from some leg: fall back to the
+      // alive DCs and keep the nominal path (real deployments reroute; we
+      // conservatively provision the nominal path's capacity elsewhere).
+      for (DcId dc : all_dcs) {
+        if (dc_available(scenario, dc)) avail.push_back(dc);
+      }
+    }
+    require(!avail.empty(), "build_config_plans: no DC available");
+    plans[c].candidates = feasible_dcs(config, avail, *ctx.latency,
+                                       acl_threshold_ms);
+    plans[c].profiles.reserve(plans[c].candidates.size());
+    for (DcId dc : plans[c].candidates) {
+      plans[c].profiles.push_back(make_hosting_profile(config, dc, ctx));
+    }
+  }
+  return plans;
+}
+
+}  // namespace
+
+SwitchboardProvisioner::SwitchboardProvisioner(EvalContext ctx,
+                                               ProvisionOptions options)
+    : ctx_(ctx), options_(options) {
+  require(ctx_.world && ctx_.topology && ctx_.latency && ctx_.registry &&
+              ctx_.loads,
+          "SwitchboardProvisioner: incomplete context");
+  require(options_.acl_threshold_ms > 0.0,
+          "SwitchboardProvisioner: ACL threshold");
+}
+
+ScenarioOutcome SwitchboardProvisioner::solve_scenario(
+    const DemandMatrix& demand, const FailureScenario& scenario,
+    PlacementMatrix* placement_out, const CapacityPlan* floors) const {
+  const World& world = *ctx_.world;
+  const Topology& topo = *ctx_.topology;
+  const std::size_t slots = demand.slot_count();
+  const std::size_t config_count = demand.config_count();
+
+  const std::vector<ConfigPlan> plans =
+      build_config_plans(demand, scenario, ctx_, options_.acl_threshold_ms);
+
+  lp::Model model;
+
+  // Peak variables. CP_x only for DCs that are candidates somewhere; NP_l
+  // only for links some (config, DC) pair uses.
+  std::vector<int> cp_var(world.dc_count(), -1);
+  std::vector<int> np_var(topo.link_count(), -1);
+  for (std::size_t c = 0; c < config_count; ++c) {
+    for (std::size_t k = 0; k < plans[c].candidates.size(); ++k) {
+      const DcId dc = plans[c].candidates[k];
+      if (cp_var[dc.value()] < 0) {
+        cp_var[dc.value()] = model.add_variable(
+            0.0, lp::kInf, world.datacenter(dc).core_cost,
+            "CP_" + world.datacenter(dc).name);
+      }
+      if (options_.joint_network) {
+        for (const auto& [l, _] : plans[c].profiles[k].link_gbps_per_call) {
+          if (np_var[l.value()] < 0) {
+            np_var[l.value()] = model.add_variable(
+                0.0, lp::kInf, topo.link(l).cost_per_gbps,
+                "NP_" + topo.link(l).name);
+          }
+        }
+      }
+    }
+  }
+
+  // S_tcx variables with a small ACL tie-break cost (prefers low latency
+  // among cost-equal placements without distorting the Eq 3 objective).
+  // s_var[(t * config_count + c)] holds the per-candidate variable ids.
+  std::vector<std::vector<int>> s_var(slots * config_count);
+  for (TimeSlot t = 0; t < slots; ++t) {
+    for (std::size_t c = 0; c < config_count; ++c) {
+      auto& vars = s_var[static_cast<std::size_t>(t) * config_count + c];
+      const double d = demand.demand(t, c);
+      if (d <= 0.0) continue;  // nothing to place in this slot
+      vars.reserve(plans[c].candidates.size());
+      for (std::size_t k = 0; k < plans[c].candidates.size(); ++k) {
+        vars.push_back(model.add_variable(
+            0.0, lp::kInf,
+            options_.acl_epsilon * plans[c].profiles[k].acl_ms, ""));
+      }
+    }
+  }
+
+  // Serving-capacity rows (Eq 5/6): usage - peak <= 0 for every slot.
+  for (TimeSlot t = 0; t < slots; ++t) {
+    std::vector<std::vector<lp::Term>> dc_rows(world.dc_count());
+    std::vector<std::vector<lp::Term>> link_rows(topo.link_count());
+    for (std::size_t c = 0; c < config_count; ++c) {
+      const auto& vars = s_var[static_cast<std::size_t>(t) * config_count + c];
+      if (vars.empty()) continue;
+      for (std::size_t k = 0; k < vars.size(); ++k) {
+        const DcId dc = plans[c].candidates[k];
+        const HostingProfile& profile = plans[c].profiles[k];
+        dc_rows[dc.value()].push_back({vars[k], profile.cores_per_call});
+        if (options_.joint_network) {
+          for (const auto& [l, gbps] : profile.link_gbps_per_call) {
+            link_rows[l.value()].push_back({vars[k], gbps});
+          }
+        }
+      }
+    }
+    // With a floor, the peak variable only buys capacity ABOVE it:
+    // usage - extra <= floor (Eq 7/8's cross-scenario sharing).
+    for (std::size_t x = 0; x < world.dc_count(); ++x) {
+      if (dc_rows[x].empty()) continue;
+      dc_rows[x].push_back({cp_var[x], -1.0});
+      model.add_constraint(std::move(dc_rows[x]), lp::Sense::kLe,
+                           floors ? floors->dc_serving_cores[x] +
+                                        floors->dc_backup_cores[x]
+                                  : 0.0);
+    }
+    for (std::size_t l = 0; l < topo.link_count(); ++l) {
+      if (link_rows[l].empty()) continue;
+      link_rows[l].push_back({np_var[l], -1.0});
+      model.add_constraint(std::move(link_rows[l]), lp::Sense::kLe,
+                           floors ? floors->link_gbps[l] : 0.0);
+    }
+  }
+
+  // Completeness rows (Eq 9): every call hosted somewhere.
+  for (TimeSlot t = 0; t < slots; ++t) {
+    for (std::size_t c = 0; c < config_count; ++c) {
+      const auto& vars = s_var[static_cast<std::size_t>(t) * config_count + c];
+      if (vars.empty()) continue;
+      std::vector<lp::Term> terms;
+      terms.reserve(vars.size());
+      for (int v : vars) terms.push_back({v, 1.0});
+      model.add_constraint(std::move(terms), lp::Sense::kEq,
+                           demand.demand(t, c));
+    }
+  }
+
+  const lp::Solution solution = lp::solve(model, options_.lp_options);
+  if (!solution.optimal()) {
+    throw SolveError("provisioning LP for scenario " + scenario.name +
+                     " returned " + lp::to_string(solution.status));
+  }
+
+  ScenarioOutcome outcome;
+  outcome.scenario = scenario;
+  outcome.lp_objective = solution.objective;
+  outcome.lp_iterations = solution.iterations;
+  outcome.required = CapacityPlan::zeros(world, topo);
+  for (std::size_t x = 0; x < world.dc_count(); ++x) {
+    const double floor = floors ? floors->dc_serving_cores[x] +
+                                      floors->dc_backup_cores[x]
+                                : 0.0;
+    const double extra = cp_var[x] >= 0 ? solution.values[cp_var[x]] : 0.0;
+    outcome.required.dc_serving_cores[x] = floor + extra;
+  }
+
+  PlacementMatrix placement(slots, config_count, world.dc_count());
+  for (TimeSlot t = 0; t < slots; ++t) {
+    for (std::size_t c = 0; c < config_count; ++c) {
+      const auto& vars = s_var[static_cast<std::size_t>(t) * config_count + c];
+      for (std::size_t k = 0; k < vars.size(); ++k) {
+        placement.set_calls(t, c, plans[c].candidates[k],
+                            solution.values[vars[k]]);
+      }
+    }
+  }
+
+  if (options_.joint_network) {
+    for (std::size_t l = 0; l < topo.link_count(); ++l) {
+      const double floor = floors ? floors->link_gbps[l] : 0.0;
+      const double extra = np_var[l] >= 0 ? solution.values[np_var[l]] : 0.0;
+      outcome.required.link_gbps[l] = floor + extra;
+    }
+  } else {
+    // §4.3 ablation: network follows from the compute-optimal placement.
+    const UsageProfile usage = compute_usage(placement, demand, ctx_);
+    outcome.required.link_gbps = usage.link_peaks();
+    if (floors) {
+      for (std::size_t l = 0; l < topo.link_count(); ++l) {
+        outcome.required.link_gbps[l] =
+            std::max(outcome.required.link_gbps[l], floors->link_gbps[l]);
+      }
+    }
+  }
+
+  if (placement_out) *placement_out = std::move(placement);
+  return outcome;
+}
+
+ProvisionResult SwitchboardProvisioner::provision_joint(
+    const DemandMatrix& demand) const {
+  const World& world = *ctx_.world;
+  const Topology& topo = *ctx_.topology;
+  const std::size_t slots = demand.slot_count();
+  const std::size_t config_count = demand.config_count();
+
+  std::vector<FailureScenario> scenarios;
+  scenarios.push_back(FailureScenario::none());
+  for (DcId dc : world.dc_ids()) {
+    scenarios.push_back(FailureScenario::dc_failure(dc, world));
+  }
+
+  lp::Model model;
+  // Shared capacity variables (Eq 3 prices them once; Eq 7/8 are the
+  // per-scenario usage rows below).
+  std::vector<int> cp_var(world.dc_count(), -1);
+  std::vector<int> np_var(topo.link_count(), -1);
+  auto ensure_cp = [&](DcId dc) {
+    if (cp_var[dc.value()] < 0) {
+      cp_var[dc.value()] =
+          model.add_variable(0.0, lp::kInf, world.datacenter(dc).core_cost,
+                             "CP_" + world.datacenter(dc).name);
+    }
+    return cp_var[dc.value()];
+  };
+  auto ensure_np = [&](LinkId l) {
+    if (np_var[l.value()] < 0) {
+      np_var[l.value()] = model.add_variable(
+          0.0, lp::kInf, topo.link(l).cost_per_gbps, "NP_" + topo.link(l).name);
+    }
+    return np_var[l.value()];
+  };
+
+  struct Block {
+    std::vector<ConfigPlan> plans;
+    std::vector<std::vector<int>> s_var;  ///< per (t * C + c)
+  };
+  std::vector<Block> blocks(scenarios.size());
+
+  for (std::size_t f = 0; f < scenarios.size(); ++f) {
+    Block& block = blocks[f];
+    block.plans = build_config_plans(demand, scenarios[f], ctx_,
+                                     options_.acl_threshold_ms);
+    block.s_var.assign(slots * config_count, {});
+    for (TimeSlot t = 0; t < slots; ++t) {
+      for (std::size_t c = 0; c < config_count; ++c) {
+        if (demand.demand(t, c) <= 0.0) continue;
+        auto& vars = block.s_var[static_cast<std::size_t>(t) * config_count + c];
+        for (std::size_t k = 0; k < block.plans[c].candidates.size(); ++k) {
+          vars.push_back(model.add_variable(
+              0.0, lp::kInf,
+              options_.acl_epsilon * block.plans[c].profiles[k].acl_ms, ""));
+        }
+      }
+    }
+    for (TimeSlot t = 0; t < slots; ++t) {
+      std::vector<std::vector<lp::Term>> dc_rows(world.dc_count());
+      std::vector<std::vector<lp::Term>> link_rows(topo.link_count());
+      for (std::size_t c = 0; c < config_count; ++c) {
+        const auto& vars =
+            block.s_var[static_cast<std::size_t>(t) * config_count + c];
+        for (std::size_t k = 0; k < vars.size(); ++k) {
+          const DcId dc = block.plans[c].candidates[k];
+          const HostingProfile& profile = block.plans[c].profiles[k];
+          dc_rows[dc.value()].push_back({vars[k], profile.cores_per_call});
+          for (const auto& [l, gbps] : profile.link_gbps_per_call) {
+            link_rows[l.value()].push_back({vars[k], gbps});
+          }
+        }
+      }
+      for (std::size_t x = 0; x < world.dc_count(); ++x) {
+        if (dc_rows[x].empty()) continue;
+        dc_rows[x].push_back(
+            {ensure_cp(DcId(static_cast<std::uint32_t>(x))), -1.0});
+        model.add_constraint(std::move(dc_rows[x]), lp::Sense::kLe, 0.0);
+      }
+      for (std::size_t l = 0; l < topo.link_count(); ++l) {
+        if (link_rows[l].empty()) continue;
+        link_rows[l].push_back(
+            {ensure_np(LinkId(static_cast<std::uint32_t>(l))), -1.0});
+        model.add_constraint(std::move(link_rows[l]), lp::Sense::kLe, 0.0);
+      }
+      for (std::size_t c = 0; c < config_count; ++c) {
+        const auto& vars =
+            block.s_var[static_cast<std::size_t>(t) * config_count + c];
+        if (vars.empty()) continue;
+        std::vector<lp::Term> terms;
+        for (int v : vars) terms.push_back({v, 1.0});
+        model.add_constraint(std::move(terms), lp::Sense::kEq,
+                             demand.demand(t, c));
+      }
+    }
+  }
+
+  const lp::Solution solution = lp::solve(model, options_.lp_options);
+  if (!solution.optimal()) {
+    throw SolveError("joint provisioning LP returned " +
+                     lp::to_string(solution.status));
+  }
+
+  ProvisionResult result{CapacityPlan::zeros(world, topo),
+                         PlacementMatrix(slots, config_count, world.dc_count()),
+                         0.0,
+                         {}};
+  CapacityPlan combined = CapacityPlan::zeros(world, topo);
+  for (std::size_t x = 0; x < world.dc_count(); ++x) {
+    if (cp_var[x] >= 0) {
+      combined.dc_serving_cores[x] = solution.values[cp_var[x]];
+    }
+  }
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    if (np_var[l] >= 0) combined.link_gbps[l] = solution.values[np_var[l]];
+  }
+  // F0 placement (block 0) for reporting and allocation.
+  for (TimeSlot t = 0; t < slots; ++t) {
+    for (std::size_t c = 0; c < config_count; ++c) {
+      const auto& vars =
+          blocks[0].s_var[static_cast<std::size_t>(t) * config_count + c];
+      for (std::size_t k = 0; k < vars.size(); ++k) {
+        result.base_placement.set_calls(
+            t, c, blocks[0].plans[c].candidates[k], solution.values[vars[k]]);
+      }
+    }
+  }
+  ScenarioOutcome joint_outcome;
+  joint_outcome.scenario = FailureScenario::none();
+  joint_outcome.scenario.name = "F0+DC-failures(joint)";
+  joint_outcome.required = combined;
+  joint_outcome.lp_objective = solution.objective;
+  joint_outcome.lp_iterations = solution.iterations;
+  result.scenarios.push_back(joint_outcome);
+
+  // Link-failure scenarios on top, sequentially, reusing the joint plan.
+  if (options_.include_link_failures) {
+    for (LinkId link : topo.link_ids()) {
+      const FailureScenario scenario =
+          FailureScenario::link_failure(link, topo);
+      ScenarioOutcome outcome =
+          solve_scenario(demand, scenario, nullptr,
+                         options_.capacity_reuse ? &combined : nullptr);
+      combined = max_capacity(combined, outcome.required);
+      result.scenarios.push_back(std::move(outcome));
+    }
+  }
+
+  // The joint LP has no separate F0 capacity to call "serving"; report the
+  // F0 placement's own peaks as serving and the rest as backup.
+  const UsageProfile f0_usage =
+      compute_usage(result.base_placement, demand, ctx_);
+  const std::vector<double> f0_peaks = f0_usage.dc_peaks();
+  for (std::size_t x = 0; x < world.dc_count(); ++x) {
+    const double total = combined.dc_serving_cores[x];
+    result.capacity.dc_serving_cores[x] = std::min(f0_peaks[x], total);
+    result.capacity.dc_backup_cores[x] =
+        std::max(0.0, total - result.capacity.dc_serving_cores[x]);
+  }
+  result.capacity.link_gbps = combined.link_gbps;
+  result.mean_acl_ms = mean_acl_ms(result.base_placement, demand, ctx_);
+  return result;
+}
+
+ProvisionResult SwitchboardProvisioner::provision(
+    const DemandMatrix& demand) const {
+  const World& world = *ctx_.world;
+  const Topology& topo = *ctx_.topology;
+
+  if (options_.with_backup && options_.peak_aware_backup &&
+      options_.joint_scenarios) {
+    return provision_joint(demand);
+  }
+
+  // Failure scenarios are enumerated whenever backup capacity is wanted;
+  // the additive ablation below only replaces the COMPUTE backup policy
+  // (WAN must still survive failures either way).
+  std::vector<FailureScenario> scenarios;
+  if (options_.with_backup) {
+    scenarios =
+        enumerate_failures(world, topo, options_.include_link_failures);
+  } else {
+    scenarios.push_back(FailureScenario::none());
+  }
+
+  ProvisionResult result{CapacityPlan::zeros(world, topo),
+                         PlacementMatrix(demand.slot_count(),
+                                         demand.config_count(),
+                                         world.dc_count()),
+                         0.0,
+                         {}};
+  CapacityPlan combined = CapacityPlan::zeros(world, topo);
+  CapacityPlan serving = combined;
+  for (const FailureScenario& scenario : scenarios) {
+    PlacementMatrix placement(demand.slot_count(), demand.config_count(),
+                              world.dc_count());
+    // Under capacity reuse (Eq 7/8 coupling), each scenario sees the
+    // running combined plan as a free floor and pays only for increments;
+    // F0 always runs first with a zero floor, so `serving` is unaffected.
+    const CapacityPlan* floors =
+        options_.capacity_reuse &&
+                scenario.type != FailureScenario::Type::kNone
+            ? &combined
+            : nullptr;
+    ScenarioOutcome outcome =
+        solve_scenario(demand, scenario, &placement, floors);
+    if (scenario.type == FailureScenario::Type::kNone) {
+      serving = outcome.required;
+      result.base_placement = std::move(placement);
+    }
+    combined = max_capacity(combined, outcome.required);
+    result.scenarios.push_back(std::move(outcome));
+  }
+
+  // Serving/backup split: serving is the no-failure requirement; backup is
+  // whatever extra the worst failure scenario forces per resource.
+  result.capacity = CapacityPlan::zeros(world, topo);
+  for (std::size_t x = 0; x < world.dc_count(); ++x) {
+    result.capacity.dc_serving_cores[x] = serving.dc_serving_cores[x];
+    result.capacity.dc_backup_cores[x] = std::max(
+        0.0, combined.dc_serving_cores[x] - serving.dc_serving_cores[x]);
+  }
+  result.capacity.link_gbps = combined.link_gbps;
+
+  if (options_.with_backup && !options_.peak_aware_backup) {
+    // §4.1/4.2 ablation (Fig 4b's "default backup plan"): serving follows
+    // locality (each config wholly at its min-ACL feasible DC, as in the
+    // figure), and compute backup is the additive Eq 1-2 LP on those
+    // serving peaks — no reuse of off-peak slack. WAN keeps the
+    // failure-scenario peaks computed above (link capacity must survive
+    // failures under any compute-backup policy).
+    const std::vector<ConfigPlan> plans = build_config_plans(
+        demand, FailureScenario::none(), ctx_, options_.acl_threshold_ms);
+    PlacementMatrix local(demand.slot_count(), demand.config_count(),
+                          world.dc_count());
+    for (std::size_t c = 0; c < demand.config_count(); ++c) {
+      std::size_t best = 0;
+      for (std::size_t k = 1; k < plans[c].profiles.size(); ++k) {
+        if (plans[c].profiles[k].acl_ms < plans[c].profiles[best].acl_ms) {
+          best = k;
+        }
+      }
+      for (TimeSlot t = 0; t < demand.slot_count(); ++t) {
+        const double d = demand.demand(t, c);
+        if (d > 0.0) local.set_calls(t, c, plans[c].candidates[best], d);
+      }
+    }
+    const UsageProfile local_usage = compute_usage(local, demand, ctx_);
+    result.capacity.dc_serving_cores = local_usage.dc_peaks();
+    result.capacity.dc_backup_cores =
+        solve_backup_lp(result.capacity.dc_serving_cores);
+    const std::vector<double> local_links = local_usage.link_peaks();
+    for (std::size_t l = 0; l < topo.link_count(); ++l) {
+      result.capacity.link_gbps[l] =
+          std::max(result.capacity.link_gbps[l], local_links[l]);
+    }
+    result.base_placement = std::move(local);
+  }
+
+  result.mean_acl_ms = mean_acl_ms(result.base_placement, demand, ctx_);
+  return result;
+}
+
+}  // namespace sb

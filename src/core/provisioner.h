@@ -1,0 +1,104 @@
+// Switchboard's MP capacity provisioning (§5.3): a joint compute+network LP
+// per failure scenario (Eq 3-9) whose per-resource maxima across scenarios
+// (Eq 7/8) become the provisioned capacity. All three of the paper's ideas
+// live here:
+//  - peak-aware provisioning: one CP_x / NP_l peak variable spans all time
+//    slots, so time-shifted demand shares capacity (§4.1) and each failure
+//    scenario's LP can reuse another DC's off-peak slack as backup (§4.2);
+//  - joint compute+network provisioning: Eq 3 prices both resources in one
+//    objective (§4.3);
+//  - application-specific provisioning: the input is a per-call-config
+//    demand matrix, not resource usage logs (§4.4).
+#pragma once
+
+#include "calls/demand.h"
+#include "core/capacity_plan.h"
+#include "core/failure.h"
+#include "core/placement.h"
+#include "lp/solver.h"
+
+namespace sb {
+
+struct ProvisionOptions {
+  double acl_threshold_ms = kDefaultAclThresholdMs;
+  /// Provision backup capacity for failure scenarios (Table 3's "with
+  /// backup" columns). When false only F0 is solved.
+  bool with_backup = true;
+  /// Include single-WAN-link failures in the scenario set.
+  bool include_link_failures = true;
+  /// §4.3 ablation: when false, the scenario LPs price only compute; network
+  /// capacity is derived afterwards from the resulting placement.
+  bool joint_network = true;
+  /// §4.1/4.2 ablation: when false, backup is provisioned additively with
+  /// the Eq 1-2 LP on top of the no-failure plan (Fig 4b's default plan)
+  /// instead of reusing off-peak serving slack.
+  bool peak_aware_backup = true;
+  /// Eq 7/8 make capacity SHARED across failure scenarios: what one
+  /// scenario provisions is free for every other. When true (default),
+  /// scenarios are solved sequentially and each LP only pays for capacity
+  /// above the running combined plan — the tractable decomposition of that
+  /// coupling. When false, every scenario is priced from scratch
+  /// (independent LPs + max), which over-provisions; kept as an ablation.
+  bool capacity_reuse = true;
+  /// Solve Eq 3 + 7/8 EXACTLY: one LP spanning the no-failure case and all
+  /// DC-failure scenarios with shared CP_x/NP_l variables (each scenario
+  /// gets its own placement). Avoids the sequential decomposition's myopia
+  /// (F0 packing away the slack failures would have reused) at the price of
+  /// a scenario-count-times-larger LP. Link-failure scenarios are still
+  /// handled sequentially with capacity floors on top.
+  bool joint_scenarios = false;
+  /// Weight of the latency tie-break added to every S_tcx cost so equal-cost
+  /// placements prefer lower ACL. Kept small so it never outweighs a real
+  /// resource trade-off.
+  double acl_epsilon = 1e-6;
+  lp::SolveOptions lp_options;
+};
+
+/// Capacity requirement determined by one failure scenario's LP.
+struct ScenarioOutcome {
+  FailureScenario scenario;
+  CapacityPlan required;  ///< peaks needed to survive this scenario
+  double lp_objective = 0.0;
+  std::size_t lp_iterations = 0;
+};
+
+struct ProvisionResult {
+  /// Combined plan: serving = F0 requirement, backup = increment needed to
+  /// cover the worst failure scenario (zero per resource if F0 dominates).
+  CapacityPlan capacity;
+  /// The no-failure placement (S_tcx under F0).
+  PlacementMatrix base_placement;
+  /// Call-weighted mean ACL of the no-failure placement.
+  double mean_acl_ms = 0.0;
+  std::vector<ScenarioOutcome> scenarios;
+};
+
+/// Builds and solves the provisioning LPs. The EvalContext members must
+/// outlive the provisioner.
+class SwitchboardProvisioner {
+ public:
+  SwitchboardProvisioner(EvalContext ctx, ProvisionOptions options);
+
+  /// Provisions capacity for the given demand. Throws SolveError if any
+  /// scenario LP fails.
+  [[nodiscard]] ProvisionResult provision(const DemandMatrix& demand) const;
+
+  /// Solves a single scenario's LP; exposed for tests and the Fig 4 bench.
+  /// With `floors` set, capacity up to the floor is free and the LP prices
+  /// only the increment; the returned requirement then includes the floor.
+  [[nodiscard]] ScenarioOutcome solve_scenario(
+      const DemandMatrix& demand, const FailureScenario& scenario,
+      PlacementMatrix* placement_out = nullptr,
+      const CapacityPlan* floors = nullptr) const;
+
+ private:
+  /// The exact Eq 3+7/8 LP over F0 and all DC-failure scenarios (shared
+  /// capacity variables), plus sequential link-failure passes.
+  [[nodiscard]] ProvisionResult provision_joint(
+      const DemandMatrix& demand) const;
+
+  EvalContext ctx_;
+  ProvisionOptions options_;
+};
+
+}  // namespace sb

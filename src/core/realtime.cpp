@@ -1,0 +1,107 @@
+#include "core/realtime.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sb {
+
+RealtimeSelector::RealtimeSelector(EvalContext ctx, const AllocationPlan* plan,
+                                   RealtimeOptions options,
+                                   SimTime plan_start_s)
+    : ctx_(ctx), plan_(plan), options_(options), plan_start_s_(plan_start_s) {
+  require(ctx_.world && ctx_.latency && ctx_.registry,
+          "RealtimeSelector: incomplete context");
+  all_dcs_ = ctx_.world->dc_ids();
+  require(!all_dcs_.empty(), "RealtimeSelector: world has no DCs");
+  if (plan_) {
+    usage_.assign(plan_->config_count() * plan_->dc_count(), 0);
+  }
+}
+
+std::uint32_t& RealtimeSelector::usage(std::size_t col, DcId dc) {
+  return usage_[col * plan_->dc_count() + dc.value()];
+}
+
+DcId RealtimeSelector::on_call_start(CallId call, LocationId first_joiner,
+                                     SimTime /*now*/) {
+  const DcId dc = ctx_.latency->closest_dc(first_joiner, all_dcs_);
+  const auto [it, inserted] = active_.emplace(call, ActiveCall{dc});
+  require(inserted, "on_call_start: duplicate call id");
+  ++stats_.calls_started;
+  return dc;
+}
+
+FreezeResult RealtimeSelector::on_config_frozen(CallId call,
+                                                const CallConfig& config,
+                                                SimTime now) {
+  const auto it = active_.find(call);
+  require(it != active_.end(), "on_config_frozen: unknown call");
+  ActiveCall& state = it->second;
+  ++stats_.calls_frozen;
+
+  const ConfigId id = ctx_.registry->find(config);
+  const std::size_t col =
+      plan_ && id.valid() ? plan_->column_of(id) : AllocationPlan::npos;
+
+  FreezeResult result{state.dc, false, col != AllocationPlan::npos};
+  if (!result.planned) {
+    // §5.4: unanticipated config -> its closest (min ACL) DC.
+    ++stats_.unplanned;
+    const DcId target = min_acl_dc(config, all_dcs_, *ctx_.latency);
+    result.migrated = target != state.dc;
+    if (result.migrated) ++stats_.migrations;
+    state.dc = target;
+    result.dc = target;
+    return result;
+  }
+
+  const TimeSlot slot = plan_->slot_at(now - plan_start_s_);
+  if (usage(col, state.dc) < plan_->quota(slot, col, state.dc)) {
+    // Initial heuristic matched the plan: just debit (§5.4b).
+    ++usage(col, state.dc);
+    state.plan_col = col;
+    state.holds_slot = true;
+    return result;
+  }
+  // Migrate to the planned DC with spare quota and the lowest ACL (§5.4c).
+  DcId best;
+  double best_acl = 0.0;
+  for (DcId dc : all_dcs_) {
+    if (usage(col, dc) >= plan_->quota(slot, col, dc)) continue;
+    const double a = acl_ms(config, dc, *ctx_.latency);
+    if (!best.valid() || a < best_acl) {
+      best = dc;
+      best_acl = a;
+    }
+  }
+  if (!best.valid()) {
+    // All quotas exhausted (plan under-estimated this config's concurrency):
+    // stay put rather than thrash; provisioning cushions make this rare.
+    ++stats_.overflow;
+    return result;
+  }
+  ++usage(col, best);
+  state.plan_col = col;
+  state.holds_slot = true;
+  if (best != state.dc) {
+    ++stats_.migrations;
+    result.migrated = true;
+    state.dc = best;
+    result.dc = best;
+  }
+  return result;
+}
+
+void RealtimeSelector::on_call_end(CallId call, SimTime /*now*/) {
+  const auto it = active_.find(call);
+  require(it != active_.end(), "on_call_end: unknown call");
+  const ActiveCall& state = it->second;
+  if (state.holds_slot) {
+    std::uint32_t& u = usage(state.plan_col, state.dc);
+    if (u > 0) --u;
+  }
+  active_.erase(it);
+}
+
+}  // namespace sb

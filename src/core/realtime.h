@@ -1,0 +1,84 @@
+// The realtime MP selector (§5.4): assigns a DC the moment a call's first
+// participant joins (closest DC to the first joiner), then reconciles with
+// the precomputed allocation plan once the call config freezes A minutes in
+// — debiting a plan slot, or migrating the call when the initial choice
+// disagrees with the plan. Unplanned configs fall back to their closest DC.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/allocation_plan.h"
+
+namespace sb {
+
+struct RealtimeOptions {
+  /// §6.4: the config freezes A = 300 s after call start (~80% of
+  /// participants have joined by then, Fig 8).
+  double freeze_delay_s = 300.0;
+  double acl_threshold_ms = kDefaultAclThresholdMs;
+};
+
+/// Outcome of freezing one call's config.
+struct FreezeResult {
+  DcId dc;                ///< final hosting DC
+  bool migrated = false;  ///< true if the call moved to a different DC
+  bool planned = false;   ///< true if the config had plan slots
+};
+
+/// Single-threaded selector state machine; the Controller wraps it with a
+/// mutex for concurrent use. Tracks per-(config, DC) active frozen calls
+/// against the plan's slot quotas.
+class RealtimeSelector {
+ public:
+  /// `plan` may be null (no-plan operation: every call sticks to the
+  /// closest-DC heuristic and freezing only re-homes unplanned configs).
+  RealtimeSelector(EvalContext ctx, const AllocationPlan* plan,
+                   RealtimeOptions options, SimTime plan_start_s = 0.0);
+
+  /// (a) of §5.4: a new call starts; returns the initial DC — the one
+  /// closest (lowest latency) to the first joiner's location.
+  DcId on_call_start(CallId call, LocationId first_joiner, SimTime now);
+
+  /// (b)/(c) of §5.4: the call's config is now known. Debits a plan slot at
+  /// the current DC if available, otherwise migrates to the planned DC with
+  /// spare quota and the lowest ACL. Unplanned configs go to the min-ACL DC.
+  FreezeResult on_config_frozen(CallId call, const CallConfig& config,
+                                SimTime now);
+
+  /// Releases the call's slot (if it held one).
+  void on_call_end(CallId call, SimTime now);
+
+  struct Stats {
+    std::uint64_t calls_started = 0;
+    std::uint64_t calls_frozen = 0;
+    std::uint64_t migrations = 0;   ///< §6.4's headline metric
+    std::uint64_t unplanned = 0;    ///< configs with no plan column
+    std::uint64_t overflow = 0;     ///< plan slots exhausted; call stayed put
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t active_calls() const { return active_.size(); }
+  [[nodiscard]] double freeze_delay_s() const {
+    return options_.freeze_delay_s;
+  }
+
+ private:
+  struct ActiveCall {
+    DcId dc;
+    std::size_t plan_col = AllocationPlan::npos;
+    bool holds_slot = false;
+  };
+
+  [[nodiscard]] std::uint32_t& usage(std::size_t col, DcId dc);
+
+  EvalContext ctx_;
+  const AllocationPlan* plan_;
+  RealtimeOptions options_;
+  SimTime plan_start_s_;
+  std::vector<DcId> all_dcs_;
+  std::unordered_map<CallId, ActiveCall> active_;
+  std::vector<std::uint32_t> usage_;  ///< [plan col][dc] active frozen calls
+  Stats stats_;
+};
+
+}  // namespace sb

@@ -1,0 +1,87 @@
+#include "forecast/forecaster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace sb {
+
+std::vector<double> forecast_calls(std::span<const double> history,
+                                   std::size_t season_length,
+                                   std::size_t horizon) {
+  HoltWinters model = HoltWinters::fit(history, season_length);
+  std::vector<double> forecast = model.forecast(horizon);
+  for (double& v : forecast) v = std::max(0.0, v);
+  return forecast;
+}
+
+NormalizedErrors normalized_errors(std::span<const double> truth,
+                                   std::span<const double> forecast) {
+  require(truth.size() == forecast.size() && !truth.empty(),
+          "normalized_errors: size mismatch or empty");
+  double peak = 0.0;
+  for (double v : truth) peak = std::max(peak, v);
+  NormalizedErrors errors;
+  if (peak == 0.0) {
+    // Degenerate config with no calls in the truth window: report the raw
+    // forecast magnitude so a non-zero forecast still counts as error.
+    errors.rmse = rmse(truth, forecast);
+    errors.mae = mae(truth, forecast);
+    return errors;
+  }
+  errors.rmse = rmse(truth, forecast) / peak;
+  errors.mae = mae(truth, forecast) / peak;
+  return errors;
+}
+
+double estimate_cushion(std::span<const double> truth,
+                        std::span<const double> forecast,
+                        double max_cushion, double ratio_quantile) {
+  require(truth.size() == forecast.size() && !truth.empty(),
+          "estimate_cushion: size mismatch or empty");
+  require(max_cushion >= 1.0, "estimate_cushion: max_cushion < 1");
+  require(ratio_quantile > 0.0 && ratio_quantile <= 1.0,
+          "estimate_cushion: quantile out of range");
+  double truth_peak = 0.0;
+  for (double v : truth) truth_peak = std::max(truth_peak, v);
+  if (truth_peak == 0.0) return 1.0;
+
+  std::vector<double> ratios;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    // Only buckets carrying meaningful demand say anything about
+    // under-forecasting; near-empty buckets produce wild ratios.
+    if (truth[i] < 0.05 * truth_peak) continue;
+    ratios.push_back(truth[i] / std::max(forecast[i], 1e-9));
+  }
+  if (ratios.empty()) return 1.0;
+  const double q = quantile(ratios, ratio_quantile);
+  return std::clamp(q, 1.0, max_cushion);
+}
+
+DemandMatrix demand_from_arrivals(
+    const std::vector<std::vector<double>>& arrivals,
+    const std::vector<ConfigId>& configs, double bucket_s,
+    double mean_duration_s, double cushion) {
+  require(arrivals.size() == configs.size() && !arrivals.empty(),
+          "demand_from_arrivals: shape mismatch");
+  require(bucket_s > 0.0 && mean_duration_s > 0.0,
+          "demand_from_arrivals: widths must be positive");
+  require(cushion >= 1.0, "demand_from_arrivals: cushion < 1");
+  const std::size_t slots = arrivals.front().size();
+  for (const auto& series : arrivals) {
+    require(series.size() == slots, "demand_from_arrivals: ragged series");
+  }
+  DemandMatrix demand = make_demand_matrix(configs, slots);
+  for (std::size_t c = 0; c < arrivals.size(); ++c) {
+    for (std::size_t t = 0; t < slots; ++t) {
+      const double concurrency =
+          arrivals[c][t] / bucket_s * mean_duration_s * cushion;
+      demand.set_demand(static_cast<TimeSlot>(t), c, std::max(0.0, concurrency));
+    }
+  }
+  return demand;
+}
+
+}  // namespace sb

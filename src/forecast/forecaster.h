@@ -1,0 +1,50 @@
+// The §5.2 forecasting pipeline around Holt-Winters: per-config call-count
+// forecasts, peak-normalized accuracy metrics (Fig 9), the validation-based
+// provisioning cushion, and assembly of a forecast DemandMatrix for the
+// provisioning LP (Table 4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "calls/demand.h"
+#include "forecast/holt_winters.h"
+
+namespace sb {
+
+/// Forecasts `horizon` future buckets of call counts from a history,
+/// fitting Holt-Winters with the given season length and clamping the
+/// output at zero (counts cannot be negative).
+std::vector<double> forecast_calls(std::span<const double> history,
+                                   std::size_t season_length,
+                                   std::size_t horizon);
+
+/// Peak-normalized forecast errors, the Fig 9 metric: RMSE and MAE divided
+/// by the peak of the ground truth "so elephant and mice call configs are
+/// treated in the same way" (§6.5). A truth series that is identically zero
+/// yields zero errors iff the forecast is also zero.
+struct NormalizedErrors {
+  double rmse = 0.0;
+  double mae = 0.0;
+};
+NormalizedErrors normalized_errors(std::span<const double> truth,
+                                   std::span<const double> forecast);
+
+/// §5.2's cushion: a multiplicative inflation estimated on a validation
+/// window as a high quantile of truth/forecast bucket ratios (only buckets
+/// with meaningful demand counted), clamped to [1, max_cushion]. The
+/// quantile controls how conservatively the cushion covers forecast error.
+double estimate_cushion(std::span<const double> truth,
+                        std::span<const double> forecast,
+                        double max_cushion = 2.0, double ratio_quantile = 0.95);
+
+/// Converts per-config arrival-count forecasts into a concurrency
+/// DemandMatrix via Little's law (arrivals/bucket x mean duration).
+/// `arrivals[i]` is the bucket series for `configs[i]`; all series must
+/// share one length, which becomes the slot count.
+DemandMatrix demand_from_arrivals(
+    const std::vector<std::vector<double>>& arrivals,
+    const std::vector<ConfigId>& configs, double bucket_s,
+    double mean_duration_s, double cushion = 1.0);
+
+}  // namespace sb

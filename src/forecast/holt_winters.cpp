@@ -1,0 +1,98 @@
+#include "forecast/holt_winters.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sb {
+
+HoltWinters::HoltWinters(HoltWintersParams params) : params_(params) {
+  require(params_.alpha > 0.0 && params_.alpha < 1.0,
+          "HoltWinters: alpha must be in (0,1)");
+  require(params_.beta >= 0.0 && params_.beta < 1.0,
+          "HoltWinters: beta must be in [0,1)");
+  require(params_.gamma >= 0.0 && params_.gamma < 1.0,
+          "HoltWinters: gamma must be in [0,1)");
+  require(params_.season_length >= 1, "HoltWinters: season length");
+}
+
+void HoltWinters::train(std::span<const double> series) {
+  const std::size_t m = params_.season_length;
+  require(series.size() >= 2 * m,
+          "HoltWinters::train: need at least two full seasons");
+  // Classical initialization: level = mean of season 1, trend = per-period
+  // change between the first two season means, seasonal = deviation of the
+  // first season from its mean.
+  double season1_mean = 0.0;
+  double season2_mean = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    season1_mean += series[i];
+    season2_mean += series[m + i];
+  }
+  season1_mean /= static_cast<double>(m);
+  season2_mean /= static_cast<double>(m);
+
+  level_ = season1_mean;
+  trend_ = (season2_mean - season1_mean) / static_cast<double>(m);
+  seasonal_.assign(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) seasonal_[i] = series[i] - season1_mean;
+
+  fitted_.assign(series.size(), 0.0);
+  sse_ = 0.0;
+  season_pos_ = 0;
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    const std::size_t sp = t % m;
+    const double predicted = level_ + trend_ + seasonal_[sp];
+    fitted_[t] = predicted;
+    const double err = series[t] - predicted;
+    sse_ += err * err;
+
+    const double prev_level = level_;
+    level_ = params_.alpha * (series[t] - seasonal_[sp]) +
+             (1.0 - params_.alpha) * (level_ + trend_);
+    trend_ = params_.beta * (level_ - prev_level) +
+             (1.0 - params_.beta) * trend_;
+    seasonal_[sp] = params_.gamma * (series[t] - level_) +
+                    (1.0 - params_.gamma) * seasonal_[sp];
+  }
+  season_pos_ = series.size() % m;
+  trained_ = true;
+}
+
+std::vector<double> HoltWinters::forecast(std::size_t horizon) const {
+  require(trained_, "HoltWinters::forecast: call train() first");
+  const std::size_t m = params_.season_length;
+  std::vector<double> out(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    const std::size_t sp = (season_pos_ + h) % m;
+    out[h] = level_ + static_cast<double>(h + 1) * trend_ + seasonal_[sp];
+  }
+  return out;
+}
+
+HoltWinters HoltWinters::fit(std::span<const double> series,
+                             std::size_t season_length) {
+  static constexpr double kAlphas[] = {0.05, 0.1, 0.2, 0.35, 0.5};
+  static constexpr double kBetas[] = {0.0, 0.01, 0.05, 0.1};
+  static constexpr double kGammas[] = {0.05, 0.1, 0.3};
+
+  HoltWinters best(HoltWintersParams{kAlphas[0], kBetas[0], kGammas[0],
+                                     season_length});
+  bool first = true;
+  for (double alpha : kAlphas) {
+    for (double beta : kBetas) {
+      for (double gamma : kGammas) {
+        HoltWinters candidate(
+            HoltWintersParams{alpha, beta, gamma, season_length});
+        candidate.train(series);
+        if (first || candidate.sse() < best.sse()) {
+          best = candidate;
+          first = false;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace sb

@@ -1,0 +1,68 @@
+// Call-leg latency estimation: Lat(x, u) between every DC x and participant
+// location u (Table 2). Two construction paths mirror the paper:
+//  - from_topology(): model-derived latencies (WAN shortest path + access
+//    latency) used when synthesizing a world;
+//  - LatencyEstimator: the §6.2 counterfactual method — pool per-leg latency
+//    samples from call records and take the per-(DC, location) median.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "geo/topology.h"
+#include "geo/world.h"
+
+namespace sb {
+
+/// Dense (DC x location) one-way latency table in milliseconds.
+class LatencyMatrix {
+ public:
+  LatencyMatrix(std::size_t dc_count, std::size_t location_count);
+
+  /// Derives latencies from WAN shortest paths plus a fixed last-mile
+  /// access latency from participant to the WAN edge.
+  static LatencyMatrix from_topology(const World& world, const Topology& topo,
+                                     double access_ms = 8.0);
+
+  [[nodiscard]] double latency_ms(DcId dc, LocationId loc) const;
+  void set_latency_ms(DcId dc, LocationId loc, double ms);
+
+  [[nodiscard]] std::size_t dc_count() const { return dc_count_; }
+  [[nodiscard]] std::size_t location_count() const { return location_count_; }
+
+  /// DC with minimum latency to `loc` (the "closest" DC of §5.4). Optionally
+  /// restricted to a candidate set; throws if candidates is provided empty.
+  [[nodiscard]] DcId closest_dc(LocationId loc) const;
+  [[nodiscard]] DcId closest_dc(LocationId loc,
+                                const std::vector<DcId>& candidates) const;
+
+ private:
+  [[nodiscard]] std::size_t index(DcId dc, LocationId loc) const;
+
+  std::size_t dc_count_;
+  std::size_t location_count_;
+  std::vector<double> ms_;
+};
+
+/// Builds a LatencyMatrix from observed call-leg samples, taking the median
+/// per (DC, location) pair and falling back to a model-derived matrix for
+/// pairs with no samples (new DCs, rare countries).
+class LatencyEstimator {
+ public:
+  LatencyEstimator(std::size_t dc_count, std::size_t location_count);
+
+  void add_sample(DcId dc, LocationId loc, double latency_ms);
+
+  [[nodiscard]] std::size_t sample_count() const { return samples_; }
+
+  /// Median-of-samples matrix; `fallback` supplies pairs with no samples.
+  [[nodiscard]] LatencyMatrix build(const LatencyMatrix& fallback) const;
+
+ private:
+  std::size_t dc_count_;
+  std::size_t location_count_;
+  std::vector<std::vector<double>> pair_samples_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace sb

@@ -1,0 +1,101 @@
+#include "geo/world.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sb {
+
+LocationId World::add_location(Location loc) {
+  require(!loc.name.empty(), "add_location: name required");
+  require(!find_location(loc.name), "add_location: duplicate name " + loc.name);
+  require(loc.population_weight >= 0.0,
+          "add_location: population weight must be non-negative");
+  locations_.push_back(std::move(loc));
+  return LocationId(static_cast<std::uint32_t>(locations_.size() - 1));
+}
+
+DcId World::add_datacenter(Datacenter dc) {
+  require(!dc.name.empty(), "add_datacenter: name required");
+  require(!find_datacenter(dc.name),
+          "add_datacenter: duplicate name " + dc.name);
+  require(dc.location.valid() && dc.location.value() < locations_.size(),
+          "add_datacenter: unknown location");
+  require(dc.core_cost > 0.0, "add_datacenter: core cost must be positive");
+  dcs_.push_back(std::move(dc));
+  return DcId(static_cast<std::uint32_t>(dcs_.size() - 1));
+}
+
+const Location& World::location(LocationId id) const {
+  require(id.valid() && id.value() < locations_.size(),
+          "location: id out of range");
+  return locations_[id.value()];
+}
+
+const Datacenter& World::datacenter(DcId id) const {
+  require(id.valid() && id.value() < dcs_.size(), "datacenter: id out of range");
+  return dcs_[id.value()];
+}
+
+std::optional<LocationId> World::find_location(const std::string& name) const {
+  for (std::size_t i = 0; i < locations_.size(); ++i) {
+    if (locations_[i].name == name) {
+      return LocationId(static_cast<std::uint32_t>(i));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<DcId> World::find_datacenter(const std::string& name) const {
+  for (std::size_t i = 0; i < dcs_.size(); ++i) {
+    if (dcs_[i].name == name) return DcId(static_cast<std::uint32_t>(i));
+  }
+  return std::nullopt;
+}
+
+std::vector<DcId> World::dcs_in_region(const std::string& region) const {
+  std::vector<DcId> result;
+  for (std::size_t i = 0; i < dcs_.size(); ++i) {
+    if (locations_[dcs_[i].location.value()].region == region) {
+      result.push_back(DcId(static_cast<std::uint32_t>(i)));
+    }
+  }
+  return result;
+}
+
+const std::string& World::dc_region(DcId id) const {
+  return location(datacenter(id).location).region;
+}
+
+std::vector<LocationId> World::location_ids() const {
+  std::vector<LocationId> ids;
+  ids.reserve(locations_.size());
+  for (std::size_t i = 0; i < locations_.size(); ++i) {
+    ids.push_back(LocationId(static_cast<std::uint32_t>(i)));
+  }
+  return ids;
+}
+
+std::vector<DcId> World::dc_ids() const {
+  std::vector<DcId> ids;
+  ids.reserve(dcs_.size());
+  for (std::size_t i = 0; i < dcs_.size(); ++i) {
+    ids.push_back(DcId(static_cast<std::uint32_t>(i)));
+  }
+  return ids;
+}
+
+double geo_distance_km(double lat1_deg, double lon1_deg, double lat2_deg,
+                       double lon2_deg) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = std::numbers::pi / 180.0;
+  const double lat1 = lat1_deg * kDegToRad;
+  const double lat2 = lat2_deg * kDegToRad;
+  const double dlat = (lat2_deg - lat1_deg) * kDegToRad;
+  const double dlon = (lon2_deg - lon1_deg) * kDegToRad;
+  const double a = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(a)));
+}
+
+}  // namespace sb

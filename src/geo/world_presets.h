@@ -1,0 +1,43 @@
+// Canonical synthetic worlds used by tests, examples, and benches, plus a
+// randomized world generator for property tests. The APAC world mirrors the
+// paper's running example (§2.1: Hong Kong, India, Japan, Singapore DCs).
+#pragma once
+
+#include "common/rng.h"
+#include "geo/latency.h"
+#include "geo/topology.h"
+#include "geo/world.h"
+
+namespace sb {
+
+/// A world plus its WAN topology and model-derived latency matrix.
+struct GeoModel {
+  World world;
+  Topology topology;
+  LatencyMatrix latency;
+};
+
+/// Asia-Pacific region: 15 countries, 5 DCs (India, Japan, Singapore,
+/// Hong Kong, Australia), k-nearest-neighbor WAN. Matches the paper's
+/// expository setting where all participants share a region.
+GeoModel make_apac_world();
+
+/// Three regions (APAC, NA, EU), 27 countries, 10 DCs. Exercises
+/// cross-region pruning by the 120 ms latency threshold.
+GeoModel make_global_world();
+
+/// Parameters for random world generation (property tests).
+struct RandomWorldParams {
+  std::size_t location_count = 12;
+  std::size_t dc_count = 4;
+  double lat_span_deg = 60.0;   ///< locations scattered over this span
+  double lon_span_deg = 120.0;  ///< and this longitude span
+  std::size_t knn = 3;
+};
+
+/// Scatters locations uniformly over a geographic box, places DCs at
+/// distinct random locations, builds a knn topology. UTC offsets follow
+/// longitude (15 degrees per hour), so diurnal peaks shift realistically.
+GeoModel make_random_world(Rng& rng, const RandomWorldParams& params = {});
+
+}  // namespace sb

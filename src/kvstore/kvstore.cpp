@@ -1,0 +1,102 @@
+#include "kvstore/kvstore.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sb {
+
+KvStore::KvStore(KvStoreOptions options)
+    : options_(options), shards_(options.shard_count) {
+  require(options_.shard_count > 0, "KvStore: need at least one shard");
+  require(options_.min_latency_ms > 0.0 &&
+              options_.max_latency_ms >= options_.min_latency_ms,
+          "KvStore: bad latency range");
+}
+
+KvStore::Shard& KvStore::shard_for(const std::string& key) const {
+  const std::size_t h = std::hash<std::string>{}(key);
+  return shards_[h % shards_.size()];
+}
+
+void KvStore::simulate_network() const {
+  if (!options_.inject_latency) return;
+  // Per-thread generator so concurrent clients draw independent latencies.
+  thread_local Rng rng(options_.seed ^
+                       std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  const double ratio = options_.max_latency_ms / options_.min_latency_ms;
+  const double latency_ms =
+      options_.min_latency_ms * std::pow(ratio, rng.uniform());
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      latency_ms));
+  {
+    std::lock_guard lock(stats_mutex_);
+    if (stats_.ops == 0) {
+      stats_.min_latency_ms = stats_.max_latency_ms = latency_ms;
+    } else {
+      stats_.min_latency_ms = std::min(stats_.min_latency_ms, latency_ms);
+      stats_.max_latency_ms = std::max(stats_.max_latency_ms, latency_ms);
+    }
+    ++stats_.ops;
+    stats_.total_latency_ms += latency_ms;
+  }
+}
+
+void KvStore::set(const std::string& key, std::string value) {
+  simulate_network();
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  shard.map[key] = std::move(value);
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  simulate_network();
+  const Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t KvStore::incr(const std::string& key, std::int64_t delta) {
+  simulate_network();
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  std::int64_t current = 0;
+  const auto it = shard.map.find(key);
+  if (it != shard.map.end()) current = std::stoll(it->second);
+  current += delta;
+  shard.map[key] = std::to_string(current);
+  return current;
+}
+
+bool KvStore::erase(const std::string& key) {
+  simulate_network();
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  return shard.map.erase(key) > 0;
+}
+
+std::size_t KvStore::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+KvStore::OpStats KvStore::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+void KvStore::reset_stats() {
+  std::lock_guard lock(stats_mutex_);
+  stats_ = OpStats{};
+}
+
+}  // namespace sb

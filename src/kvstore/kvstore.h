@@ -1,0 +1,76 @@
+// In-memory sharded key-value store standing in for the Azure Redis
+// instance the paper's controller writes call state to (§6.6). Each
+// operation optionally injects a simulated network round-trip in the
+// 0.3-4.2 ms range the paper reports for writes, which is what makes the
+// Fig 10 throughput experiment scale with writer threads: threads overlap
+// their waits on the (remote) store.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sb {
+
+struct KvStoreOptions {
+  std::size_t shard_count = 16;
+  bool inject_latency = true;
+  /// Injected per-op latency is log-uniform over [min, max] ms, matching
+  /// the paper's observed 0.3-4.2 ms write latencies.
+  double min_latency_ms = 0.3;
+  double max_latency_ms = 4.2;
+  std::uint64_t seed = 0x5b0a;
+};
+
+/// Thread-safe string store with per-shard locking. Latency injection
+/// happens outside the shard lock (it models the network, not the server),
+/// so concurrent clients overlap their waits.
+class KvStore {
+ public:
+  explicit KvStore(KvStoreOptions options = {});
+
+  void set(const std::string& key, std::string value);
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  /// Atomically adds `delta` to an integer value (missing keys start at 0);
+  /// returns the new value.
+  std::int64_t incr(const std::string& key, std::int64_t delta);
+  /// Removes a key; returns whether it existed.
+  bool erase(const std::string& key);
+
+  [[nodiscard]] std::size_t size() const;
+
+  struct OpStats {
+    std::uint64_t ops = 0;
+    double total_latency_ms = 0.0;
+    double min_latency_ms = 0.0;
+    double max_latency_ms = 0.0;
+
+    [[nodiscard]] double mean_latency_ms() const {
+      return ops == 0 ? 0.0 : total_latency_ms / static_cast<double>(ops);
+    }
+  };
+  [[nodiscard]] OpStats stats() const;
+  void reset_stats();
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::string> map;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& key) const;
+  /// Sleeps for a sampled latency and records it; no-op when injection is
+  /// disabled.
+  void simulate_network() const;
+
+  KvStoreOptions options_;
+  mutable std::vector<Shard> shards_;
+  mutable std::mutex stats_mutex_;
+  mutable OpStats stats_;
+};
+
+}  // namespace sb

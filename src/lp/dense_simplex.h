@@ -1,0 +1,38 @@
+// Reference LP solver: two-phase primal simplex on a dense tableau.
+// Simple enough to be verifiably correct; the test suite cross-checks the
+// revised simplex against it on randomized instances. Suitable for problems
+// up to a few hundred rows; larger Switchboard instances use
+// revised_simplex.h.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/standard_form.h"
+
+namespace sb::lp {
+
+/// Tuning knobs shared by both simplex implementations.
+struct SimplexOptions {
+  std::size_t max_iterations = 200000;
+  /// Reduced-cost optimality tolerance.
+  double optimality_tol = 1e-9;
+  /// Feasibility / pivot magnitude tolerance.
+  double feasibility_tol = 1e-7;
+  /// Consecutive non-improving iterations before switching to Bland's rule.
+  std::size_t stall_limit = 500;
+  /// Revised simplex only: refactorize the basis inverse every N pivots.
+  std::size_t refactor_interval = 300;
+};
+
+/// Solver-internal result in standard-form variable space.
+struct SfSolution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  std::vector<double> values;
+  std::size_t iterations = 0;
+};
+
+/// Solves a standard-form LP with the dense tableau method.
+SfSolution solve_dense(const StandardForm& sf, const SimplexOptions& options);
+
+}  // namespace sb::lp

@@ -1,0 +1,107 @@
+// Linear-program model builder. Switchboard's provisioning (Eq 3-9),
+// allocation (Eq 10), and the Locality-First backup plan (Eq 1-2) are all
+// expressed against this interface and solved by the from-scratch simplex
+// implementations in this module (the paper treats its LP solver as a black
+// box; see DESIGN.md substitutions).
+//
+// Conventions: minimization only; every variable must have a finite lower
+// bound (all of Switchboard's variables are non-negative); upper bounds are
+// optional.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sb::lp {
+
+/// +infinity for "no upper bound".
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One coefficient of a constraint row.
+struct Term {
+  int var = -1;
+  double coeff = 0.0;
+};
+
+enum class Sense { kLe, kGe, kEq };
+
+struct Variable {
+  double lower = 0.0;
+  double upper = kInf;
+  double cost = 0.0;
+  std::string name;
+};
+
+struct Constraint {
+  std::vector<Term> terms;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// A minimization LP under construction.
+class Model {
+ public:
+  /// Adds a variable; returns its index. `lower` must be finite.
+  int add_variable(double lower, double upper, double cost,
+                   std::string name = "");
+
+  /// Adds a constraint row; duplicate variable terms are merged. Terms with
+  /// out-of-range variable indices throw.
+  int add_constraint(std::vector<Term> terms, Sense sense, double rhs,
+                     std::string name = "");
+
+  [[nodiscard]] std::size_t variable_count() const { return vars_.size(); }
+  [[nodiscard]] std::size_t constraint_count() const { return rows_.size(); }
+  [[nodiscard]] const Variable& variable(int v) const;
+  [[nodiscard]] const Constraint& constraint(int c) const;
+  [[nodiscard]] const std::vector<Variable>& variables() const { return vars_; }
+  [[nodiscard]] const std::vector<Constraint>& constraints() const {
+    return rows_;
+  }
+
+  /// Objective value of an assignment (no feasibility check).
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Constraint> rows_;
+};
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+std::string to_string(SolveStatus s);
+
+/// Result of a solve. `values` are in the original model's variable space
+/// (including fixed/shifted variables mapped back).
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> values;
+  std::size_t iterations = 0;
+
+  [[nodiscard]] bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+/// Feasibility report from validate_solution().
+struct ValidationReport {
+  bool feasible = true;
+  double max_violation = 0.0;
+  std::string worst;  ///< name/description of the most violated row or bound
+};
+
+/// Independently checks `values` against all bounds and constraints of
+/// `model` — the test suite runs every solver answer through this.
+ValidationReport validate_solution(const Model& model,
+                                   const std::vector<double>& values,
+                                   double tolerance = 1e-6);
+
+}  // namespace sb::lp

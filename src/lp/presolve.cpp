@@ -1,0 +1,127 @@
+#include "lp/presolve.h"
+
+#include <cmath>
+
+namespace sb::lp {
+
+namespace {
+
+struct Bounds {
+  double lower;
+  double upper;
+};
+
+}  // namespace
+
+PresolveResult presolve(const Model& model, double tolerance) {
+  PresolveResult result;
+
+  std::vector<Bounds> bounds;
+  bounds.reserve(model.variable_count());
+  for (const Variable& v : model.variables()) {
+    bounds.push_back({v.lower, v.upper});
+  }
+  std::vector<bool> row_alive(model.constraint_count(), true);
+
+  auto tighten = [&](int var, Sense sense, double value) -> bool {
+    Bounds& b = bounds[var];
+    bool changed = false;
+    switch (sense) {
+      case Sense::kLe:
+        if (value < b.upper - tolerance) {
+          b.upper = value;
+          changed = true;
+        }
+        break;
+      case Sense::kGe:
+        if (value > b.lower + tolerance) {
+          b.lower = value;
+          changed = true;
+        }
+        break;
+      case Sense::kEq:
+        if (value > b.lower + tolerance) {
+          b.lower = value;
+          changed = true;
+        }
+        if (value < b.upper - tolerance) {
+          b.upper = value;
+          changed = true;
+        }
+        break;
+    }
+    if (changed) ++result.bounds_tightened;
+    return b.lower <= b.upper + tolerance;
+  };
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t r = 0; r < model.constraint_count(); ++r) {
+      if (!row_alive[r]) continue;
+      const Constraint& row = model.constraint(static_cast<int>(r));
+
+      // Count live terms (terms on variables fixed by matching bounds stay
+      // live — the standard form handles them; only structurally empty and
+      // singleton rows are reduced here).
+      if (row.terms.empty()) {
+        const bool satisfied =
+            (row.sense == Sense::kLe && 0.0 <= row.rhs + tolerance) ||
+            (row.sense == Sense::kGe && 0.0 >= row.rhs - tolerance) ||
+            (row.sense == Sense::kEq && std::abs(row.rhs) <= tolerance);
+        if (!satisfied) {
+          result.infeasible = true;
+          result.infeasible_reason =
+              "empty row " + std::to_string(r) + " (" + row.name +
+              ") cannot be satisfied";
+          return result;
+        }
+        row_alive[r] = false;
+        ++result.rows_removed;
+        progressed = true;
+        continue;
+      }
+      if (row.terms.size() == 1 && row.terms[0].coeff != 0.0) {
+        const Term& term = row.terms[0];
+        const double value = row.rhs / term.coeff;
+        // Dividing by a negative coefficient flips the inequality.
+        Sense sense = row.sense;
+        if (term.coeff < 0.0) {
+          if (sense == Sense::kLe) {
+            sense = Sense::kGe;
+          } else if (sense == Sense::kGe) {
+            sense = Sense::kLe;
+          }
+        }
+        if (!tighten(term.var, sense, value)) {
+          result.infeasible = true;
+          result.infeasible_reason =
+              "bounds of variable " + std::to_string(term.var) +
+              " crossed via row " + std::to_string(r);
+          return result;
+        }
+        row_alive[r] = false;
+        ++result.rows_removed;
+        progressed = true;
+      }
+    }
+  }
+
+  // Rebuild the reduced model with the tightened bounds and surviving rows.
+  for (std::size_t i = 0; i < model.variable_count(); ++i) {
+    const Variable& v = model.variable(static_cast<int>(i));
+    double lower = bounds[i].lower;
+    double upper = bounds[i].upper;
+    if (upper < lower) upper = lower;  // within tolerance; snap
+    if (lower == upper && v.lower != v.upper) ++result.variables_fixed;
+    result.reduced.add_variable(lower, upper, v.cost, v.name);
+  }
+  for (std::size_t r = 0; r < model.constraint_count(); ++r) {
+    if (!row_alive[r]) continue;
+    const Constraint& row = model.constraint(static_cast<int>(r));
+    result.reduced.add_constraint(row.terms, row.sense, row.rhs, row.name);
+  }
+  return result;
+}
+
+}  // namespace sb::lp

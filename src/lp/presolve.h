@@ -1,0 +1,40 @@
+// LP presolve: cheap reductions applied before the simplex runs.
+// Switchboard's provisioning LPs contain many structurally trivial pieces
+// (singleton rows that are really variable bounds, empty rows, variables
+// fixed by Eq 4's latency pruning); presolve removes them, detects trivial
+// infeasibility early, and shrinks the simplex's working set.
+//
+// Reductions (applied to fixpoint):
+//  - empty rows: constant constraints — either trivially satisfied (drop)
+//    or proof of infeasibility;
+//  - singleton rows: a*x {<=,>=,=} b tightens x's bounds and drops the row;
+//  - crossed bounds (lower > upper) after tightening: infeasible;
+//  - variables whose bounds meet become fixed (the standard-form conversion
+//    substitutes them out).
+#pragma once
+
+#include <optional>
+
+#include "lp/model.h"
+
+namespace sb::lp {
+
+struct PresolveResult {
+  /// The reduced model. Variable indices are preserved (variables are
+  /// fixed via bounds rather than renumbered), so solutions of `reduced`
+  /// are solutions of the original model directly.
+  Model reduced;
+  /// Set when presolve proves the model infeasible; `reduced` is then
+  /// meaningless.
+  bool infeasible = false;
+  std::string infeasible_reason;
+  /// Statistics for logging/tests.
+  std::size_t rows_removed = 0;
+  std::size_t bounds_tightened = 0;
+  std::size_t variables_fixed = 0;
+};
+
+/// Runs the reductions. `tolerance` guards bound comparisons.
+PresolveResult presolve(const Model& model, double tolerance = 1e-9);
+
+}  // namespace sb::lp

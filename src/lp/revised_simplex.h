@@ -1,0 +1,17 @@
+// Production LP solver: two-phase revised simplex with sparse columns and a
+// dense, periodically refactorized basis inverse. The provisioning LP's
+// columns are very sparse (a call-share variable touches one compute row,
+// one completeness row, and the few WAN rows on its path), which makes
+// pricing and FTRAN cheap; the dense basis-inverse update is the O(m^2)
+// cost per pivot.
+#pragma once
+
+#include "lp/dense_simplex.h"
+#include "lp/standard_form.h"
+
+namespace sb::lp {
+
+/// Solves a standard-form LP with the revised simplex method.
+SfSolution solve_revised(const StandardForm& sf, const SimplexOptions& options);
+
+}  // namespace sb::lp

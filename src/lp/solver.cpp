@@ -1,0 +1,42 @@
+#include "lp/solver.h"
+
+#include "lp/presolve.h"
+#include "lp/revised_simplex.h"
+#include "lp/standard_form.h"
+
+namespace sb::lp {
+
+Solution solve(const Model& model, const SolveOptions& options) {
+  const Model* target = &model;
+  PresolveResult pre;
+  if (options.use_presolve) {
+    pre = presolve(model);
+    if (pre.infeasible) {
+      Solution solution;
+      solution.status = SolveStatus::kInfeasible;
+      return solution;
+    }
+    target = &pre.reduced;
+  }
+  const StandardForm sf = to_standard_form(*target);
+
+  Method method = options.method;
+  if (method == Method::kAuto) {
+    method = sf.rows.size() >= 100 ? Method::kRevised : Method::kDense;
+  }
+  const SfSolution raw = method == Method::kDense ? solve_dense(sf, options)
+                                                  : solve_revised(sf, options);
+
+  Solution solution;
+  solution.status = raw.status;
+  solution.iterations = raw.iterations;
+  if (raw.status == SolveStatus::kOptimal) {
+    // Presolve preserves variable indices, so mapping back through the
+    // reduced model's standard form lands in the original variable space.
+    solution.values = map_back(sf, raw.values, model.variable_count());
+    solution.objective = model.objective_value(solution.values);
+  }
+  return solution;
+}
+
+}  // namespace sb::lp

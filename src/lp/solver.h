@@ -1,0 +1,30 @@
+// Solver facade: converts a Model to standard form, dispatches to a simplex
+// implementation, and maps the answer back to model variable space. This is
+// the only LP entry point the rest of Switchboard uses.
+#pragma once
+
+#include "lp/dense_simplex.h"
+#include "lp/model.h"
+
+namespace sb::lp {
+
+enum class Method {
+  kAuto,     ///< revised simplex for >= 100 rows, dense tableau otherwise
+  kDense,    ///< force the dense tableau (reference implementation)
+  kRevised,  ///< force the revised simplex
+};
+
+struct SolveOptions : SimplexOptions {
+  Method method = Method::kAuto;
+  /// Run the presolve reductions (singleton rows -> bounds, empty rows,
+  /// early infeasibility) before the simplex. See lp/presolve.h.
+  bool use_presolve = true;
+};
+
+/// Solves `model` (minimization). The returned Solution's `values` cover all
+/// model variables, including fixed ones. Throws InvalidArgument for models
+/// with non-finite lower bounds; solver failures are reported via
+/// Solution::status, not exceptions.
+Solution solve(const Model& model, const SolveOptions& options = {});
+
+}  // namespace sb::lp

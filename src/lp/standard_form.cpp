@@ -1,0 +1,67 @@
+#include "lp/standard_form.h"
+
+#include <cmath>
+
+namespace sb::lp {
+
+StandardForm to_standard_form(const Model& model) {
+  StandardForm sf;
+  const std::size_t n = model.variable_count();
+  sf.var_map.assign(n, -1);
+  sf.var_base.assign(n, 0.0);
+
+  // Assign standard-form indices to non-fixed variables; record shifts.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Variable& v = model.variable(static_cast<int>(i));
+    if (v.lower == v.upper) {
+      sf.var_base[i] = v.lower;
+      sf.objective_offset += v.cost * v.lower;
+      continue;
+    }
+    sf.var_map[i] = static_cast<int>(sf.cost.size());
+    sf.var_base[i] = v.lower;
+    sf.cost.push_back(v.cost);
+    sf.objective_offset += v.cost * v.lower;
+  }
+
+  // Upper-bound rows for shifted variables with finite upper bounds.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Variable& v = model.variable(static_cast<int>(i));
+    if (sf.var_map[i] < 0 || v.upper == kInf) continue;
+    sf.rows.push_back(StandardRow{{Term{sf.var_map[i], 1.0}},
+                                  Sense::kLe,
+                                  v.upper - v.lower});
+  }
+
+  // Constraint rows with fixed variables folded into the rhs and the
+  // remaining variables shifted (rhs -= coeff * lower).
+  for (std::size_t r = 0; r < model.constraint_count(); ++r) {
+    const Constraint& row = model.constraint(static_cast<int>(r));
+    StandardRow out;
+    out.sense = row.sense;
+    out.rhs = row.rhs;
+    for (const Term& t : row.terms) {
+      out.rhs -= t.coeff * sf.var_base[t.var];
+      if (sf.var_map[t.var] >= 0 && t.coeff != 0.0) {
+        out.terms.push_back(Term{sf.var_map[t.var], t.coeff});
+      }
+    }
+    sf.rows.push_back(std::move(out));
+  }
+  return sf;
+}
+
+std::vector<double> map_back(const StandardForm& sf,
+                             const std::vector<double>& sf_values,
+                             std::size_t model_var_count) {
+  require(sf.var_map.size() == model_var_count, "map_back: size mismatch");
+  std::vector<double> out(model_var_count);
+  for (std::size_t i = 0; i < model_var_count; ++i) {
+    out[i] = sf.var_map[i] < 0
+                 ? sf.var_base[i]
+                 : sf.var_base[i] + sf_values[sf.var_map[i]];
+  }
+  return out;
+}
+
+}  // namespace sb::lp

@@ -1,0 +1,44 @@
+// Conversion of a Model to computational standard form:
+//
+//     minimize c'x   s.t.  A x {<=,>=,=} b,   x >= 0
+//
+// Fixed variables (lower == upper) are substituted out; remaining variables
+// are shifted by their lower bound; finite upper bounds become extra <=
+// rows. Both simplex implementations consume this form, and map_back()
+// restores values in the original model's variable space.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.h"
+
+namespace sb::lp {
+
+struct StandardRow {
+  std::vector<Term> terms;  ///< indices into standard-form variables
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+struct StandardForm {
+  std::vector<double> cost;       ///< per standard-form variable
+  std::vector<StandardRow> rows;
+  double objective_offset = 0.0;  ///< from fixed variables and shifts
+
+  // Mapping back to the original model:
+  std::vector<int> var_map;      ///< model var -> sf var, or -1 if fixed
+  std::vector<double> var_base;  ///< shift (lower bound) or fixed value
+
+  [[nodiscard]] std::size_t var_count() const { return cost.size(); }
+};
+
+/// Builds the standard form. Throws InvalidArgument if any variable has a
+/// non-finite lower bound.
+StandardForm to_standard_form(const Model& model);
+
+/// Maps standard-form values back into the model's variable space.
+std::vector<double> map_back(const StandardForm& sf,
+                             const std::vector<double>& sf_values,
+                             std::size_t model_var_count);
+
+}  // namespace sb::lp

@@ -1,0 +1,228 @@
+#include "predict/config_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sb {
+
+std::vector<double> MeetingSeries::location_counts(
+    std::size_t instance, std::size_t location_count) const {
+  require(instance < attendance.size(),
+          "MeetingSeries::location_counts: bad instance");
+  std::vector<double> counts(location_count, 0.0);
+  for (std::size_t p = 0; p < roster.size(); ++p) {
+    if (attendance[instance][p]) counts[roster[p].value()] += 1.0;
+  }
+  return counts;
+}
+
+std::vector<MeetingSeries> generate_meeting_series(
+    const World& world, const SeriesGenParams& params, Rng& rng) {
+  require(params.series_count > 0, "generate_meeting_series: empty");
+  require(world.location_count() > 0, "generate_meeting_series: no locations");
+
+  std::vector<double> weights;
+  for (const Location& loc : world.locations()) {
+    weights.push_back(loc.population_weight);
+  }
+
+  std::vector<MeetingSeries> all;
+  all.reserve(params.series_count);
+  for (std::size_t s = 0; s < params.series_count; ++s) {
+    MeetingSeries series;
+    std::size_t roster_size = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(params.min_roster),
+        static_cast<std::int64_t>(params.max_roster)));
+    if (rng.chance(params.large_roster_prob)) {
+      roster_size = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(params.max_roster),
+          static_cast<std::int64_t>(params.large_roster)));
+    }
+    // Most of the roster shares the organizer's country; some join remote.
+    const auto home = LocationId(
+        static_cast<std::uint32_t>(rng.weighted_index(weights)));
+    series.roster.reserve(roster_size);
+    for (std::size_t p = 0; p < roster_size; ++p) {
+      series.roster.push_back(
+          rng.chance(0.8) ? home
+                          : LocationId(static_cast<std::uint32_t>(
+                                rng.weighted_index(weights))));
+    }
+
+    // Behaviour per participant: sticky Markov (attend begets attend) or a
+    // strict alternator with noise.
+    struct Behaviour {
+      bool alternator;
+      double p_attend_given_attend;
+      double p_attend_given_miss;
+      double noise;
+    };
+    std::vector<Behaviour> behaviour(roster_size);
+    std::vector<std::uint8_t> state(roster_size);
+    for (std::size_t p = 0; p < roster_size; ++p) {
+      behaviour[p] = Behaviour{rng.chance(0.15), rng.uniform(0.65, 0.97),
+                               rng.uniform(0.05, 0.45), rng.uniform(0.0, 0.1)};
+      state[p] = rng.chance(0.7) ? 1 : 0;
+    }
+
+    const std::size_t instances = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(params.min_instances),
+        static_cast<std::int64_t>(params.max_instances)));
+    series.attendance.assign(instances,
+                             std::vector<std::uint8_t>(roster_size, 0));
+    for (std::size_t t = 0; t < instances; ++t) {
+      for (std::size_t p = 0; p < roster_size; ++p) {
+        bool attends;
+        if (behaviour[p].alternator) {
+          attends = (t % 2 == 0) != (state[p] == 0);
+          if (rng.chance(behaviour[p].noise)) attends = !attends;
+        } else {
+          const double prob = state[p] ? behaviour[p].p_attend_given_attend
+                                       : behaviour[p].p_attend_given_miss;
+          attends = rng.chance(prob);
+        }
+        series.attendance[t][p] = attends ? 1 : 0;
+        if (!behaviour[p].alternator) state[p] = attends ? 1 : 0;
+      }
+    }
+    all.push_back(std::move(series));
+  }
+  return all;
+}
+
+ConfigPredictor::ConfigPredictor(std::size_t max_order)
+    : momc_(max_order),
+      // Features: per-order MOMC probabilities + overall attendance rate +
+      // attended-last-instance indicator.
+      logistic_(max_order + 2) {}
+
+std::vector<double> ConfigPredictor::features(
+    std::span<const std::uint8_t> history) const {
+  std::vector<double> f = momc_.order_probs(history);
+  double rate = 0.0;
+  for (std::uint8_t b : history) rate += b;
+  f.push_back(history.empty() ? 0.5
+                              : rate / static_cast<double>(history.size()));
+  f.push_back(!history.empty() && history.back() ? 1.0 : 0.0);
+  return f;
+}
+
+void ConfigPredictor::train(const std::vector<MeetingSeries>& training) {
+  require(!training.empty(), "ConfigPredictor::train: no series");
+  for (const MeetingSeries& series : training) {
+    for (std::size_t p = 0; p < series.roster.size(); ++p) {
+      std::vector<std::uint8_t> history(series.instances());
+      for (std::size_t t = 0; t < series.instances(); ++t) {
+        history[t] = series.attendance[t][p];
+      }
+      momc_.observe(history);
+    }
+  }
+  std::vector<std::vector<double>> xs;
+  std::vector<std::uint8_t> ys;
+  for (const MeetingSeries& series : training) {
+    for (std::size_t p = 0; p < series.roster.size(); ++p) {
+      std::vector<std::uint8_t> history;
+      for (std::size_t t = 0; t < series.instances(); ++t) {
+        if (t >= 1) {
+          xs.push_back(features(history));
+          ys.push_back(series.attendance[t][p]);
+        }
+        history.push_back(series.attendance[t][p]);
+      }
+    }
+  }
+  logistic_.fit(xs, ys);
+}
+
+double ConfigPredictor::attendance_prob(const MeetingSeries& series,
+                                        std::size_t participant,
+                                        std::size_t instance) const {
+  require(participant < series.roster.size() &&
+              instance <= series.instances(),
+          "attendance_prob: out of range");
+  std::vector<std::uint8_t> history(instance);
+  for (std::size_t t = 0; t < instance; ++t) {
+    history[t] = series.attendance[t][participant];
+  }
+  return logistic_.predict_prob(features(history));
+}
+
+std::vector<double> ConfigPredictor::predict_counts(
+    const MeetingSeries& series, std::size_t instance,
+    std::size_t location_count) const {
+  std::vector<double> counts(location_count, 0.0);
+  for (std::size_t p = 0; p < series.roster.size(); ++p) {
+    counts[series.roster[p].value()] +=
+        attendance_prob(series, p, instance);
+  }
+  return counts;
+}
+
+namespace {
+
+/// Accumulates RMSE/MAE over the locations each series' roster touches,
+/// instance-averaged as in §8.
+void accumulate(const std::vector<double>& truth,
+                const std::vector<double>& predicted, double& se_sum,
+                double& ae_sum, std::size_t& terms) {
+  for (std::size_t u = 0; u < truth.size(); ++u) {
+    if (truth[u] == 0.0 && predicted[u] == 0.0) continue;
+    const double d = truth[u] - predicted[u];
+    se_sum += d * d;
+    ae_sum += std::abs(d);
+    ++terms;
+  }
+}
+
+PredictionEval finish(double se_sum, double ae_sum, std::size_t terms,
+                      std::size_t instances) {
+  PredictionEval eval;
+  eval.instances = instances;
+  if (terms > 0) {
+    eval.rmse = std::sqrt(se_sum / static_cast<double>(terms));
+    eval.mae = ae_sum / static_cast<double>(terms);
+  }
+  return eval;
+}
+
+}  // namespace
+
+PredictionEval evaluate_model(const ConfigPredictor& model,
+                              const std::vector<MeetingSeries>& test,
+                              std::size_t location_count) {
+  double se = 0.0;
+  double ae = 0.0;
+  std::size_t terms = 0;
+  std::size_t instances = 0;
+  for (const MeetingSeries& series : test) {
+    if (series.instances() < 4) continue;  // paper: >= 3 past occurrences
+    const std::size_t last = series.instances() - 1;
+    accumulate(series.location_counts(last, location_count),
+               model.predict_counts(series, last, location_count), se, ae,
+               terms);
+    ++instances;
+  }
+  return finish(se, ae, terms, instances);
+}
+
+PredictionEval evaluate_previous_instance(
+    const std::vector<MeetingSeries>& test, std::size_t location_count) {
+  double se = 0.0;
+  double ae = 0.0;
+  std::size_t terms = 0;
+  std::size_t instances = 0;
+  for (const MeetingSeries& series : test) {
+    if (series.instances() < 4) continue;
+    const std::size_t last = series.instances() - 1;
+    accumulate(series.location_counts(last, location_count),
+               series.location_counts(last - 1, location_count), se, ae,
+               terms);
+    ++instances;
+  }
+  return finish(se, ae, terms, instances);
+}
+
+}  // namespace sb

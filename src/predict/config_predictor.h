@@ -1,0 +1,95 @@
+// Call-config prediction for recurring meetings (§8): a two-part model —
+// MOMC features into logistic regression per participant — aggregated into
+// a predicted per-country participant count for the next instance, compared
+// against the previous-instance baseline on RMSE/MAE of those counts.
+#pragma once
+
+#include "common/rng.h"
+#include "geo/world.h"
+#include "predict/logistic.h"
+#include "predict/momc.h"
+
+namespace sb {
+
+/// One recurring meeting: a fixed roster with an attendance bit per
+/// (instance, participant).
+struct MeetingSeries {
+  std::vector<LocationId> roster;  ///< location of each roster member
+  /// attendance[instance][participant] in {0,1}.
+  std::vector<std::vector<std::uint8_t>> attendance;
+
+  [[nodiscard]] std::size_t instances() const { return attendance.size(); }
+  /// Per-location attended count at one instance.
+  [[nodiscard]] std::vector<double> location_counts(
+      std::size_t instance, std::size_t location_count) const;
+};
+
+struct SeriesGenParams {
+  std::size_t series_count = 400;
+  std::size_t min_instances = 8;
+  std::size_t max_instances = 24;
+  std::size_t min_roster = 3;
+  std::size_t max_roster = 40;
+  /// A few series get rosters up to this size ("dozens or even hundreds",
+  /// §8 — where the previous-instance baseline is particularly bad).
+  std::size_t large_roster = 250;
+  double large_roster_prob = 0.08;
+};
+
+/// Synthesizes recurring-meeting series: each participant follows a sticky
+/// two-state (attend/miss) Markov behaviour, with a minority of strict
+/// alternators — the temporal predispositions the MOMC is built to catch.
+std::vector<MeetingSeries> generate_meeting_series(const World& world,
+                                                   const SeriesGenParams& params,
+                                                   Rng& rng);
+
+/// The trained two-part predictor.
+class ConfigPredictor {
+ public:
+  explicit ConfigPredictor(std::size_t max_order = 3);
+
+  /// Trains the MOMC and the logistic layer on all transitions in
+  /// `training` (every instance except each series' last is available as a
+  /// training target with its preceding history).
+  void train(const std::vector<MeetingSeries>& training);
+
+  /// Probability that roster member `p` of `series` attends instance
+  /// `instance`, given attendance before it.
+  [[nodiscard]] double attendance_prob(const MeetingSeries& series,
+                                       std::size_t participant,
+                                       std::size_t instance) const;
+
+  /// Expected per-location participant counts at `instance` (sum of
+  /// per-member attendance probabilities — the variance-minimizing
+  /// aggregate).
+  [[nodiscard]] std::vector<double> predict_counts(
+      const MeetingSeries& series, std::size_t instance,
+      std::size_t location_count) const;
+
+ private:
+  [[nodiscard]] std::vector<double> features(
+      std::span<const std::uint8_t> history) const;
+
+  MarkovAttendanceModel momc_;
+  LogisticRegression logistic_;
+};
+
+/// RMSE/MAE of predicted vs true per-country counts, averaged over the
+/// evaluated instances (the paper's §8 metric).
+struct PredictionEval {
+  double rmse = 0.0;
+  double mae = 0.0;
+  std::size_t instances = 0;
+};
+
+/// Evaluates the model on each series' final instance.
+PredictionEval evaluate_model(const ConfigPredictor& model,
+                              const std::vector<MeetingSeries>& test,
+                              std::size_t location_count);
+
+/// Evaluates the previous-instance baseline (predict counts = last
+/// instance's counts) on each series' final instance.
+PredictionEval evaluate_previous_instance(
+    const std::vector<MeetingSeries>& test, std::size_t location_count);
+
+}  // namespace sb

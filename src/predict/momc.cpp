@@ -1,0 +1,74 @@
+#include "predict/momc.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sb {
+
+MarkovAttendanceModel::MarkovAttendanceModel(std::size_t max_order,
+                                             std::size_t min_support)
+    : max_order_(max_order), min_support_(min_support) {
+  require(max_order >= 1 && max_order <= 16,
+          "MarkovAttendanceModel: order must be in [1,16]");
+}
+
+std::uint64_t MarkovAttendanceModel::encode(
+    std::span<const std::uint8_t> bits) {
+  std::uint64_t code = 1;  // marker bit disambiguates context length
+  for (std::uint8_t b : bits) code = (code << 1) | (b ? 1u : 0u);
+  return code;
+}
+
+void MarkovAttendanceModel::observe(std::span<const std::uint8_t> history) {
+  for (std::size_t t = 0; t < history.size(); ++t) {
+    const bool attended = history[t] != 0;
+    if (attended) {
+      ++global_.attends;
+    } else {
+      ++global_.misses;
+    }
+    for (std::size_t order = 1; order <= max_order_ && order <= t; ++order) {
+      const auto context = history.subspan(t - order, order);
+      Counts& c = contexts_[encode(context)];
+      if (attended) {
+        ++c.attends;
+      } else {
+        ++c.misses;
+      }
+    }
+  }
+}
+
+double MarkovAttendanceModel::global_rate() const {
+  return global_.total() == 0 ? 0.5 : global_.rate();
+}
+
+double MarkovAttendanceModel::predict(
+    std::span<const std::uint8_t> history) const {
+  const std::size_t longest = std::min(max_order_, history.size());
+  for (std::size_t order = longest; order >= 1; --order) {
+    const auto context = history.subspan(history.size() - order, order);
+    const auto it = contexts_.find(encode(context));
+    if (it != contexts_.end() && it->second.total() >= min_support_) {
+      return it->second.rate();
+    }
+  }
+  return global_rate();
+}
+
+std::vector<double> MarkovAttendanceModel::order_probs(
+    std::span<const std::uint8_t> history) const {
+  std::vector<double> probs(max_order_, global_rate());
+  for (std::size_t order = 1;
+       order <= max_order_ && order <= history.size(); ++order) {
+    const auto context = history.subspan(history.size() - order, order);
+    const auto it = contexts_.find(encode(context));
+    if (it != contexts_.end() && it->second.total() > 0) {
+      probs[order - 1] = it->second.rate();
+    }
+  }
+  return probs;
+}
+
+}  // namespace sb

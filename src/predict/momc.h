@@ -1,0 +1,63 @@
+// Variable-length multi-order Markov chain (MOMC) over per-participant
+// attendance histories (§8): for each context of recent attend/miss bits
+// (orders 1..K), pooled counts estimate the probability the participant
+// attends the next instance. Prediction backs off from the longest context
+// with enough support. The per-order probabilities also serve as features
+// for the downstream logistic regression.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace sb {
+
+class MarkovAttendanceModel {
+ public:
+  /// @param max_order longest context length considered.
+  /// @param min_support contexts with fewer observations back off to a
+  ///        shorter order.
+  explicit MarkovAttendanceModel(std::size_t max_order = 3,
+                                 std::size_t min_support = 5);
+
+  /// Adds every (context -> next bit) transition in one participant's
+  /// attendance sequence to the pooled counts.
+  void observe(std::span<const std::uint8_t> history);
+
+  /// P(attend next | history suffix), via longest sufficiently supported
+  /// context; falls back to the global attendance rate.
+  [[nodiscard]] double predict(std::span<const std::uint8_t> history) const;
+
+  /// Per-order conditional probabilities [order 1..max_order]; orders with
+  /// no support report the global rate. Feature vector for the logistic
+  /// stage.
+  [[nodiscard]] std::vector<double> order_probs(
+      std::span<const std::uint8_t> history) const;
+
+  [[nodiscard]] std::size_t max_order() const { return max_order_; }
+  [[nodiscard]] double global_rate() const;
+
+ private:
+  struct Counts {
+    std::uint64_t misses = 0;
+    std::uint64_t attends = 0;
+    [[nodiscard]] std::uint64_t total() const { return misses + attends; }
+    [[nodiscard]] double rate() const {
+      // Laplace smoothing keeps rare contexts away from 0/1.
+      return (static_cast<double>(attends) + 1.0) /
+             (static_cast<double>(total()) + 2.0);
+    }
+  };
+
+  /// Encodes (order, bits) as order's bits plus a leading marker bit so
+  /// contexts of different lengths never collide.
+  [[nodiscard]] static std::uint64_t encode(std::span<const std::uint8_t> bits);
+
+  std::size_t max_order_;
+  std::size_t min_support_;
+  std::unordered_map<std::uint64_t, Counts> contexts_;
+  Counts global_;
+};
+
+}  // namespace sb

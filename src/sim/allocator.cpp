@@ -1,0 +1,71 @@
+#include "sim/allocator.h"
+
+#include "baselines/baseline.h"
+#include "common/error.h"
+
+namespace sb {
+
+RoundRobinAllocator::RoundRobinAllocator(EvalContext ctx) : ctx_(ctx) {
+  require(ctx_.world && ctx_.latency && ctx_.registry,
+          "RoundRobinAllocator: incomplete context");
+}
+
+DcId RoundRobinAllocator::on_call_start(CallId call, LocationId first_joiner,
+                                        SimTime /*now*/) {
+  const std::string& region = ctx_.world->location(first_joiner).region;
+  std::vector<DcId> dcs = ctx_.world->dcs_in_region(region);
+  if (dcs.empty()) dcs = ctx_.world->dc_ids();
+  std::size_t& cursor = region_cursor_[region];
+  const DcId dc = dcs[cursor % dcs.size()];
+  ++cursor;
+  active_[call] = dc;
+  return dc;
+}
+
+FreezeResult RoundRobinAllocator::on_config_frozen(CallId call,
+                                                   const CallConfig& /*config*/,
+                                                   SimTime /*now*/) {
+  const auto it = active_.find(call);
+  require(it != active_.end(), "RoundRobinAllocator: unknown call");
+  return FreezeResult{it->second, false, false};
+}
+
+void RoundRobinAllocator::on_call_end(CallId call, SimTime /*now*/) {
+  active_.erase(call);
+}
+
+LocalityFirstAllocator::LocalityFirstAllocator(EvalContext ctx) : ctx_(ctx) {
+  require(ctx_.world && ctx_.latency && ctx_.registry,
+          "LocalityFirstAllocator: incomplete context");
+  all_dcs_ = ctx_.world->dc_ids();
+}
+
+DcId LocalityFirstAllocator::on_call_start(CallId call,
+                                           LocationId first_joiner,
+                                           SimTime /*now*/) {
+  const DcId dc = ctx_.latency->closest_dc(first_joiner, all_dcs_);
+  active_[call] = dc;
+  return dc;
+}
+
+FreezeResult LocalityFirstAllocator::on_config_frozen(CallId call,
+                                                      const CallConfig& config,
+                                                      SimTime /*now*/) {
+  const auto it = active_.find(call);
+  require(it != active_.end(), "LocalityFirstAllocator: unknown call");
+  const std::vector<DcId> candidates =
+      region_candidates(config, *ctx_.world);
+  const DcId target = min_acl_dc(config, candidates, *ctx_.latency);
+  FreezeResult result{target, target != it->second, false};
+  if (result.migrated) {
+    ++migrations_;
+    it->second = target;
+  }
+  return result;
+}
+
+void LocalityFirstAllocator::on_call_end(CallId call, SimTime /*now*/) {
+  active_.erase(call);
+}
+
+}  // namespace sb

@@ -1,0 +1,97 @@
+// The allocator interface the discrete-event simulator drives, with
+// adapters for Switchboard's realtime selector and the RR/LF baselines.
+// All three see the same event stream (call start -> config freeze -> call
+// end), which is how §6.4's migration comparison is measured.
+#pragma once
+
+#include <memory>
+
+#include "core/realtime.h"
+
+namespace sb {
+
+/// Per-call allocation decisions a scheme makes during simulation.
+class CallAllocator {
+ public:
+  virtual ~CallAllocator() = default;
+
+  /// A call starts with its first joiner; returns the initial DC.
+  virtual DcId on_call_start(CallId call, LocationId first_joiner,
+                             SimTime now) = 0;
+
+  /// The config freezes A seconds in; may migrate the call.
+  virtual FreezeResult on_config_frozen(CallId call, const CallConfig& config,
+                                        SimTime now) = 0;
+
+  virtual void on_call_end(CallId call, SimTime now) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Adapter over Switchboard's RealtimeSelector (plan-driven behaviour).
+class SwitchboardAllocator : public CallAllocator {
+ public:
+  /// Borrows the selector; it must outlive the allocator.
+  explicit SwitchboardAllocator(RealtimeSelector& selector)
+      : selector_(&selector) {}
+
+  DcId on_call_start(CallId call, LocationId first_joiner,
+                     SimTime now) override {
+    return selector_->on_call_start(call, first_joiner, now);
+  }
+  FreezeResult on_config_frozen(CallId call, const CallConfig& config,
+                                SimTime now) override {
+    return selector_->on_config_frozen(call, config, now);
+  }
+  void on_call_end(CallId call, SimTime now) override {
+    selector_->on_call_end(call, now);
+  }
+  [[nodiscard]] std::string name() const override { return "switchboard"; }
+
+ private:
+  RealtimeSelector* selector_;
+};
+
+/// §3.1 Round-Robin: cycles a per-region counter over the region's DCs at
+/// call start; never migrates (the spread, not the config, drives RR).
+class RoundRobinAllocator : public CallAllocator {
+ public:
+  explicit RoundRobinAllocator(EvalContext ctx);
+
+  DcId on_call_start(CallId call, LocationId first_joiner,
+                     SimTime now) override;
+  FreezeResult on_config_frozen(CallId call, const CallConfig& config,
+                                SimTime now) override;
+  void on_call_end(CallId call, SimTime now) override;
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+ private:
+  EvalContext ctx_;
+  std::unordered_map<std::string, std::size_t> region_cursor_;
+  std::unordered_map<CallId, DcId> active_;
+};
+
+/// §3.2 Locality-First: closest DC to the first joiner, then migrates to
+/// the config's min-ACL DC at freeze time ("requires knowing the exact
+/// spread of all participants", §6.4).
+class LocalityFirstAllocator : public CallAllocator {
+ public:
+  explicit LocalityFirstAllocator(EvalContext ctx);
+
+  DcId on_call_start(CallId call, LocationId first_joiner,
+                     SimTime now) override;
+  FreezeResult on_config_frozen(CallId call, const CallConfig& config,
+                                SimTime now) override;
+  void on_call_end(CallId call, SimTime now) override;
+  [[nodiscard]] std::string name() const override { return "locality-first"; }
+
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+
+ private:
+  EvalContext ctx_;
+  std::vector<DcId> all_dcs_;
+  std::unordered_map<CallId, DcId> active_;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace sb

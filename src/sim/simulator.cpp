@@ -1,0 +1,221 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace sb {
+
+double SimReport::total_peak_cores() const {
+  double acc = 0.0;
+  for (double v : dc_peak_cores) acc += v;
+  return acc;
+}
+
+double SimReport::total_peak_gbps() const {
+  double acc = 0.0;
+  for (double v : link_peak_gbps) acc += v;
+  return acc;
+}
+
+namespace {
+
+enum class EventType : std::uint8_t {
+  kStart = 0,
+  kLegJoin = 1,
+  kMediaChange = 2,
+  kFreeze = 3,
+  kEnd = 4,
+};
+
+struct Event {
+  SimTime time;
+  std::uint64_t seq;  ///< tie-break so ordering is deterministic
+  EventType type;
+  std::size_t record;
+  std::size_t leg;  ///< for kLegJoin
+
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// Live per-call simulation state.
+struct LiveCall {
+  DcId dc;
+  MediaType media = MediaType::kAudio;
+  std::vector<CallLeg> joined;
+  bool active = false;
+};
+
+/// Mutable usage counters with peak tracking.
+class UsageTracker {
+ public:
+  UsageTracker(const EvalContext& ctx)
+      : ctx_(ctx),
+        dc_cores_(ctx.world->dc_count(), 0.0),
+        dc_peaks_(ctx.world->dc_count(), 0.0),
+        link_gbps_(ctx.topology->link_count(), 0.0),
+        link_peaks_(ctx.topology->link_count(), 0.0) {}
+
+  void add_leg(DcId dc, MediaType media, LocationId loc, double sign) {
+    const double cores = ctx_.loads->cores_per_participant(media) * sign;
+    dc_cores_[dc.value()] += cores;
+    if (sign > 0) {
+      dc_peaks_[dc.value()] =
+          std::max(dc_peaks_[dc.value()], dc_cores_[dc.value()]);
+    }
+    const double gbps =
+        ctx_.loads->mbps_per_participant(media) / kMbpsPerGbps * sign;
+    const LocationId dc_loc = ctx_.world->datacenter(dc).location;
+    for (LinkId l : ctx_.topology->path(dc_loc, loc)) {
+      link_gbps_[l.value()] += gbps;
+      if (sign > 0) {
+        link_peaks_[l.value()] =
+            std::max(link_peaks_[l.value()], link_gbps_[l.value()]);
+      }
+    }
+  }
+
+  void add_call(const LiveCall& call, double sign) {
+    for (const CallLeg& leg : call.joined) {
+      add_leg(call.dc, call.media, leg.location, sign);
+    }
+  }
+
+  [[nodiscard]] std::vector<double> dc_peaks() const { return dc_peaks_; }
+  [[nodiscard]] std::vector<double> link_peaks() const { return link_peaks_; }
+
+ private:
+  const EvalContext& ctx_;
+  std::vector<double> dc_cores_;
+  std::vector<double> dc_peaks_;
+  std::vector<double> link_gbps_;
+  std::vector<double> link_peaks_;
+};
+
+}  // namespace
+
+Simulator::Simulator(EvalContext ctx) : ctx_(ctx) {
+  require(ctx_.world && ctx_.topology && ctx_.latency && ctx_.registry &&
+              ctx_.loads,
+          "Simulator: incomplete context");
+}
+
+SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
+                         double freeze_delay_s) const {
+  require(freeze_delay_s > 0.0, "Simulator::run: freeze delay");
+  const auto& records = db.records();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  std::uint64_t seq = 0;
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const CallRecord& rec = records[r];
+    queue.push({rec.start_s, seq++, EventType::kStart, r, 0});
+    for (std::size_t leg = 1; leg < rec.legs.size(); ++leg) {
+      queue.push({rec.start_s + rec.legs[leg].join_offset_s, seq++,
+                  EventType::kLegJoin, r, leg});
+    }
+    const CallConfig& config = ctx_.registry->get(rec.config);
+    if (config.media() != MediaType::kAudio && rec.media_change_offset_s > 0.0) {
+      queue.push({rec.start_s + rec.media_change_offset_s, seq++,
+                  EventType::kMediaChange, r, 0});
+    }
+    if (rec.duration_s > freeze_delay_s) {
+      queue.push({rec.start_s + freeze_delay_s, seq++, EventType::kFreeze, r,
+                  0});
+    }
+    queue.push({rec.start_s + rec.duration_s, seq++, EventType::kEnd, r, 0});
+  }
+
+  UsageTracker usage(ctx_);
+  std::vector<LiveCall> live(records.size());
+  SimReport report;
+  report.allocator = allocator.name();
+  double acl_sum = 0.0;
+  std::uint64_t majority_first = 0;
+  std::uint64_t concurrent = 0;
+
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    const CallRecord& rec = records[ev.record];
+    const CallConfig& config = ctx_.registry->get(rec.config);
+    LiveCall& call = live[ev.record];
+
+    switch (ev.type) {
+      case EventType::kStart: {
+        const LocationId first = rec.legs.front().location;
+        call.dc = allocator.on_call_start(rec.id, first, ev.time);
+        // Media starts as audio when an upgrade event is pending, else at
+        // the config's media type.
+        call.media = rec.media_change_offset_s > 0.0 ? MediaType::kAudio
+                                                     : config.media();
+        call.joined = {rec.legs.front()};
+        call.active = true;
+        usage.add_leg(call.dc, call.media, first, +1.0);
+        ++report.calls;
+        if (first == config.majority_location()) ++majority_first;
+        ++concurrent;
+        report.peak_concurrent_calls =
+            std::max(report.peak_concurrent_calls, concurrent);
+        break;
+      }
+      case EventType::kLegJoin: {
+        if (!call.active) break;  // leg joined after the call ended
+        call.joined.push_back(rec.legs[ev.leg]);
+        usage.add_leg(call.dc, call.media, rec.legs[ev.leg].location, +1.0);
+        break;
+      }
+      case EventType::kMediaChange: {
+        if (!call.active) break;
+        usage.add_call(call, -1.0);
+        call.media = config.media();
+        usage.add_call(call, +1.0);
+        break;
+      }
+      case EventType::kFreeze: {
+        if (!call.active) break;
+        ++report.frozen;
+        const FreezeResult result =
+            allocator.on_config_frozen(rec.id, config, ev.time);
+        if (result.migrated) {
+          ++report.migrations;
+          usage.add_call(call, -1.0);
+          call.dc = result.dc;
+          usage.add_call(call, +1.0);
+        }
+        break;
+      }
+      case EventType::kEnd: {
+        if (!call.active) break;
+        usage.add_call(call, -1.0);
+        call.active = false;
+        allocator.on_call_end(rec.id, ev.time);
+        acl_sum += acl_ms(config, call.dc, *ctx_.latency);
+        --concurrent;
+        break;
+      }
+    }
+  }
+
+  report.migration_fraction =
+      report.calls == 0
+          ? 0.0
+          : static_cast<double>(report.migrations) /
+                static_cast<double>(report.calls);
+  report.mean_acl_ms =
+      report.calls == 0 ? 0.0 : acl_sum / static_cast<double>(report.calls);
+  report.first_joiner_majority_fraction =
+      report.calls == 0
+          ? 0.0
+          : static_cast<double>(majority_first) /
+                static_cast<double>(report.calls);
+  report.dc_peak_cores = usage.dc_peaks();
+  report.link_peak_gbps = usage.link_peaks();
+  return report;
+}
+
+}  // namespace sb

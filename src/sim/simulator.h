@@ -1,0 +1,51 @@
+// Discrete-event call simulator: replays a call-record trace against an
+// allocator, tracking per-DC core usage, per-link traffic, per-call ACL,
+// and migrations. This is the evaluation harness behind §6.4 (migration
+// frequency) and the realized-usage sanity checks against provisioned
+// capacity.
+//
+// Event model per call: the first joiner starts the call (allocator picks
+// the initial DC); remaining legs join at their offsets; the media type may
+// escalate mid-call; the config freezes A seconds in (allocator may
+// migrate); the call ends. Loads follow the Table 1 model and the joined
+// participant set at each instant.
+#pragma once
+
+#include "calls/call_record.h"
+#include "sim/allocator.h"
+
+namespace sb {
+
+struct SimReport {
+  std::string allocator;
+  std::uint64_t calls = 0;
+  std::uint64_t frozen = 0;      ///< calls that lived past the freeze point
+  std::uint64_t migrations = 0;
+  double migration_fraction = 0.0;  ///< migrations / calls (§6.4)
+  /// Call-weighted mean ACL at the final hosting DC.
+  double mean_acl_ms = 0.0;
+  /// Fraction of calls whose first joiner is in the majority country
+  /// (§5.4 reports 95.2% in Teams).
+  double first_joiner_majority_fraction = 0.0;
+  std::vector<double> dc_peak_cores;   ///< realized per-DC peaks
+  std::vector<double> link_peak_gbps;  ///< realized per-link peaks
+  std::uint64_t peak_concurrent_calls = 0;
+
+  [[nodiscard]] double total_peak_cores() const;
+  [[nodiscard]] double total_peak_gbps() const;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(EvalContext ctx);
+
+  /// Replays `db` against `allocator`. `freeze_delay_s` is the A parameter
+  /// (§6.4); calls shorter than it are never frozen or migrated.
+  SimReport run(const CallRecordDatabase& db, CallAllocator& allocator,
+                double freeze_delay_s = 300.0) const;
+
+ private:
+  EvalContext ctx_;
+};
+
+}  // namespace sb

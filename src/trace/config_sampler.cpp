@@ -1,0 +1,116 @@
+#include "trace/config_sampler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace sb {
+
+double ConfigUniverse::total_base_rate() const {
+  double acc = 0.0;
+  for (const ConfigUsage& u : configs) acc += u.base_rate_per_hour;
+  return acc;
+}
+
+namespace {
+
+MediaType sample_media(const UniverseParams& params, Rng& rng) {
+  const double u = rng.uniform();
+  if (u < params.media_probs[0]) return MediaType::kAudio;
+  if (u < params.media_probs[0] + params.media_probs[1]) {
+    return MediaType::kScreenShare;
+  }
+  return MediaType::kVideo;
+}
+
+/// Total participants: 2 + Geometric(p), capped.
+std::uint32_t sample_size(const UniverseParams& params, Rng& rng) {
+  std::uint32_t extra = 0;
+  while (!rng.chance(params.size_geometric_p) &&
+         2 + extra < params.max_participants) {
+    ++extra;
+  }
+  return 2 + extra;
+}
+
+CallConfig sample_config(const World& world, const UniverseParams& params,
+                         const std::vector<double>& location_weights,
+                         Rng& rng) {
+  const std::uint32_t total = sample_size(params, rng);
+  const auto home = LocationId(
+      static_cast<std::uint32_t>(rng.weighted_index(location_weights)));
+  std::vector<ConfigEntry> entries;
+  if (!rng.chance(params.multi_country_prob) || total < 3 ||
+      world.location_count() < 2) {
+    entries.push_back({home, total});
+  } else {
+    // Majority stays home (60-85%); the rest spread over 1-3 other
+    // countries sampled by population.
+    const auto majority = std::max<std::uint32_t>(
+        total / 2 + 1,
+        static_cast<std::uint32_t>(total * rng.uniform(0.60, 0.85)));
+    entries.push_back({home, std::min(majority, total - 1)});
+    std::uint32_t remaining = total - entries[0].count;
+    const std::uint32_t groups =
+        std::min<std::uint32_t>(1 + static_cast<std::uint32_t>(
+                                        rng.uniform_index(3)),
+                                remaining);
+    for (std::uint32_t g = 0; g < groups && remaining > 0; ++g) {
+      LocationId other;
+      do {
+        other = LocationId(static_cast<std::uint32_t>(
+            rng.weighted_index(location_weights)));
+      } while (other == home);
+      const std::uint32_t take =
+          g + 1 == groups
+              ? remaining
+              : 1 + static_cast<std::uint32_t>(rng.uniform_index(remaining));
+      entries.push_back({other, take});
+      remaining -= take;
+    }
+  }
+  return CallConfig::make(std::move(entries), sample_media(params, rng));
+}
+
+}  // namespace
+
+ConfigUniverse sample_universe(const World& world, CallConfigRegistry& registry,
+                               const UniverseParams& params, Rng& rng) {
+  require(params.config_count > 0, "sample_universe: empty universe");
+  require(world.location_count() > 0, "sample_universe: empty world");
+
+  std::vector<double> weights;
+  weights.reserve(world.location_count());
+  for (const Location& loc : world.locations()) {
+    weights.push_back(loc.population_weight);
+  }
+
+  // Zipf mass over popularity ranks; rank r's config gets pmf(r) of the
+  // total rate. Duplicate configs merge their rates.
+  const ZipfSampler zipf(params.config_count, params.zipf_exponent);
+  std::unordered_map<ConfigId, std::size_t> index_of;
+  ConfigUniverse universe;
+  for (std::size_t rank = 0; rank < params.config_count; ++rank) {
+    const CallConfig config = sample_config(world, params, weights, rng);
+    const ConfigId id = registry.intern(config);
+    const double rate = params.total_peak_rate_per_hour * zipf.pmf(rank);
+    auto [it, inserted] = index_of.try_emplace(id, universe.configs.size());
+    if (inserted) {
+      universe.configs.push_back(
+          ConfigUsage{id, rate,
+                      rng.uniform(params.growth_min, params.growth_max),
+                      config.majority_location()});
+    } else {
+      universe.configs[it->second].base_rate_per_hour += rate;
+    }
+  }
+  // Keep ranks sorted by rate descending (ranks may have merged).
+  std::sort(universe.configs.begin(), universe.configs.end(),
+            [](const ConfigUsage& a, const ConfigUsage& b) {
+              return a.base_rate_per_hour > b.base_rate_per_hour;
+            });
+  return universe;
+}
+
+}  // namespace sb

@@ -1,0 +1,56 @@
+// Call-config universe synthesis. The paper observed >10M unique configs in
+// Teams with extreme popularity skew (top 1% of configs cover 93% of calls,
+// Fig 7c). We reproduce that structure: a Zipf-ranked universe of configs,
+// each with a home (majority) location that drives its diurnal shape, a base
+// arrival rate, and an individual growth trend (Fig 7b shows heterogeneous
+// per-config growth, which is why §5.2 forecasts per config).
+#pragma once
+
+#include <vector>
+
+#include "calls/call_config.h"
+#include "common/rng.h"
+#include "geo/world.h"
+
+namespace sb {
+
+/// One synthesized config and its workload parameters.
+struct ConfigUsage {
+  ConfigId config;
+  double base_rate_per_hour = 0.0;  ///< arrival rate at peak activity
+  double weekly_growth = 1.0;       ///< multiplicative rate growth per week
+  LocationId home;                  ///< majority location
+};
+
+/// The universe of configs a scenario draws calls from.
+struct ConfigUniverse {
+  std::vector<ConfigUsage> configs;
+
+  [[nodiscard]] double total_base_rate() const;
+};
+
+struct UniverseParams {
+  std::size_t config_count = 400;
+  double zipf_exponent = 1.6;
+  /// Sum of base rates across the universe (calls/hour at peak activity).
+  double total_peak_rate_per_hour = 1200.0;
+  /// Probability a config spans >1 country ("inter-country", §6.3).
+  double multi_country_prob = 0.20;
+  /// Media mix: {audio, screen-share, video}; must sum to ~1.
+  double media_probs[3] = {0.35, 0.15, 0.50};
+  /// Weekly growth drawn uniformly from this range; > 1 grows, < 1 shrinks.
+  double growth_min = 0.995;
+  double growth_max = 1.015;
+  /// Geometric participant-count parameter; mean extra participants
+  /// beyond 2 is roughly (1-p)/p.
+  double size_geometric_p = 0.35;
+  std::uint32_t max_participants = 40;
+};
+
+/// Samples a config universe over the world's locations (weighted by
+/// population). Configs that collide after canonicalization are merged by
+/// summing their rates. Results are interned into `registry`.
+ConfigUniverse sample_universe(const World& world, CallConfigRegistry& registry,
+                               const UniverseParams& params, Rng& rng);
+
+}  // namespace sb

@@ -1,0 +1,70 @@
+#include "trace/diurnal.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sb {
+
+namespace {
+
+double wrap_hours(double hours) {
+  double h = std::fmod(hours, 24.0);
+  if (h < 0.0) h += 24.0;
+  return h;
+}
+
+/// Distance between two hours on the 24h circle.
+double circular_hour_gap(double a, double b) {
+  const double d = std::abs(wrap_hours(a) - wrap_hours(b));
+  return std::min(d, 24.0 - d);
+}
+
+}  // namespace
+
+DiurnalShape::DiurnalShape(DiurnalParams params) : params_(params) {
+  require(params_.peak_width_hours > 0.0,
+          "DiurnalShape: peak width must be positive");
+  require(params_.evening_level >= 0.0 && params_.evening_level <= 1.0,
+          "DiurnalShape: evening level must be in [0,1]");
+  require(params_.weekend_factor >= 0.0 && params_.weekend_factor <= 1.0,
+          "DiurnalShape: weekend factor must be in [0,1]");
+}
+
+double DiurnalShape::activity_local(double local_hour_of_day,
+                                    bool weekend) const {
+  auto bump = [&](double peak_hour) {
+    const double gap = circular_hour_gap(local_hour_of_day, peak_hour);
+    const double z = gap / params_.peak_width_hours;
+    return std::exp(-0.5 * z * z);
+  };
+  const double business =
+      std::max(bump(params_.morning_peak_hour),
+               params_.afternoon_weight * bump(params_.afternoon_peak_hour));
+  double level = params_.evening_level +
+                 (1.0 - params_.evening_level) * business;
+  if (weekend) level *= params_.weekend_factor;
+  return level;
+}
+
+double DiurnalShape::activity(const Location& location, SimTime utc_s) const {
+  return activity_local(local_hour_of_day(location, utc_s),
+                        is_local_weekend(location, utc_s));
+}
+
+double local_hour_of_day(const Location& location, SimTime utc_s) {
+  const double local_s = utc_s + location.utc_offset_hours * kSecondsPerHour;
+  double day_s = std::fmod(local_s, kSecondsPerDay);
+  if (day_s < 0.0) day_s += kSecondsPerDay;
+  return day_s / kSecondsPerHour;
+}
+
+bool is_local_weekend(const Location& location, SimTime utc_s) {
+  const double local_s = utc_s + location.utc_offset_hours * kSecondsPerHour;
+  double week_s = std::fmod(local_s, kSecondsPerWeek);
+  if (week_s < 0.0) week_s += kSecondsPerWeek;
+  const int day = static_cast<int>(week_s / kSecondsPerDay);  // 0 = Monday
+  return day >= 5;
+}
+
+}  // namespace sb

@@ -1,0 +1,54 @@
+// Diurnal and weekly activity shapes. Conferencing demand from a country
+// follows its local business hours, so demand peaks shift across time zones
+// (Fig 3) — the effect peak-aware provisioning exploits. The shape is a
+// mixture of a morning and an afternoon business bump plus a small evening
+// tail, damped on weekends.
+#pragma once
+
+#include "common/types.h"
+#include "geo/world.h"
+
+namespace sb {
+
+/// The trace epoch is Monday 00:00 UTC; seconds-since-epoch times feed
+/// day-of-week and hour-of-day derivation.
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 24.0 * kSecondsPerHour;
+inline constexpr double kSecondsPerWeek = 7.0 * kSecondsPerDay;
+
+struct DiurnalParams {
+  double morning_peak_hour = 10.5;   ///< local time of the dominant bump
+  double afternoon_peak_hour = 14.5;
+  double afternoon_weight = 0.35;    ///< afternoon bump height vs morning
+  double peak_width_hours = 1.7;     ///< Gaussian sigma of each bump
+  double evening_level = 0.08;       ///< flat evening/overnight activity
+  double weekend_factor = 0.25;      ///< Saturday/Sunday damping
+};
+
+/// Maps (location, absolute trace time) to a relative activity multiplier
+/// in (0, 1]; 1.0 is the height of a weekday business peak.
+class DiurnalShape {
+ public:
+  explicit DiurnalShape(DiurnalParams params = {});
+
+  /// Activity of a location at `utc_s` seconds since the trace epoch.
+  [[nodiscard]] double activity(const Location& location, SimTime utc_s) const;
+
+  /// Activity given a local clock time directly.
+  [[nodiscard]] double activity_local(double local_hour_of_day,
+                                      bool weekend) const;
+
+  [[nodiscard]] const DiurnalParams& params() const { return params_; }
+
+ private:
+  DiurnalParams params_;
+};
+
+/// Hour-of-day in [0, 24) for a location's local clock at `utc_s`.
+double local_hour_of_day(const Location& location, SimTime utc_s);
+
+/// True when the location's local calendar day is Saturday or Sunday
+/// (epoch = Monday 00:00 UTC).
+bool is_local_weekend(const Location& location, SimTime utc_s);
+
+}  // namespace sb

@@ -1,0 +1,189 @@
+#include "trace/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sb {
+
+TraceGenerator::TraceGenerator(const World& world,
+                               const CallConfigRegistry& registry,
+                               ConfigUniverse universe, DiurnalShape shape,
+                               TraceParams params, std::uint64_t seed)
+    : world_(&world),
+      registry_(&registry),
+      universe_(std::move(universe)),
+      shape_(shape),
+      params_(params),
+      seed_(seed) {
+  require(!universe_.configs.empty(), "TraceGenerator: empty universe");
+  require(params_.bucket_s > 0.0, "TraceGenerator: bucket width");
+  require(params_.mean_duration_s > 0.0, "TraceGenerator: mean duration");
+  require(params_.join_p80_s > 0.0, "TraceGenerator: join p80");
+  require(params_.join_p80_fraction > 0.0 && params_.join_p80_fraction < 1.0,
+          "TraceGenerator: join p80 fraction");
+
+  // Single-country calls always have a majority-country first joiner, so to
+  // hit the overall first_joiner_majority_prob target the miss probability
+  // must be concentrated on the multi-country call share.
+  double multi_rate = 0.0;
+  double total_rate = 0.0;
+  for (const ConfigUsage& u : universe_.configs) {
+    total_rate += u.base_rate_per_hour;
+    if (!registry.get(u.config).single_location()) {
+      multi_rate += u.base_rate_per_hour;
+    }
+  }
+  const double multi_share = total_rate > 0.0 ? multi_rate / total_rate : 0.0;
+  multi_majority_prob_ =
+      multi_share <= 0.0
+          ? 1.0
+          : std::clamp(
+                1.0 - (1.0 - params_.first_joiner_majority_prob) / multi_share,
+                0.0, 1.0);
+}
+
+double TraceGenerator::rate_per_hour(std::size_t idx, SimTime t) const {
+  require(idx < universe_.configs.size(), "rate_per_hour: bad index");
+  const ConfigUsage& usage = universe_.configs[idx];
+  const Location& home = world_->location(usage.home);
+  const double weeks = t / kSecondsPerWeek;
+  return usage.base_rate_per_hour * shape_.activity(home, t) *
+         std::pow(usage.weekly_growth, weeks);
+}
+
+Rng TraceGenerator::bucket_rng(std::size_t idx, std::int64_t bucket) const {
+  // Mix seed, config index, and absolute bucket so any window over the same
+  // process sees identical draws.
+  std::uint64_t h = seed_;
+  h ^= 0x9e3779b97f4a7c15ULL + (idx << 20) + static_cast<std::uint64_t>(bucket);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 29;
+  return Rng(h);
+}
+
+std::vector<double> TraceGenerator::arrival_count_series(std::size_t idx,
+                                                         SimTime start_s,
+                                                         SimTime end_s) const {
+  require(end_s > start_s, "arrival_count_series: empty window");
+  const auto first = static_cast<std::int64_t>(start_s / params_.bucket_s);
+  const auto last = static_cast<std::int64_t>(
+      std::ceil(end_s / params_.bucket_s));
+  std::vector<double> counts;
+  counts.reserve(static_cast<std::size_t>(last - first));
+  for (std::int64_t b = first; b < last; ++b) {
+    const double mid = (static_cast<double>(b) + 0.5) * params_.bucket_s;
+    const double mean =
+        rate_per_hour(idx, mid) * params_.bucket_s / kSecondsPerHour;
+    Rng rng = bucket_rng(idx, b);
+    counts.push_back(static_cast<double>(rng.poisson(mean)));
+  }
+  return counts;
+}
+
+DemandMatrix TraceGenerator::expected_demand(double slot_s, SimTime start_s,
+                                             SimTime end_s) const {
+  require(slot_s > 0.0, "expected_demand: slot width");
+  require(end_s > start_s, "expected_demand: empty window");
+  const auto slots =
+      static_cast<std::size_t>(std::ceil((end_s - start_s) / slot_s));
+  std::vector<ConfigId> configs;
+  configs.reserve(universe_.configs.size());
+  for (const ConfigUsage& u : universe_.configs) configs.push_back(u.config);
+  DemandMatrix demand = make_demand_matrix(std::move(configs), slots);
+  for (std::size_t idx = 0; idx < universe_.configs.size(); ++idx) {
+    for (std::size_t t = 0; t < slots; ++t) {
+      const double mid = start_s + (static_cast<double>(t) + 0.5) * slot_s;
+      // Little's law: mean concurrency = arrival rate x mean duration.
+      const double concurrency = rate_per_hour(idx, mid) / kSecondsPerHour *
+                                 params_.mean_duration_s;
+      demand.set_demand(static_cast<TimeSlot>(t), idx, concurrency);
+    }
+  }
+  return demand;
+}
+
+CallRecordDatabase TraceGenerator::generate(SimTime start_s,
+                                            SimTime end_s) const {
+  require(end_s > start_s, "generate: empty window");
+  CallRecordDatabase db;
+  // Log-normal with the requested mean: mu = ln(mean) - sigma^2/2.
+  const double mu = std::log(params_.mean_duration_s) -
+                    params_.duration_sigma * params_.duration_sigma / 2.0;
+
+  const auto first = static_cast<std::int64_t>(start_s / params_.bucket_s);
+  const auto last =
+      static_cast<std::int64_t>(std::ceil(end_s / params_.bucket_s));
+  std::uint32_t next_call = 0;
+
+  for (std::int64_t b = first; b < last; ++b) {
+    for (std::size_t idx = 0; idx < universe_.configs.size(); ++idx) {
+      const double mid = (static_cast<double>(b) + 0.5) * params_.bucket_s;
+      const double mean =
+          rate_per_hour(idx, mid) * params_.bucket_s / kSecondsPerHour;
+      Rng rng = bucket_rng(idx, b);
+      const std::uint64_t arrivals = rng.poisson(mean);
+      const ConfigUsage& usage = universe_.configs[idx];
+      const CallConfig& config = registry_->get(usage.config);
+      for (std::uint64_t a = 0; a < arrivals; ++a) {
+        CallRecord record;
+        record.id = CallId(next_call++);
+        record.config = usage.config;
+        record.start_s = (static_cast<double>(b) + rng.uniform()) *
+                         params_.bucket_s;
+        if (record.start_s < start_s || record.start_s >= end_s) continue;
+        record.duration_s = std::clamp(
+            rng.lognormal(mu, params_.duration_sigma), 60.0, 4.0 * 3600.0);
+
+        // Expand config entries into legs with join offsets. The first
+        // joiner sits at offset 0, so the exponential rate for the other
+        // n-1 legs is set to make the OVERALL join_p80_fraction land at
+        // join_p80_s (Fig 8): p_others = (f*n - 1) / (n - 1).
+        const std::uint32_t n = config.total_participants();
+        const double p_others =
+            n < 2 ? 0.0
+                  : std::clamp((params_.join_p80_fraction * n - 1.0) /
+                                   (n - 1.0),
+                               0.05, 0.98);
+        const double join_rate =
+            -std::log(1.0 - p_others) / params_.join_p80_s;
+        for (const ConfigEntry& e : config.entries()) {
+          for (std::uint32_t p = 0; p < e.count; ++p) {
+            const double offset = std::min(rng.exponential(join_rate),
+                                           record.duration_s * 0.9);
+            record.legs.push_back(CallLeg{e.location, offset});
+          }
+        }
+        // Pick the first joiner per §5.4: usually someone from the majority
+        // country; set their offset to zero and sort.
+        const LocationId majority = config.majority_location();
+        std::size_t first_leg = 0;
+        const bool want_majority =
+            config.single_location() || rng.chance(multi_majority_prob_);
+        for (std::size_t i = 0; i < record.legs.size(); ++i) {
+          const bool is_majority = record.legs[i].location == majority;
+          if (is_majority == want_majority) {
+            first_leg = i;
+            break;
+          }
+        }
+        record.legs[first_leg].join_offset_s = 0.0;
+        std::sort(record.legs.begin(), record.legs.end(),
+                  [](const CallLeg& x, const CallLeg& y) {
+                    return x.join_offset_s < y.join_offset_s;
+                  });
+
+        if (config.media() != MediaType::kAudio &&
+            rng.chance(params_.media_upgrade_prob)) {
+          record.media_change_offset_s =
+              rng.uniform(30.0, params_.media_upgrade_max_s);
+        }
+        db.add(std::move(record));
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace sb

@@ -1,0 +1,84 @@
+// Synthetic workload generation, the stand-in for Microsoft Teams's call
+// records (see DESIGN.md substitutions). Three views of the same stochastic
+// process are exposed so each consumer pays only for what it needs:
+//  - expected_demand(): deterministic mean concurrency (Little's law) — the
+//    provisioning LP input;
+//  - arrival_count_series(): per-config Poisson bucket counts — the
+//    forecasting pipeline input (Figs 7/9) without materializing calls;
+//  - generate(): full call records with legs and join offsets — the
+//    discrete-event simulator and Fig 8/10 input.
+#pragma once
+
+#include "calls/call_record.h"
+#include "calls/demand.h"
+#include "common/rng.h"
+#include "trace/config_sampler.h"
+#include "trace/diurnal.h"
+
+namespace sb {
+
+struct TraceParams {
+  double bucket_s = 1800.0;        ///< 30-minute buckets (§5.2)
+  double mean_duration_s = 2100.0; ///< ~35 min mean call length
+  double duration_sigma = 0.8;     ///< log-normal shape
+  /// Fig 8: this fraction of ALL participants (first joiner included) have
+  /// joined within join_p80_s seconds of call start.
+  double join_p80_s = 300.0;
+  double join_p80_fraction = 0.80;
+  /// §5.4: 95.2% of ALL calls have the first joiner in the majority
+  /// country. Single-country calls satisfy this trivially, so the generator
+  /// derates the probability applied to multi-country calls accordingly.
+  double first_joiner_majority_prob = 0.952;
+  /// Probability a video/screen-share call starts as audio and upgrades.
+  double media_upgrade_prob = 0.5;
+  double media_upgrade_max_s = 300.0;
+};
+
+/// Deterministic-by-seed workload source over a config universe.
+///
+/// The generator borrows `world` and `registry`; both must outlive it.
+class TraceGenerator {
+ public:
+  TraceGenerator(const World& world, const CallConfigRegistry& registry,
+                 ConfigUniverse universe, DiurnalShape shape,
+                 TraceParams params, std::uint64_t seed);
+
+  [[nodiscard]] const ConfigUniverse& universe() const { return universe_; }
+  [[nodiscard]] const TraceParams& params() const { return params_; }
+
+  /// Expected arrival rate (calls/hour) of universe config `idx` at `t`:
+  /// base rate x home-location diurnal activity x compounded growth.
+  [[nodiscard]] double rate_per_hour(std::size_t idx, SimTime t) const;
+
+  /// Poisson arrival counts per bucket for one config over [start, end).
+  /// Reproducible: depends only on the seed, the config index, and the
+  /// absolute bucket number (not on the queried window).
+  [[nodiscard]] std::vector<double> arrival_count_series(std::size_t idx,
+                                                         SimTime start_s,
+                                                         SimTime end_s) const;
+
+  /// Expected concurrent-call demand per slot for every universe config
+  /// (column order = universe order).
+  [[nodiscard]] DemandMatrix expected_demand(double slot_s, SimTime start_s,
+                                             SimTime end_s) const;
+
+  /// Materializes full call records over [start, end).
+  [[nodiscard]] CallRecordDatabase generate(SimTime start_s,
+                                            SimTime end_s) const;
+
+ private:
+  [[nodiscard]] Rng bucket_rng(std::size_t idx, std::int64_t bucket) const;
+
+  /// Probability a multi-country call's first joiner is from the majority
+  /// country, derated so the overall rate hits first_joiner_majority_prob.
+  double multi_majority_prob_ = 1.0;
+
+  const World* world_;
+  const CallConfigRegistry* registry_;
+  ConfigUniverse universe_;
+  DiurnalShape shape_;
+  TraceParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sb

@@ -1,0 +1,121 @@
+// Tests for the CSV interchange of call records and demand matrices.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "calls/io.h"
+#include "geo/world_presets.h"
+#include "trace/scenario.h"
+
+namespace sb {
+namespace {
+
+TEST(ConfigParseTest, RoundTripsDescriptions) {
+  const GeoModel apac = make_apac_world();
+  const LocationId in = *apac.world.find_location("IN");
+  const LocationId jp = *apac.world.find_location("JP");
+  const CallConfig original =
+      CallConfig::make({{in, 2}, {jp, 1}}, MediaType::kVideo);
+  const std::string text = original.describe(apac.world);
+  EXPECT_EQ(text, "((IN-2,JP-1),video)");
+  const CallConfig parsed = parse_call_config(text, apac.world);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(ConfigParseTest, RejectsMalformedInput) {
+  const GeoModel apac = make_apac_world();
+  EXPECT_THROW(parse_call_config("garbage", apac.world), InvalidArgument);
+  EXPECT_THROW(parse_call_config("((XX-2),audio)", apac.world),
+               InvalidArgument);
+  EXPECT_THROW(parse_call_config("((IN-0),audio)", apac.world),
+               InvalidArgument);
+  EXPECT_THROW(parse_call_config("((IN-2),tuba)", apac.world),
+               InvalidArgument);
+  EXPECT_THROW(parse_media_type("tuba"), InvalidArgument);
+  EXPECT_EQ(parse_media_type("screen"), MediaType::kScreenShare);
+}
+
+TEST(RecordsCsvTest, RoundTripsGeneratedTrace) {
+  Scenario scenario = make_apac_scenario({.config_count = 60});
+  const double start = kSecondsPerDay + 3 * kSecondsPerHour;
+  const CallRecordDatabase original =
+      scenario.trace->generate(start, start + 1800.0);
+  ASSERT_GT(original.size(), 20u);
+
+  std::ostringstream out;
+  write_records_csv(out, original, *scenario.registry, scenario.world());
+
+  CallConfigRegistry fresh;
+  const CallRecordDatabase loaded =
+      read_records_csv(out.str(), fresh, scenario.world());
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    const CallRecord& a = original.records()[i];
+    const CallRecord& b = loaded.records()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_NEAR(a.start_s, b.start_s, 1e-3);
+    EXPECT_NEAR(a.duration_s, b.duration_s, 1e-3);
+    ASSERT_EQ(a.legs.size(), b.legs.size());
+    for (std::size_t l = 0; l < a.legs.size(); ++l) {
+      EXPECT_EQ(a.legs[l].location, b.legs[l].location);
+      EXPECT_NEAR(a.legs[l].join_offset_s, b.legs[l].join_offset_s, 1e-3);
+    }
+    // Config equality across registries (ids differ, content must not).
+    EXPECT_EQ(scenario.registry->get(a.config), fresh.get(b.config));
+  }
+}
+
+TEST(RecordsCsvTest, RejectsBadRows) {
+  const GeoModel apac = make_apac_world();
+  CallConfigRegistry registry;
+  EXPECT_THROW(read_records_csv("not,a,header\n", registry, apac.world),
+               InvalidArgument);
+  EXPECT_THROW(
+      read_records_csv("call_id,start_s,duration_s,media,legs\n"
+                       "0,0,60,audio,XX@0\n",
+                       registry, apac.world),
+      InvalidArgument);
+  EXPECT_THROW(
+      read_records_csv("call_id,start_s,duration_s,media,legs\n"
+                       "0,abc,60,audio,IN@0\n",
+                       registry, apac.world),
+      InvalidArgument);
+}
+
+TEST(DemandCsvTest, RoundTrips) {
+  const GeoModel apac = make_apac_world();
+  CallConfigRegistry registry;
+  const LocationId in = *apac.world.find_location("IN");
+  const LocationId sg = *apac.world.find_location("SG");
+  const ConfigId a =
+      registry.intern(CallConfig::make({{in, 3}}, MediaType::kAudio));
+  const ConfigId b = registry.intern(
+      CallConfig::make({{in, 1}, {sg, 2}}, MediaType::kScreenShare));
+  DemandMatrix demand = make_demand_matrix({a, b}, 3);
+  demand.set_demand(0, 0, 12.5);
+  demand.set_demand(1, 1, 7.25);
+  demand.set_demand(2, 0, 0.125);
+
+  std::ostringstream out;
+  write_demand_csv(out, demand, registry, apac.world);
+
+  CallConfigRegistry fresh;
+  const DemandMatrix loaded = read_demand_csv(out.str(), fresh, apac.world);
+  ASSERT_EQ(loaded.slot_count(), 3u);
+  ASSERT_EQ(loaded.config_count(), 2u);
+  EXPECT_NEAR(loaded.demand(0, 0), 12.5, 1e-9);
+  EXPECT_NEAR(loaded.demand(1, 1), 7.25, 1e-9);
+  EXPECT_NEAR(loaded.demand(2, 0), 0.125, 1e-9);
+  EXPECT_EQ(fresh.get(loaded.config_at(1)), registry.get(b));
+}
+
+TEST(DemandCsvTest, RejectsRaggedRows) {
+  const GeoModel apac = make_apac_world();
+  CallConfigRegistry registry;
+  EXPECT_THROW(read_demand_csv("slot,((IN-1),audio)\n0,1,2\n", registry,
+                               apac.world),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sb

@@ -1,0 +1,141 @@
+// Tests for Holt-Winters and the forecasting pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "forecast/forecaster.h"
+
+namespace sb {
+namespace {
+
+/// Seasonal series with trend and optional noise:
+/// base + slope*t + amp*sin(2 pi t / season) + noise.
+std::vector<double> make_series(std::size_t n, std::size_t season,
+                                double base, double slope, double amp,
+                                double noise_sd = 0.0,
+                                std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    xs[t] = base + slope * static_cast<double>(t) +
+            amp * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                           static_cast<double>(season));
+    if (noise_sd > 0.0) xs[t] += rng.normal(0.0, noise_sd);
+  }
+  return xs;
+}
+
+TEST(HoltWintersTest, RecoversCleanSeasonalSeries) {
+  const std::size_t season = 12;
+  const auto series = make_series(12 * 8, season, 100.0, 0.5, 20.0);
+  HoltWinters model = HoltWinters::fit(series, season);
+  const auto forecast = model.forecast(season);
+  for (std::size_t h = 0; h < season; ++h) {
+    const std::size_t t = series.size() + h;
+    const double truth =
+        100.0 + 0.5 * static_cast<double>(t) +
+        20.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                        static_cast<double>(season));
+    EXPECT_NEAR(forecast[h], truth, 6.0) << "h=" << h;
+  }
+}
+
+TEST(HoltWintersTest, TracksNoisySeriesWithinTolerance) {
+  const std::size_t season = 24;
+  const auto series = make_series(24 * 10, season, 200.0, 0.2, 60.0, 8.0);
+  HoltWinters model = HoltWinters::fit(series, season);
+  const auto forecast = model.forecast(season * 2);
+  const auto truth = make_series(24 * 12, season, 200.0, 0.2, 60.0);
+  double err = 0.0;
+  for (std::size_t h = 0; h < forecast.size(); ++h) {
+    err += std::abs(forecast[h] - truth[series.size() + h]);
+  }
+  err /= static_cast<double>(forecast.size());
+  EXPECT_LT(err, 20.0);  // well under the seasonal amplitude
+}
+
+TEST(HoltWintersTest, FittedIsOneStepAhead) {
+  const std::size_t season = 6;
+  const auto series = make_series(36, season, 50.0, 0.0, 10.0);
+  HoltWinters model(HoltWintersParams{0.3, 0.05, 0.1, season});
+  model.train(series);
+  EXPECT_EQ(model.fitted().size(), series.size());
+  EXPECT_GT(model.sse(), 0.0);
+}
+
+TEST(HoltWintersTest, ValidatesInput) {
+  EXPECT_THROW(HoltWinters(HoltWintersParams{0.0, 0.1, 0.1, 4}),
+               InvalidArgument);
+  EXPECT_THROW(HoltWinters(HoltWintersParams{0.5, 1.0, 0.1, 4}),
+               InvalidArgument);
+  HoltWinters m(HoltWintersParams{0.3, 0.1, 0.1, 10});
+  std::vector<double> too_short(15, 1.0);
+  EXPECT_THROW(m.train(too_short), InvalidArgument);
+  EXPECT_THROW(m.forecast(3), InvalidArgument);  // untrained
+}
+
+TEST(ForecastCallsTest, ClampsNegativesToZero) {
+  // Steeply declining series: the linear trend would go negative.
+  std::vector<double> series;
+  for (int t = 0; t < 40; ++t) {
+    series.push_back(std::max(0.0, 100.0 - 3.0 * t));
+  }
+  const auto forecast = forecast_calls(series, 4, 30);
+  for (double v : forecast) EXPECT_GE(v, 0.0);
+}
+
+TEST(NormalizedErrorsTest, DividesByTruthPeak) {
+  std::vector<double> truth{0.0, 50.0, 100.0};
+  std::vector<double> est{0.0, 40.0, 90.0};
+  const NormalizedErrors e = normalized_errors(truth, est);
+  EXPECT_NEAR(e.mae, (10.0 + 10.0) / 3.0 / 100.0, 1e-12);
+  EXPECT_NEAR(e.rmse, std::sqrt(200.0 / 3.0) / 100.0, 1e-12);
+}
+
+TEST(NormalizedErrorsTest, ZeroTruthReportsRawError) {
+  std::vector<double> truth{0.0, 0.0};
+  std::vector<double> est{1.0, 1.0};
+  const NormalizedErrors e = normalized_errors(truth, est);
+  EXPECT_NEAR(e.mae, 1.0, 1e-12);
+}
+
+TEST(CushionTest, InflatesUnderForecasts) {
+  // Forecast persistently 20% low on busy buckets -> cushion ~1.25.
+  std::vector<double> truth;
+  std::vector<double> forecast;
+  for (int i = 0; i < 50; ++i) {
+    truth.push_back(100.0);
+    forecast.push_back(80.0);
+  }
+  EXPECT_NEAR(estimate_cushion(truth, forecast), 1.25, 1e-9);
+}
+
+TEST(CushionTest, NeverBelowOneAndCapped) {
+  std::vector<double> truth{100.0, 100.0};
+  std::vector<double> over{200.0, 200.0};
+  EXPECT_DOUBLE_EQ(estimate_cushion(truth, over), 1.0);
+  std::vector<double> way_under{10.0, 10.0};
+  EXPECT_DOUBLE_EQ(estimate_cushion(truth, way_under, 2.0), 2.0);
+}
+
+TEST(DemandFromArrivalsTest, AppliesLittlesLawAndCushion) {
+  // 10 arrivals per 1800 s bucket, 900 s mean duration -> concurrency 5.
+  const std::vector<std::vector<double>> arrivals{{10.0, 0.0}};
+  const DemandMatrix m =
+      demand_from_arrivals(arrivals, {ConfigId(0)}, 1800.0, 900.0, 1.2);
+  EXPECT_NEAR(m.demand(0, 0), 5.0 * 1.2, 1e-12);
+  EXPECT_DOUBLE_EQ(m.demand(1, 0), 0.0);
+}
+
+TEST(DemandFromArrivalsTest, RejectsRaggedInput) {
+  const std::vector<std::vector<double>> ragged{{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(
+      demand_from_arrivals(ragged, {ConfigId(0), ConfigId(1)}, 1.0, 1.0),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sb

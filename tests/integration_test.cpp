@@ -1,0 +1,204 @@
+// End-to-end integration tests: the full Switchboard pipeline (demand ->
+// provisioning LP -> allocation plan -> realtime selector -> DES replay)
+// and the Table 3 orderings between Switchboard and the baselines.
+#include <gtest/gtest.h>
+
+#include "baselines/locality_first.h"
+#include "baselines/round_robin.h"
+#include "core/controller.h"
+#include "sim/simulator.h"
+#include "trace/scenario.h"
+
+namespace sb {
+namespace {
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new Scenario(make_apac_scenario());
+    loads_ = new LoadModel(LoadModel::paper_default());
+    ctx_ = new EvalContext{&scenario_->world(), &scenario_->topology(),
+                           &scenario_->latency(), scenario_->registry.get(),
+                           loads_};
+    // One Tuesday of expected demand over the top-20 configs, 1-hour slots.
+    DemandMatrix full = scenario_->trace->expected_demand(
+        3600.0, kSecondsPerDay, 2 * kSecondsPerDay);
+    std::vector<ConfigId> top;
+    for (std::size_t i = 0; i < 20; ++i) top.push_back(full.config_at(i));
+    demand_ = new DemandMatrix(make_demand_matrix(top, full.slot_count()));
+    for (TimeSlot t = 0; t < full.slot_count(); ++t) {
+      for (std::size_t c = 0; c < top.size(); ++c) {
+        demand_->set_demand(t, c, full.demand(t, c));
+      }
+    }
+  }
+  static void TearDownTestSuite() {
+    delete demand_;
+    delete ctx_;
+    delete loads_;
+    delete scenario_;
+  }
+
+  static Scenario* scenario_;
+  static LoadModel* loads_;
+  static EvalContext* ctx_;
+  static DemandMatrix* demand_;
+};
+Scenario* PipelineFixture::scenario_ = nullptr;
+LoadModel* PipelineFixture::loads_ = nullptr;
+EvalContext* PipelineFixture::ctx_ = nullptr;
+DemandMatrix* PipelineFixture::demand_ = nullptr;
+
+TEST_F(PipelineFixture, ProvisioningCoversDemandInEveryScenario) {
+  ProvisionOptions options;
+  options.include_link_failures = false;
+  SwitchboardProvisioner provisioner(*ctx_, options);
+  const ProvisionResult result = provisioner.provision(*demand_);
+
+  // Every scenario's requirement is dominated by the combined plan.
+  for (const ScenarioOutcome& outcome : result.scenarios) {
+    for (std::size_t x = 0; x < scenario_->world().dc_count(); ++x) {
+      EXPECT_LE(outcome.required.dc_serving_cores[x],
+                result.capacity.dc_total_cores(
+                    DcId(static_cast<std::uint32_t>(x))) +
+                    1e-5)
+          << outcome.scenario.name;
+    }
+    for (std::size_t l = 0; l < scenario_->topology().link_count(); ++l) {
+      EXPECT_LE(outcome.required.link_gbps[l],
+                result.capacity.link_gbps[l] + 1e-7)
+          << outcome.scenario.name;
+    }
+  }
+  // The F0 placement hosts all demand.
+  for (TimeSlot t = 0; t < demand_->slot_count(); ++t) {
+    for (std::size_t c = 0; c < demand_->config_count(); ++c) {
+      EXPECT_NEAR(result.base_placement.total_calls(t, c),
+                  demand_->demand(t, c), 1e-4);
+    }
+  }
+}
+
+TEST_F(PipelineFixture, Table3OrderingsHold) {
+  // The paper's headline relationships (Table 3), checked on the synthetic
+  // workload. Without backup:
+  //   cores: SB <= LF (SB never needs more compute than LF)
+  //   WAN:   SB <= LF << RR
+  //   cost:  SB < LF < RR
+  //   ACL:   LF <= SB << RR, SB within the 120 ms constraint
+  const BaselineOptions base_options{.with_backup = false};
+  const BaselineResult rr =
+      provision_round_robin(*demand_, *ctx_, base_options);
+  const BaselineResult lf =
+      provision_locality_first(*demand_, *ctx_, base_options);
+
+  ProvisionOptions sb_options;
+  sb_options.with_backup = false;
+  SwitchboardProvisioner provisioner(*ctx_, sb_options);
+  const ProvisionResult sb = provisioner.provision(*demand_);
+
+  const World& world = scenario_->world();
+  const Topology& topo = scenario_->topology();
+  const double rr_cost = rr.capacity.total_cost(world, topo);
+  const double lf_cost = lf.capacity.total_cost(world, topo);
+  const double sb_cost = sb.capacity.total_cost(world, topo);
+
+  EXPECT_LE(sb.capacity.total_cores(), lf.capacity.total_cores() * 1.001);
+  // SB minimizes joint cost, so its raw Gbps can tie LF's (it may trade a
+  // little cheap bandwidth for expensive compute); it must never be
+  // meaningfully worse.
+  EXPECT_LE(sb.capacity.total_wan_gbps(),
+            lf.capacity.total_wan_gbps() * 1.25);
+  EXPECT_LT(lf.capacity.total_wan_gbps(),
+            0.6 * rr.capacity.total_wan_gbps());
+  EXPECT_LT(sb_cost, lf_cost * 1.001);
+  EXPECT_LT(lf_cost, rr_cost);
+  EXPECT_LT(sb.mean_acl_ms, 0.8 * rr.mean_acl_ms);
+  EXPECT_LE(sb.mean_acl_ms, kDefaultAclThresholdMs + 1.0);
+}
+
+TEST_F(PipelineFixture, AllocationPlanRestoresLfLatencyWithBackup) {
+  // §6.3: with backup capacity provisioned, Switchboard's allocation ends
+  // up with the same latency as LF (it can serve everything locally).
+  ProvisionOptions options;
+  options.include_link_failures = false;
+  SwitchboardProvisioner provisioner(*ctx_, options);
+  const ProvisionResult provision = provisioner.provision(*demand_);
+
+  AllocationPlanner planner(*ctx_, {});
+  const AllocationPlan plan =
+      planner.plan(*demand_, provision.capacity, 3600.0);
+
+  const BaselineResult lf = provision_locality_first(
+      *demand_, *ctx_, BaselineOptions{.with_backup = false});
+  EXPECT_NEAR(plan.mean_acl_ms, lf.mean_acl_ms, 0.10 * lf.mean_acl_ms);
+  EXPECT_LE(plan.mean_acl_ms, provision.mean_acl_ms + 1e-6);
+}
+
+TEST_F(PipelineFixture, ControllerEndToEndWithSimulator) {
+  ControllerOptions options;
+  options.provision.include_link_failures = false;
+  options.slot_s = 3600.0;
+  Switchboard controller(*ctx_, options);
+  controller.provision(*demand_);
+  controller.build_allocation_plan(*demand_, kSecondsPerDay);
+
+  // Replay four busy hours through the controller-driven selector.
+  const double start = kSecondsPerDay + 3.0 * kSecondsPerHour;
+  const CallRecordDatabase db =
+      scenario_->trace->generate(start, start + 4.0 * kSecondsPerHour);
+
+  class ControllerAllocator final : public CallAllocator {
+   public:
+    explicit ControllerAllocator(Switchboard& controller)
+        : controller_(&controller) {}
+    DcId on_call_start(CallId call, LocationId first, SimTime now) override {
+      return controller_->call_started(call, first, now);
+    }
+    FreezeResult on_config_frozen(CallId call, const CallConfig& config,
+                                  SimTime now) override {
+      return controller_->config_frozen(call, config, now);
+    }
+    void on_call_end(CallId call, SimTime now) override {
+      controller_->call_ended(call, now);
+    }
+    [[nodiscard]] std::string name() const override { return "controller"; }
+
+   private:
+    Switchboard* controller_;
+  };
+
+  ControllerAllocator allocator(controller);
+  Simulator sim(*ctx_);
+  const SimReport report = sim.run(db, allocator);
+  EXPECT_EQ(report.calls, db.size());
+
+  const RealtimeSelector::Stats stats = controller.realtime_stats();
+  EXPECT_EQ(stats.calls_started, db.size());
+  // §6.4: migrations are a small fraction of calls.
+  EXPECT_LT(report.migration_fraction, 0.12);
+  // Most calls belong to planned (top-20) configs' complement — the ones
+  // outside the plan fall back gracefully rather than erroring.
+  EXPECT_GT(stats.calls_frozen, 0u);
+}
+
+TEST_F(PipelineFixture, JointNetworkAblationNeverBeatsJoint) {
+  ProvisionOptions joint;
+  joint.with_backup = false;
+  ProvisionOptions compute_first = joint;
+  compute_first.joint_network = false;
+
+  SwitchboardProvisioner joint_prov(*ctx_, joint);
+  SwitchboardProvisioner seq_prov(*ctx_, compute_first);
+  const ProvisionResult j = joint_prov.provision(*demand_);
+  const ProvisionResult s = seq_prov.provision(*demand_);
+  const double j_cost =
+      j.capacity.total_cost(scenario_->world(), scenario_->topology());
+  const double s_cost =
+      s.capacity.total_cost(scenario_->world(), scenario_->topology());
+  // §4.3: joint optimization can only help total cost.
+  EXPECT_LE(j_cost, s_cost * 1.001);
+}
+
+}  // namespace
+}  // namespace sb

@@ -1,0 +1,96 @@
+// Tests for the KV store substrate: semantics, concurrency, and latency
+// injection bounds.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.h"
+#include "kvstore/kvstore.h"
+
+namespace sb {
+namespace {
+
+KvStoreOptions fast_options() {
+  KvStoreOptions options;
+  options.inject_latency = false;
+  return options;
+}
+
+TEST(KvStoreTest, SetGetEraseSemantics) {
+  KvStore store(fast_options());
+  EXPECT_FALSE(store.get("missing").has_value());
+  store.set("a", "1");
+  EXPECT_EQ(store.get("a"), "1");
+  store.set("a", "2");
+  EXPECT_EQ(store.get("a"), "2");
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.erase("a"));
+  EXPECT_FALSE(store.erase("a"));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KvStoreTest, IncrStartsAtZero) {
+  KvStore store(fast_options());
+  EXPECT_EQ(store.incr("counter", 5), 5);
+  EXPECT_EQ(store.incr("counter", -2), 3);
+  EXPECT_EQ(store.get("counter"), "3");
+}
+
+TEST(KvStoreTest, ConcurrentIncrementsAreAtomic) {
+  KvStore store(fast_options());
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store] {
+      for (int i = 0; i < kOpsPerThread; ++i) store.incr("shared", 1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.get("shared"), std::to_string(kThreads * kOpsPerThread));
+}
+
+TEST(KvStoreTest, ConcurrentDisjointWrites) {
+  KvStore store(fast_options());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 200; ++i) {
+        store.set("k" + std::to_string(t) + ":" + std::to_string(i),
+                  std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.size(), 1200u);
+  EXPECT_EQ(store.get("k3:77"), "77");
+}
+
+TEST(KvStoreTest, InjectedLatencyWithinPaperRange) {
+  KvStoreOptions options;
+  options.min_latency_ms = 0.3;
+  options.max_latency_ms = 4.2;
+  KvStore store(options);
+  for (int i = 0; i < 30; ++i) store.set("k", "v");
+  const KvStore::OpStats stats = store.stats();
+  EXPECT_EQ(stats.ops, 30u);
+  // §6.6 reports write latencies of 0.3-4.2 ms.
+  EXPECT_GE(stats.min_latency_ms, 0.3);
+  EXPECT_LE(stats.max_latency_ms, 4.2);
+  EXPECT_GT(stats.mean_latency_ms(), 0.3);
+  store.reset_stats();
+  EXPECT_EQ(store.stats().ops, 0u);
+}
+
+TEST(KvStoreTest, ValidatesOptions) {
+  KvStoreOptions bad;
+  bad.shard_count = 0;
+  EXPECT_THROW(KvStore{bad}, InvalidArgument);
+  KvStoreOptions bad_range;
+  bad_range.min_latency_ms = 5.0;
+  bad_range.max_latency_ms = 1.0;
+  EXPECT_THROW(KvStore{bad_range}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sb

@@ -1,0 +1,140 @@
+// Tests for the LP presolve reductions and their integration with the
+// solver facade.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/presolve.h"
+#include "lp/solver.h"
+
+namespace sb::lp {
+namespace {
+
+TEST(PresolveTest, SingletonRowsBecomeBounds) {
+  Model m;
+  const int x = m.add_variable(0.0, kInf, 1.0, "x");
+  const int y = m.add_variable(0.0, kInf, 1.0, "y");
+  m.add_constraint({{x, 1.0}}, Sense::kGe, 3.0);   // x >= 3
+  m.add_constraint({{x, 2.0}}, Sense::kLe, 16.0);  // x <= 8
+  m.add_constraint({{y, -1.0}}, Sense::kLe, -2.0); // y >= 2
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kLe, 20.0);
+
+  const PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_EQ(r.rows_removed, 3u);
+  EXPECT_EQ(r.reduced.constraint_count(), 1u);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(x).lower, 3.0);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(x).upper, 8.0);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(y).lower, 2.0);
+}
+
+TEST(PresolveTest, SingletonEqualityFixesVariable) {
+  Model m;
+  const int x = m.add_variable(0.0, kInf, 1.0, "x");
+  m.add_variable(0.0, kInf, 1.0, "y");
+  m.add_constraint({{x, 2.0}}, Sense::kEq, 10.0);  // x == 5
+  const PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_EQ(r.variables_fixed, 1u);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(x).lower, 5.0);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(x).upper, 5.0);
+}
+
+TEST(PresolveTest, DetectsCrossedBounds) {
+  Model m;
+  const int x = m.add_variable(0.0, kInf, 1.0, "x");
+  m.add_constraint({{x, 1.0}}, Sense::kGe, 7.0);
+  m.add_constraint({{x, 1.0}}, Sense::kLe, 3.0);
+  const PresolveResult r = presolve(m);
+  EXPECT_TRUE(r.infeasible);
+  EXPECT_FALSE(r.infeasible_reason.empty());
+}
+
+TEST(PresolveTest, EmptyRowFeasibilityCheck) {
+  Model ok;
+  ok.add_variable(0.0, kInf, 1.0);
+  ok.add_constraint({}, Sense::kLe, 5.0);  // 0 <= 5: fine, dropped
+  const PresolveResult good = presolve(ok);
+  EXPECT_FALSE(good.infeasible);
+  EXPECT_EQ(good.reduced.constraint_count(), 0u);
+
+  Model bad;
+  bad.add_variable(0.0, kInf, 1.0);
+  bad.add_constraint({}, Sense::kGe, 5.0);  // 0 >= 5: impossible
+  EXPECT_TRUE(presolve(bad).infeasible);
+}
+
+TEST(PresolveTest, SolverUsesPresolveTransparently) {
+  // min x + y s.t. x >= 3 (singleton), x + y >= 10.
+  Model m;
+  const int x = m.add_variable(0.0, kInf, 1.0, "x");
+  const int y = m.add_variable(0.0, kInf, 2.0, "y");
+  m.add_constraint({{x, 1.0}}, Sense::kGe, 3.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGe, 10.0);
+
+  SolveOptions with;
+  SolveOptions without;
+  without.use_presolve = false;
+  const Solution a = solve(m, with);
+  const Solution b = solve(m, without);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal);
+  ASSERT_EQ(b.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-8);
+  EXPECT_NEAR(a.objective, 10.0, 1e-8);  // x = 10, y = 0
+  EXPECT_NEAR(a.values[x], 10.0, 1e-8);
+  EXPECT_NEAR(a.values[y], 0.0, 1e-8);
+}
+
+TEST(PresolveTest, EarlyInfeasibilityShortCircuitsSolver) {
+  Model m;
+  const int x = m.add_variable(0.0, 5.0, 1.0, "x");
+  m.add_constraint({{x, 1.0}}, Sense::kGe, 9.0);  // crosses the ub
+  EXPECT_EQ(solve(m).status, SolveStatus::kInfeasible);
+}
+
+/// Property: presolve never changes the optimum on random feasible LPs.
+class PresolveEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PresolveEquivalenceTest, SameOptimumWithAndWithoutPresolve) {
+  Rng rng(GetParam());
+  Model m;
+  const std::size_t vars = 4 + rng.uniform_index(8);
+  std::vector<double> witness(vars);
+  for (std::size_t i = 0; i < vars; ++i) {
+    witness[i] = rng.uniform(0.0, 8.0);
+    m.add_variable(0.0, kInf, rng.uniform(0.0, 4.0));
+  }
+  for (std::size_t r = 0; r < vars * 2; ++r) {
+    std::vector<Term> terms;
+    double lhs = 0.0;
+    // Bias toward singleton rows so presolve has work to do.
+    const std::size_t width = rng.chance(0.4) ? 1 : 1 + rng.uniform_index(vars);
+    for (std::size_t k = 0; k < width; ++k) {
+      const auto var = static_cast<int>(rng.uniform_index(vars));
+      const double coeff = rng.uniform(-2.0, 2.0);
+      terms.push_back({var, coeff});
+      lhs += coeff * witness[static_cast<std::size_t>(var)];
+    }
+    if (rng.chance(0.5)) {
+      m.add_constraint(std::move(terms), Sense::kLe, lhs + rng.uniform(0, 3));
+    } else {
+      m.add_constraint(std::move(terms), Sense::kGe, lhs - rng.uniform(0, 3));
+    }
+  }
+  SolveOptions with;
+  SolveOptions without;
+  without.use_presolve = false;
+  const Solution a = solve(m, with);
+  const Solution b = solve(m, without);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal);
+  ASSERT_EQ(b.status, SolveStatus::kOptimal);
+  const double scale = std::max(1.0, std::abs(b.objective));
+  EXPECT_NEAR(a.objective, b.objective, 1e-6 * scale);
+  EXPECT_TRUE(validate_solution(m, a.values, 1e-6).feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(300, 320));
+
+}  // namespace
+}  // namespace sb::lp

@@ -1,0 +1,129 @@
+// Tests for the discrete-event simulator and its allocator adapters:
+// conservation of usage, migration behaviour per scheme, and latency
+// ordering across schemes.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "trace/scenario.h"
+
+namespace sb {
+namespace {
+
+class SimFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new Scenario(make_apac_scenario());
+    loads_ = new LoadModel(LoadModel::paper_default());
+    ctx_ = new EvalContext{&scenario_->world(), &scenario_->topology(),
+                           &scenario_->latency(), scenario_->registry.get(),
+                           loads_};
+    // Four busy hours of a Tuesday.
+    const double start = kSecondsPerDay + 3.0 * kSecondsPerHour;
+    db_ = new CallRecordDatabase(
+        scenario_->trace->generate(start, start + 4.0 * kSecondsPerHour));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete ctx_;
+    delete loads_;
+    delete scenario_;
+  }
+
+  static Scenario* scenario_;
+  static LoadModel* loads_;
+  static EvalContext* ctx_;
+  static CallRecordDatabase* db_;
+};
+Scenario* SimFixture::scenario_ = nullptr;
+LoadModel* SimFixture::loads_ = nullptr;
+EvalContext* SimFixture::ctx_ = nullptr;
+CallRecordDatabase* SimFixture::db_ = nullptr;
+
+TEST_F(SimFixture, ProcessesEveryCallOnce) {
+  Simulator sim(*ctx_);
+  RoundRobinAllocator rr(*ctx_);
+  const SimReport report = sim.run(*db_, rr);
+  EXPECT_EQ(report.calls, db_->size());
+  EXPECT_EQ(report.allocator, "round-robin");
+  EXPECT_GT(report.peak_concurrent_calls, 0u);
+  EXPECT_GT(report.total_peak_cores(), 0.0);
+}
+
+TEST_F(SimFixture, RoundRobinNeverMigrates) {
+  Simulator sim(*ctx_);
+  RoundRobinAllocator rr(*ctx_);
+  const SimReport report = sim.run(*db_, rr);
+  EXPECT_EQ(report.migrations, 0u);
+}
+
+TEST_F(SimFixture, LocalityFirstMigratesSmallFraction) {
+  // §6.4: LF migrates ~1.53% of calls — the ones whose first joiner was not
+  // in the majority country (or whose majority sits closer to another DC).
+  Simulator sim(*ctx_);
+  LocalityFirstAllocator lf(*ctx_);
+  const SimReport report = sim.run(*db_, lf);
+  EXPECT_GT(report.migration_fraction, 0.001);
+  EXPECT_LT(report.migration_fraction, 0.10);
+}
+
+TEST_F(SimFixture, AclOrderingLfBelowRr) {
+  Simulator sim(*ctx_);
+  RoundRobinAllocator rr(*ctx_);
+  LocalityFirstAllocator lf(*ctx_);
+  const SimReport rr_report = sim.run(*db_, rr);
+  const SimReport lf_report = sim.run(*db_, lf);
+  EXPECT_LT(lf_report.mean_acl_ms, 0.7 * rr_report.mean_acl_ms);
+}
+
+TEST_F(SimFixture, FirstJoinerMajorityMatchesTraceTarget) {
+  Simulator sim(*ctx_);
+  RoundRobinAllocator rr(*ctx_);
+  const SimReport report = sim.run(*db_, rr);
+  EXPECT_NEAR(report.first_joiner_majority_fraction, 0.952, 0.02);
+}
+
+TEST_F(SimFixture, SwitchboardWithoutPlanBehavesLikeLocalityFirst) {
+  // With no allocation plan the realtime selector assigns closest-DC and
+  // re-homes unplanned configs to their min-ACL DC, i.e. LF behaviour.
+  Simulator sim(*ctx_);
+  RealtimeSelector selector(*ctx_, nullptr, {});
+  SwitchboardAllocator sb_alloc(selector);
+  LocalityFirstAllocator lf(*ctx_);
+  const SimReport sb_report = sim.run(*db_, sb_alloc);
+  const SimReport lf_report = sim.run(*db_, lf);
+  EXPECT_NEAR(sb_report.mean_acl_ms, lf_report.mean_acl_ms,
+              0.1 * lf_report.mean_acl_ms);
+}
+
+TEST_F(SimFixture, UsagePeaksScaleWithLoadModel) {
+  // Realized peaks must be bounded by "every call at its largest media
+  // everywhere" and above zero; a coarse sanity envelope.
+  Simulator sim(*ctx_);
+  LocalityFirstAllocator lf(*ctx_);
+  const SimReport report = sim.run(*db_, lf);
+  double upper = 0.0;
+  for (const CallRecord& r : db_->records()) {
+    const CallConfig& config = scenario_->registry->get(r.config);
+    upper += loads_->cores_per_participant(config.media()) *
+             config.total_participants();
+  }
+  EXPECT_GT(report.total_peak_cores(), 0.0);
+  EXPECT_LT(report.total_peak_cores(), upper);
+}
+
+TEST(SimulatorValidationTest, RejectsBadFreezeDelay) {
+  Scenario scenario = make_apac_scenario({.config_count = 50});
+  const LoadModel loads = LoadModel::paper_default();
+  EvalContext ctx{&scenario.world(), &scenario.topology(),
+                  &scenario.latency(), scenario.registry.get(), &loads};
+  Simulator sim(ctx);
+  RoundRobinAllocator rr(ctx);
+  CallRecordDatabase empty;
+  EXPECT_THROW(sim.run(empty, rr, 0.0), InvalidArgument);
+  const SimReport report = sim.run(empty, rr);
+  EXPECT_EQ(report.calls, 0u);
+  EXPECT_DOUBLE_EQ(report.mean_acl_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace sb

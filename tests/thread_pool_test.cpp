@@ -1,0 +1,56 @@
+// Tests for the thread pool used by scenario solves and the Fig 10 bench.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "common/thread_pool.h"
+
+namespace sb {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([](int a, int b) { return a * b; }, 6, 7);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+  }  // destructor must wait for all 50
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
+}
+
+}  // namespace
+}  // namespace sb

@@ -1,0 +1,179 @@
+// Tests for diurnal shapes, the config-universe sampler, and the trace
+// generator — including the structural properties the paper's figures rely
+// on (time-shifted peaks, popularity skew, join-offset P80, first-joiner
+// majority rate).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/scenario.h"
+
+namespace sb {
+namespace {
+
+TEST(DiurnalTest, BusinessHoursPeakAndNightTrough) {
+  const DiurnalShape shape;
+  Location loc{"X", 0, 0, 0.0, 1.0, "R"};
+  const double peak = shape.activity(loc, 10.0 * kSecondsPerHour);
+  const double night = shape.activity(loc, 3.0 * kSecondsPerHour);
+  EXPECT_GT(peak, 0.9);
+  EXPECT_LT(night, 0.2);
+}
+
+TEST(DiurnalTest, PeaksShiftWithUtcOffset) {
+  // The Fig 3 effect: a +9 h location (Japan) peaks ~9 UTC hours before a
+  // +0 h location.
+  const DiurnalShape shape;
+  Location jp{"JP", 0, 0, 9.0, 1.0, "R"};
+  Location uk{"UK", 0, 0, 0.0, 1.0, "R"};
+  // 10:00 local in Japan is 01:00 UTC.
+  EXPECT_GT(shape.activity(jp, 1.0 * kSecondsPerHour), 0.9);
+  EXPECT_LT(shape.activity(uk, 1.0 * kSecondsPerHour), 0.2);
+}
+
+TEST(DiurnalTest, WeekendDamping) {
+  const DiurnalShape shape;
+  Location loc{"X", 0, 0, 0.0, 1.0, "R"};
+  const double monday = shape.activity(loc, 10.0 * kSecondsPerHour);
+  const double saturday =
+      shape.activity(loc, 5 * kSecondsPerDay + 10.0 * kSecondsPerHour);
+  EXPECT_NEAR(saturday / monday, shape.params().weekend_factor, 1e-9);
+  EXPECT_FALSE(is_local_weekend(loc, 4 * kSecondsPerDay));
+  EXPECT_TRUE(is_local_weekend(loc, 5 * kSecondsPerDay + 1.0));
+}
+
+TEST(DiurnalTest, LocalHourWrapsOffsets) {
+  Location east{"E", 0, 0, 12.0, 1.0, "R"};
+  EXPECT_NEAR(local_hour_of_day(east, 20.0 * kSecondsPerHour), 8.0, 1e-9);
+  Location west{"W", 0, 0, -5.5, 1.0, "R"};
+  EXPECT_NEAR(local_hour_of_day(west, 2.0 * kSecondsPerHour), 20.5, 1e-9);
+}
+
+class ApacScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { scenario_ = new Scenario(make_apac_scenario()); }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static Scenario* scenario_;
+};
+Scenario* ApacScenarioTest::scenario_ = nullptr;
+
+TEST_F(ApacScenarioTest, UniverseIsZipfSkewed) {
+  const ConfigUniverse& universe = scenario_->trace->universe();
+  ASSERT_GT(universe.configs.size(), 50u);
+  // Sorted by rate descending.
+  for (std::size_t i = 1; i < universe.configs.size(); ++i) {
+    EXPECT_GE(universe.configs[i - 1].base_rate_per_hour,
+              universe.configs[i].base_rate_per_hour);
+  }
+  // Fig 7(c) shape: a small head covers most of the call volume.
+  const double total = universe.total_base_rate();
+  double head = 0.0;
+  const std::size_t head_count = universe.configs.size() / 20;  // top 5%
+  for (std::size_t i = 0; i < head_count; ++i) {
+    head += universe.configs[i].base_rate_per_hour;
+  }
+  EXPECT_GT(head / total, 0.5);
+}
+
+TEST_F(ApacScenarioTest, ExpectedDemandFollowsHomeDiurnal) {
+  // Demand for a config homed in Japan should peak when Japan's business
+  // day peaks (around 00:00-02:00 UTC), not during India's peak.
+  const TraceGenerator& trace = *scenario_->trace;
+  const LocationId jp = *scenario_->world().find_location("JP");
+  std::size_t jp_cfg = trace.universe().configs.size();
+  for (std::size_t i = 0; i < trace.universe().configs.size(); ++i) {
+    if (trace.universe().configs[i].home == jp) {
+      jp_cfg = i;
+      break;
+    }
+  }
+  ASSERT_LT(jp_cfg, trace.universe().configs.size());
+  const double at_jp_peak =
+      trace.rate_per_hour(jp_cfg, 1.0 * kSecondsPerHour);  // 10:00 JST
+  const double at_jp_night =
+      trace.rate_per_hour(jp_cfg, 16.0 * kSecondsPerHour);  // 01:00 JST
+  EXPECT_GT(at_jp_peak, 3.0 * at_jp_night);
+}
+
+TEST_F(ApacScenarioTest, ArrivalSeriesIsWindowInvariant) {
+  const TraceGenerator& trace = *scenario_->trace;
+  const auto full = trace.arrival_count_series(0, 0.0, 6 * 1800.0);
+  const auto tail = trace.arrival_count_series(0, 2 * 1800.0, 6 * 1800.0);
+  ASSERT_EQ(full.size(), 6u);
+  ASSERT_EQ(tail.size(), 4u);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tail[i], full[i + 2]);
+  }
+}
+
+TEST_F(ApacScenarioTest, GeneratedRecordsMatchStructuralTargets) {
+  const TraceGenerator& trace = *scenario_->trace;
+  // One workday window (Tuesday) so rates are substantial.
+  const double start = kSecondsPerDay;
+  const double end = 2 * kSecondsPerDay;
+  const CallRecordDatabase db = trace.generate(start, end);
+  ASSERT_GT(db.size(), 1000u);
+
+  std::size_t majority_first = 0;
+  for (const CallRecord& r : db.records()) {
+    EXPECT_GE(r.start_s, start);
+    EXPECT_LT(r.start_s, end);
+    EXPECT_GE(r.duration_s, 60.0);
+    const CallConfig& config = scenario_->registry->get(r.config);
+    EXPECT_EQ(r.legs.size(), config.total_participants());
+    EXPECT_DOUBLE_EQ(r.legs.front().join_offset_s, 0.0);
+    if (r.legs.front().location == config.majority_location()) {
+      ++majority_first;
+    }
+  }
+  // §5.4: 95.2% of ALL calls have the first joiner in the majority country.
+  EXPECT_NEAR(static_cast<double>(majority_first) / db.size(), 0.952, 0.02);
+
+  // Fig 8: ~80% of participants joined within 300 s.
+  const auto offsets = db.join_offsets();
+  std::size_t within = 0;
+  for (double o : offsets) {
+    if (o <= 300.0) ++within;
+  }
+  EXPECT_NEAR(static_cast<double>(within) / offsets.size(), 0.80, 0.04);
+}
+
+TEST_F(ApacScenarioTest, ExpectedDemandMatchesGeneratedConcurrency) {
+  const TraceGenerator& trace = *scenario_->trace;
+  const double start = kSecondsPerDay;
+  const double end = 2 * kSecondsPerDay;
+  const DemandMatrix expected = trace.expected_demand(1800.0, start, end);
+  const CallRecordDatabase db = trace.generate(start, end);
+  const DemandMatrix realized = DemandMatrix::from_records(
+      db, expected.configs(), 1800.0, start, end);
+  // Aggregate concurrency should agree within sampling noise (edge effects:
+  // calls started before the window are absent from the realized matrix).
+  EXPECT_NEAR(realized.total() / expected.total(), 1.0, 0.15);
+}
+
+TEST(UniverseSamplerTest, RespectsMediaMixAndMultiCountryShare) {
+  const GeoModel apac = make_apac_world();
+  CallConfigRegistry registry;
+  Rng rng(99);
+  UniverseParams params;
+  params.config_count = 600;
+  const ConfigUniverse universe =
+      sample_universe(apac.world, registry, params, rng);
+  std::size_t multi = 0;
+  for (const ConfigUsage& u : universe.configs) {
+    if (!registry.get(u.config).single_location()) ++multi;
+  }
+  const double multi_rate =
+      static_cast<double>(multi) / universe.configs.size();
+  EXPECT_GT(multi_rate, 0.05);
+  EXPECT_LT(multi_rate, 0.40);
+  // Total base rate is conserved by merging.
+  EXPECT_NEAR(universe.total_base_rate(), params.total_peak_rate_per_hour,
+              1e-6);
+}
+
+}  // namespace
+}  // namespace sb
