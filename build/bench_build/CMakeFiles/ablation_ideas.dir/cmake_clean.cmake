@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ideas"
+  "../bench/ablation_ideas.pdb"
+  "CMakeFiles/ablation_ideas.dir/ablation_ideas.cpp.o"
+  "CMakeFiles/ablation_ideas.dir/ablation_ideas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ideas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_demand_curves"
+  "../bench/fig3_demand_curves.pdb"
+  "CMakeFiles/fig3_demand_curves.dir/fig3_demand_curves.cpp.o"
+  "CMakeFiles/fig3_demand_curves.dir/fig3_demand_curves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_demand_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_peak_aware_toy"
+  "../bench/fig4_peak_aware_toy.pdb"
+  "CMakeFiles/fig4_peak_aware_toy.dir/fig4_peak_aware_toy.cpp.o"
+  "CMakeFiles/fig4_peak_aware_toy.dir/fig4_peak_aware_toy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_peak_aware_toy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

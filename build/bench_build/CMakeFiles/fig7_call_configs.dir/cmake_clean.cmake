@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_call_configs"
+  "../bench/fig7_call_configs.pdb"
+  "CMakeFiles/fig7_call_configs.dir/fig7_call_configs.cpp.o"
+  "CMakeFiles/fig7_call_configs.dir/fig7_call_configs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_call_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_join_fraction"
+  "../bench/fig8_join_fraction.pdb"
+  "CMakeFiles/fig8_join_fraction.dir/fig8_join_fraction.cpp.o"
+  "CMakeFiles/fig8_join_fraction.dir/fig8_join_fraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_join_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

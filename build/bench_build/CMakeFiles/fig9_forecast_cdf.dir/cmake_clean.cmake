@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_forecast_cdf"
+  "../bench/fig9_forecast_cdf.pdb"
+  "CMakeFiles/fig9_forecast_cdf.dir/fig9_forecast_cdf.cpp.o"
+  "CMakeFiles/fig9_forecast_cdf.dir/fig9_forecast_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_forecast_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_lp"
+  "../bench/micro_lp.pdb"
+  "CMakeFiles/micro_lp.dir/micro_lp.cpp.o"
+  "CMakeFiles/micro_lp.dir/micro_lp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec64_migrations.cpp" "bench_build/CMakeFiles/sec64_migrations.dir/sec64_migrations.cpp.o" "gcc" "bench_build/CMakeFiles/sec64_migrations.dir/sec64_migrations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sb_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/sb_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/calls/CMakeFiles/sb_calls.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sb_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

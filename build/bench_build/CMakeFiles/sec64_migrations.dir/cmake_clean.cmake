@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec64_migrations"
+  "../bench/sec64_migrations.pdb"
+  "CMakeFiles/sec64_migrations.dir/sec64_migrations.cpp.o"
+  "CMakeFiles/sec64_migrations.dir/sec64_migrations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_migrations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec8_config_prediction.cpp" "bench_build/CMakeFiles/sec8_config_prediction.dir/sec8_config_prediction.cpp.o" "gcc" "bench_build/CMakeFiles/sec8_config_prediction.dir/sec8_config_prediction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/predict/CMakeFiles/sb_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sb_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

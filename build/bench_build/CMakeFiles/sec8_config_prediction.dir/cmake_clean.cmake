@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec8_config_prediction"
+  "../bench/sec8_config_prediction.pdb"
+  "CMakeFiles/sec8_config_prediction.dir/sec8_config_prediction.cpp.o"
+  "CMakeFiles/sec8_config_prediction.dir/sec8_config_prediction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec8_config_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_provisioning"
+  "../bench/table3_provisioning.pdb"
+  "CMakeFiles/table3_provisioning.dir/table3_provisioning.cpp.o"
+  "CMakeFiles/table3_provisioning.dir/table3_provisioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

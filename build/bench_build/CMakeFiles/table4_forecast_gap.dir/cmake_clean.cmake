@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_forecast_gap"
+  "../bench/table4_forecast_gap.pdb"
+  "CMakeFiles/table4_forecast_gap.dir/table4_forecast_gap.cpp.o"
+  "CMakeFiles/table4_forecast_gap.dir/table4_forecast_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_forecast_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

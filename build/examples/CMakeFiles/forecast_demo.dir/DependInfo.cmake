@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/forecast_demo.cpp" "examples/CMakeFiles/forecast_demo.dir/forecast_demo.cpp.o" "gcc" "examples/CMakeFiles/forecast_demo.dir/forecast_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/forecast/CMakeFiles/sb_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/calls/CMakeFiles/sb_calls.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sb_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_baselines.dir/locality_first.cpp.o"
+  "CMakeFiles/sb_baselines.dir/locality_first.cpp.o.d"
+  "CMakeFiles/sb_baselines.dir/round_robin.cpp.o"
+  "CMakeFiles/sb_baselines.dir/round_robin.cpp.o.d"
+  "libsb_baselines.a"
+  "libsb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calls/acl.cpp" "src/calls/CMakeFiles/sb_calls.dir/acl.cpp.o" "gcc" "src/calls/CMakeFiles/sb_calls.dir/acl.cpp.o.d"
+  "/root/repo/src/calls/call_config.cpp" "src/calls/CMakeFiles/sb_calls.dir/call_config.cpp.o" "gcc" "src/calls/CMakeFiles/sb_calls.dir/call_config.cpp.o.d"
+  "/root/repo/src/calls/call_record.cpp" "src/calls/CMakeFiles/sb_calls.dir/call_record.cpp.o" "gcc" "src/calls/CMakeFiles/sb_calls.dir/call_record.cpp.o.d"
+  "/root/repo/src/calls/demand.cpp" "src/calls/CMakeFiles/sb_calls.dir/demand.cpp.o" "gcc" "src/calls/CMakeFiles/sb_calls.dir/demand.cpp.o.d"
+  "/root/repo/src/calls/io.cpp" "src/calls/CMakeFiles/sb_calls.dir/io.cpp.o" "gcc" "src/calls/CMakeFiles/sb_calls.dir/io.cpp.o.d"
+  "/root/repo/src/calls/media.cpp" "src/calls/CMakeFiles/sb_calls.dir/media.cpp.o" "gcc" "src/calls/CMakeFiles/sb_calls.dir/media.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sb_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_calls.dir/acl.cpp.o"
+  "CMakeFiles/sb_calls.dir/acl.cpp.o.d"
+  "CMakeFiles/sb_calls.dir/call_config.cpp.o"
+  "CMakeFiles/sb_calls.dir/call_config.cpp.o.d"
+  "CMakeFiles/sb_calls.dir/call_record.cpp.o"
+  "CMakeFiles/sb_calls.dir/call_record.cpp.o.d"
+  "CMakeFiles/sb_calls.dir/demand.cpp.o"
+  "CMakeFiles/sb_calls.dir/demand.cpp.o.d"
+  "CMakeFiles/sb_calls.dir/io.cpp.o"
+  "CMakeFiles/sb_calls.dir/io.cpp.o.d"
+  "CMakeFiles/sb_calls.dir/media.cpp.o"
+  "CMakeFiles/sb_calls.dir/media.cpp.o.d"
+  "libsb_calls.a"
+  "libsb_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

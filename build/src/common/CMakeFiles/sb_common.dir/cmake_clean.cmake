@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_common.dir/csv.cpp.o"
+  "CMakeFiles/sb_common.dir/csv.cpp.o.d"
+  "CMakeFiles/sb_common.dir/rng.cpp.o"
+  "CMakeFiles/sb_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sb_common.dir/stats.cpp.o"
+  "CMakeFiles/sb_common.dir/stats.cpp.o.d"
+  "CMakeFiles/sb_common.dir/table.cpp.o"
+  "CMakeFiles/sb_common.dir/table.cpp.o.d"
+  "CMakeFiles/sb_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/sb_common.dir/thread_pool.cpp.o.d"
+  "libsb_common.a"
+  "libsb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

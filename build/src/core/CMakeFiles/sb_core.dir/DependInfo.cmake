@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation_plan.cpp" "src/core/CMakeFiles/sb_core.dir/allocation_plan.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/allocation_plan.cpp.o.d"
+  "/root/repo/src/core/backup_lp.cpp" "src/core/CMakeFiles/sb_core.dir/backup_lp.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/backup_lp.cpp.o.d"
+  "/root/repo/src/core/capacity_plan.cpp" "src/core/CMakeFiles/sb_core.dir/capacity_plan.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/capacity_plan.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/sb_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/failure.cpp" "src/core/CMakeFiles/sb_core.dir/failure.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/failure.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/sb_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/provisioner.cpp" "src/core/CMakeFiles/sb_core.dir/provisioner.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/provisioner.cpp.o.d"
+  "/root/repo/src/core/realtime.cpp" "src/core/CMakeFiles/sb_core.dir/realtime.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/realtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sb_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/calls/CMakeFiles/sb_calls.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sb_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/sb_kvstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

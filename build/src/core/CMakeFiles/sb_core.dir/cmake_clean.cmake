@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_core.dir/allocation_plan.cpp.o"
+  "CMakeFiles/sb_core.dir/allocation_plan.cpp.o.d"
+  "CMakeFiles/sb_core.dir/backup_lp.cpp.o"
+  "CMakeFiles/sb_core.dir/backup_lp.cpp.o.d"
+  "CMakeFiles/sb_core.dir/capacity_plan.cpp.o"
+  "CMakeFiles/sb_core.dir/capacity_plan.cpp.o.d"
+  "CMakeFiles/sb_core.dir/controller.cpp.o"
+  "CMakeFiles/sb_core.dir/controller.cpp.o.d"
+  "CMakeFiles/sb_core.dir/failure.cpp.o"
+  "CMakeFiles/sb_core.dir/failure.cpp.o.d"
+  "CMakeFiles/sb_core.dir/placement.cpp.o"
+  "CMakeFiles/sb_core.dir/placement.cpp.o.d"
+  "CMakeFiles/sb_core.dir/provisioner.cpp.o"
+  "CMakeFiles/sb_core.dir/provisioner.cpp.o.d"
+  "CMakeFiles/sb_core.dir/realtime.cpp.o"
+  "CMakeFiles/sb_core.dir/realtime.cpp.o.d"
+  "libsb_core.a"
+  "libsb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

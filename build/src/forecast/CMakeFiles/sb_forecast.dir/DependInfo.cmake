@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/forecaster.cpp" "src/forecast/CMakeFiles/sb_forecast.dir/forecaster.cpp.o" "gcc" "src/forecast/CMakeFiles/sb_forecast.dir/forecaster.cpp.o.d"
+  "/root/repo/src/forecast/holt_winters.cpp" "src/forecast/CMakeFiles/sb_forecast.dir/holt_winters.cpp.o" "gcc" "src/forecast/CMakeFiles/sb_forecast.dir/holt_winters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/calls/CMakeFiles/sb_calls.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sb_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

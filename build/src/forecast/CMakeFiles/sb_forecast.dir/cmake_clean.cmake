@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_forecast.dir/forecaster.cpp.o"
+  "CMakeFiles/sb_forecast.dir/forecaster.cpp.o.d"
+  "CMakeFiles/sb_forecast.dir/holt_winters.cpp.o"
+  "CMakeFiles/sb_forecast.dir/holt_winters.cpp.o.d"
+  "libsb_forecast.a"
+  "libsb_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/latency.cpp" "src/geo/CMakeFiles/sb_geo.dir/latency.cpp.o" "gcc" "src/geo/CMakeFiles/sb_geo.dir/latency.cpp.o.d"
+  "/root/repo/src/geo/topology.cpp" "src/geo/CMakeFiles/sb_geo.dir/topology.cpp.o" "gcc" "src/geo/CMakeFiles/sb_geo.dir/topology.cpp.o.d"
+  "/root/repo/src/geo/world.cpp" "src/geo/CMakeFiles/sb_geo.dir/world.cpp.o" "gcc" "src/geo/CMakeFiles/sb_geo.dir/world.cpp.o.d"
+  "/root/repo/src/geo/world_presets.cpp" "src/geo/CMakeFiles/sb_geo.dir/world_presets.cpp.o" "gcc" "src/geo/CMakeFiles/sb_geo.dir/world_presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_geo.dir/latency.cpp.o"
+  "CMakeFiles/sb_geo.dir/latency.cpp.o.d"
+  "CMakeFiles/sb_geo.dir/topology.cpp.o"
+  "CMakeFiles/sb_geo.dir/topology.cpp.o.d"
+  "CMakeFiles/sb_geo.dir/world.cpp.o"
+  "CMakeFiles/sb_geo.dir/world.cpp.o.d"
+  "CMakeFiles/sb_geo.dir/world_presets.cpp.o"
+  "CMakeFiles/sb_geo.dir/world_presets.cpp.o.d"
+  "libsb_geo.a"
+  "libsb_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_kvstore.dir/kvstore.cpp.o"
+  "CMakeFiles/sb_kvstore.dir/kvstore.cpp.o.d"
+  "libsb_kvstore.a"
+  "libsb_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/dense_simplex.cpp" "src/lp/CMakeFiles/sb_lp.dir/dense_simplex.cpp.o" "gcc" "src/lp/CMakeFiles/sb_lp.dir/dense_simplex.cpp.o.d"
+  "/root/repo/src/lp/model.cpp" "src/lp/CMakeFiles/sb_lp.dir/model.cpp.o" "gcc" "src/lp/CMakeFiles/sb_lp.dir/model.cpp.o.d"
+  "/root/repo/src/lp/presolve.cpp" "src/lp/CMakeFiles/sb_lp.dir/presolve.cpp.o" "gcc" "src/lp/CMakeFiles/sb_lp.dir/presolve.cpp.o.d"
+  "/root/repo/src/lp/revised_simplex.cpp" "src/lp/CMakeFiles/sb_lp.dir/revised_simplex.cpp.o" "gcc" "src/lp/CMakeFiles/sb_lp.dir/revised_simplex.cpp.o.d"
+  "/root/repo/src/lp/solver.cpp" "src/lp/CMakeFiles/sb_lp.dir/solver.cpp.o" "gcc" "src/lp/CMakeFiles/sb_lp.dir/solver.cpp.o.d"
+  "/root/repo/src/lp/standard_form.cpp" "src/lp/CMakeFiles/sb_lp.dir/standard_form.cpp.o" "gcc" "src/lp/CMakeFiles/sb_lp.dir/standard_form.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

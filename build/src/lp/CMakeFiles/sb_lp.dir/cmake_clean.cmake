@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_lp.dir/dense_simplex.cpp.o"
+  "CMakeFiles/sb_lp.dir/dense_simplex.cpp.o.d"
+  "CMakeFiles/sb_lp.dir/model.cpp.o"
+  "CMakeFiles/sb_lp.dir/model.cpp.o.d"
+  "CMakeFiles/sb_lp.dir/presolve.cpp.o"
+  "CMakeFiles/sb_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/sb_lp.dir/revised_simplex.cpp.o"
+  "CMakeFiles/sb_lp.dir/revised_simplex.cpp.o.d"
+  "CMakeFiles/sb_lp.dir/solver.cpp.o"
+  "CMakeFiles/sb_lp.dir/solver.cpp.o.d"
+  "CMakeFiles/sb_lp.dir/standard_form.cpp.o"
+  "CMakeFiles/sb_lp.dir/standard_form.cpp.o.d"
+  "libsb_lp.a"
+  "libsb_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/config_predictor.cpp" "src/predict/CMakeFiles/sb_predict.dir/config_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/sb_predict.dir/config_predictor.cpp.o.d"
+  "/root/repo/src/predict/logistic.cpp" "src/predict/CMakeFiles/sb_predict.dir/logistic.cpp.o" "gcc" "src/predict/CMakeFiles/sb_predict.dir/logistic.cpp.o.d"
+  "/root/repo/src/predict/momc.cpp" "src/predict/CMakeFiles/sb_predict.dir/momc.cpp.o" "gcc" "src/predict/CMakeFiles/sb_predict.dir/momc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sb_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

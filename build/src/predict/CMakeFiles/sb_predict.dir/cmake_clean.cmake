@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_predict.dir/config_predictor.cpp.o"
+  "CMakeFiles/sb_predict.dir/config_predictor.cpp.o.d"
+  "CMakeFiles/sb_predict.dir/logistic.cpp.o"
+  "CMakeFiles/sb_predict.dir/logistic.cpp.o.d"
+  "CMakeFiles/sb_predict.dir/momc.cpp.o"
+  "CMakeFiles/sb_predict.dir/momc.cpp.o.d"
+  "libsb_predict.a"
+  "libsb_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

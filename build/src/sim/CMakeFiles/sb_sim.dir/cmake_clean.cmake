@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_sim.dir/allocator.cpp.o"
+  "CMakeFiles/sb_sim.dir/allocator.cpp.o.d"
+  "CMakeFiles/sb_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sb_sim.dir/simulator.cpp.o.d"
+  "libsb_sim.a"
+  "libsb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

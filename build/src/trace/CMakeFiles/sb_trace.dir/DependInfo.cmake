@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/config_sampler.cpp" "src/trace/CMakeFiles/sb_trace.dir/config_sampler.cpp.o" "gcc" "src/trace/CMakeFiles/sb_trace.dir/config_sampler.cpp.o.d"
+  "/root/repo/src/trace/diurnal.cpp" "src/trace/CMakeFiles/sb_trace.dir/diurnal.cpp.o" "gcc" "src/trace/CMakeFiles/sb_trace.dir/diurnal.cpp.o.d"
+  "/root/repo/src/trace/scenario.cpp" "src/trace/CMakeFiles/sb_trace.dir/scenario.cpp.o" "gcc" "src/trace/CMakeFiles/sb_trace.dir/scenario.cpp.o.d"
+  "/root/repo/src/trace/trace_gen.cpp" "src/trace/CMakeFiles/sb_trace.dir/trace_gen.cpp.o" "gcc" "src/trace/CMakeFiles/sb_trace.dir/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sb_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/calls/CMakeFiles/sb_calls.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

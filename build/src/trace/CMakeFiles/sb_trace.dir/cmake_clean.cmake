@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_trace.dir/config_sampler.cpp.o"
+  "CMakeFiles/sb_trace.dir/config_sampler.cpp.o.d"
+  "CMakeFiles/sb_trace.dir/diurnal.cpp.o"
+  "CMakeFiles/sb_trace.dir/diurnal.cpp.o.d"
+  "CMakeFiles/sb_trace.dir/scenario.cpp.o"
+  "CMakeFiles/sb_trace.dir/scenario.cpp.o.d"
+  "CMakeFiles/sb_trace.dir/trace_gen.cpp.o"
+  "CMakeFiles/sb_trace.dir/trace_gen.cpp.o.d"
+  "libsb_trace.a"
+  "libsb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calls_io_test.dir/calls_io_test.cpp.o"
+  "CMakeFiles/calls_io_test.dir/calls_io_test.cpp.o.d"
+  "calls_io_test"
+  "calls_io_test.pdb"
+  "calls_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calls_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

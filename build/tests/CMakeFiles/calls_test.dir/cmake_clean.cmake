@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calls_test.dir/calls_test.cpp.o"
+  "CMakeFiles/calls_test.dir/calls_test.cpp.o.d"
+  "calls_test"
+  "calls_test.pdb"
+  "calls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

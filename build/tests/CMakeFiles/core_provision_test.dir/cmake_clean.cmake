@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_provision_test.dir/core_provision_test.cpp.o"
+  "CMakeFiles/core_provision_test.dir/core_provision_test.cpp.o.d"
+  "core_provision_test"
+  "core_provision_test.pdb"
+  "core_provision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_provision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provisioner_property_test.dir/provisioner_property_test.cpp.o"
+  "CMakeFiles/provisioner_property_test.dir/provisioner_property_test.cpp.o.d"
+  "provisioner_property_test"
+  "provisioner_property_test.pdb"
+  "provisioner_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provisioner_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
