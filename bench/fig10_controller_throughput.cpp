@@ -6,6 +6,12 @@
 // throughput scales with the thread count; the paper sustains 1.4x the
 // trace's peak load with 10 threads.
 //
+// Per-event-type latency percentiles come from the sb::obs registry (the
+// controller times every event into sb.realtime.* histograms); each
+// thread-count run is isolated with a snapshot diff. Build with
+// -DSB_METRICS=OFF to measure the metrics layer's own overhead on this
+// bench (EXPERIMENTS.md records the comparison).
+//
 // Flags: --hours=1 --threads_max=12
 #include <atomic>
 #include <chrono>
@@ -14,6 +20,7 @@
 
 #include "bench_util.h"
 #include "core/controller.h"
+#include "obs/snapshot.h"
 
 namespace sb {
 namespace {
@@ -92,8 +99,19 @@ int run(int argc, char** argv) {
             << "KV write latency: 0.3-4.2 ms (log-uniform; the paper's "
                "observed Redis range)\n\n";
 
+  // Latency columns are p50/p99 of the controller's per-event histograms
+  // (sb.realtime.{start,freeze,end}_latency_s), in ms, isolated per run by
+  // diffing registry snapshots. events/s is likewise counted by the
+  // registry: every replayed event performs exactly one KV op.
   TextTable table({"threads", "events/s", "speedup", "x trace peak",
-                   "mean write ms"});
+                   "start p50/p99 ms", "freeze p50/p99 ms", "end p50/p99 ms"});
+  const auto latency_cell = [](const obs::MetricsSnapshot& delta,
+                               const char* name) {
+    const obs::HistogramSample* h = delta.find_histogram(name);
+    if (h == nullptr || h->data.count == 0) return std::string("n/a");
+    return format_double(h->data.p50() * 1e3, 2) + "/" +
+           format_double(h->data.p99() * 1e3, 2);
+  };
   double base_rate = 0.0;
   for (std::size_t threads = 1; threads <= threads_max;
        threads = threads < 2 ? 2 : threads + 2) {
@@ -102,6 +120,8 @@ int run(int argc, char** argv) {
     Switchboard controller(ctx, options);
     controller.attach_store(&store);
 
+    const obs::MetricsSnapshot before =
+        obs::MetricsRegistry::global().snapshot();
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> events{0};
     const auto t0 = std::chrono::steady_clock::now();
@@ -119,14 +139,22 @@ int run(int argc, char** argv) {
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    const double rate = static_cast<double>(events.load()) / elapsed;
+    const obs::MetricsSnapshot delta = obs::snapshot_diff(
+        before, obs::MetricsRegistry::global().snapshot());
+    // With metrics compiled in, trust the registry's event count (one KV op
+    // per event); in a -DSB_METRICS=OFF build fall back to the local tally.
+    const std::uint64_t counted =
+        delta.counter_value("sb.kvstore.ops", events.load());
+    const double rate = static_cast<double>(counted) / elapsed;
     if (base_rate == 0.0) base_rate = rate;
     table.row()
         .cell(static_cast<std::uint64_t>(threads))
         .cell(rate, 0)
         .cell(rate / base_rate)
         .cell(rate / peak_rate, 1)
-        .cell(store.stats().mean_latency_ms(), 2);
+        .cell(latency_cell(delta, "sb.realtime.start_latency_s"))
+        .cell(latency_cell(delta, "sb.realtime.freeze_latency_s"))
+        .cell(latency_cell(delta, "sb.realtime.end_latency_s"));
   }
   std::cout << table;
   std::cout << "\nthroughput scales with threads (threads overlap ~ms store "

@@ -1,13 +1,34 @@
 // google-benchmark microbenchmarks for the LP solvers: dense tableau vs
 // revised simplex across problem sizes, plus a provisioning-LP-shaped
 // instance (sparse columns, capacity peaks).
+//
+// Besides google-benchmark's own wall-time mean, each benchmark reports
+// p50/p99 solve latency and iterations-per-solve sourced from the sb::obs
+// registry (lp::solve times itself into sb.lp.solve_s), by diffing registry
+// snapshots around the timed loop.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
 #include "lp/solver.h"
+#include "obs/snapshot.h"
 
 namespace sb::lp {
 namespace {
+
+/// Attaches registry-sourced percentile counters for the samples recorded
+/// between `before` and now to the benchmark's output row.
+void report_registry_latencies(benchmark::State& state,
+                               const obs::MetricsSnapshot& before) {
+  const obs::MetricsSnapshot delta = obs::snapshot_diff(
+      before, obs::MetricsRegistry::global().snapshot());
+  const obs::HistogramSample* solve = delta.find_histogram("sb.lp.solve_s");
+  if (solve == nullptr || solve->data.count == 0) return;  // SB_METRICS=OFF
+  state.counters["p50_us"] = solve->data.p50() * 1e6;
+  state.counters["p99_us"] = solve->data.p99() * 1e6;
+  state.counters["iters/solve"] =
+      static_cast<double>(delta.counter_value("sb.lp.simplex_iterations")) /
+      static_cast<double>(solve->data.count);
+}
 
 Model make_random_lp(std::size_t vars, std::size_t rows, std::uint64_t seed) {
   Rng rng(seed);
@@ -69,9 +90,11 @@ void BM_DenseSimplexRandom(benchmark::State& state) {
                                  static_cast<std::size_t>(state.range(1)), 7);
   SolveOptions options;
   options.method = Method::kDense;
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
   for (auto _ : state) {
     benchmark::DoNotOptimize(solve(m, options));
   }
+  report_registry_latencies(state, before);
 }
 BENCHMARK(BM_DenseSimplexRandom)->Args({20, 15})->Args({60, 40})->Args({120, 80});
 
@@ -80,9 +103,11 @@ void BM_RevisedSimplexRandom(benchmark::State& state) {
                                  static_cast<std::size_t>(state.range(1)), 7);
   SolveOptions options;
   options.method = Method::kRevised;
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
   for (auto _ : state) {
     benchmark::DoNotOptimize(solve(m, options));
   }
+  report_registry_latencies(state, before);
 }
 BENCHMARK(BM_RevisedSimplexRandom)
     ->Args({20, 15})
@@ -93,11 +118,13 @@ void BM_ProvisioningShapedLp(benchmark::State& state) {
   const Model m = make_provisioning_lp(
       static_cast<std::size_t>(state.range(0)),
       static_cast<std::size_t>(state.range(1)), 5, 11);
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
   for (auto _ : state) {
     const Solution s = solve(m);
     if (!s.optimal()) state.SkipWithError("not optimal");
     benchmark::DoNotOptimize(s.objective);
   }
+  report_registry_latencies(state, before);
 }
 BENCHMARK(BM_ProvisioningShapedLp)
     ->Args({6, 10})

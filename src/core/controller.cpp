@@ -1,8 +1,31 @@
 #include "core/controller.h"
 
 #include "common/error.h"
+#include "obs/timer.h"
 
 namespace sb {
+
+Switchboard::Metrics::Metrics()
+    : calls_started(
+          obs::MetricsRegistry::global().counter("sb.realtime.calls_started")),
+      configs_frozen(
+          obs::MetricsRegistry::global().counter("sb.realtime.configs_frozen")),
+      calls_ended(
+          obs::MetricsRegistry::global().counter("sb.realtime.calls_ended")),
+      migrations(
+          obs::MetricsRegistry::global().counter("sb.realtime.migrations")),
+      unplanned(
+          obs::MetricsRegistry::global().counter("sb.realtime.unplanned")),
+      start_latency_s(obs::MetricsRegistry::global().histogram(
+          "sb.realtime.start_latency_s")),
+      freeze_latency_s(obs::MetricsRegistry::global().histogram(
+          "sb.realtime.freeze_latency_s")),
+      end_latency_s(obs::MetricsRegistry::global().histogram(
+          "sb.realtime.end_latency_s")),
+      provision_s(obs::MetricsRegistry::global().histogram(
+          "sb.provisioner.provision_s")),
+      allocation_plan_s(obs::MetricsRegistry::global().histogram(
+          "sb.provisioner.allocation_plan_s")) {}
 
 Switchboard::Switchboard(EvalContext ctx, ControllerOptions options)
     : ctx_(ctx), options_(options) {
@@ -16,6 +39,7 @@ Switchboard::Switchboard(EvalContext ctx, ControllerOptions options)
 }
 
 const ProvisionResult& Switchboard::provision(const DemandMatrix& demand) {
+  obs::ScopedTimer timer(metrics_.provision_s);
   SwitchboardProvisioner provisioner(ctx_, options_.provision);
   provision_result_ = provisioner.provision(demand);
   return *provision_result_;
@@ -25,6 +49,7 @@ const AllocationPlan& Switchboard::build_allocation_plan(
     const DemandMatrix& demand, SimTime plan_start_s) {
   require(provision_result_.has_value(),
           "build_allocation_plan: call provision() first");
+  obs::ScopedTimer timer(metrics_.allocation_plan_s);
   AllocationPlanner planner(ctx_, options_.allocation);
   plan_ = planner.plan(demand, provision_result_->capacity, options_.slot_s);
   std::lock_guard lock(selector_mutex_);
@@ -35,6 +60,7 @@ const AllocationPlan& Switchboard::build_allocation_plan(
 
 DcId Switchboard::call_started(CallId call, LocationId first_joiner,
                                SimTime now) {
+  obs::ScopedTimer timer(metrics_.start_latency_s);
   DcId dc;
   {
     std::lock_guard lock(selector_mutex_);
@@ -44,11 +70,13 @@ DcId Switchboard::call_started(CallId call, LocationId first_joiner,
     store_->set("call:" + std::to_string(call.value()) + ":dc",
                 std::to_string(dc.value()));
   }
+  metrics_.calls_started.inc();
   return dc;
 }
 
 FreezeResult Switchboard::config_frozen(CallId call, const CallConfig& config,
                                         SimTime now) {
+  obs::ScopedTimer timer(metrics_.freeze_latency_s);
   FreezeResult result;
   {
     std::lock_guard lock(selector_mutex_);
@@ -58,10 +86,14 @@ FreezeResult Switchboard::config_frozen(CallId call, const CallConfig& config,
     store_->set("call:" + std::to_string(call.value()) + ":dc",
                 std::to_string(result.dc.value()));
   }
+  metrics_.configs_frozen.inc();
+  if (result.migrated) metrics_.migrations.inc();
+  if (!result.planned) metrics_.unplanned.inc();
   return result;
 }
 
 void Switchboard::call_ended(CallId call, SimTime now) {
+  obs::ScopedTimer timer(metrics_.end_latency_s);
   {
     std::lock_guard lock(selector_mutex_);
     selector_->on_call_end(call, now);
@@ -69,6 +101,7 @@ void Switchboard::call_ended(CallId call, SimTime now) {
   if (store_) {
     store_->erase("call:" + std::to_string(call.value()) + ":dc");
   }
+  metrics_.calls_ended.inc();
 }
 
 RealtimeSelector::Stats Switchboard::realtime_stats() const {

@@ -14,6 +14,7 @@
 #include "core/provisioner.h"
 #include "core/realtime.h"
 #include "kvstore/kvstore.h"
+#include "obs/metrics.h"
 
 namespace sb {
 
@@ -61,8 +62,25 @@ class Switchboard {
   void attach_store(KvStore* store) { store_ = store; }
 
  private:
+  /// sb.realtime.* / sb.provisioner.* handles, resolved once at controller
+  /// construction so the concurrent event path never does a name lookup.
+  struct Metrics {
+    obs::Counter& calls_started;
+    obs::Counter& configs_frozen;
+    obs::Counter& calls_ended;
+    obs::Counter& migrations;
+    obs::Counter& unplanned;
+    obs::Histogram& start_latency_s;
+    obs::Histogram& freeze_latency_s;
+    obs::Histogram& end_latency_s;
+    obs::Histogram& provision_s;
+    obs::Histogram& allocation_plan_s;
+    Metrics();
+  };
+
   EvalContext ctx_;
   ControllerOptions options_;
+  Metrics metrics_;
   std::optional<ProvisionResult> provision_result_;
   std::optional<AllocationPlan> plan_;
   std::unique_ptr<RealtimeSelector> selector_;

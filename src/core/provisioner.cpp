@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "core/backup_lp.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace sb {
 
@@ -77,6 +79,13 @@ SwitchboardProvisioner::SwitchboardProvisioner(EvalContext ctx,
 ScenarioOutcome SwitchboardProvisioner::solve_scenario(
     const DemandMatrix& demand, const FailureScenario& scenario,
     PlacementMatrix* placement_out, const CapacityPlan* floors) const {
+  static obs::Counter& scenarios_solved =
+      obs::MetricsRegistry::global().counter("sb.provisioner.scenarios_solved");
+  static obs::Histogram& scenario_solve_s =
+      obs::MetricsRegistry::global().histogram(
+          "sb.provisioner.scenario_solve_s");
+  scenarios_solved.inc();
+  obs::ScopedTimer timer(scenario_solve_s);
   const World& world = *ctx_.world;
   const Topology& topo = *ctx_.topology;
   const std::size_t slots = demand.slot_count();

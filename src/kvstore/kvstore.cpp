@@ -9,8 +9,23 @@
 
 namespace sb {
 
+namespace {
+
+/// Latency samples are seconds; the paper's write range is 0.3-4.2 ms, so
+/// [10 us, 1 s) with ~13 buckets/decade resolves it comfortably.
+obs::HistogramOptions latency_histogram_options() {
+  return {.min = 1e-5, .max = 1.0, .bucket_count = 64};
+}
+
+}  // namespace
+
 KvStore::KvStore(KvStoreOptions options)
-    : options_(options), shards_(options.shard_count) {
+    : options_(options),
+      shards_(options.shard_count),
+      latency_(latency_histogram_options()),
+      ops_metric_(obs::MetricsRegistry::global().counter("sb.kvstore.ops")),
+      latency_metric_(obs::MetricsRegistry::global().histogram(
+          "sb.kvstore.op_latency_s", latency_histogram_options())) {
   require(options_.shard_count > 0, "KvStore: need at least one shard");
   require(options_.min_latency_ms > 0.0 &&
               options_.max_latency_ms >= options_.min_latency_ms,
@@ -32,17 +47,10 @@ void KvStore::simulate_network() const {
       options_.min_latency_ms * std::pow(ratio, rng.uniform());
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
       latency_ms));
-  {
-    std::lock_guard lock(stats_mutex_);
-    if (stats_.ops == 0) {
-      stats_.min_latency_ms = stats_.max_latency_ms = latency_ms;
-    } else {
-      stats_.min_latency_ms = std::min(stats_.min_latency_ms, latency_ms);
-      stats_.max_latency_ms = std::max(stats_.max_latency_ms, latency_ms);
-    }
-    ++stats_.ops;
-    stats_.total_latency_ms += latency_ms;
-  }
+  const double latency_s = latency_ms / 1e3;
+  latency_.record(latency_s);
+  latency_metric_.record(latency_s);
+  ops_metric_.inc();
 }
 
 void KvStore::set(const std::string& key, std::string value) {
@@ -90,13 +98,15 @@ std::size_t KvStore::size() const {
 }
 
 KvStore::OpStats KvStore::stats() const {
-  std::lock_guard lock(stats_mutex_);
-  return stats_;
+  const obs::HistogramData data = latency_.collect();
+  OpStats stats;
+  stats.ops = data.count;
+  stats.total_latency_ms = data.sum * 1e3;
+  stats.min_latency_ms = data.min * 1e3;
+  stats.max_latency_ms = data.max * 1e3;
+  return stats;
 }
 
-void KvStore::reset_stats() {
-  std::lock_guard lock(stats_mutex_);
-  stats_ = OpStats{};
-}
+void KvStore::reset_stats() { latency_.reset(); }
 
 }  // namespace sb

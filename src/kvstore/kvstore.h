@@ -6,13 +6,14 @@
 // their waits on the (remote) store.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace sb {
 
@@ -43,6 +44,9 @@ class KvStore {
 
   [[nodiscard]] std::size_t size() const;
 
+  /// Snapshot view over the per-instance latency histogram (kept for
+  /// backward compatibility with the pre-sb::obs API). With SB_METRICS=OFF
+  /// all fields are zero.
   struct OpStats {
     std::uint64_t ops = 0;
     double total_latency_ms = 0.0;
@@ -55,6 +59,12 @@ class KvStore {
   };
   [[nodiscard]] OpStats stats() const;
   void reset_stats();
+
+  /// Per-instance op latency distribution (seconds). The same samples also
+  /// feed the process-wide `sb.kvstore.op_latency_s` registry histogram.
+  [[nodiscard]] obs::HistogramData latency_histogram() const {
+    return latency_.collect();
+  }
 
  private:
   struct Shard {
@@ -69,8 +79,11 @@ class KvStore {
 
   KvStoreOptions options_;
   mutable std::vector<Shard> shards_;
-  mutable std::mutex stats_mutex_;
-  mutable OpStats stats_;
+  /// Sharded-atomic latency histogram: the realtime write path records one
+  /// sample with no lock (the old OpStats took a mutex per op for min/max).
+  mutable obs::Histogram latency_;
+  obs::Counter& ops_metric_;            ///< sb.kvstore.ops
+  obs::Histogram& latency_metric_;      ///< sb.kvstore.op_latency_s
 };
 
 }  // namespace sb

@@ -3,15 +3,61 @@
 #include "lp/presolve.h"
 #include "lp/revised_simplex.h"
 #include "lp/standard_form.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace sb::lp {
 
+namespace {
+
+/// Handles resolved once; lp::solve is on the provisioning critical path
+/// and must not pay a registry lookup per call.
+struct SolveMetrics {
+  obs::Counter& solves;
+  obs::Counter& infeasible;
+  obs::Counter& iterations;
+  obs::Counter& presolve_rows_removed;
+  obs::Counter& presolve_bounds_tightened;
+  obs::Counter& presolve_variables_fixed;
+  obs::Histogram& solve_s;
+  obs::Histogram& solve_dense_s;
+  obs::Histogram& solve_revised_s;
+
+  static SolveMetrics& get() {
+    static SolveMetrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+      return SolveMetrics{
+          r.counter("sb.lp.solves"),
+          r.counter("sb.lp.infeasible"),
+          r.counter("sb.lp.simplex_iterations"),
+          r.counter("sb.lp.presolve_rows_removed"),
+          r.counter("sb.lp.presolve_bounds_tightened"),
+          r.counter("sb.lp.presolve_variables_fixed"),
+          r.histogram("sb.lp.solve_s"),
+          r.histogram("sb.lp.solve_dense_s"),
+          r.histogram("sb.lp.solve_revised_s"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
 Solution solve(const Model& model, const SolveOptions& options) {
+  SolveMetrics& metrics = SolveMetrics::get();
+  metrics.solves.inc();
+  obs::ScopedTimer total_timer(metrics.solve_s);
+
   const Model* target = &model;
   PresolveResult pre;
   if (options.use_presolve) {
     pre = presolve(model);
+    metrics.presolve_rows_removed.inc(pre.rows_removed);
+    metrics.presolve_bounds_tightened.inc(pre.bounds_tightened);
+    metrics.presolve_variables_fixed.inc(pre.variables_fixed);
     if (pre.infeasible) {
+      metrics.infeasible.inc();
       Solution solution;
       solution.status = SolveStatus::kInfeasible;
       return solution;
@@ -24,8 +70,16 @@ Solution solve(const Model& model, const SolveOptions& options) {
   if (method == Method::kAuto) {
     method = sf.rows.size() >= 100 ? Method::kRevised : Method::kDense;
   }
-  const SfSolution raw = method == Method::kDense ? solve_dense(sf, options)
-                                                  : solve_revised(sf, options);
+  SfSolution raw;
+  {
+    obs::ScopedTimer method_timer(method == Method::kDense
+                                      ? metrics.solve_dense_s
+                                      : metrics.solve_revised_s);
+    raw = method == Method::kDense ? solve_dense(sf, options)
+                                   : solve_revised(sf, options);
+  }
+  metrics.iterations.inc(raw.iterations);
+  if (raw.status == SolveStatus::kInfeasible) metrics.infeasible.inc();
 
   Solution solution;
   solution.status = raw.status;

@@ -1,0 +1,266 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "obs/snapshot.h"
+
+namespace sb::obs {
+
+double HistogramData::bucket_lower(std::size_t bucket) const {
+  const double growth =
+      std::pow(options.max / options.min,
+               1.0 / static_cast<double>(options.bucket_count));
+  return options.min * std::pow(growth, static_cast<double>(bucket - 1));
+}
+
+double HistogramData::bucket_upper(std::size_t bucket) const {
+  const double growth =
+      std::pow(options.max / options.min,
+               1.0 / static_cast<double>(options.bucket_count));
+  return options.min * std::pow(growth, static_cast<double>(bucket));
+}
+
+double HistogramData::quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double prev = static_cast<double>(cumulative);
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    double value;
+    if (b == 0) {
+      value = min;  // underflow bucket: best estimate is the observed min
+    } else if (b == buckets.size() - 1) {
+      value = max;  // overflow bucket
+    } else {
+      // Log-interpolate inside the bucket (buckets are geometric).
+      const double lower = bucket_lower(b);
+      const double upper = bucket_upper(b);
+      const double frac =
+          std::clamp((rank - prev) / static_cast<double>(buckets[b]), 0.0, 1.0);
+      value = lower * std::pow(upper / lower, frac);
+    }
+    return std::clamp(value, min, max);
+  }
+  return max;
+}
+
+HistogramData histogram_diff(const HistogramData& before,
+                             const HistogramData& after) {
+  // An empty "before" (e.g. the metric didn't exist yet) diffs to "after".
+  if (before.buckets.empty()) return after;
+  require(before.buckets.size() == after.buckets.size(),
+          "histogram_diff: mismatched bucket layouts");
+  HistogramData out;
+  out.options = after.options;
+  out.buckets.resize(after.buckets.size());
+  for (std::size_t b = 0; b < after.buckets.size(); ++b) {
+    require(after.buckets[b] >= before.buckets[b],
+            "histogram_diff: 'after' is not a superset of 'before'");
+    out.buckets[b] = after.buckets[b] - before.buckets[b];
+  }
+  out.count = after.count - before.count;
+  out.sum = after.sum - before.sum;
+  // Extrema of just the delta window are unrecoverable; report the
+  // full-history extrema, which still bound every delta sample.
+  out.min = after.min;
+  out.max = after.max;
+  return out;
+}
+
+#ifdef SB_METRICS_ENABLED
+
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShardCount;
+  return index;
+}
+
+namespace {
+
+void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::add(double d) { atomic_add(value_, d); }
+
+void Gauge::max_of(double v) { atomic_max(value_, v); }
+
+Histogram::Histogram(HistogramOptions options) : options_(options) {
+  require(options_.min > 0.0 && options_.max > options_.min,
+          "Histogram: need 0 < min < max (log-spaced buckets)");
+  require(options_.bucket_count >= 1, "Histogram: need at least one bucket");
+  inv_log_growth_ = static_cast<double>(options_.bucket_count) /
+                    std::log(options_.max / options_.min);
+  shards_ = std::make_unique<Shard[]>(kShardCount);
+  for (std::size_t s = 0; s < kShardCount; ++s) {
+    shards_[s].buckets = std::make_unique<std::atomic<std::uint64_t>[]>(
+        options_.bucket_count + 2);
+  }
+}
+
+std::size_t Histogram::bucket_of(double value) const {
+  if (!(value >= options_.min)) return 0;  // underflow (and NaN)
+  if (value >= options_.max) return options_.bucket_count + 1;
+  const auto bucket = static_cast<std::size_t>(
+      std::log(value / options_.min) * inv_log_growth_);
+  // Guard the floating-point edge where value ~= max rounds past the end.
+  return 1 + std::min(bucket, options_.bucket_count - 1);
+}
+
+void Histogram::record(double value) {
+  Shard& shard = shards_[shard_index()];
+  shard.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  // First sample initializes the extrema; count orders the check.
+  if (shard.count.fetch_add(1, std::memory_order_relaxed) == 0) {
+    shard.min.store(value, std::memory_order_relaxed);
+    shard.max.store(value, std::memory_order_relaxed);
+  } else {
+    atomic_min(shard.min, value);
+    atomic_max(shard.max, value);
+  }
+  atomic_add(shard.sum, value);
+}
+
+HistogramData Histogram::collect() const {
+  HistogramData data;
+  data.options = options_;
+  data.buckets.assign(options_.bucket_count + 2, 0);
+  bool first = true;
+  for (std::size_t s = 0; s < kShardCount; ++s) {
+    const Shard& shard = shards_[s];
+    const std::uint64_t n = shard.count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    for (std::size_t b = 0; b < data.buckets.size(); ++b) {
+      data.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    data.count += n;
+    data.sum += shard.sum.load(std::memory_order_relaxed);
+    const double lo = shard.min.load(std::memory_order_relaxed);
+    const double hi = shard.max.load(std::memory_order_relaxed);
+    data.min = first ? lo : std::min(data.min, lo);
+    data.max = first ? hi : std::max(data.max, hi);
+    first = false;
+  }
+  return data;
+}
+
+void Histogram::reset() {
+  for (std::size_t s = 0; s < kShardCount; ++s) {
+    Shard& shard = shards_[s];
+    for (std::size_t b = 0; b < options_.bucket_count + 2; ++b) {
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(0.0, std::memory_order_relaxed);
+    shard.max.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      HistogramOptions options) {
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name), std::make_unique<Histogram>(options))
+              .first->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back({name, histogram->collect()});
+  }
+  return snap;
+}
+
+#else  // !SB_METRICS_ENABLED
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const { return {}; }
+
+#endif  // SB_METRICS_ENABLED
+
+}  // namespace sb::obs

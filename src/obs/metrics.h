@@ -1,0 +1,224 @@
+// Process-wide metrics: named counters, gauges, and histograms collected in
+// a global MetricsRegistry and exported as snapshots (see obs/snapshot.h).
+//
+// Design constraints (ROADMAP: the controller must serve millions of calls):
+//  - the hot path is allocation-free and lock-free: callers resolve a
+//    Counter&/Histogram& handle once (registration takes a mutex) and then
+//    record through sharded, cache-line-padded atomics;
+//  - histograms use fixed log-spaced buckets so p50/p90/p99 come from a
+//    cheap merge over thread shards, never from storing samples;
+//  - the whole layer compiles away: configure with -DSB_METRICS=OFF and
+//    every class below becomes an empty inline stub (same API, no state),
+//    which is how we measure the layer's own overhead.
+//
+// Metric naming scheme: `sb.<subsystem>.<metric>[_<unit>]`, e.g.
+// `sb.realtime.freeze_latency_s`, `sb.lp.solve_s`, `sb.kvstore.ops`.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sb::obs {
+
+/// Number of per-thread shards in counters/histograms. Threads are assigned
+/// shards round-robin; 8 shards keep contention negligible for the thread
+/// counts the benches use while keeping merges cheap.
+inline constexpr std::size_t kShardCount = 8;
+
+/// Fixed log-spaced bucket layout shared by every histogram instance with
+/// the same options. Bucket 0 is the underflow bucket (< min), buckets
+/// 1..bucket_count cover [min, max) geometrically, bucket bucket_count+1 is
+/// the overflow bucket (>= max).
+struct HistogramOptions {
+  double min = 1e-7;          ///< lower edge of the first finite bucket
+  double max = 100.0;         ///< upper edge of the last finite bucket
+  std::size_t bucket_count = 96;  ///< finite buckets (~10 per decade here)
+};
+
+/// Merged (cross-shard) histogram contents; the unit of percentile queries
+/// and snapshot export. Plain data — always compiled, even with metrics off.
+struct HistogramData {
+  HistogramOptions options;
+  std::vector<std::uint64_t> buckets;  ///< size bucket_count + 2
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< exact observed min (not bucketized); 0 when empty
+  double max = 0.0;  ///< exact observed max; 0 when empty
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Lower/upper value edges of finite bucket i (1-based finite index).
+  [[nodiscard]] double bucket_lower(std::size_t bucket) const;
+  [[nodiscard]] double bucket_upper(std::size_t bucket) const;
+  /// q in [0,1]; log-interpolated within the containing bucket and clamped
+  /// to the exact observed [min, max]. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p90() const { return quantile(0.90); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+};
+
+/// Bucket-level subtraction (after - before) for diffing two reads of the
+/// same histogram; min/max are taken from `after` (extrema can't be
+/// un-merged). Throws InvalidArgument on mismatched layouts.
+HistogramData histogram_diff(const HistogramData& before,
+                             const HistogramData& after);
+
+#ifdef SB_METRICS_ENABLED
+
+/// Index of the calling thread's shard (stable per thread).
+std::size_t shard_index();
+
+/// Monotone event counter, sharded across cache lines.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    shards_[shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard shards_[kShardCount];
+};
+
+/// Last-value / peak gauge. Writes are rare (end-of-run summaries), so a
+/// single atomic suffices.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d);
+  /// Raises the gauge to `v` if larger (peak tracking across runs).
+  void max_of(double v);
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary log-bucket histogram with per-thread shards. record() is
+/// a handful of relaxed atomic ops; collect() merges the shards.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void record(double value);
+  [[nodiscard]] HistogramData collect() const;
+  void reset();
+
+  [[nodiscard]] const HistogramOptions& options() const { return options_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};  ///< valid only when count > 0
+    std::atomic<double> max{0.0};
+  };
+
+  [[nodiscard]] std::size_t bucket_of(double value) const;
+
+  HistogramOptions options_;
+  double inv_log_growth_ = 0.0;  ///< bucket_count / log(max/min)
+  std::unique_ptr<Shard[]> shards_;
+};
+
+struct MetricsSnapshot;  // obs/snapshot.h
+
+/// Owns every metric in the process. Registration (counter()/gauge()/
+/// histogram()) is mutex-guarded and idempotent per name; the returned
+/// references stay valid for the registry's lifetime, so resolve them once
+/// at construction time and record through them on the hot path.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `options` apply on first registration; later lookups return the
+  /// existing histogram unchanged.
+  Histogram& histogram(std::string_view name, HistogramOptions options = {});
+
+  /// Weakly consistent read of every metric (see obs/snapshot.h for export
+  /// and diff helpers).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (benches/tests); handles stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+#else  // !SB_METRICS_ENABLED — same API, zero state, zero cost.
+
+class Counter {
+ public:
+  void inc(std::uint64_t = 1) {}
+  [[nodiscard]] std::uint64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  void add(double) {}
+  void max_of(double) {}
+  [[nodiscard]] double value() const { return 0.0; }
+  void reset() {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {}) : options_(options) {}
+  void record(double) {}
+  [[nodiscard]] HistogramData collect() const { return {options_, {}, 0, 0.0, 0.0, 0.0}; }
+  void reset() {}
+  [[nodiscard]] const HistogramOptions& options() const { return options_; }
+
+ private:
+  HistogramOptions options_;
+};
+
+struct MetricsSnapshot;  // obs/snapshot.h
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view) { return counter_; }
+  Gauge& gauge(std::string_view) { return gauge_; }
+  Histogram& histogram(std::string_view, HistogramOptions = {}) {
+    return histogram_;
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  void reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // SB_METRICS_ENABLED
+
+}  // namespace sb::obs

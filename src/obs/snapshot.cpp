@@ -1,0 +1,131 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace sb::obs {
+
+namespace {
+
+template <typename Sample>
+const Sample* find_by_name(const std::vector<Sample>& samples,
+                           std::string_view name) {
+  const auto it = std::find_if(
+      samples.begin(), samples.end(),
+      [name](const Sample& sample) { return sample.name == name; });
+  return it == samples.end() ? nullptr : &*it;
+}
+
+/// Shortest round-trippable formatting (JSON has no fixed precision).
+std::string format_number(double value) {
+  std::ostringstream os;
+  os.precision(12);
+  os << value;
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+const CounterSample* MetricsSnapshot::find_counter(
+    std::string_view name) const {
+  return find_by_name(counters, name);
+}
+
+const GaugeSample* MetricsSnapshot::find_gauge(std::string_view name) const {
+  return find_by_name(gauges, name);
+}
+
+const HistogramSample* MetricsSnapshot::find_histogram(
+    std::string_view name) const {
+  return find_by_name(histograms, name);
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name,
+                                             std::uint64_t fallback) const {
+  const CounterSample* sample = find_counter(name);
+  return sample == nullptr ? fallback : sample->value;
+}
+
+void MetricsSnapshot::write_csv(std::ostream& out) const {
+  CsvWriter writer(out);
+  writer.write_row({"kind", "name", "value", "count", "sum", "mean", "min",
+                    "max", "p50", "p90", "p99"});
+  for (const CounterSample& c : counters) {
+    writer.write_row({"counter", c.name, std::to_string(c.value), "", "", "",
+                      "", "", "", "", ""});
+  }
+  for (const GaugeSample& g : gauges) {
+    writer.write_row({"gauge", g.name, format_number(g.value), "", "", "", "",
+                      "", "", "", ""});
+  }
+  for (const HistogramSample& h : histograms) {
+    writer.write_row({"histogram", h.name, "", std::to_string(h.data.count),
+                      format_number(h.data.sum), format_number(h.data.mean()),
+                      format_number(h.data.min), format_number(h.data.max),
+                      format_number(h.data.p50()), format_number(h.data.p90()),
+                      format_number(h.data.p99())});
+  }
+}
+
+void MetricsSnapshot::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(counters[i].name)
+        << "\": " << counters[i].value;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(gauges[i].name)
+        << "\": " << format_number(gauges[i].value);
+  }
+  out << "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramData& d = histograms[i].data;
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << json_escape(histograms[i].name) << "\": {\"count\": " << d.count
+        << ", \"sum\": " << format_number(d.sum)
+        << ", \"mean\": " << format_number(d.mean())
+        << ", \"min\": " << format_number(d.min)
+        << ", \"max\": " << format_number(d.max)
+        << ", \"p50\": " << format_number(d.p50())
+        << ", \"p90\": " << format_number(d.p90())
+        << ", \"p99\": " << format_number(d.p99()) << "}";
+  }
+  out << "\n  }\n}\n";
+}
+
+MetricsSnapshot snapshot_diff(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  out.counters.reserve(after.counters.size());
+  for (const CounterSample& a : after.counters) {
+    const CounterSample* b = before.find_counter(a.name);
+    const std::uint64_t base = b == nullptr ? 0 : b->value;
+    require(a.value >= base, "snapshot_diff: counter went backwards");
+    out.counters.push_back({a.name, a.value - base});
+  }
+  out.gauges = after.gauges;
+  out.histograms.reserve(after.histograms.size());
+  for (const HistogramSample& a : after.histograms) {
+    const HistogramSample* b = before.find_histogram(a.name);
+    out.histograms.push_back(
+        {a.name, b == nullptr ? a.data : histogram_diff(b->data, a.data)});
+  }
+  return out;
+}
+
+}  // namespace sb::obs

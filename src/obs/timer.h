@@ -1,0 +1,51 @@
+// RAII wall-clock span: records the elapsed time of a pipeline stage into a
+// histogram (in seconds) when it goes out of scope. With SB_METRICS=OFF the
+// timer is an empty stub that never touches the clock.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace sb::obs {
+
+#ifdef SB_METRICS_ENABLED
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(&histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now (idempotent) and returns the elapsed seconds.
+  double stop() {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    if (histogram_ != nullptr) {
+      histogram_->record(elapsed);
+      histogram_ = nullptr;
+    }
+    return elapsed;
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&) {}
+  double stop() { return 0.0; }
+};
+
+#endif  // SB_METRICS_ENABLED
+
+}  // namespace sb::obs

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <queue>
+#include <string>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace sb {
 
@@ -107,6 +110,15 @@ Simulator::Simulator(EvalContext ctx) : ctx_(ctx) {
 SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
                          double freeze_delay_s) const {
   require(freeze_delay_s > 0.0, "Simulator::run: freeze delay");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  static obs::Counter& calls_metric = registry.counter("sb.sim.calls");
+  static obs::Counter& frozen_metric = registry.counter("sb.sim.frozen");
+  static obs::Counter& migrations_metric =
+      registry.counter("sb.sim.migrations");
+  static obs::Histogram& acl_metric = registry.histogram(
+      "sb.sim.acl_ms", {.min = 0.1, .max = 1000.0, .bucket_count = 80});
+  static obs::Histogram& run_metric = registry.histogram("sb.sim.run_s");
+  obs::ScopedTimer run_timer(run_metric);
   const auto& records = db.records();
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
@@ -194,7 +206,9 @@ SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
         usage.add_call(call, -1.0);
         call.active = false;
         allocator.on_call_end(rec.id, ev.time);
-        acl_sum += acl_ms(config, call.dc, *ctx_.latency);
+        const double final_acl_ms = acl_ms(config, call.dc, *ctx_.latency);
+        acl_sum += final_acl_ms;
+        acl_metric.record(final_acl_ms);
         --concurrent;
         break;
       }
@@ -215,6 +229,18 @@ SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
                 static_cast<double>(report.calls);
   report.dc_peak_cores = usage.dc_peaks();
   report.link_peak_gbps = usage.link_peaks();
+
+  calls_metric.inc(report.calls);
+  frozen_metric.inc(report.frozen);
+  migrations_metric.inc(report.migrations);
+  // Peak gauges hold the max across every run in the process; registration
+  // here is off the event loop, so name lookups are fine.
+  for (std::size_t x = 0; x < report.dc_peak_cores.size(); ++x) {
+    registry.gauge("sb.sim.dc_peak_cores." + std::to_string(x))
+        .max_of(report.dc_peak_cores[x]);
+  }
+  registry.gauge("sb.sim.peak_concurrent_calls")
+      .max_of(static_cast<double>(report.peak_concurrent_calls));
   return report;
 }
 

@@ -3,9 +3,15 @@
 // and the Table 3 orderings between Switchboard and the baselines.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "baselines/locality_first.h"
 #include "baselines/round_robin.h"
+#include "common/csv.h"
 #include "core/controller.h"
+#include "obs/snapshot.h"
 #include "sim/simulator.h"
 #include "trace/scenario.h"
 
@@ -135,6 +141,27 @@ TEST_F(PipelineFixture, AllocationPlanRestoresLfLatencyWithBackup) {
   EXPECT_LE(plan.mean_acl_ms, provision.mean_acl_ms + 1e-6);
 }
 
+/// Drives a Switchboard controller through the simulator's allocator hooks.
+class ControllerAllocator final : public CallAllocator {
+ public:
+  explicit ControllerAllocator(Switchboard& controller)
+      : controller_(&controller) {}
+  DcId on_call_start(CallId call, LocationId first, SimTime now) override {
+    return controller_->call_started(call, first, now);
+  }
+  FreezeResult on_config_frozen(CallId call, const CallConfig& config,
+                                SimTime now) override {
+    return controller_->config_frozen(call, config, now);
+  }
+  void on_call_end(CallId call, SimTime now) override {
+    controller_->call_ended(call, now);
+  }
+  [[nodiscard]] std::string name() const override { return "controller"; }
+
+ private:
+  Switchboard* controller_;
+};
+
 TEST_F(PipelineFixture, ControllerEndToEndWithSimulator) {
   ControllerOptions options;
   options.provision.include_link_failures = false;
@@ -148,26 +175,7 @@ TEST_F(PipelineFixture, ControllerEndToEndWithSimulator) {
   const CallRecordDatabase db =
       scenario_->trace->generate(start, start + 4.0 * kSecondsPerHour);
 
-  class ControllerAllocator final : public CallAllocator {
-   public:
-    explicit ControllerAllocator(Switchboard& controller)
-        : controller_(&controller) {}
-    DcId on_call_start(CallId call, LocationId first, SimTime now) override {
-      return controller_->call_started(call, first, now);
-    }
-    FreezeResult on_config_frozen(CallId call, const CallConfig& config,
-                                  SimTime now) override {
-      return controller_->config_frozen(call, config, now);
-    }
-    void on_call_end(CallId call, SimTime now) override {
-      controller_->call_ended(call, now);
-    }
-    [[nodiscard]] std::string name() const override { return "controller"; }
-
-   private:
-    Switchboard* controller_;
-  };
-
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
   ControllerAllocator allocator(controller);
   Simulator sim(*ctx_);
   const SimReport report = sim.run(db, allocator);
@@ -180,6 +188,108 @@ TEST_F(PipelineFixture, ControllerEndToEndWithSimulator) {
   // Most calls belong to planned (top-20) configs' complement — the ones
   // outside the plan fall back gracefully rather than erroring.
   EXPECT_GT(stats.calls_frozen, 0u);
+
+#ifdef SB_METRICS_ENABLED
+  // The controller emits one sb.realtime counter per event, so the delta
+  // over this replay must match the selector's own accounting exactly.
+  const obs::MetricsSnapshot delta =
+      obs::snapshot_diff(before, obs::MetricsRegistry::global().snapshot());
+  EXPECT_EQ(delta.counter_value("sb.realtime.calls_started"), db.size());
+  EXPECT_EQ(delta.counter_value("sb.realtime.calls_ended"), db.size());
+  EXPECT_EQ(delta.counter_value("sb.realtime.configs_frozen"),
+            stats.calls_frozen);
+  EXPECT_EQ(delta.counter_value("sb.realtime.migrations"), report.migrations);
+  EXPECT_EQ(delta.counter_value("sb.sim.calls"), db.size());
+  const obs::HistogramSample* freeze =
+      delta.find_histogram("sb.realtime.freeze_latency_s");
+  ASSERT_NE(freeze, nullptr);
+  EXPECT_EQ(freeze->data.count, stats.calls_frozen);
+  EXPECT_GT(freeze->data.p99(), 0.0);
+#endif
+}
+
+TEST_F(PipelineFixture, MetricsSnapshotExportsAllSubsystems) {
+#ifndef SB_METRICS_ENABLED
+  GTEST_SKIP() << "built with SB_METRICS=OFF";
+#else
+  // Exercise every instrumented subsystem once: provisioning (lp +
+  // provisioner), the allocation plan, and a KV-backed realtime replay
+  // (realtime + kvstore + sim).
+  ControllerOptions options;
+  options.provision.include_link_failures = false;
+  options.provision.with_backup = false;
+  options.slot_s = 3600.0;
+  Switchboard controller(*ctx_, options);
+  controller.provision(*demand_);
+  controller.build_allocation_plan(*demand_, kSecondsPerDay);
+  KvStoreOptions store_options;
+  store_options.inject_latency = false;
+  KvStore store(store_options);
+  controller.attach_store(&store);
+
+  const double start = kSecondsPerDay + 3.0 * kSecondsPerHour;
+  const CallRecordDatabase db =
+      scenario_->trace->generate(start, start + 1.0 * kSecondsPerHour);
+  ControllerAllocator allocator(controller);
+  Simulator sim(*ctx_);
+  sim.run(db, allocator);
+
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto csv_path = dir / "sb_metrics_snapshot.csv";
+  const auto json_path = dir / "sb_metrics_snapshot.json";
+  {
+    std::ofstream csv(csv_path);
+    snap.write_csv(csv);
+    std::ofstream json(json_path);
+    snap.write_json(json);
+  }
+
+  // Both files exist and name metrics from all five subsystems.
+  for (const char* subsystem :
+       {"sb.realtime.", "sb.provisioner.", "sb.lp.", "sb.kvstore.",
+        "sb.sim."}) {
+    bool counter_or_gauge_or_hist = false;
+    for (const auto& c : snap.counters) {
+      if (c.name.rfind(subsystem, 0) == 0) counter_or_gauge_or_hist = true;
+    }
+    for (const auto& h : snap.histograms) {
+      if (h.name.rfind(subsystem, 0) == 0) counter_or_gauge_or_hist = true;
+    }
+    EXPECT_TRUE(counter_or_gauge_or_hist) << subsystem;
+  }
+
+  std::stringstream csv_text;
+  csv_text << std::ifstream(csv_path).rdbuf();
+  const auto rows = parse_csv(csv_text.str());
+  ASSERT_GT(rows.size(), 5u);
+  EXPECT_EQ(rows.front().front(), "kind");
+  std::size_t subsystems_in_csv = 0;
+  for (const char* subsystem :
+       {"sb.realtime.", "sb.provisioner.", "sb.lp.", "sb.kvstore.",
+        "sb.sim."}) {
+    for (const auto& row : rows) {
+      if (row.size() > 1 && row[1].rfind(subsystem, 0) == 0) {
+        ++subsystems_in_csv;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(subsystems_in_csv, 5u);
+
+  std::stringstream json_text;
+  json_text << std::ifstream(json_path).rdbuf();
+  const std::string json_str = json_text.str();
+  for (const char* key :
+       {"\"counters\"", "\"histograms\"", "sb.lp.solve_s",
+        "sb.realtime.freeze_latency_s", "sb.kvstore.op_latency_s",
+        "sb.provisioner.scenario_solve_s", "sb.sim.acl_ms", "\"p99\""}) {
+    EXPECT_NE(json_str.find(key), std::string::npos) << key;
+  }
+
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(json_path);
+#endif
 }
 
 TEST_F(PipelineFixture, JointNetworkAblationNeverBeatsJoint) {

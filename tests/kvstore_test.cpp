@@ -67,6 +67,9 @@ TEST(KvStoreTest, ConcurrentDisjointWrites) {
 }
 
 TEST(KvStoreTest, InjectedLatencyWithinPaperRange) {
+#ifndef SB_METRICS_ENABLED
+  GTEST_SKIP() << "op stats ride on sb::obs; built with SB_METRICS=OFF";
+#else
   KvStoreOptions options;
   options.min_latency_ms = 0.3;
   options.max_latency_ms = 4.2;
@@ -78,8 +81,18 @@ TEST(KvStoreTest, InjectedLatencyWithinPaperRange) {
   EXPECT_GE(stats.min_latency_ms, 0.3);
   EXPECT_LE(stats.max_latency_ms, 4.2);
   EXPECT_GT(stats.mean_latency_ms(), 0.3);
+
+  // The OpStats view is a projection of the per-instance histogram; its
+  // percentiles must sit inside the injected range too.
+  const obs::HistogramData histogram = store.latency_histogram();
+  EXPECT_EQ(histogram.count, 30u);
+  EXPECT_GE(histogram.p50() * 1e3, 0.3);
+  EXPECT_LE(histogram.p99() * 1e3, 4.2);
+
   store.reset_stats();
   EXPECT_EQ(store.stats().ops, 0u);
+  EXPECT_EQ(store.latency_histogram().count, 0u);
+#endif
 }
 
 TEST(KvStoreTest, ValidatesOptions) {

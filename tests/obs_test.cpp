@@ -1,0 +1,237 @@
+// Tests for the sb::obs metrics layer: exact concurrent counting under
+// ThreadPool hammering, histogram bucket/percentile correctness, snapshot
+// diff semantics, CSV/JSON export, and the SB_METRICS=OFF no-op contract.
+//
+// The registry is process-global and tests may share a process, so every
+// test uses its own metric names and diff-based assertions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <sstream>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/timer.h"
+
+namespace sb::obs {
+namespace {
+
+#ifdef SB_METRICS_ENABLED
+
+TEST(ObsCounterTest, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  constexpr std::size_t kTasks = 16;
+  constexpr std::uint64_t kPerTask = 50000;
+  ThreadPool pool(8);
+  std::vector<std::future<void>> done;
+  done.reserve(kTasks);
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    done.push_back(pool.submit([&counter] {
+      for (std::uint64_t i = 0; i < kPerTask; ++i) counter.inc();
+    }));
+  }
+  for (auto& f : done) f.get();
+  EXPECT_EQ(counter.value(), kTasks * kPerTask);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(ObsGaugeTest, SetAddMax) {
+  Gauge gauge;
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+  gauge.max_of(10.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 10.0);
+  gauge.max_of(3.0);  // lower value must not win
+  EXPECT_DOUBLE_EQ(gauge.value(), 10.0);
+}
+
+TEST(ObsHistogramTest, ConcurrentRecordsExactCountAndSum) {
+  Histogram histogram({.min = 1e-3, .max = 10.0, .bucket_count = 40});
+  constexpr std::size_t kTasks = 8;
+  constexpr std::size_t kPerTask = 20000;
+  ThreadPool pool(8);
+  std::vector<std::future<void>> done;
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    done.push_back(pool.submit([&histogram, t] {
+      for (std::size_t i = 0; i < kPerTask; ++i) {
+        histogram.record(0.001 * static_cast<double>(t + 1));
+      }
+    }));
+  }
+  for (auto& f : done) f.get();
+
+  const HistogramData data = histogram.collect();
+  EXPECT_EQ(data.count, kTasks * kPerTask);
+  // Bucket totals must equal the count (no sample lost or double-counted).
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : data.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, data.count);
+  double expected_sum = 0.0;
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    expected_sum += 0.001 * static_cast<double>(t + 1) * kPerTask;
+  }
+  EXPECT_NEAR(data.sum, expected_sum, 1e-6 * expected_sum);
+  EXPECT_DOUBLE_EQ(data.min, 0.001);
+  EXPECT_DOUBLE_EQ(data.max, 0.008);
+}
+
+TEST(ObsHistogramTest, PercentilesLandInTheRightBucket) {
+  // Uniform 1..1000 ms: p50 ~ 500, p90 ~ 900, p99 ~ 990. Buckets are
+  // geometric with ~19% growth at 40 buckets over [1e-1, 1e4], so allow one
+  // bucket of slack.
+  Histogram histogram({.min = 0.1, .max = 1e4, .bucket_count = 60});
+  for (int v = 1; v <= 1000; ++v) histogram.record(static_cast<double>(v));
+  const HistogramData data = histogram.collect();
+  EXPECT_EQ(data.count, 1000u);
+  EXPECT_NEAR(data.quantile(0.5), 500.0, 110.0);
+  EXPECT_NEAR(data.quantile(0.9), 900.0, 190.0);
+  EXPECT_NEAR(data.quantile(0.99), 990.0, 210.0);
+  EXPECT_DOUBLE_EQ(data.quantile(0.0), 1.0);   // clamped to observed min
+  EXPECT_DOUBLE_EQ(data.quantile(1.0), 1000.0);  // observed max
+  // Cumulative bucket counts are monotone by construction; spot-check the
+  // quantile function is monotone too.
+  double last = 0.0;
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double value = data.quantile(q);
+    EXPECT_GE(value, last);
+    last = value;
+  }
+}
+
+TEST(ObsHistogramTest, UnderAndOverflowAreCountedAndClamped) {
+  Histogram histogram({.min = 1.0, .max = 10.0, .bucket_count = 4});
+  histogram.record(0.01);   // underflow
+  histogram.record(5.0);
+  histogram.record(1000.0);  // overflow
+  const HistogramData data = histogram.collect();
+  EXPECT_EQ(data.count, 3u);
+  EXPECT_EQ(data.buckets.front(), 1u);
+  EXPECT_EQ(data.buckets.back(), 1u);
+  EXPECT_DOUBLE_EQ(data.min, 0.01);
+  EXPECT_DOUBLE_EQ(data.max, 1000.0);
+  EXPECT_DOUBLE_EQ(data.quantile(0.001), 0.01);
+  EXPECT_DOUBLE_EQ(data.quantile(0.999), 1000.0);
+}
+
+TEST(ObsRegistryTest, HandlesAreStableAndShared) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  Counter& a = registry.counter("test.registry.shared");
+  Counter& b = registry.counter("test.registry.shared");
+  EXPECT_EQ(&a, &b);
+  Histogram& h = registry.histogram("test.registry.hist");
+  EXPECT_EQ(&h, &registry.histogram("test.registry.hist"));
+}
+
+TEST(ObsTimerTest, ScopedTimerRecordsOneSample) {
+  Histogram histogram;
+  const std::uint64_t before = histogram.collect().count;
+  {
+    ScopedTimer timer(histogram);
+  }
+  ScopedTimer explicit_stop(histogram);
+  const double elapsed = explicit_stop.stop();
+  EXPECT_GE(elapsed, 0.0);
+  const HistogramData data = histogram.collect();
+  EXPECT_EQ(data.count, before + 2);
+  EXPECT_LT(data.max, 10.0);  // a timer span is never remotely 10 s here
+}
+
+TEST(ObsSnapshotTest, DiffSubtractsCountersAndHistogramBuckets) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  Counter& counter = registry.counter("test.snapshot.counter");
+  Histogram& histogram = registry.histogram("test.snapshot.hist");
+  counter.inc(5);
+  histogram.record(0.5);
+  const MetricsSnapshot before = registry.snapshot();
+  counter.inc(3);
+  histogram.record(0.25);
+  histogram.record(0.75);
+  const MetricsSnapshot after = registry.snapshot();
+
+  const MetricsSnapshot delta = snapshot_diff(before, after);
+  EXPECT_EQ(delta.counter_value("test.snapshot.counter"), 3u);
+  const HistogramSample* h = delta.find_histogram("test.snapshot.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->data.count, 2u);
+  EXPECT_NEAR(h->data.sum, 1.0, 1e-9);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : h->data.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 2u);
+}
+
+TEST(ObsSnapshotTest, CsvAndJsonExportRoundTrip) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.counter("test.export.counter").inc(7);
+  registry.gauge("test.export.gauge").set(2.5);
+  registry.histogram("test.export.hist").record(0.125);
+  const MetricsSnapshot snap = registry.snapshot();
+
+  std::ostringstream csv;
+  snap.write_csv(csv);
+  const std::vector<std::vector<std::string>> rows = parse_csv(csv.str());
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.front().front(), "kind");
+  EXPECT_EQ(rows.front().size(), 11u);
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.size(), rows.front().size());
+    if (row[1] == "test.export.counter") {
+      saw_counter = true;
+      EXPECT_EQ(row[0], "counter");
+      EXPECT_EQ(row[2], "7");
+    }
+    if (row[1] == "test.export.gauge") saw_gauge = true;
+    if (row[1] == "test.export.hist") {
+      saw_hist = true;
+      EXPECT_EQ(row[0], "histogram");
+      EXPECT_GE(std::stoull(row[3]), 1u);  // count column
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_hist);
+
+  std::ostringstream json;
+  snap.write_json(json);
+  const std::string text = json.str();
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(text.find("\"test.export.counter\": 7"), std::string::npos);
+  EXPECT_NE(text.find("\"p99\""), std::string::npos);
+}
+
+#else  // !SB_METRICS_ENABLED
+
+TEST(ObsNoopTest, EverythingCompilesToNoops) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  Counter& counter = registry.counter("noop.counter");
+  counter.inc(100);
+  EXPECT_EQ(counter.value(), 0u);
+  Gauge& gauge = registry.gauge("noop.gauge");
+  gauge.set(5.0);
+  EXPECT_EQ(gauge.value(), 0.0);
+  Histogram& histogram = registry.histogram("noop.hist");
+  histogram.record(1.0);
+  {
+    ScopedTimer timer(histogram);
+  }
+  EXPECT_EQ(histogram.collect().count, 0u);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_TRUE(snap.empty());
+  std::ostringstream csv;
+  snap.write_csv(csv);
+  EXPECT_FALSE(csv.str().empty());  // header row still prints
+}
+
+#endif  // SB_METRICS_ENABLED
+
+}  // namespace
+}  // namespace sb::obs
