@@ -3,6 +3,7 @@
 // the same scenario defaults (see EXPERIMENTS.md).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -12,6 +13,19 @@
 #include "trace/scenario.h"
 
 namespace sb::bench {
+
+/// Emits one machine-readable result line alongside the human-readable
+/// table: `{"bench": ..., "metric": ..., "value": ...}`. One JSON object per
+/// line, always starting the line with `{"bench"`, so BENCH_*.json
+/// trajectories can be scraped with `grep '^{"bench"'` from any bench's
+/// stdout.
+inline void emit_json(const std::string& bench, const std::string& metric,
+                      double value) {
+  char formatted[64];
+  std::snprintf(formatted, sizeof(formatted), "%.10g", value);
+  std::cout << "{\"bench\": \"" << bench << "\", \"metric\": \"" << metric
+            << "\", \"value\": " << formatted << "}\n";
+}
 
 /// Parses "--name=value" from argv; returns fallback when absent.
 inline double arg_double(int argc, char** argv, const std::string& name,

@@ -1,8 +1,13 @@
 // google-benchmark microbenchmarks for the realtime path: MP selector
-// assign/freeze/end cycles and KV-store operations (without injected
-// latency, to measure the data-structure cost itself).
+// assign/freeze/end cycles (single-threaded and contended multi-threaded)
+// and KV-store operations (without injected latency, to measure the
+// data-structure cost itself). Alongside the usual console table, results
+// are emitted as `{"bench": ...}` JSON lines (see bench_util.h).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
+#include "bench_util.h"
 #include "core/realtime.h"
 #include "geo/world_presets.h"
 #include "kvstore/kvstore.h"
@@ -47,6 +52,24 @@ void BM_SelectorAssignFreezeEnd(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 3);
 }
 BENCHMARK(BM_SelectorAssignFreezeEnd);
+
+void BM_SelectorContendedCycle(benchmark::State& state) {
+  // Shared lock-striped selector driven by google-benchmark's thread pool:
+  // measures the whole assign/freeze/end cycle under contention. Call ids
+  // come from one atomic counter, so threads spread across shards exactly
+  // like production signaling traffic.
+  static Fixture fixture;
+  static RealtimeSelector selector(fixture.ctx(), &fixture.plan, {});
+  static std::atomic<std::uint32_t> next{0};
+  for (auto _ : state) {
+    const CallId call(next.fetch_add(1, std::memory_order_relaxed));
+    selector.on_call_start(call, LocationId(0), 0.0);
+    selector.on_config_frozen(call, fixture.config, 300.0);
+    selector.on_call_end(call, 400.0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 3);
+}
+BENCHMARK(BM_SelectorContendedCycle)->Threads(1)->Threads(4)->Threads(8);
 
 void BM_ClosestDcLookup(benchmark::State& state) {
   Fixture f;
@@ -94,7 +117,29 @@ void BM_AclComputation(benchmark::State& state) {
 }
 BENCHMARK(BM_AclComputation);
 
+/// ConsoleReporter that also emits one bench_util JSON line per run
+/// (`micro_controller` bench, metric `<name>.ns_per_op`), so the
+/// microbenches feed the same BENCH_*.json scraping as the table benches.
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      bench::emit_json("micro_controller", run.benchmark_name() + ".ns_per_op",
+                       run.GetAdjustedRealTime());
+    }
+  }
+};
+
 }  // namespace
 }  // namespace sb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  sb::JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

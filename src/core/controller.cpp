@@ -52,18 +52,22 @@ const AllocationPlan& Switchboard::build_allocation_plan(
   obs::ScopedTimer timer(metrics_.allocation_plan_s);
   AllocationPlanner planner(ctx_, options_.allocation);
   plan_ = planner.plan(demand, provision_result_->capacity, options_.slot_s);
-  std::lock_guard lock(selector_mutex_);
+  std::unique_lock lock(swap_mutex_);
   selector_ = std::make_unique<RealtimeSelector>(
       ctx_, &*plan_, options_.realtime, plan_start_s);
   return *plan_;
 }
 
+// Event methods hold swap_mutex_ shared for the selector call only (readers
+// don't contend; the selector stripes its own locks per call shard) and
+// persist to the KV store after releasing it, so ~ms store round trips
+// overlap freely across threads.
 DcId Switchboard::call_started(CallId call, LocationId first_joiner,
                                SimTime now) {
   obs::ScopedTimer timer(metrics_.start_latency_s);
   DcId dc;
   {
-    std::lock_guard lock(selector_mutex_);
+    std::shared_lock lock(swap_mutex_);
     dc = selector_->on_call_start(call, first_joiner, now);
   }
   if (store_) {
@@ -79,7 +83,7 @@ FreezeResult Switchboard::config_frozen(CallId call, const CallConfig& config,
   obs::ScopedTimer timer(metrics_.freeze_latency_s);
   FreezeResult result;
   {
-    std::lock_guard lock(selector_mutex_);
+    std::shared_lock lock(swap_mutex_);
     result = selector_->on_config_frozen(call, config, now);
   }
   if (store_) {
@@ -95,7 +99,7 @@ FreezeResult Switchboard::config_frozen(CallId call, const CallConfig& config,
 void Switchboard::call_ended(CallId call, SimTime now) {
   obs::ScopedTimer timer(metrics_.end_latency_s);
   {
-    std::lock_guard lock(selector_mutex_);
+    std::shared_lock lock(swap_mutex_);
     selector_->on_call_end(call, now);
   }
   if (store_) {
@@ -105,7 +109,7 @@ void Switchboard::call_ended(CallId call, SimTime now) {
 }
 
 RealtimeSelector::Stats Switchboard::realtime_stats() const {
-  std::lock_guard lock(selector_mutex_);
+  std::shared_lock lock(swap_mutex_);
   return selector_->stats();
 }
 

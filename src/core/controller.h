@@ -7,8 +7,8 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 
 #include "core/allocation_plan.h"
 #include "core/provisioner.h"
@@ -30,6 +30,14 @@ struct ControllerOptions {
 /// build_allocation_plan) are heavyweight and not thread-safe against each
 /// other; realtime methods are thread-safe and may be called concurrently
 /// by many call-signaling threads.
+///
+/// Threading (DESIGN.md "Threading model"): there is no global event lock.
+/// The selector is internally lock-striped, so concurrent events contend
+/// only when they hit the same call shard; KV-store persistence happens
+/// after the shard lock is released. Per-call store writes stay
+/// last-writer-wins because each call's events are ordered by its driver
+/// (signaling threads and the concurrent simulator both give every call a
+/// single-thread affinity), and distinct calls never share a key.
 class Switchboard {
  public:
   Switchboard(EvalContext ctx, ControllerOptions options);
@@ -84,7 +92,11 @@ class Switchboard {
   std::optional<ProvisionResult> provision_result_;
   std::optional<AllocationPlan> plan_;
   std::unique_ptr<RealtimeSelector> selector_;
-  mutable std::mutex selector_mutex_;
+  /// Guards only the selector *pointer* swap when build_allocation_plan
+  /// installs a fresh plan. Realtime events take it shared (readers never
+  /// contend with each other); the selector's own lock striping provides
+  /// all per-event synchronization.
+  mutable std::shared_mutex swap_mutex_;
   KvStore* store_ = nullptr;
 };
 

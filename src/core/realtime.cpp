@@ -9,36 +9,64 @@ namespace sb {
 RealtimeSelector::RealtimeSelector(EvalContext ctx, const AllocationPlan* plan,
                                    RealtimeOptions options,
                                    SimTime plan_start_s)
-    : ctx_(ctx), plan_(plan), options_(options), plan_start_s_(plan_start_s) {
+    : ctx_(ctx),
+      plan_(plan),
+      options_(options),
+      plan_start_s_(plan_start_s),
+      shard_count_(std::max<std::size_t>(options.shard_count, 1)) {
   require(ctx_.world && ctx_.latency && ctx_.registry,
           "RealtimeSelector: incomplete context");
   all_dcs_ = ctx_.world->dc_ids();
   require(!all_dcs_.empty(), "RealtimeSelector: world has no DCs");
+  shards_ = std::make_unique<CallShard[]>(shard_count_);
+  stats_ = std::make_unique<ShardStats[]>(shard_count_);
   if (plan_) {
-    usage_.assign(plan_->config_count() * plan_->dc_count(), 0);
+    const std::size_t cells = plan_->config_count() * plan_->dc_count();
+    usage_ = std::make_unique<std::atomic<std::uint32_t>[]>(cells);
+    for (std::size_t i = 0; i < cells; ++i) {
+      usage_[i].store(0, std::memory_order_relaxed);
+    }
   }
 }
 
-std::uint32_t& RealtimeSelector::usage(std::size_t col, DcId dc) {
-  return usage_[col * plan_->dc_count() + dc.value()];
+bool RealtimeSelector::try_debit(std::size_t col, DcId dc,
+                                 std::uint32_t quota) {
+  std::atomic<std::uint32_t>& u = usage(col, dc);
+  std::uint32_t cur = u.load(std::memory_order_relaxed);
+  while (cur < quota) {
+    if (u.compare_exchange_weak(cur, cur + 1, std::memory_order_acq_rel,
+                                std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 DcId RealtimeSelector::on_call_start(CallId call, LocationId first_joiner,
                                      SimTime /*now*/) {
+  // closest_dc only reads the immutable latency matrix, so it runs before
+  // the stripe lock is taken.
   const DcId dc = ctx_.latency->closest_dc(first_joiner, all_dcs_);
-  const auto [it, inserted] = active_.emplace(call, ActiveCall{dc});
-  require(inserted, "on_call_start: duplicate call id");
-  ++stats_.calls_started;
+  CallShard& s = shard(call);
+  {
+    std::lock_guard lock(s.mutex);
+    const auto [it, inserted] = s.calls.emplace(call, ActiveCall{dc});
+    require(inserted, "on_call_start: duplicate call id");
+  }
+  shard_stats(call).calls_started.fetch_add(1, std::memory_order_relaxed);
   return dc;
 }
 
 FreezeResult RealtimeSelector::on_config_frozen(CallId call,
                                                 const CallConfig& config,
                                                 SimTime now) {
-  const auto it = active_.find(call);
-  require(it != active_.end(), "on_config_frozen: unknown call");
+  CallShard& s = shard(call);
+  ShardStats& stat = shard_stats(call);
+  std::lock_guard lock(s.mutex);
+  const auto it = s.calls.find(call);
+  require(it != s.calls.end(), "on_config_frozen: unknown call");
   ActiveCall& state = it->second;
-  ++stats_.calls_frozen;
+  stat.calls_frozen.fetch_add(1, std::memory_order_relaxed);
 
   const ConfigId id = ctx_.registry->find(config);
   const std::size_t col =
@@ -47,45 +75,58 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
   FreezeResult result{state.dc, false, col != AllocationPlan::npos};
   if (!result.planned) {
     // §5.4: unanticipated config -> its closest (min ACL) DC.
-    ++stats_.unplanned;
+    stat.unplanned.fetch_add(1, std::memory_order_relaxed);
     const DcId target = min_acl_dc(config, all_dcs_, *ctx_.latency);
     result.migrated = target != state.dc;
-    if (result.migrated) ++stats_.migrations;
+    if (result.migrated) {
+      stat.migrations.fetch_add(1, std::memory_order_relaxed);
+    }
     state.dc = target;
     result.dc = target;
     return result;
   }
 
   const TimeSlot slot = plan_->slot_at(now - plan_start_s_);
-  if (usage(col, state.dc) < plan_->quota(slot, col, state.dc)) {
+  if (try_debit(col, state.dc, plan_->quota(slot, col, state.dc))) {
     // Initial heuristic matched the plan: just debit (§5.4b).
-    ++usage(col, state.dc);
+    stat.slot_debits.fetch_add(1, std::memory_order_relaxed);
     state.plan_col = col;
     state.holds_slot = true;
     return result;
   }
   // Migrate to the planned DC with spare quota and the lowest ACL (§5.4c).
+  // Another thread can drain a candidate between the scan and our debit, so
+  // retry the scan until a debit lands or every quota reads exhausted; the
+  // CAS keeps accounting exact either way.
   DcId best;
-  double best_acl = 0.0;
-  for (DcId dc : all_dcs_) {
-    if (usage(col, dc) >= plan_->quota(slot, col, dc)) continue;
-    const double a = acl_ms(config, dc, *ctx_.latency);
-    if (!best.valid() || a < best_acl) {
-      best = dc;
-      best_acl = a;
+  for (;;) {
+    best = DcId();
+    double best_acl = 0.0;
+    for (DcId dc : all_dcs_) {
+      if (usage(col, dc).load(std::memory_order_relaxed) >=
+          plan_->quota(slot, col, dc)) {
+        continue;
+      }
+      const double a = acl_ms(config, dc, *ctx_.latency);
+      if (!best.valid() || a < best_acl) {
+        best = dc;
+        best_acl = a;
+      }
     }
+    if (!best.valid()) {
+      // All quotas exhausted (plan under-estimated this config's
+      // concurrency): stay put rather than thrash; provisioning cushions
+      // make this rare.
+      stat.overflow.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    if (try_debit(col, best, plan_->quota(slot, col, best))) break;
   }
-  if (!best.valid()) {
-    // All quotas exhausted (plan under-estimated this config's concurrency):
-    // stay put rather than thrash; provisioning cushions make this rare.
-    ++stats_.overflow;
-    return result;
-  }
-  ++usage(col, best);
+  stat.slot_debits.fetch_add(1, std::memory_order_relaxed);
   state.plan_col = col;
   state.holds_slot = true;
   if (best != state.dc) {
-    ++stats_.migrations;
+    stat.migrations.fetch_add(1, std::memory_order_relaxed);
     result.migrated = true;
     state.dc = best;
     result.dc = best;
@@ -94,14 +135,52 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
 }
 
 void RealtimeSelector::on_call_end(CallId call, SimTime /*now*/) {
-  const auto it = active_.find(call);
-  require(it != active_.end(), "on_call_end: unknown call");
+  CallShard& s = shard(call);
+  std::lock_guard lock(s.mutex);
+  const auto it = s.calls.find(call);
+  require(it != s.calls.end(), "on_call_end: unknown call");
   const ActiveCall& state = it->second;
   if (state.holds_slot) {
-    std::uint32_t& u = usage(state.plan_col, state.dc);
-    if (u > 0) --u;
+    // Debits and credits pair exactly (holds_slot is set only after a
+    // successful CAS debit), so the counter cannot underflow.
+    usage(state.plan_col, state.dc).fetch_sub(1, std::memory_order_acq_rel);
+    shard_stats(call).slot_credits.fetch_add(1, std::memory_order_relaxed);
   }
-  active_.erase(it);
+  s.calls.erase(it);
+}
+
+RealtimeSelector::Stats RealtimeSelector::stats() const {
+  Stats out;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    const ShardStats& s = stats_[i];
+    out.calls_started += s.calls_started.load(std::memory_order_relaxed);
+    out.calls_frozen += s.calls_frozen.load(std::memory_order_relaxed);
+    out.migrations += s.migrations.load(std::memory_order_relaxed);
+    out.unplanned += s.unplanned.load(std::memory_order_relaxed);
+    out.overflow += s.overflow.load(std::memory_order_relaxed);
+    out.slot_debits += s.slot_debits.load(std::memory_order_relaxed);
+    out.slot_credits += s.slot_credits.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::size_t RealtimeSelector::active_calls() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard lock(shards_[i].mutex);
+    total += shards_[i].calls.size();
+  }
+  return total;
+}
+
+std::uint64_t RealtimeSelector::held_slots() const {
+  if (!plan_) return 0;
+  std::uint64_t total = 0;
+  const std::size_t cells = plan_->config_count() * plan_->dc_count();
+  for (std::size_t i = 0; i < cells; ++i) {
+    total += usage_[i].load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace sb

@@ -3,9 +3,20 @@
 // the precomputed allocation plan once the call config freezes A minutes in
 // — debiting a plan slot, or migrating the call when the initial choice
 // disagrees with the plan. Unplanned configs fall back to their closest DC.
+//
+// Concurrency (DESIGN.md "Threading model"): call state is lock-striped
+// across N shards keyed by CallId % N, so events for different calls on
+// different shards never contend. Plan-slot quotas live outside the shards
+// in one shared table of atomic counters debited/credited with CAS, which
+// keeps freeze/migrate/overflow accounting exact without any global lock.
+// Stats are per-shard atomics folded on read. Driven single-threaded, the
+// selector makes bit-identical decisions to the pre-sharded implementation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/allocation_plan.h"
@@ -17,6 +28,9 @@ struct RealtimeOptions {
   /// participants have joined by then, Fig 8).
   double freeze_delay_s = 300.0;
   double acl_threshold_ms = kDefaultAclThresholdMs;
+  /// Lock stripes over the call table (shard = CallId % shard_count).
+  /// Events for calls on different shards proceed concurrently.
+  std::size_t shard_count = 16;
 };
 
 /// Outcome of freezing one call's config.
@@ -26,9 +40,9 @@ struct FreezeResult {
   bool planned = false;   ///< true if the config had plan slots
 };
 
-/// Single-threaded selector state machine; the Controller wraps it with a
-/// mutex for concurrent use. Tracks per-(config, DC) active frozen calls
-/// against the plan's slot quotas.
+/// Thread-safe selector state machine: any number of call-signaling threads
+/// may invoke the three event methods concurrently. Tracks per-(config, DC)
+/// active frozen calls against the plan's slot quotas.
 class RealtimeSelector {
  public:
   /// `plan` may be null (no-plan operation: every call sticks to the
@@ -52,12 +66,25 @@ class RealtimeSelector {
   struct Stats {
     std::uint64_t calls_started = 0;
     std::uint64_t calls_frozen = 0;
-    std::uint64_t migrations = 0;   ///< §6.4's headline metric
-    std::uint64_t unplanned = 0;    ///< configs with no plan column
-    std::uint64_t overflow = 0;     ///< plan slots exhausted; call stayed put
+    std::uint64_t migrations = 0;    ///< §6.4's headline metric
+    std::uint64_t unplanned = 0;     ///< configs with no plan column
+    std::uint64_t overflow = 0;      ///< plan slots exhausted; call stayed put
+    std::uint64_t slot_debits = 0;   ///< plan slots acquired at freeze
+    std::uint64_t slot_credits = 0;  ///< plan slots released at call end
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t active_calls() const { return active_.size(); }
+  /// Folds the per-shard stat atomics; weakly consistent under concurrent
+  /// events, exact when the selector is quiescent.
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t active_calls() const;
+  /// Plan slots currently held (sum over the atomic usage table); always
+  /// equals slot_debits - slot_credits when quiescent.
+  [[nodiscard]] std::uint64_t held_slots() const;
+  [[nodiscard]] std::size_t shard_count() const { return shard_count_; }
+  /// The stripe a call's state lives on; the simulator's concurrent driver
+  /// uses the same function to give each call thread affinity.
+  [[nodiscard]] static std::size_t shard_of(CallId call, std::size_t shards) {
+    return call.value() % shards;
+  }
   [[nodiscard]] double freeze_delay_s() const {
     return options_.freeze_delay_s;
   }
@@ -69,16 +96,48 @@ class RealtimeSelector {
     bool holds_slot = false;
   };
 
-  [[nodiscard]] std::uint32_t& usage(std::size_t col, DcId dc);
+  /// One lock stripe: its own mutex and call table, padded so neighbouring
+  /// shards' locks never share a cache line.
+  struct alignas(64) CallShard {
+    mutable std::mutex mutex;
+    std::unordered_map<CallId, ActiveCall> calls;
+  };
+
+  /// Per-shard event counters; incremented with relaxed atomics from inside
+  /// that shard's critical section, folded on read.
+  struct alignas(64) ShardStats {
+    std::atomic<std::uint64_t> calls_started{0};
+    std::atomic<std::uint64_t> calls_frozen{0};
+    std::atomic<std::uint64_t> migrations{0};
+    std::atomic<std::uint64_t> unplanned{0};
+    std::atomic<std::uint64_t> overflow{0};
+    std::atomic<std::uint64_t> slot_debits{0};
+    std::atomic<std::uint64_t> slot_credits{0};
+  };
+
+  [[nodiscard]] CallShard& shard(CallId call) {
+    return shards_[shard_of(call, shard_count_)];
+  }
+  [[nodiscard]] ShardStats& shard_stats(CallId call) {
+    return stats_[shard_of(call, shard_count_)];
+  }
+  [[nodiscard]] std::atomic<std::uint32_t>& usage(std::size_t col, DcId dc) {
+    return usage_[col * plan_->dc_count() + dc.value()];
+  }
+  /// CAS loop: acquires one slot of (col, dc) iff usage < quota. Exact under
+  /// contention — never debits past the quota, never loses a debit.
+  bool try_debit(std::size_t col, DcId dc, std::uint32_t quota);
 
   EvalContext ctx_;
   const AllocationPlan* plan_;
   RealtimeOptions options_;
   SimTime plan_start_s_;
+  std::size_t shard_count_;
   std::vector<DcId> all_dcs_;
-  std::unordered_map<CallId, ActiveCall> active_;
-  std::vector<std::uint32_t> usage_;  ///< [plan col][dc] active frozen calls
-  Stats stats_;
+  std::unique_ptr<CallShard[]> shards_;
+  std::unique_ptr<ShardStats[]> stats_;
+  /// [plan col][dc] active frozen calls, shared across shards.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> usage_;
 };
 
 }  // namespace sb

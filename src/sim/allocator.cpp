@@ -8,13 +8,28 @@ namespace sb {
 RoundRobinAllocator::RoundRobinAllocator(EvalContext ctx) : ctx_(ctx) {
   require(ctx_.world && ctx_.latency && ctx_.registry,
           "RoundRobinAllocator: incomplete context");
+  std::unordered_map<std::string, std::size_t> region_index;
+  const std::size_t locations = ctx_.world->location_count();
+  location_region_.resize(locations);
+  for (std::size_t i = 0; i < locations; ++i) {
+    const std::string& region =
+        ctx_.world->location(LocationId(static_cast<std::uint32_t>(i))).region;
+    const auto [it, inserted] =
+        region_index.emplace(region, region_dcs_.size());
+    if (inserted) {
+      std::vector<DcId> dcs = ctx_.world->dcs_in_region(region);
+      if (dcs.empty()) dcs = ctx_.world->dc_ids();
+      region_dcs_.push_back(std::move(dcs));
+    }
+    location_region_[i] = it->second;
+  }
+  region_cursor_.assign(region_dcs_.size(), 0);
 }
 
 DcId RoundRobinAllocator::on_call_start(CallId call, LocationId first_joiner,
                                         SimTime /*now*/) {
-  const std::string& region = ctx_.world->location(first_joiner).region;
-  std::vector<DcId> dcs = ctx_.world->dcs_in_region(region);
-  if (dcs.empty()) dcs = ctx_.world->dc_ids();
+  const std::size_t region = location_region_[first_joiner.value()];
+  const std::vector<DcId>& dcs = region_dcs_[region];
   std::size_t& cursor = region_cursor_[region];
   const DcId dc = dcs[cursor % dcs.size()];
   ++cursor;

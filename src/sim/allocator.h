@@ -11,6 +11,13 @@
 namespace sb {
 
 /// Per-call allocation decisions a scheme makes during simulation.
+///
+/// Thread safety: Simulator::run drives an allocator from one thread;
+/// Simulator::run_concurrent issues events for *different* calls from many
+/// threads at once (same-call events keep single-thread affinity via shard
+/// partitioning). Only internally synchronized implementations — the
+/// lock-striped RealtimeSelector and the Switchboard controller — may be
+/// driven concurrently; the RR/LF baselines are single-threaded only.
 class CallAllocator {
  public:
   virtual ~CallAllocator() = default;
@@ -67,7 +74,11 @@ class RoundRobinAllocator : public CallAllocator {
 
  private:
   EvalContext ctx_;
-  std::unordered_map<std::string, std::size_t> region_cursor_;
+  /// Region membership and DC lists resolved once at construction: call
+  /// start is two vector indexes, not a string hash + map lookup per call.
+  std::vector<std::size_t> location_region_;   ///< LocationId -> region index
+  std::vector<std::vector<DcId>> region_dcs_;  ///< region index -> its DCs
+  std::vector<std::size_t> region_cursor_;     ///< region index -> RR cursor
   std::unordered_map<CallId, DcId> active_;
 };
 

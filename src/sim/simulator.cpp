@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <queue>
 #include <string>
+#include <thread>
 
 #include "common/error.h"
-#include "obs/metrics.h"
+#include "common/thread_pool.h"
 #include "obs/timer.h"
 
 namespace sb {
@@ -88,8 +89,12 @@ class UsageTracker {
     }
   }
 
-  [[nodiscard]] std::vector<double> dc_peaks() const { return dc_peaks_; }
-  [[nodiscard]] std::vector<double> link_peaks() const { return link_peaks_; }
+  [[nodiscard]] const std::vector<double>& dc_peaks() const {
+    return dc_peaks_;
+  }
+  [[nodiscard]] const std::vector<double>& link_peaks() const {
+    return link_peaks_;
+  }
 
  private:
   const EvalContext& ctx_;
@@ -101,29 +106,71 @@ class UsageTracker {
 
 }  // namespace
 
-Simulator::Simulator(EvalContext ctx) : ctx_(ctx) {
+/// Per-partition accumulator; one per driver thread, merged after the join.
+struct Simulator::Partial {
+  std::uint64_t calls = 0;
+  std::uint64_t frozen = 0;
+  std::uint64_t migrations = 0;
+  double acl_sum = 0.0;
+  std::uint64_t majority_first = 0;
+  std::uint64_t peak_concurrent = 0;
+  std::vector<double> dc_peaks;
+  std::vector<double> link_peaks;
+
+  void merge(const Partial& other) {
+    calls += other.calls;
+    frozen += other.frozen;
+    migrations += other.migrations;
+    acl_sum += other.acl_sum;
+    majority_first += other.majority_first;
+    // Peaks merge as sums of per-partition peaks: an upper bound on the
+    // time-aligned peak (partitions replay without a shared clock).
+    peak_concurrent += other.peak_concurrent;
+    if (dc_peaks.empty()) dc_peaks.assign(other.dc_peaks.size(), 0.0);
+    for (std::size_t i = 0; i < other.dc_peaks.size(); ++i) {
+      dc_peaks[i] += other.dc_peaks[i];
+    }
+    if (link_peaks.empty()) link_peaks.assign(other.link_peaks.size(), 0.0);
+    for (std::size_t i = 0; i < other.link_peaks.size(); ++i) {
+      link_peaks[i] += other.link_peaks[i];
+    }
+  }
+};
+
+Simulator::Metrics::Metrics(const EvalContext& ctx)
+    : calls(obs::MetricsRegistry::global().counter("sb.sim.calls")),
+      frozen(obs::MetricsRegistry::global().counter("sb.sim.frozen")),
+      migrations(obs::MetricsRegistry::global().counter("sb.sim.migrations")),
+      acl_ms(obs::MetricsRegistry::global().histogram(
+          "sb.sim.acl_ms", {.min = 0.1, .max = 1000.0, .bucket_count = 80})),
+      run_s(obs::MetricsRegistry::global().histogram("sb.sim.run_s")),
+      peak_concurrent_calls(obs::MetricsRegistry::global().gauge(
+          "sb.sim.peak_concurrent_calls")) {
+  require(ctx.world != nullptr, "Simulator: incomplete context");
+  dc_peak_cores.reserve(ctx.world->dc_count());
+  for (std::size_t x = 0; x < ctx.world->dc_count(); ++x) {
+    dc_peak_cores.push_back(&obs::MetricsRegistry::global().gauge(
+        "sb.sim.dc_peak_cores." + std::to_string(x)));
+  }
+}
+
+Simulator::Simulator(EvalContext ctx) : ctx_(ctx), metrics_(ctx_) {
   require(ctx_.world && ctx_.topology && ctx_.latency && ctx_.registry &&
               ctx_.loads,
           "Simulator: incomplete context");
 }
 
-SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
-                         double freeze_delay_s) const {
-  require(freeze_delay_s > 0.0, "Simulator::run: freeze delay");
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
-  static obs::Counter& calls_metric = registry.counter("sb.sim.calls");
-  static obs::Counter& frozen_metric = registry.counter("sb.sim.frozen");
-  static obs::Counter& migrations_metric =
-      registry.counter("sb.sim.migrations");
-  static obs::Histogram& acl_metric = registry.histogram(
-      "sb.sim.acl_ms", {.min = 0.1, .max = 1000.0, .bucket_count = 80});
-  static obs::Histogram& run_metric = registry.histogram("sb.sim.run_s");
-  obs::ScopedTimer run_timer(run_metric);
+void Simulator::replay_partition(const CallRecordDatabase& db,
+                                 CallAllocator& allocator,
+                                 double freeze_delay_s,
+                                 const std::vector<std::uint8_t>& mine,
+                                 Partial& out) const {
   const auto& records = db.records();
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
   std::uint64_t seq = 0;
   for (std::size_t r = 0; r < records.size(); ++r) {
+    if (!mine[r]) continue;
     const CallRecord& rec = records[r];
     queue.push({rec.start_s, seq++, EventType::kStart, r, 0});
     for (std::size_t leg = 1; leg < rec.legs.size(); ++leg) {
@@ -144,10 +191,6 @@ SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
 
   UsageTracker usage(ctx_);
   std::vector<LiveCall> live(records.size());
-  SimReport report;
-  report.allocator = allocator.name();
-  double acl_sum = 0.0;
-  std::uint64_t majority_first = 0;
   std::uint64_t concurrent = 0;
 
   while (!queue.empty()) {
@@ -168,11 +211,10 @@ SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
         call.joined = {rec.legs.front()};
         call.active = true;
         usage.add_leg(call.dc, call.media, first, +1.0);
-        ++report.calls;
-        if (first == config.majority_location()) ++majority_first;
+        ++out.calls;
+        if (first == config.majority_location()) ++out.majority_first;
         ++concurrent;
-        report.peak_concurrent_calls =
-            std::max(report.peak_concurrent_calls, concurrent);
+        out.peak_concurrent = std::max(out.peak_concurrent, concurrent);
         break;
       }
       case EventType::kLegJoin: {
@@ -190,11 +232,11 @@ SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
       }
       case EventType::kFreeze: {
         if (!call.active) break;
-        ++report.frozen;
+        ++out.frozen;
         const FreezeResult result =
             allocator.on_config_frozen(rec.id, config, ev.time);
         if (result.migrated) {
-          ++report.migrations;
+          ++out.migrations;
           usage.add_call(call, -1.0);
           call.dc = result.dc;
           usage.add_call(call, +1.0);
@@ -207,41 +249,101 @@ SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
         call.active = false;
         allocator.on_call_end(rec.id, ev.time);
         const double final_acl_ms = acl_ms(config, call.dc, *ctx_.latency);
-        acl_sum += final_acl_ms;
-        acl_metric.record(final_acl_ms);
+        out.acl_sum += final_acl_ms;
+        metrics_.acl_ms.record(final_acl_ms);
         --concurrent;
         break;
       }
     }
   }
 
+  out.dc_peaks = usage.dc_peaks();
+  out.link_peaks = usage.link_peaks();
+}
+
+SimReport Simulator::finalize(const CallRecordDatabase& /*db*/,
+                              CallAllocator& allocator,
+                              const Partial& total) const {
+  SimReport report;
+  report.allocator = allocator.name();
+  report.calls = total.calls;
+  report.frozen = total.frozen;
+  report.migrations = total.migrations;
+  report.peak_concurrent_calls = total.peak_concurrent;
   report.migration_fraction =
       report.calls == 0
           ? 0.0
           : static_cast<double>(report.migrations) /
                 static_cast<double>(report.calls);
   report.mean_acl_ms =
-      report.calls == 0 ? 0.0 : acl_sum / static_cast<double>(report.calls);
+      report.calls == 0 ? 0.0
+                        : total.acl_sum / static_cast<double>(report.calls);
   report.first_joiner_majority_fraction =
       report.calls == 0
           ? 0.0
-          : static_cast<double>(majority_first) /
+          : static_cast<double>(total.majority_first) /
                 static_cast<double>(report.calls);
-  report.dc_peak_cores = usage.dc_peaks();
-  report.link_peak_gbps = usage.link_peaks();
 
-  calls_metric.inc(report.calls);
-  frozen_metric.inc(report.frozen);
-  migrations_metric.inc(report.migrations);
-  // Peak gauges hold the max across every run in the process; registration
-  // here is off the event loop, so name lookups are fine.
+  metrics_.calls.inc(report.calls);
+  metrics_.frozen.inc(report.frozen);
+  metrics_.migrations.inc(report.migrations);
+  // One pass copies the realized peaks into the report and raises the
+  // process-wide peak gauges (handles resolved at construction; no per-run
+  // name lookups or second accounting loop).
+  report.dc_peak_cores = total.dc_peaks;
   for (std::size_t x = 0; x < report.dc_peak_cores.size(); ++x) {
-    registry.gauge("sb.sim.dc_peak_cores." + std::to_string(x))
-        .max_of(report.dc_peak_cores[x]);
+    metrics_.dc_peak_cores[x]->max_of(report.dc_peak_cores[x]);
   }
-  registry.gauge("sb.sim.peak_concurrent_calls")
-      .max_of(static_cast<double>(report.peak_concurrent_calls));
+  report.link_peak_gbps = total.link_peaks;
+  metrics_.peak_concurrent_calls.max_of(
+      static_cast<double>(report.peak_concurrent_calls));
   return report;
+}
+
+SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
+                         double freeze_delay_s) const {
+  require(freeze_delay_s > 0.0, "Simulator::run: freeze delay");
+  obs::ScopedTimer run_timer(metrics_.run_s);
+  Partial total;
+  const std::vector<std::uint8_t> all(db.records().size(), 1);
+  replay_partition(db, allocator, freeze_delay_s, all, total);
+  return finalize(db, allocator, total);
+}
+
+SimReport Simulator::run_concurrent(const CallRecordDatabase& db,
+                                    CallAllocator& allocator,
+                                    double freeze_delay_s,
+                                    std::size_t threads) const {
+  require(freeze_delay_s > 0.0, "Simulator::run_concurrent: freeze delay");
+  if (threads == 0) {
+    threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  obs::ScopedTimer run_timer(metrics_.run_s);
+  const auto& records = db.records();
+
+  // Partition by call shard: every event of a call replays on one thread,
+  // which preserves per-call ordering (start < freeze < end) and gives the
+  // controller's KV writes per-key last-writer-wins for free.
+  std::vector<std::vector<std::uint8_t>> mine(
+      threads, std::vector<std::uint8_t>(records.size(), 0));
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    mine[records[r].id.value() % threads][r] = 1;
+  }
+
+  ThreadPool pool(threads);
+  std::vector<std::future<Partial>> futures;
+  futures.reserve(threads);
+  for (std::size_t p = 0; p < threads; ++p) {
+    futures.push_back(pool.submit([this, &db, &allocator, freeze_delay_s,
+                                   part = &mine[p]] {
+      Partial out;
+      replay_partition(db, allocator, freeze_delay_s, *part, out);
+      return out;
+    }));
+  }
+  Partial total;
+  for (auto& f : futures) total.merge(f.get());
+  return finalize(db, allocator, total);
 }
 
 }  // namespace sb

@@ -9,9 +9,16 @@
 // escalate mid-call; the config freezes A seconds in (allocator may
 // migrate); the call ends. Loads follow the Table 1 model and the joined
 // participant set at each instant.
+//
+// Two driver modes: run() replays the whole event stream on the calling
+// thread in strict time order (the bit-exact reference), run_concurrent()
+// partitions calls by shard (CallId % threads) across a thread pool to
+// drive a thread-safe allocator at scale — see the method comment for which
+// report fields stay exact.
 #pragma once
 
 #include "calls/call_record.h"
+#include "obs/metrics.h"
 #include "sim/allocator.h"
 
 namespace sb {
@@ -39,13 +46,61 @@ class Simulator {
  public:
   explicit Simulator(EvalContext ctx);
 
-  /// Replays `db` against `allocator`. `freeze_delay_s` is the A parameter
+  /// Replays `db` against `allocator` on the calling thread, every event in
+  /// strict (time, insertion) order. `freeze_delay_s` is the A parameter
   /// (§6.4); calls shorter than it are never frozen or migrated.
   SimReport run(const CallRecordDatabase& db, CallAllocator& allocator,
                 double freeze_delay_s = 300.0) const;
 
+  /// Multi-threaded driver: partitions the event stream by call shard
+  /// (CallId % threads, the same striping the realtime selector uses) and
+  /// replays each partition on the shared thread pool, preserving per-call
+  /// event order. Requires a thread-safe allocator (the sharded
+  /// RealtimeSelector / Switchboard; NOT the RR/LF baselines).
+  ///
+  /// Count and per-call fields (calls, frozen, migrations, mean_acl_ms,
+  /// first_joiner_majority_fraction) are exact sums over partitions. The
+  /// peak fields (dc_peak_cores, link_peak_gbps, peak_concurrent_calls) are
+  /// per-partition peaks summed — an upper bound on the true time-aligned
+  /// peak, since partitions replay concurrently without a global clock. Use
+  /// run() when exact peaks matter; it remains the bit-exact reference.
+  ///
+  /// `threads` == 0 picks hardware_concurrency; 1 degenerates to a single
+  /// pool-driven partition (same event order as run()).
+  SimReport run_concurrent(const CallRecordDatabase& db,
+                           CallAllocator& allocator,
+                           double freeze_delay_s = 300.0,
+                           std::size_t threads = 0) const;
+
  private:
+  struct Partial;  // per-partition accumulator (simulator.cpp)
+
+  /// sb.sim.* handles resolved once so run() never does a registry name
+  /// lookup; per-DC peak gauges are updated in the same pass that copies
+  /// the peaks into the report (no second accounting path).
+  struct Metrics {
+    obs::Counter& calls;
+    obs::Counter& frozen;
+    obs::Counter& migrations;
+    obs::Histogram& acl_ms;
+    obs::Histogram& run_s;
+    obs::Gauge& peak_concurrent_calls;
+    std::vector<obs::Gauge*> dc_peak_cores;
+    explicit Metrics(const EvalContext& ctx);
+  };
+
+  /// Replays the records selected by `mine` (record index -> bool) and
+  /// accumulates into `out`. Identical event ordering to the pre-sharding
+  /// implementation when `mine` selects everything.
+  void replay_partition(const CallRecordDatabase& db, CallAllocator& allocator,
+                        double freeze_delay_s,
+                        const std::vector<std::uint8_t>& mine,
+                        Partial& out) const;
+  SimReport finalize(const CallRecordDatabase& db, CallAllocator& allocator,
+                     const Partial& total) const;
+
   EvalContext ctx_;
+  Metrics metrics_;
 };
 
 }  // namespace sb

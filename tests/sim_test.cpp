@@ -111,6 +111,51 @@ TEST_F(SimFixture, UsagePeaksScaleWithLoadModel) {
   EXPECT_LT(report.total_peak_cores(), upper);
 }
 
+TEST_F(SimFixture, ConcurrentDriverMatchesSequentialCounters) {
+  // The no-plan realtime selector decides per call from immutable data
+  // (closest DC, min-ACL DC), so its decisions are independent of event
+  // interleaving: the sharded driver must reproduce the sequential count
+  // and per-call metrics exactly. Peak fields are partition-summed upper
+  // bounds, checked as such.
+  Simulator sim(*ctx_);
+  RealtimeSelector seq_selector(*ctx_, nullptr, {});
+  SwitchboardAllocator seq_alloc(seq_selector);
+  const SimReport seq = sim.run(*db_, seq_alloc);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    RealtimeSelector selector(*ctx_, nullptr, {});
+    SwitchboardAllocator alloc(selector);
+    const SimReport conc = sim.run_concurrent(*db_, alloc, 300.0, threads);
+    EXPECT_EQ(conc.calls, seq.calls) << threads;
+    EXPECT_EQ(conc.frozen, seq.frozen) << threads;
+    EXPECT_EQ(conc.migrations, seq.migrations) << threads;
+    EXPECT_NEAR(conc.mean_acl_ms, seq.mean_acl_ms, 1e-9 * seq.mean_acl_ms)
+        << threads;
+    EXPECT_DOUBLE_EQ(conc.first_joiner_majority_fraction,
+                     seq.first_joiner_majority_fraction);
+    EXPECT_GE(conc.peak_concurrent_calls, seq.peak_concurrent_calls);
+    EXPECT_GE(conc.total_peak_cores(), seq.total_peak_cores() - 1e-9);
+  }
+}
+
+TEST_F(SimFixture, ConcurrentDriverSingleThreadIsBitIdentical) {
+  // One partition replays in exactly run()'s event order, so even the
+  // floating-point accumulations must match bit for bit.
+  Simulator sim(*ctx_);
+  RealtimeSelector seq_selector(*ctx_, nullptr, {});
+  SwitchboardAllocator seq_alloc(seq_selector);
+  const SimReport seq = sim.run(*db_, seq_alloc);
+  RealtimeSelector selector(*ctx_, nullptr, {});
+  SwitchboardAllocator alloc(selector);
+  const SimReport conc = sim.run_concurrent(*db_, alloc, 300.0, 1);
+  EXPECT_EQ(conc.calls, seq.calls);
+  EXPECT_EQ(conc.migrations, seq.migrations);
+  EXPECT_EQ(conc.mean_acl_ms, seq.mean_acl_ms);
+  EXPECT_EQ(conc.peak_concurrent_calls, seq.peak_concurrent_calls);
+  EXPECT_EQ(conc.dc_peak_cores, seq.dc_peak_cores);
+  EXPECT_EQ(conc.link_peak_gbps, seq.link_peak_gbps);
+}
+
 TEST(SimulatorValidationTest, RejectsBadFreezeDelay) {
   Scenario scenario = make_apac_scenario({.config_count = 50});
   const LoadModel loads = LoadModel::paper_default();
