@@ -53,23 +53,50 @@ void BM_SelectorAssignFreezeEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_SelectorAssignFreezeEnd);
 
-void BM_SelectorContendedCycle(benchmark::State& state) {
-  // Shared lock-striped selector driven by google-benchmark's thread pool:
-  // measures the whole assign/freeze/end cycle under contention. Call ids
-  // come from one atomic counter, so threads spread across shards exactly
-  // like production signaling traffic.
-  static Fixture fixture;
-  static RealtimeSelector selector(fixture.ctx(), &fixture.plan, {});
-  static std::atomic<std::uint32_t> next{0};
+// Shared lock-striped selector driven by google-benchmark's thread pool:
+// measures the whole assign/freeze/end cycle under contention. Call ids
+// come from one atomic counter, so threads spread across shards exactly
+// like production signaling traffic. The selector is rebuilt per run so the
+// Threads(1)/(4)/(8) variants all start from identical state (empty call
+// tables, zeroed stats/usage) instead of inheriting the previous variant's
+// bucket growth and counters. Thread 0 does the rebuild; the barrier at
+// loop entry orders it before any thread's first iteration.
+class SelectorContended : public benchmark::Fixture {
+ public:
+  void SetUp(benchmark::State& state) override {
+    if (state.thread_index() == 0) {
+      world_ = std::make_unique<sb::Fixture>();
+      selector_ = std::make_unique<RealtimeSelector>(
+          world_->ctx(), &world_->plan, RealtimeOptions{});
+      next_.store(0, std::memory_order_relaxed);
+    }
+  }
+  void TearDown(benchmark::State& state) override {
+    if (state.thread_index() == 0) {
+      selector_.reset();
+      world_.reset();
+    }
+  }
+
+ protected:
+  std::unique_ptr<sb::Fixture> world_;
+  std::unique_ptr<RealtimeSelector> selector_;
+  std::atomic<std::uint32_t> next_{0};
+};
+
+BENCHMARK_DEFINE_F(SelectorContended, Cycle)(benchmark::State& state) {
   for (auto _ : state) {
-    const CallId call(next.fetch_add(1, std::memory_order_relaxed));
-    selector.on_call_start(call, LocationId(0), 0.0);
-    selector.on_config_frozen(call, fixture.config, 300.0);
-    selector.on_call_end(call, 400.0);
+    const CallId call(next_.fetch_add(1, std::memory_order_relaxed));
+    selector_->on_call_start(call, LocationId(0), 0.0);
+    selector_->on_config_frozen(call, world_->config, 300.0);
+    selector_->on_call_end(call, 400.0);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 3);
 }
-BENCHMARK(BM_SelectorContendedCycle)->Threads(1)->Threads(4)->Threads(8);
+BENCHMARK_REGISTER_F(SelectorContended, Cycle)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8);
 
 void BM_ClosestDcLookup(benchmark::State& state) {
   Fixture f;

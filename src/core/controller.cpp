@@ -41,7 +41,11 @@ Switchboard::Switchboard(EvalContext ctx, ControllerOptions options)
 const ProvisionResult& Switchboard::provision(const DemandMatrix& demand) {
   obs::ScopedTimer timer(metrics_.provision_s);
   SwitchboardProvisioner provisioner(ctx_, options_.provision);
-  provision_result_ = provisioner.provision(demand);
+  ProvisionResult result = provisioner.provision(demand);
+  // Publish under the exclusive lock so a caller overlapping realtime
+  // events never mutates state a reader could be observing.
+  std::unique_lock lock(swap_mutex_);
+  provision_result_ = std::move(result);
   return *provision_result_;
 }
 
@@ -51,8 +55,15 @@ const AllocationPlan& Switchboard::build_allocation_plan(
           "build_allocation_plan: call provision() first");
   obs::ScopedTimer timer(metrics_.allocation_plan_s);
   AllocationPlanner planner(ctx_, options_.allocation);
-  plan_ = planner.plan(demand, provision_result_->capacity, options_.slot_s);
+  // Plan into a local first: the live selector dereferences &*plan_, so
+  // plan_ may only be reassigned once the exclusive lock has drained every
+  // in-flight event holding swap_mutex_ shared. The selector rebuild must
+  // happen under the same critical section so no reader ever sees the new
+  // plan paired with the old selector (or vice versa).
+  AllocationPlan new_plan =
+      planner.plan(demand, provision_result_->capacity, options_.slot_s);
   std::unique_lock lock(swap_mutex_);
+  plan_ = std::move(new_plan);
   selector_ = std::make_unique<RealtimeSelector>(
       ctx_, &*plan_, options_.realtime, plan_start_s);
   return *plan_;

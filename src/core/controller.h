@@ -92,10 +92,13 @@ class Switchboard {
   std::optional<ProvisionResult> provision_result_;
   std::optional<AllocationPlan> plan_;
   std::unique_ptr<RealtimeSelector> selector_;
-  /// Guards only the selector *pointer* swap when build_allocation_plan
-  /// installs a fresh plan. Realtime events take it shared (readers never
-  /// contend with each other); the selector's own lock striping provides
-  /// all per-event synchronization.
+  /// Guards installation of a fresh plan: build_allocation_plan (and
+  /// provision) publish plan_ / provision_result_ and rebuild selector_
+  /// only while holding this exclusively, so the swap waits out every
+  /// in-flight event still reading the old plan through the old selector.
+  /// Realtime events take it shared (readers never contend with each
+  /// other); the selector's own lock striping provides all per-event
+  /// synchronization.
   mutable std::shared_mutex swap_mutex_;
   KvStore* store_ = nullptr;
 };

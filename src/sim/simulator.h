@@ -52,10 +52,11 @@ class Simulator {
   SimReport run(const CallRecordDatabase& db, CallAllocator& allocator,
                 double freeze_delay_s = 300.0) const;
 
-  /// Multi-threaded driver: partitions the event stream by call shard
-  /// (CallId % threads, the same striping the realtime selector uses) and
-  /// replays each partition on the shared thread pool, preserving per-call
-  /// event order. Requires a thread-safe allocator (the sharded
+  /// Multi-threaded driver: partitions the event stream by CallId % threads
+  /// and replays each partition on the shared thread pool. Every call's
+  /// events land in exactly one partition, so each call keeps single-thread
+  /// affinity and strict per-call event order (which also keeps per-call KV
+  /// writes last-writer-wins). Requires a thread-safe allocator (the sharded
   /// RealtimeSelector / Switchboard; NOT the RR/LF baselines).
   ///
   /// Count and per-call fields (calls, frozen, migrations, mean_acl_ms,
