@@ -4,12 +4,20 @@
 // discrete-event simulator, reporting latency, migrations, and how realized
 // usage compares with what was provisioned.
 //
+// With --fail-dc the replay injects a DC outage mid-window: the controller
+// marks the DC down, drains its live calls onto surviving plan slots and
+// provisioned backup capacity, and the report shows the failover migration
+// and drop counts plus the post-failure usage of the survivors.
+//
 // Flags: --hours=4 --configs=30
+//        --fail-dc=Tokyo --fail-at=1.5 --recover-after=1
+//        (fail-at/recover-after in hours from the replay window start)
 #include <cstdlib>
 #include <iostream>
 
 #include "common/table.h"
 #include "core/controller.h"
+#include "fault/fault_schedule.h"
 #include "sim/simulator.h"
 #include "trace/scenario.h"
 
@@ -26,28 +34,15 @@ double flag(int argc, char** argv, const std::string& name, double fallback) {
   return fallback;
 }
 
-/// Routes simulator events into the Switchboard controller.
-class ControllerAllocator final : public sb::CallAllocator {
- public:
-  explicit ControllerAllocator(sb::Switchboard& controller)
-      : controller_(&controller) {}
-  sb::DcId on_call_start(sb::CallId call, sb::LocationId first,
-                         sb::SimTime now) override {
-    return controller_->call_started(call, first, now);
+std::string string_flag(int argc, char** argv, const std::string& name,
+                        const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
   }
-  sb::FreezeResult on_config_frozen(sb::CallId call,
-                                    const sb::CallConfig& config,
-                                    sb::SimTime now) override {
-    return controller_->config_frozen(call, config, now);
-  }
-  void on_call_end(sb::CallId call, sb::SimTime now) override {
-    controller_->call_ended(call, now);
-  }
-  [[nodiscard]] std::string name() const override { return "switchboard"; }
-
- private:
-  sb::Switchboard* controller_;
-};
+  return fallback;
+}
 
 }  // namespace
 
@@ -55,12 +50,30 @@ int main(int argc, char** argv) {
   using namespace sb;
   const double hours = flag(argc, argv, "hours", 4.0);
   const auto configs = static_cast<std::size_t>(flag(argc, argv, "configs", 30));
+  const std::string fail_dc_name = string_flag(argc, argv, "fail-dc", "");
+  const double fail_at_h = flag(argc, argv, "fail-at", 1.0);
+  const double recover_after_h = flag(argc, argv, "recover-after", 1.0);
 
   Scenario scenario = make_apac_scenario();
   const LoadModel loads = LoadModel::paper_default();
   const EvalContext ctx{&scenario.world(), &scenario.topology(),
                         &scenario.latency(), scenario.registry.get(), &loads};
   const World& world = scenario.world();
+
+  DcId fail_dc;
+  if (!fail_dc_name.empty()) {
+    for (DcId dc : world.dc_ids()) {
+      if (world.datacenter(dc).name == fail_dc_name) fail_dc = dc;
+    }
+    if (!fail_dc.valid()) {
+      std::cerr << "unknown --fail-dc '" << fail_dc_name << "'; DCs:";
+      for (DcId dc : world.dc_ids()) {
+        std::cerr << ' ' << world.datacenter(dc).name;
+      }
+      std::cerr << '\n';
+      return 1;
+    }
+  }
 
   // Offline stage: provision and plan for the day (top-K configs, with a
   // §5.2 cushion so realized Poisson load fits the plan's slots).
@@ -91,11 +104,22 @@ int main(int argc, char** argv) {
   const CallRecordDatabase db =
       scenario.trace->generate(start, start + hours * kSecondsPerHour);
   std::cout << "replaying " << db.size() << " calls over "
-            << format_double(hours, 1) << " h...\n\n";
+            << format_double(hours, 1) << " h";
+
+  fault::FaultSchedule faults;
+  if (fail_dc.valid()) {
+    const SimTime fail_at = start + fail_at_h * kSecondsPerHour;
+    faults.fail_dc(fail_dc, fail_at, recover_after_h * kSecondsPerHour);
+    std::cout << " (failing " << fail_dc_name << " at +"
+              << format_double(fail_at_h, 1) << " h for "
+              << format_double(recover_after_h, 1) << " h)";
+  }
+  std::cout << "...\n\n";
 
   ControllerAllocator allocator(controller);
   Simulator sim(ctx);
-  const SimReport report = sim.run(db, allocator);
+  const SimReport report =
+      sim.run(db, allocator, 300.0, faults.empty() ? nullptr : &faults);
 
   TextTable table({"metric", "value"});
   table.row().cell("calls served").cell(static_cast<std::uint64_t>(report.calls));
@@ -109,6 +133,10 @@ int main(int argc, char** argv) {
       .cell("first joiner in majority country")
       .cell(format_double(100.0 * report.first_joiner_majority_fraction, 1) +
             "%");
+  if (fail_dc.valid()) {
+    table.row().cell("failover migrations").cell(report.failover_migrations);
+    table.row().cell("dropped calls").cell(report.dropped_calls);
+  }
   std::cout << table;
 
   print_banner(std::cout, "realized peak usage vs provisioned capacity");
@@ -117,7 +145,8 @@ int main(int argc, char** argv) {
     const double realized = report.dc_peak_cores[dc.value()];
     const double provisioned = provision.capacity.dc_total_cores(dc);
     usage.row()
-        .cell(world.datacenter(dc).name)
+        .cell(world.datacenter(dc).name +
+              (dc == fail_dc ? std::string(" (failed)") : std::string()))
         .cell(realized, 1)
         .cell(provisioned, 1)
         .cell(provisioned > 0.01

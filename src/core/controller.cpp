@@ -25,17 +25,37 @@ Switchboard::Metrics::Metrics()
       provision_s(obs::MetricsRegistry::global().histogram(
           "sb.provisioner.provision_s")),
       allocation_plan_s(obs::MetricsRegistry::global().histogram(
-          "sb.provisioner.allocation_plan_s")) {}
+          "sb.provisioner.allocation_plan_s")),
+      dc_failures(obs::MetricsRegistry::global().counter("sb.fault.dc_failures")),
+      dc_recoveries(
+          obs::MetricsRegistry::global().counter("sb.fault.dc_recoveries")),
+      link_failures(
+          obs::MetricsRegistry::global().counter("sb.fault.link_failures")),
+      link_recoveries(
+          obs::MetricsRegistry::global().counter("sb.fault.link_recoveries")),
+      failover_migrations(obs::MetricsRegistry::global().counter(
+          "sb.fault.failover_migrations")),
+      dropped_calls(
+          obs::MetricsRegistry::global().counter("sb.fault.dropped_calls")),
+      drain_s(obs::MetricsRegistry::global().histogram("sb.fault.drain_s")),
+      // Outage durations span seconds to days; the default 100 s ceiling
+      // would shove every realistic outage into the overflow bucket.
+      recovery_s(obs::MetricsRegistry::global().histogram(
+          "sb.fault.recovery_s", {.min = 1.0, .max = 1e6, .bucket_count = 60})) {
+}
 
 Switchboard::Switchboard(EvalContext ctx, ControllerOptions options)
     : ctx_(ctx), options_(options) {
   require(ctx_.world && ctx_.topology && ctx_.latency && ctx_.registry &&
               ctx_.loads,
           "Switchboard: incomplete context");
+  health_ = std::make_unique<fault::HealthTable>(ctx_.world->dc_count(),
+                                                 ctx_.topology->link_count());
+  dc_fail_time_.assign(ctx_.world->dc_count(), -1.0);
   // Realtime service is available before any plan exists: the selector then
   // runs pure closest-DC assignment.
-  selector_ = std::make_unique<RealtimeSelector>(ctx_, nullptr,
-                                                 options_.realtime);
+  selector_ = std::make_unique<RealtimeSelector>(
+      ctx_, nullptr, options_.realtime, 0.0, health_.get());
 }
 
 const ProvisionResult& Switchboard::provision(const DemandMatrix& demand) {
@@ -65,7 +85,7 @@ const AllocationPlan& Switchboard::build_allocation_plan(
   std::unique_lock lock(swap_mutex_);
   plan_ = std::move(new_plan);
   selector_ = std::make_unique<RealtimeSelector>(
-      ctx_, &*plan_, options_.realtime, plan_start_s);
+      ctx_, &*plan_, options_.realtime, plan_start_s, health_.get());
   return *plan_;
 }
 
@@ -117,6 +137,81 @@ void Switchboard::call_ended(CallId call, SimTime now) {
     store_->erase("call:" + std::to_string(call.value()) + ":dc");
   }
   metrics_.calls_ended.inc();
+}
+
+fault::FailoverOutcome Switchboard::dc_failed(DcId dc, SimTime now) {
+  require(dc.valid() && dc.value() < ctx_.world->dc_count(),
+          "dc_failed: bad dc");
+  obs::ScopedTimer timer(metrics_.drain_s);
+  metrics_.dc_failures.inc();
+  {
+    std::lock_guard flock(fault_mutex_);
+    dc_fail_time_[dc.value()] = now;
+  }
+  // Mark down BEFORE draining: from this point the selector's lock-free
+  // health check steers new calls away, so the drain converges (nothing
+  // keeps landing on the failed DC behind it).
+  health_->set_dc(dc, false);
+  // Backup budgets are the provisioned serving+backup cores per surviving
+  // DC (§5.3's failure-scenario capacities). No provision yet -> no budget
+  // (the drain then never capacity-drops).
+  std::vector<double> budget;
+  fault::FailoverOutcome outcome;
+  {
+    std::shared_lock lock(swap_mutex_);
+    if (provision_result_.has_value()) {
+      const CapacityPlan& cap = provision_result_->capacity;
+      budget.reserve(ctx_.world->dc_count());
+      for (std::size_t x = 0; x < ctx_.world->dc_count(); ++x) {
+        budget.push_back(
+            cap.dc_total_cores(DcId(static_cast<std::uint32_t>(x))));
+      }
+    }
+    outcome =
+        selector_->drain_dc(dc, now, budget, options_.failover.drain_batch);
+  }
+  if (store_) {
+    for (const fault::FailoverMove& m : outcome.moved) {
+      store_->set("call:" + std::to_string(m.call.value()) + ":dc",
+                  std::to_string(m.to.value()));
+    }
+    for (CallId c : outcome.dropped) {
+      store_->erase("call:" + std::to_string(c.value()) + ":dc");
+    }
+  }
+  metrics_.failover_migrations.inc(outcome.moved.size());
+  metrics_.dropped_calls.inc(outcome.dropped.size());
+  return outcome;
+}
+
+void Switchboard::dc_recovered(DcId dc, SimTime now) {
+  require(dc.valid() && dc.value() < ctx_.world->dc_count(),
+          "dc_recovered: bad dc");
+  health_->set_dc(dc, true);
+  metrics_.dc_recoveries.inc();
+  SimTime failed_at = -1.0;
+  {
+    std::lock_guard flock(fault_mutex_);
+    failed_at = dc_fail_time_[dc.value()];
+    dc_fail_time_[dc.value()] = -1.0;
+  }
+  if (failed_at >= 0.0 && now >= failed_at) {
+    metrics_.recovery_s.record(now - failed_at);
+  }
+}
+
+void Switchboard::link_failed(LinkId link, SimTime /*now*/) {
+  require(link.valid() && link.value() < ctx_.topology->link_count(),
+          "link_failed: bad link");
+  health_->set_link(link, false);
+  metrics_.link_failures.inc();
+}
+
+void Switchboard::link_recovered(LinkId link, SimTime /*now*/) {
+  require(link.valid() && link.value() < ctx_.topology->link_count(),
+          "link_recovered: bad link");
+  health_->set_link(link, true);
+  metrics_.link_recoveries.inc();
 }
 
 RealtimeSelector::Stats Switchboard::realtime_stats() const {

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <vector>
 
 #include "core/allocation_plan.h"
 #include "core/provisioner.h"
@@ -18,10 +20,18 @@
 
 namespace sb {
 
+struct FailoverOptions {
+  /// Calls re-homed per shard-lock acquisition while draining a failed DC
+  /// (bounds how long one drain batch can block signaling events that hash
+  /// to the same shard).
+  std::size_t drain_batch = 64;
+};
+
 struct ControllerOptions {
   ProvisionOptions provision;
   AllocationOptions allocation;
   RealtimeOptions realtime;
+  FailoverOptions failover;
   /// Provisioning/allocation slot width in seconds (§5.2: 30 minutes).
   double slot_s = 1800.0;
 };
@@ -57,6 +67,29 @@ class Switchboard {
                              SimTime now);
   void call_ended(CallId call, SimTime now);
 
+  /// Fault events (DESIGN.md "Failure model & runtime failover"). dc_failed
+  /// marks the DC down in the health table (so no new call lands there) and
+  /// then drains its live calls through the selector in bounded batches,
+  /// re-homing onto surviving plan slots and provisioned backup capacity —
+  /// the per-DC serving+backup budgets from the last provision() — and
+  /// dropping calls only when backup is truly exhausted. Returns who moved
+  /// where and who was dropped; KV state for affected calls is rewritten
+  /// after the drain. A dropped call is torn down completely (its state is
+  /// erased) — the caller must not deliver its later call_ended event.
+  /// Thread-safe against concurrent realtime events.
+  fault::FailoverOutcome dc_failed(DcId dc, SimTime now);
+  /// Marks the DC healthy again; new calls may land there immediately.
+  /// Live calls are not migrated back (the paper's MP selection is sticky;
+  /// the next plan rebuild naturally repopulates the DC).
+  void dc_recovered(DcId dc, SimTime now);
+  /// Link faults only gate placement (the selector avoids DCs whose WAN
+  /// path from the first joiner crosses a down link); no drain.
+  void link_failed(LinkId link, SimTime now);
+  void link_recovered(LinkId link, SimTime now);
+  /// Lock-free availability table consulted by the realtime hot path; the
+  /// simulator's fault weaving reads it too.
+  [[nodiscard]] const fault::HealthTable& health() const { return *health_; }
+
   [[nodiscard]] RealtimeSelector::Stats realtime_stats() const;
   [[nodiscard]] const std::optional<ProvisionResult>& provision_result() const {
     return provision_result_;
@@ -83,6 +116,14 @@ class Switchboard {
     obs::Histogram& end_latency_s;
     obs::Histogram& provision_s;
     obs::Histogram& allocation_plan_s;
+    obs::Counter& dc_failures;
+    obs::Counter& dc_recoveries;
+    obs::Counter& link_failures;
+    obs::Counter& link_recoveries;
+    obs::Counter& failover_migrations;
+    obs::Counter& dropped_calls;
+    obs::Histogram& drain_s;
+    obs::Histogram& recovery_s;
     Metrics();
   };
 
@@ -100,6 +141,13 @@ class Switchboard {
   /// other); the selector's own lock striping provides all per-event
   /// synchronization.
   mutable std::shared_mutex swap_mutex_;
+  /// Owned by the controller, outlives every selector it hands the pointer
+  /// to (selector rebuilds reuse the same table, so health state survives
+  /// plan swaps).
+  std::unique_ptr<fault::HealthTable> health_;
+  /// Guards the fail-time bookkeeping below (cold path only).
+  std::mutex fault_mutex_;
+  std::vector<SimTime> dc_fail_time_;
   KvStore* store_ = nullptr;
 };
 

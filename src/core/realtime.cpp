@@ -2,18 +2,21 @@
 
 #include <algorithm>
 
+#include "calls/acl.h"
 #include "common/error.h"
 
 namespace sb {
 
 RealtimeSelector::RealtimeSelector(EvalContext ctx, const AllocationPlan* plan,
                                    RealtimeOptions options,
-                                   SimTime plan_start_s)
+                                   SimTime plan_start_s,
+                                   const fault::HealthTable* health)
     : ctx_(ctx),
       plan_(plan),
       options_(options),
       plan_start_s_(plan_start_s),
-      shard_count_(std::max<std::size_t>(options.shard_count, 1)) {
+      shard_count_(std::max<std::size_t>(options.shard_count, 1)),
+      health_(health) {
   require(ctx_.world && ctx_.latency && ctx_.registry,
           "RealtimeSelector: incomplete context");
   all_dcs_ = ctx_.world->dc_ids();
@@ -26,6 +29,10 @@ RealtimeSelector::RealtimeSelector(EvalContext ctx, const AllocationPlan* plan,
     for (std::size_t i = 0; i < cells; ++i) {
       usage_[i].store(0, std::memory_order_relaxed);
     }
+  }
+  dc_cores_ = std::make_unique<std::atomic<double>[]>(all_dcs_.size());
+  for (std::size_t x = 0; x < all_dcs_.size(); ++x) {
+    dc_cores_[x].store(0.0, std::memory_order_relaxed);
   }
 }
 
@@ -42,15 +49,69 @@ bool RealtimeSelector::try_debit(std::size_t col, DcId dc,
   return false;
 }
 
+void RealtimeSelector::add_cores(DcId dc, double cores) {
+  if (cores != 0.0) {
+    dc_cores_[dc.value()].fetch_add(cores, std::memory_order_relaxed);
+  }
+}
+
+double RealtimeSelector::dc_cores_used(DcId dc) const {
+  return dc_cores_[dc.value()].load(std::memory_order_relaxed);
+}
+
+bool RealtimeSelector::within_budget(DcId dc, double cores,
+                                     const std::vector<double>& budget) const {
+  if (budget.empty()) return true;
+  return dc_cores_used(dc) + cores <= budget[dc.value()] + 1e-9;
+}
+
+DcId RealtimeSelector::closest_available_dc(LocationId joiner) const {
+  // Candidates: up DCs reachable without traversing a down link (§5.3 keeps
+  // paths fixed, so a placement over a failed link is simply forbidden).
+  std::vector<DcId> candidates;
+  candidates.reserve(all_dcs_.size());
+  const bool check_links =
+      ctx_.topology != nullptr && ctx_.topology->link_count() > 0;
+  for (DcId dc : all_dcs_) {
+    if (!health_->dc_up(dc)) continue;
+    if (check_links) {
+      const LocationId dc_loc = ctx_.world->datacenter(dc).location;
+      bool path_ok = true;
+      for (LinkId l : ctx_.topology->path(dc_loc, joiner)) {
+        if (!health_->link_up(l)) {
+          path_ok = false;
+          break;
+        }
+      }
+      if (!path_ok) continue;
+    }
+    candidates.push_back(dc);
+  }
+  if (candidates.empty()) {
+    // Every link-clean DC is gone: relax the path constraint.
+    for (DcId dc : all_dcs_) {
+      if (health_->dc_up(dc)) candidates.push_back(dc);
+    }
+  }
+  if (candidates.empty()) {
+    // Everything is down: fail open to the undegraded heuristic rather
+    // than refuse service.
+    return ctx_.latency->closest_dc(joiner, all_dcs_);
+  }
+  return ctx_.latency->closest_dc(joiner, candidates);
+}
+
 DcId RealtimeSelector::on_call_start(CallId call, LocationId first_joiner,
                                      SimTime /*now*/) {
-  // closest_dc only reads the immutable latency matrix, so it runs before
-  // the stripe lock is taken.
-  const DcId dc = ctx_.latency->closest_dc(first_joiner, all_dcs_);
+  // closest_dc only reads the immutable latency matrix (and, when degraded,
+  // the lock-free health table), so it runs before the stripe lock is taken.
+  const DcId dc = degraded() ? closest_available_dc(first_joiner)
+                             : ctx_.latency->closest_dc(first_joiner, all_dcs_);
   CallShard& s = shard(call);
   {
     std::lock_guard lock(s.mutex);
-    const auto [it, inserted] = s.calls.emplace(call, ActiveCall{dc});
+    const auto [it, inserted] =
+        s.calls.emplace(call, ActiveCall{dc, first_joiner});
     require(inserted, "on_call_start: duplicate call id");
   }
   shard_stats(call).calls_started.fetch_add(1, std::memory_order_relaxed);
@@ -71,27 +132,50 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
   const ConfigId id = ctx_.registry->find(config);
   const std::size_t col =
       plan_ && id.valid() ? plan_->column_of(id) : AllocationPlan::npos;
+  const double call_cores =
+      ctx_.loads == nullptr
+          ? 0.0
+          : config.total_participants() *
+                ctx_.loads->cores_per_participant(config.media());
+  const bool faulted = degraded();
 
   FreezeResult result{state.dc, false, col != AllocationPlan::npos};
   if (!result.planned) {
-    // §5.4: unanticipated config -> its closest (min ACL) DC.
+    // §5.4: unanticipated config -> its closest (min ACL) DC, restricted to
+    // surviving DCs while a fault is active.
     stat.unplanned.fetch_add(1, std::memory_order_relaxed);
-    const DcId target = min_acl_dc(config, all_dcs_, *ctx_.latency);
+    DcId target;
+    if (faulted) {
+      std::vector<DcId> up;
+      up.reserve(all_dcs_.size());
+      for (DcId dc : all_dcs_) {
+        if (health_->dc_up(dc)) up.push_back(dc);
+      }
+      target = min_acl_dc(config, up.empty() ? all_dcs_ : up, *ctx_.latency);
+    } else {
+      target = min_acl_dc(config, all_dcs_, *ctx_.latency);
+    }
     result.migrated = target != state.dc;
     if (result.migrated) {
       stat.migrations.fetch_add(1, std::memory_order_relaxed);
     }
     state.dc = target;
+    state.cores = call_cores;
+    add_cores(target, call_cores);
     result.dc = target;
     return result;
   }
 
   const TimeSlot slot = plan_->slot_at(now - plan_start_s_);
-  if (try_debit(col, state.dc, plan_->quota(slot, col, state.dc))) {
+  if ((!faulted || dc_ok(state.dc)) &&
+      try_debit(col, state.dc, plan_->quota(slot, col, state.dc))) {
     // Initial heuristic matched the plan: just debit (§5.4b).
     stat.slot_debits.fetch_add(1, std::memory_order_relaxed);
     state.plan_col = col;
     state.holds_slot = true;
+    state.slot_dc = state.dc;
+    state.cores = call_cores;
+    add_cores(state.dc, call_cores);
     return result;
   }
   // Migrate to the planned DC with spare quota and the lowest ACL (§5.4c).
@@ -103,6 +187,7 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
     best = DcId();
     double best_acl = 0.0;
     for (DcId dc : all_dcs_) {
+      if (faulted && !dc_ok(dc)) continue;
       if (usage(col, dc).load(std::memory_order_relaxed) >=
           plan_->quota(slot, col, dc)) {
         continue;
@@ -116,8 +201,21 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
     if (!best.valid()) {
       // All quotas exhausted (plan under-estimated this config's
       // concurrency): stay put rather than thrash; provisioning cushions
-      // make this rare.
+      // make this rare. If the current host is down (a freeze racing a DC
+      // failure), re-home to the closest surviving DC instead of staying
+      // on a dead one.
       stat.overflow.fetch_add(1, std::memory_order_relaxed);
+      if (faulted && !dc_ok(state.dc)) {
+        const DcId target = closest_available_dc(state.first_joiner);
+        if (target != state.dc) {
+          stat.migrations.fetch_add(1, std::memory_order_relaxed);
+          result.migrated = true;
+          state.dc = target;
+          result.dc = target;
+        }
+      }
+      state.cores = call_cores;
+      add_cores(state.dc, call_cores);
       return result;
     }
     if (try_debit(col, best, plan_->quota(slot, col, best))) break;
@@ -125,12 +223,15 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
   stat.slot_debits.fetch_add(1, std::memory_order_relaxed);
   state.plan_col = col;
   state.holds_slot = true;
+  state.slot_dc = best;
   if (best != state.dc) {
     stat.migrations.fetch_add(1, std::memory_order_relaxed);
     result.migrated = true;
     state.dc = best;
     result.dc = best;
   }
+  state.cores = call_cores;
+  add_cores(state.dc, call_cores);
   return result;
 }
 
@@ -142,11 +243,157 @@ void RealtimeSelector::on_call_end(CallId call, SimTime /*now*/) {
   const ActiveCall& state = it->second;
   if (state.holds_slot) {
     // Debits and credits pair exactly (holds_slot is set only after a
-    // successful CAS debit), so the counter cannot underflow.
-    usage(state.plan_col, state.dc).fetch_sub(1, std::memory_order_acq_rel);
+    // successful CAS debit), so the counter cannot underflow. The credited
+    // cell is slot_dc, which tracks the accounting DC even when the call
+    // was re-homed onto backup capacity during a failover.
+    usage(state.plan_col, state.slot_dc).fetch_sub(1, std::memory_order_acq_rel);
     shard_stats(call).slot_credits.fetch_add(1, std::memory_order_relaxed);
   }
+  add_cores(state.dc, -state.cores);
   s.calls.erase(it);
+}
+
+bool RealtimeSelector::rehome(CallId call, ActiveCall& state, DcId failed,
+                              SimTime now, const std::vector<double>& budget,
+                              fault::FailoverOutcome& out) {
+  if (state.holds_slot) {
+    // Tier 1: another planned DC with spare quota, min ACL — the same scan
+    // the freeze path runs, minus the failed/down DCs.
+    const CallConfig& config =
+        ctx_.registry->get(plan_->config_columns[state.plan_col]);
+    const TimeSlot slot = plan_->slot_at(now - plan_start_s_);
+    for (;;) {
+      DcId best;
+      double best_acl = 0.0;
+      for (DcId dc : all_dcs_) {
+        if (dc == failed || !dc_ok(dc)) continue;
+        if (!within_budget(dc, state.cores, budget)) continue;
+        if (usage(state.plan_col, dc).load(std::memory_order_relaxed) >=
+            plan_->quota(slot, state.plan_col, dc)) {
+          continue;
+        }
+        const double a = acl_ms(config, dc, *ctx_.latency);
+        if (!best.valid() || a < best_acl) {
+          best = dc;
+          best_acl = a;
+        }
+      }
+      if (!best.valid()) break;
+      if (!try_debit(state.plan_col, best,
+                     plan_->quota(slot, state.plan_col, best))) {
+        continue;  // lost the race for the last slot; rescan
+      }
+      usage(state.plan_col, state.slot_dc)
+          .fetch_sub(1, std::memory_order_acq_rel);
+      out.moved.push_back({call, state.dc, best});
+      add_cores(state.dc, -state.cores);
+      add_cores(best, state.cores);
+      state.slot_dc = best;
+      state.dc = best;
+      return true;
+    }
+    // Tier 2: provisioned backup. The call keeps its original slot
+    // accounting (the failed DC's planned share is exactly what the §5.3
+    // backup guarantee covers) and is hosted wherever the budget still has
+    // room, min ACL first.
+    DcId backup;
+    double backup_acl = 0.0;
+    for (DcId dc : all_dcs_) {
+      if (!dc_ok(dc) || dc == failed) continue;
+      if (!within_budget(dc, state.cores, budget)) continue;
+      const double a = acl_ms(config, dc, *ctx_.latency);
+      if (!backup.valid() || a < backup_acl) {
+        backup = dc;
+        backup_acl = a;
+      }
+    }
+    if (backup.valid()) {
+      out.moved.push_back({call, state.dc, backup});
+      add_cores(state.dc, -state.cores);
+      add_cores(backup, state.cores);
+      state.dc = backup;
+      return true;
+    }
+    // Tier 3: backup truly exhausted — drop. Credit the slot so the quota
+    // table stays conserved; the caller erases the call state.
+    usage(state.plan_col, state.slot_dc)
+        .fetch_sub(1, std::memory_order_acq_rel);
+    shard_stats(call).slot_credits.fetch_add(1, std::memory_order_relaxed);
+    add_cores(state.dc, -state.cores);
+    out.dropped.push_back(call);
+    return false;
+  }
+
+  // No slot held: an unfrozen call (config unknown, load untracked) or a
+  // frozen unplanned/overflow call. Re-run the start heuristic over the
+  // surviving DCs; capacity-check only calls with known load.
+  DcId target;
+  double target_ms = 0.0;
+  for (DcId dc : all_dcs_) {
+    if (!dc_ok(dc) || dc == failed) continue;
+    if (state.cores > 0.0 && !within_budget(dc, state.cores, budget)) continue;
+    const double ms = ctx_.latency->latency_ms(dc, state.first_joiner);
+    if (!target.valid() || ms < target_ms) {
+      target = dc;
+      target_ms = ms;
+    }
+  }
+  if (!target.valid() && state.cores == 0.0) {
+    // Unfrozen and every DC down: nothing can host it.
+  }
+  if (target.valid()) {
+    out.moved.push_back({call, state.dc, target});
+    add_cores(state.dc, -state.cores);
+    add_cores(target, state.cores);
+    state.dc = target;
+    return true;
+  }
+  add_cores(state.dc, -state.cores);
+  out.dropped.push_back(call);
+  return false;
+}
+
+fault::FailoverOutcome RealtimeSelector::drain_dc(
+    DcId failed, SimTime now, const std::vector<double>& budget_cores,
+    std::size_t batch_size) {
+  require(failed.valid() && failed.value() < all_dcs_.size(),
+          "drain_dc: bad DC id");
+  require(budget_cores.empty() || budget_cores.size() == all_dcs_.size(),
+          "drain_dc: budget shape");
+  const std::size_t batch = std::max<std::size_t>(batch_size, 1);
+  fault::FailoverOutcome out;
+  std::vector<CallId> pending;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    CallShard& s = shards_[i];
+    pending.clear();
+    {
+      // One cheap pass collects the victims; re-homing then proceeds in
+      // bounded batches so concurrent events on this shard interleave.
+      std::lock_guard lock(s.mutex);
+      for (const auto& [id, state] : s.calls) {
+        if (state.dc == failed) pending.push_back(id);
+      }
+    }
+    std::size_t next = 0;
+    while (next < pending.size()) {
+      std::lock_guard lock(s.mutex);
+      const std::size_t stop = std::min(pending.size(), next + batch);
+      for (; next < stop; ++next) {
+        const auto it = s.calls.find(pending[next]);
+        // The call may have ended (or re-frozen elsewhere) between the scan
+        // and this batch; skip anything no longer hosted on the failed DC.
+        if (it == s.calls.end() || it->second.dc != failed) continue;
+        if (rehome(pending[next], it->second, failed, now, budget_cores,
+                   out)) {
+          stats_[i].failover_moves.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          stats_[i].failover_drops.fetch_add(1, std::memory_order_relaxed);
+          s.calls.erase(it);
+        }
+      }
+    }
+  }
+  return out;
 }
 
 RealtimeSelector::Stats RealtimeSelector::stats() const {
@@ -160,6 +407,8 @@ RealtimeSelector::Stats RealtimeSelector::stats() const {
     out.overflow += s.overflow.load(std::memory_order_relaxed);
     out.slot_debits += s.slot_debits.load(std::memory_order_relaxed);
     out.slot_credits += s.slot_credits.load(std::memory_order_relaxed);
+    out.failover_moves += s.failover_moves.load(std::memory_order_relaxed);
+    out.failover_drops += s.failover_drops.load(std::memory_order_relaxed);
   }
   return out;
 }

@@ -11,6 +11,15 @@
 // keeps freeze/migrate/overflow accounting exact without any global lock.
 // Stats are per-shard atomics folded on read. Driven single-threaded, the
 // selector makes bit-identical decisions to the pre-sharded implementation.
+//
+// Fault awareness (DESIGN.md "Failure model & runtime failover"): when a
+// fault::HealthTable is attached, call start and config freeze consult it
+// lock-free — the no-fault fast path is one relaxed load (all_up()) and
+// then identical to a selector with no fault domain. drain_dc() evacuates a
+// failed DC's live calls in bounded batches, re-homing through the same
+// atomic quota table (slot accounting stays exact across the drain) and
+// falling back to provisioned backup capacity; calls are dropped only when
+// no surviving DC has headroom left.
 #pragma once
 
 #include <atomic>
@@ -20,6 +29,8 @@
 #include <unordered_map>
 
 #include "core/allocation_plan.h"
+#include "fault/failover.h"
+#include "fault/health_table.h"
 
 namespace sb {
 
@@ -47,8 +58,11 @@ class RealtimeSelector {
  public:
   /// `plan` may be null (no-plan operation: every call sticks to the
   /// closest-DC heuristic and freezing only re-homes unplanned configs).
+  /// `health` may be null (no fault domain: availability checks compile to
+  /// nothing on the event path); when set it must outlive the selector.
   RealtimeSelector(EvalContext ctx, const AllocationPlan* plan,
-                   RealtimeOptions options, SimTime plan_start_s = 0.0);
+                   RealtimeOptions options, SimTime plan_start_s = 0.0,
+                   const fault::HealthTable* health = nullptr);
 
   /// (a) of §5.4: a new call starts; returns the initial DC — the one
   /// closest (lowest latency) to the first joiner's location.
@@ -63,6 +77,28 @@ class RealtimeSelector {
   /// Releases the call's slot (if it held one).
   void on_call_end(CallId call, SimTime now);
 
+  /// Drains every live call hosted at `failed` (which should already be
+  /// marked down in the health table so no new call lands there), shard by
+  /// shard in batches of `batch_size` per lock acquisition so signaling
+  /// events on other calls of the same shard are only ever blocked for one
+  /// bounded batch. Re-homing policy per call:
+  ///   1. a call holding a plan slot moves to the surviving DC with spare
+  ///      quota for its config and the lowest ACL (slot credited at the old
+  ///      cell and CAS-debited at the new one — accounting stays exact);
+  ///   2. with every surviving quota exhausted, the call keeps its original
+  ///      slot accounting and is hosted on provisioned backup capacity: the
+  ///      min-ACL surviving DC whose tracked core load stays within
+  ///      `budget_cores` (per-DC provisioned serving+backup; empty = no
+  ///      capacity limit);
+  ///   3. only when no surviving DC has headroom (backup truly exhausted)
+  ///      is the call dropped: its slot is credited, its state erased.
+  /// Unfrozen calls re-run the closest-DC heuristic over surviving DCs and
+  /// are never capacity-dropped (their config — and so their load — is not
+  /// yet known). Thread-safe against concurrent events.
+  fault::FailoverOutcome drain_dc(DcId failed, SimTime now,
+                                  const std::vector<double>& budget_cores,
+                                  std::size_t batch_size = 64);
+
   struct Stats {
     std::uint64_t calls_started = 0;
     std::uint64_t calls_frozen = 0;
@@ -71,6 +107,8 @@ class RealtimeSelector {
     std::uint64_t overflow = 0;      ///< plan slots exhausted; call stayed put
     std::uint64_t slot_debits = 0;   ///< plan slots acquired at freeze
     std::uint64_t slot_credits = 0;  ///< plan slots released at call end
+    std::uint64_t failover_moves = 0;  ///< calls re-homed by drain_dc
+    std::uint64_t failover_drops = 0;  ///< calls dropped by drain_dc
   };
   /// Folds the per-shard stat atomics; weakly consistent under concurrent
   /// events, exact when the selector is quiescent.
@@ -88,12 +126,20 @@ class RealtimeSelector {
   [[nodiscard]] double freeze_delay_s() const {
     return options_.freeze_delay_s;
   }
+  /// Tracked core load of frozen calls hosted at `dc` (weakly consistent
+  /// under concurrent events). This is what drain_dc checks provisioned
+  /// backup budgets against.
+  [[nodiscard]] double dc_cores_used(DcId dc) const;
 
  private:
   struct ActiveCall {
     DcId dc;
+    LocationId first_joiner;  ///< for re-running the start heuristic on drain
     std::size_t plan_col = AllocationPlan::npos;
     bool holds_slot = false;
+    DcId slot_dc;        ///< the DC of the debited quota cell (== dc except
+                         ///< for calls hosted on backup capacity)
+    double cores = 0.0;  ///< core footprint once frozen (0 before freeze)
   };
 
   /// One lock stripe: its own mutex and call table, padded so neighbouring
@@ -113,6 +159,8 @@ class RealtimeSelector {
     std::atomic<std::uint64_t> overflow{0};
     std::atomic<std::uint64_t> slot_debits{0};
     std::atomic<std::uint64_t> slot_credits{0};
+    std::atomic<std::uint64_t> failover_moves{0};
+    std::atomic<std::uint64_t> failover_drops{0};
   };
 
   [[nodiscard]] CallShard& shard(CallId call) {
@@ -128,16 +176,41 @@ class RealtimeSelector {
   /// contention — never debits past the quota, never loses a debit.
   bool try_debit(std::size_t col, DcId dc, std::uint32_t quota);
 
+  [[nodiscard]] bool degraded() const {
+    return health_ != nullptr && !health_->all_up();
+  }
+  [[nodiscard]] bool dc_ok(DcId dc) const {
+    return health_ == nullptr || health_->dc_up(dc);
+  }
+  /// Closest DC whose health (and, when possible, WAN path from the joiner)
+  /// is intact; falls back to ignoring links, then to every DC (fail open —
+  /// a degraded placement beats refusing service).
+  [[nodiscard]] DcId closest_available_dc(LocationId joiner) const;
+  /// True when `dc` can absorb `cores` more within `budget_cores` (empty
+  /// budget = unlimited).
+  [[nodiscard]] bool within_budget(DcId dc, double cores,
+                                   const std::vector<double>& budget) const;
+  void add_cores(DcId dc, double cores);
+  /// Re-homes one drained call (shard lock held). Returns false when the
+  /// call had to be dropped; the caller then erases it.
+  bool rehome(CallId call, ActiveCall& state, DcId failed, SimTime now,
+              const std::vector<double>& budget,
+              fault::FailoverOutcome& out);
+
   EvalContext ctx_;
   const AllocationPlan* plan_;
   RealtimeOptions options_;
   SimTime plan_start_s_;
   std::size_t shard_count_;
+  const fault::HealthTable* health_;
   std::vector<DcId> all_dcs_;
   std::unique_ptr<CallShard[]> shards_;
   std::unique_ptr<ShardStats[]> stats_;
   /// [plan col][dc] active frozen calls, shared across shards.
   std::unique_ptr<std::atomic<std::uint32_t>[]> usage_;
+  /// Per-DC tracked core load of frozen calls (relaxed fetch_add; consulted
+  /// only by drain_dc's backup-budget check, never by planning decisions).
+  std::unique_ptr<std::atomic<double>[]> dc_cores_;
 };
 
 }  // namespace sb

@@ -1,0 +1,24 @@
+#include "fault/failover.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sb::fault {
+
+double over_capacity_core_s(
+    const std::vector<std::vector<double>>& dc_cores_buckets,
+    const std::vector<double>& capacity_cores, double bucket_s) {
+  require(bucket_s > 0.0, "over_capacity_core_s: bucket width");
+  require(dc_cores_buckets.size() == capacity_cores.size(),
+          "over_capacity_core_s: shape mismatch");
+  double total = 0.0;
+  for (std::size_t x = 0; x < dc_cores_buckets.size(); ++x) {
+    for (double used : dc_cores_buckets[x]) {
+      total += std::max(0.0, used - capacity_cores[x]) * bucket_s;
+    }
+  }
+  return total;
+}
+
+}  // namespace sb::fault

@@ -1,0 +1,43 @@
+// Failover outcome types shared by the realtime selector's drain path, the
+// Switchboard controller, and the simulator, plus the over-capacity
+// accounting the §5.3 failover bench reports. Kept free of core/sim
+// dependencies so sb_core can link sb_fault without a cycle.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace sb::fault {
+
+/// One live call re-homed by a DC drain.
+struct FailoverMove {
+  CallId call;
+  DcId from;
+  DcId to;
+};
+
+/// Result of draining a failed DC: every live call it hosted was either
+/// migrated to a surviving DC or — only when backup capacity was truly
+/// exhausted — dropped.
+struct FailoverOutcome {
+  std::vector<FailoverMove> moved;
+  std::vector<CallId> dropped;
+
+  [[nodiscard]] bool empty() const { return moved.empty() && dropped.empty(); }
+
+  void merge(FailoverOutcome other) {
+    moved.insert(moved.end(), other.moved.begin(), other.moved.end());
+    dropped.insert(dropped.end(), other.dropped.begin(), other.dropped.end());
+  }
+};
+
+/// Core-seconds of realized usage above provisioned capacity, integrated
+/// over a bucketed usage series: sum_b sum_x max(0, usage[x][b] - cap[x]) *
+/// bucket_s. Zero means the provisioned serving+backup absorbed the whole
+/// series (the §5.3 claim the failover bench checks at runtime).
+double over_capacity_core_s(
+    const std::vector<std::vector<double>>& dc_cores_buckets,
+    const std::vector<double>& capacity_cores, double bucket_s);
+
+}  // namespace sb::fault

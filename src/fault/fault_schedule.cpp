@@ -1,0 +1,98 @@
+#include "fault/fault_schedule.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sb::fault {
+
+FaultSchedule& FaultSchedule::dc_down(DcId dc, SimTime at) {
+  require(dc.valid(), "FaultSchedule: invalid DC");
+  events_.push_back({at, FaultEvent::Kind::kDcDown, dc, LinkId()});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::dc_up(DcId dc, SimTime at) {
+  require(dc.valid(), "FaultSchedule: invalid DC");
+  events_.push_back({at, FaultEvent::Kind::kDcUp, dc, LinkId()});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::link_down(LinkId link, SimTime at) {
+  require(link.valid(), "FaultSchedule: invalid link");
+  events_.push_back({at, FaultEvent::Kind::kLinkDown, DcId(), link});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::link_up(LinkId link, SimTime at) {
+  require(link.valid(), "FaultSchedule: invalid link");
+  events_.push_back({at, FaultEvent::Kind::kLinkUp, DcId(), link});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::fail_dc(DcId dc, SimTime at, double duration_s) {
+  require(duration_s > 0.0, "FaultSchedule: outage duration");
+  return dc_down(dc, at).dc_up(dc, at + duration_s);
+}
+
+FaultSchedule& FaultSchedule::fail_link(LinkId link, SimTime at,
+                                        double duration_s) {
+  require(duration_s > 0.0, "FaultSchedule: outage duration");
+  return link_down(link, at).link_up(link, at + duration_s);
+}
+
+std::vector<FaultEvent> FaultSchedule::events() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+std::size_t FaultSchedule::peak_slot(
+    const std::vector<double>& dc_cores_by_slot) {
+  require(!dc_cores_by_slot.empty(), "peak_slot: empty series");
+  return static_cast<std::size_t>(
+      std::max_element(dc_cores_by_slot.begin(), dc_cores_by_slot.end()) -
+      dc_cores_by_slot.begin());
+}
+
+FaultSchedule FaultSchedule::each_dc_at_peak(
+    const std::vector<std::vector<double>>& dc_cores, double slot_s, double t0,
+    double duration_s) {
+  require(slot_s > 0.0, "each_dc_at_peak: slot width");
+  FaultSchedule schedule;
+  for (std::size_t x = 0; x < dc_cores.size(); ++x) {
+    const SimTime at =
+        t0 + static_cast<double>(peak_slot(dc_cores[x])) * slot_s;
+    schedule.fail_dc(DcId(static_cast<std::uint32_t>(x)), at, duration_s);
+  }
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::random(Rng& rng, std::size_t dc_count,
+                                    std::size_t link_count,
+                                    std::size_t outages, double t0, double t1,
+                                    double mean_outage_s,
+                                    double link_fraction) {
+  require(dc_count > 0, "FaultSchedule::random: no DCs");
+  require(t1 > t0 && mean_outage_s > 0.0, "FaultSchedule::random: bounds");
+  FaultSchedule schedule;
+  for (std::size_t i = 0; i < outages; ++i) {
+    const SimTime at = rng.uniform(t0, t1);
+    const double duration = rng.exponential(1.0 / mean_outage_s);
+    if (link_count > 0 && rng.chance(link_fraction)) {
+      schedule.fail_link(
+          LinkId(static_cast<std::uint32_t>(rng.uniform_index(link_count))),
+          at, duration);
+    } else {
+      schedule.fail_dc(
+          DcId(static_cast<std::uint32_t>(rng.uniform_index(dc_count))), at,
+          duration);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace sb::fault

@@ -1,0 +1,80 @@
+// Deterministic fault-injection schedules: timed DC-down/up and
+// link-down/up events the Simulator weaves into its event stream (both
+// run() and run_concurrent()). Schedules are plain sorted data — building
+// one never touches the runtime — so the same schedule replays identically
+// across driver modes and thread counts. Helpers cover the §5.3 experiment
+// shapes ("fail each DC at its regional peak") and seedable random outage
+// storms for stress tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace sb::fault {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t { kDcDown, kDcUp, kLinkDown, kLinkUp };
+
+  SimTime time = 0.0;
+  Kind kind = Kind::kDcDown;
+  DcId dc;      ///< valid iff kind is kDcDown/kDcUp
+  LinkId link;  ///< valid iff kind is kLinkDown/kLinkUp
+
+  [[nodiscard]] bool is_dc() const {
+    return kind == Kind::kDcDown || kind == Kind::kDcUp;
+  }
+  [[nodiscard]] bool is_down() const {
+    return kind == Kind::kDcDown || kind == Kind::kLinkDown;
+  }
+};
+
+/// An ordered list of fault events. Builder methods may be called in any
+/// order; events() returns them sorted by (time, insertion order), which is
+/// the order every simulator driver applies them in.
+class FaultSchedule {
+ public:
+  FaultSchedule& dc_down(DcId dc, SimTime at);
+  FaultSchedule& dc_up(DcId dc, SimTime at);
+  FaultSchedule& link_down(LinkId link, SimTime at);
+  FaultSchedule& link_up(LinkId link, SimTime at);
+  /// Outage pair: down at `at`, back up `duration_s` later.
+  FaultSchedule& fail_dc(DcId dc, SimTime at, double duration_s);
+  FaultSchedule& fail_link(LinkId link, SimTime at, double duration_s);
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Events sorted by (time, insertion order). Stable, so two events at the
+  /// same instant apply in the order they were added.
+  [[nodiscard]] std::vector<FaultEvent> events() const;
+
+  /// Index of the slot where `dc_cores_by_slot` peaks (ties: earliest).
+  [[nodiscard]] static std::size_t peak_slot(
+      const std::vector<double>& dc_cores_by_slot);
+
+  /// The §5.3 experiment shape: one down/up outage per DC, each at the
+  /// moment its own planned core usage peaks. `dc_cores[x][t]` is DC x's
+  /// usage in slot t (UsageProfile::dc_cores layout); the outage for DC x
+  /// starts at `t0 + peak_slot * slot_s` and lasts `duration_s`.
+  [[nodiscard]] static FaultSchedule each_dc_at_peak(
+      const std::vector<std::vector<double>>& dc_cores, double slot_s,
+      double t0, double duration_s);
+
+  /// Seedable random storm: `outages` outage pairs over [t0, t1), each
+  /// picking a uniform DC (or, with probability `link_fraction` when
+  /// link_count > 0, a uniform link) and an exponential outage length with
+  /// mean `mean_outage_s`. Deterministic for a given Rng state.
+  [[nodiscard]] static FaultSchedule random(Rng& rng, std::size_t dc_count,
+                                            std::size_t link_count,
+                                            std::size_t outages, double t0,
+                                            double t1, double mean_outage_s,
+                                            double link_fraction = 0.25);
+
+ private:
+  std::vector<FaultEvent> events_;  ///< insertion order
+};
+
+}  // namespace sb::fault

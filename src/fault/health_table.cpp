@@ -1,0 +1,77 @@
+#include "fault/health_table.h"
+
+#include "common/error.h"
+
+namespace sb::fault {
+
+HealthTable::HealthTable(std::size_t dc_count, std::size_t link_count)
+    : dc_count_(dc_count), link_count_(link_count) {
+  require(dc_count_ > 0, "HealthTable: no DCs");
+  dcs_ = std::make_unique<Entry[]>(dc_count_);
+  if (link_count_ > 0) links_ = std::make_unique<Entry[]>(link_count_);
+}
+
+HealthState HealthTable::flip(Entry& entry, bool up) {
+  const std::uint64_t want_down = up ? 0 : 1;
+  std::uint64_t cur = entry.word.load(std::memory_order_relaxed);
+  for (;;) {
+    if ((cur & 1u) == want_down) return unpack(cur);  // redundant set
+    const std::uint64_t next = (((cur >> 1) + 1) << 1) | want_down;
+    if (entry.word.compare_exchange_weak(cur, next, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+      // Exactly one thread wins each flip, so the down counter moves once
+      // per transition and all_up() stays exact.
+      if (up) {
+        down_total_.fetch_sub(1, std::memory_order_acq_rel);
+      } else {
+        down_total_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      return unpack(next);
+    }
+  }
+}
+
+HealthState HealthTable::set_dc(DcId dc, bool up) {
+  require(dc.valid() && dc.value() < dc_count_, "HealthTable: bad DC id");
+  return flip(dcs_[dc.value()], up);
+}
+
+HealthState HealthTable::set_link(LinkId link, bool up) {
+  require(link.valid() && link.value() < link_count_,
+          "HealthTable: bad link id");
+  return flip(links_[link.value()], up);
+}
+
+bool HealthTable::dc_up(DcId dc) const {
+  return (dcs_[dc.value()].word.load(std::memory_order_acquire) & 1u) == 0;
+}
+
+bool HealthTable::link_up(LinkId link) const {
+  return (links_[link.value()].word.load(std::memory_order_acquire) & 1u) == 0;
+}
+
+HealthState HealthTable::dc_state(DcId dc) const {
+  return unpack(dcs_[dc.value()].word.load(std::memory_order_acquire));
+}
+
+HealthState HealthTable::link_state(LinkId link) const {
+  return unpack(links_[link.value()].word.load(std::memory_order_acquire));
+}
+
+std::size_t HealthTable::down_dcs() const {
+  std::size_t n = 0;
+  for (std::size_t x = 0; x < dc_count_; ++x) {
+    if (!dc_up(DcId(static_cast<std::uint32_t>(x)))) ++n;
+  }
+  return n;
+}
+
+std::size_t HealthTable::down_links() const {
+  std::size_t n = 0;
+  for (std::size_t l = 0; l < link_count_; ++l) {
+    if (!link_up(LinkId(static_cast<std::uint32_t>(l)))) ++n;
+  }
+  return n;
+}
+
+}  // namespace sb::fault

@@ -53,13 +53,24 @@ LocalityFirstAllocator::LocalityFirstAllocator(EvalContext ctx) : ctx_(ctx) {
   require(ctx_.world && ctx_.latency && ctx_.registry,
           "LocalityFirstAllocator: incomplete context");
   all_dcs_ = ctx_.world->dc_ids();
+  dc_down_.assign(all_dcs_.size(), 0);
+}
+
+std::vector<DcId> LocalityFirstAllocator::up_dcs() const {
+  std::vector<DcId> up;
+  up.reserve(all_dcs_.size());
+  for (DcId dc : all_dcs_) {
+    if (dc_up(dc)) up.push_back(dc);
+  }
+  // Everything down: fail open rather than refuse placement.
+  return up.empty() ? all_dcs_ : up;
 }
 
 DcId LocalityFirstAllocator::on_call_start(CallId call,
                                            LocationId first_joiner,
                                            SimTime /*now*/) {
-  const DcId dc = ctx_.latency->closest_dc(first_joiner, all_dcs_);
-  active_[call] = dc;
+  const DcId dc = ctx_.latency->closest_dc(first_joiner, up_dcs());
+  active_[call] = {dc, first_joiner};
   return dc;
 }
 
@@ -68,19 +79,41 @@ FreezeResult LocalityFirstAllocator::on_config_frozen(CallId call,
                                                       SimTime /*now*/) {
   const auto it = active_.find(call);
   require(it != active_.end(), "LocalityFirstAllocator: unknown call");
-  const std::vector<DcId> candidates =
-      region_candidates(config, *ctx_.world);
+  std::vector<DcId> candidates = region_candidates(config, *ctx_.world);
+  std::erase_if(candidates, [&](DcId dc) { return !dc_up(dc); });
+  if (candidates.empty()) candidates = up_dcs();
   const DcId target = min_acl_dc(config, candidates, *ctx_.latency);
-  FreezeResult result{target, target != it->second, false};
+  FreezeResult result{target, target != it->second.dc, false};
   if (result.migrated) {
     ++migrations_;
-    it->second = target;
+    it->second.dc = target;
   }
   return result;
 }
 
 void LocalityFirstAllocator::on_call_end(CallId call, SimTime /*now*/) {
   active_.erase(call);
+}
+
+fault::FailoverOutcome LocalityFirstAllocator::on_dc_failed(DcId dc,
+                                                            SimTime /*now*/) {
+  dc_down_[dc.value()] = 1;
+  // LF has no backup pool and no capacity notion: every evacuated call goes
+  // to the surviving DC closest to its first joiner, whatever that DC's
+  // provisioned size. Calls are never dropped — the realized usage overrun
+  // (not a drop count) is how LF pays for failures.
+  fault::FailoverOutcome outcome;
+  for (auto& [id, state] : active_) {
+    if (state.dc != dc) continue;
+    const DcId target = ctx_.latency->closest_dc(state.first_joiner, up_dcs());
+    outcome.moved.push_back({id, state.dc, target});
+    state.dc = target;
+  }
+  return outcome;
+}
+
+void LocalityFirstAllocator::on_dc_recovered(DcId dc, SimTime /*now*/) {
+  dc_down_[dc.value()] = 0;
 }
 
 }  // namespace sb

@@ -1,12 +1,18 @@
 // The allocator interface the discrete-event simulator drives, with
 // adapters for Switchboard's realtime selector and the RR/LF baselines.
 // All three see the same event stream (call start -> config freeze -> call
-// end), which is how §6.4's migration comparison is measured.
+// end), which is how §6.4's migration comparison is measured. Fault events
+// (DC/link down/up from a fault::FaultSchedule) flow through the optional
+// on_* fault hooks; schemes that ignore them simply keep placing calls on
+// dead DCs.
 #pragma once
 
 #include <memory>
 
+#include "core/controller.h"
 #include "core/realtime.h"
+#include "fault/failover.h"
+#include "fault/health_table.h"
 
 namespace sb {
 
@@ -18,6 +24,8 @@ namespace sb {
 /// partitioning). Only internally synchronized implementations — the
 /// lock-striped RealtimeSelector and the Switchboard controller — may be
 /// driven concurrently; the RR/LF baselines are single-threaded only.
+/// Fault hooks are invoked with every driver thread quiesced (the
+/// simulator's fault barrier), so they never race call events.
 class CallAllocator {
  public:
   virtual ~CallAllocator() = default;
@@ -32,15 +40,34 @@ class CallAllocator {
 
   virtual void on_call_end(CallId call, SimTime now) = 0;
 
+  /// Fault hooks; defaults ignore the fault entirely (RR keeps round-
+  /// robining onto the dead DC — the §3.1 strawman has no failover story).
+  /// on_dc_failed reports which live calls moved where and which dropped so
+  /// the simulator can re-point its usage accounting.
+  virtual fault::FailoverOutcome on_dc_failed(DcId /*dc*/, SimTime /*now*/) {
+    return {};
+  }
+  virtual void on_dc_recovered(DcId /*dc*/, SimTime /*now*/) {}
+  virtual void on_link_failed(LinkId /*link*/, SimTime /*now*/) {}
+  virtual void on_link_recovered(LinkId /*link*/, SimTime /*now*/) {}
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
 /// Adapter over Switchboard's RealtimeSelector (plan-driven behaviour).
+/// Optionally owns fault plumbing: when `health` is the table the selector
+/// was constructed against, DC/link faults flip it and dc failures drain
+/// through the selector with `budget_cores` as the per-DC backup budget.
 class SwitchboardAllocator : public CallAllocator {
  public:
-  /// Borrows the selector; it must outlive the allocator.
-  explicit SwitchboardAllocator(RealtimeSelector& selector)
-      : selector_(&selector) {}
+  /// Borrows the selector (and health table, if any); both must outlive
+  /// the allocator.
+  explicit SwitchboardAllocator(RealtimeSelector& selector,
+                                fault::HealthTable* health = nullptr,
+                                std::vector<double> budget_cores = {})
+      : selector_(&selector),
+        health_(health),
+        budget_cores_(std::move(budget_cores)) {}
 
   DcId on_call_start(CallId call, LocationId first_joiner,
                      SimTime now) override {
@@ -53,10 +80,64 @@ class SwitchboardAllocator : public CallAllocator {
   void on_call_end(CallId call, SimTime now) override {
     selector_->on_call_end(call, now);
   }
+  fault::FailoverOutcome on_dc_failed(DcId dc, SimTime now) override {
+    if (health_ != nullptr) health_->set_dc(dc, false);
+    return selector_->drain_dc(dc, now, budget_cores_);
+  }
+  void on_dc_recovered(DcId dc, SimTime /*now*/) override {
+    if (health_ != nullptr) health_->set_dc(dc, true);
+  }
+  void on_link_failed(LinkId link, SimTime /*now*/) override {
+    if (health_ != nullptr) health_->set_link(link, false);
+  }
+  void on_link_recovered(LinkId link, SimTime /*now*/) override {
+    if (health_ != nullptr) health_->set_link(link, true);
+  }
   [[nodiscard]] std::string name() const override { return "switchboard"; }
 
  private:
   RealtimeSelector* selector_;
+  fault::HealthTable* health_;
+  std::vector<double> budget_cores_;
+};
+
+/// Adapter over the full Switchboard controller (selector + KV persistence
+/// + health table + provisioned backup budgets). The controller computes
+/// failover budgets from its own provision result, so this is the
+/// end-to-end configuration the §5.3 failover bench drives.
+class ControllerAllocator : public CallAllocator {
+ public:
+  /// Borrows the controller; it must outlive the allocator.
+  explicit ControllerAllocator(Switchboard& controller)
+      : controller_(&controller) {}
+
+  DcId on_call_start(CallId call, LocationId first_joiner,
+                     SimTime now) override {
+    return controller_->call_started(call, first_joiner, now);
+  }
+  FreezeResult on_config_frozen(CallId call, const CallConfig& config,
+                                SimTime now) override {
+    return controller_->config_frozen(call, config, now);
+  }
+  void on_call_end(CallId call, SimTime now) override {
+    controller_->call_ended(call, now);
+  }
+  fault::FailoverOutcome on_dc_failed(DcId dc, SimTime now) override {
+    return controller_->dc_failed(dc, now);
+  }
+  void on_dc_recovered(DcId dc, SimTime now) override {
+    controller_->dc_recovered(dc, now);
+  }
+  void on_link_failed(LinkId link, SimTime now) override {
+    controller_->link_failed(link, now);
+  }
+  void on_link_recovered(LinkId link, SimTime now) override {
+    controller_->link_recovered(link, now);
+  }
+  [[nodiscard]] std::string name() const override { return "switchboard"; }
+
+ private:
+  Switchboard* controller_;
 };
 
 /// §3.1 Round-Robin: cycles a per-region counter over the region's DCs at
@@ -84,7 +165,10 @@ class RoundRobinAllocator : public CallAllocator {
 
 /// §3.2 Locality-First: closest DC to the first joiner, then migrates to
 /// the config's min-ACL DC at freeze time ("requires knowing the exact
-/// spread of all participants", §6.4).
+/// spread of all participants", §6.4). On a DC failure it re-homes the
+/// dead DC's calls to the closest surviving DC — with no provisioned
+/// backup pool, it never drops a call but freely overruns whatever
+/// capacity the surviving DCs were given (the §5.3 bench's contrast).
 class LocalityFirstAllocator : public CallAllocator {
  public:
   explicit LocalityFirstAllocator(EvalContext ctx);
@@ -94,14 +178,24 @@ class LocalityFirstAllocator : public CallAllocator {
   FreezeResult on_config_frozen(CallId call, const CallConfig& config,
                                 SimTime now) override;
   void on_call_end(CallId call, SimTime now) override;
+  fault::FailoverOutcome on_dc_failed(DcId dc, SimTime now) override;
+  void on_dc_recovered(DcId dc, SimTime now) override;
   [[nodiscard]] std::string name() const override { return "locality-first"; }
 
   [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
 
  private:
+  struct Active {
+    DcId dc;
+    LocationId first_joiner;
+  };
+  [[nodiscard]] bool dc_up(DcId dc) const { return dc_down_[dc.value()] == 0; }
+  [[nodiscard]] std::vector<DcId> up_dcs() const;
+
   EvalContext ctx_;
   std::vector<DcId> all_dcs_;
-  std::unordered_map<CallId, DcId> active_;
+  std::vector<std::uint8_t> dc_down_;
+  std::unordered_map<CallId, Active> active_;
   std::uint64_t migrations_ = 0;
 };
 

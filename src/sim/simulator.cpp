@@ -1,9 +1,12 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "common/error.h"
 #include "common/thread_pool.h"
@@ -23,6 +26,13 @@ double SimReport::total_peak_gbps() const {
   return acc;
 }
 
+double SimReport::dc_bucket_peak(std::size_t dc) const {
+  if (dc >= dc_cores_buckets.size()) return 0.0;
+  double peak = 0.0;
+  for (double v : dc_cores_buckets[dc]) peak = std::max(peak, v);
+  return peak;
+}
+
 namespace {
 
 enum class EventType : std::uint8_t {
@@ -31,14 +41,15 @@ enum class EventType : std::uint8_t {
   kMediaChange = 2,
   kFreeze = 3,
   kEnd = 4,
+  kFault = 5,
 };
 
 struct Event {
   SimTime time;
   std::uint64_t seq;  ///< tie-break so ordering is deterministic
   EventType type;
-  std::size_t record;
-  std::size_t leg;  ///< for kLegJoin
+  std::size_t record;  ///< record index; fault-event index for kFault
+  std::size_t leg;     ///< for kLegJoin
 
   friend bool operator>(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time > b.time;
@@ -54,15 +65,33 @@ struct LiveCall {
   bool active = false;
 };
 
-/// Mutable usage counters with peak tracking.
+/// Mutable usage counters with peak tracking, plus sample-and-hold bucket
+/// sampling of per-DC cores on a grid anchored at t = 0: advance(t) records
+/// the current load into every bucket whose end is <= t, so bucket b holds
+/// the load at exactly (b+1)*bucket_s. Because every partition samples the
+/// same grid, per-bucket values sum exactly across concurrent partitions.
 class UsageTracker {
  public:
-  UsageTracker(const EvalContext& ctx)
+  UsageTracker(const EvalContext& ctx, double bucket_s)
       : ctx_(ctx),
         dc_cores_(ctx.world->dc_count(), 0.0),
         dc_peaks_(ctx.world->dc_count(), 0.0),
         link_gbps_(ctx.topology->link_count(), 0.0),
-        link_peaks_(ctx.topology->link_count(), 0.0) {}
+        link_peaks_(ctx.topology->link_count(), 0.0),
+        dc_buckets_(ctx.world->dc_count()),
+        bucket_s_(bucket_s),
+        next_bucket_end_(bucket_s) {}
+
+  /// Call before applying any event at time `t` (events AT a bucket
+  /// boundary land in the bucket that starts there, not the one ending).
+  void advance(SimTime t) {
+    while (next_bucket_end_ <= t) {
+      for (std::size_t x = 0; x < dc_cores_.size(); ++x) {
+        dc_buckets_[x].push_back(dc_cores_[x]);
+      }
+      next_bucket_end_ += bucket_s_;
+    }
+  }
 
   void add_leg(DcId dc, MediaType media, LocationId loc, double sign) {
     const double cores = ctx_.loads->cores_per_participant(media) * sign;
@@ -95,6 +124,9 @@ class UsageTracker {
   [[nodiscard]] const std::vector<double>& link_peaks() const {
     return link_peaks_;
   }
+  [[nodiscard]] std::vector<std::vector<double>>&& take_dc_buckets() {
+    return std::move(dc_buckets_);
+  }
 
  private:
   const EvalContext& ctx_;
@@ -102,6 +134,9 @@ class UsageTracker {
   std::vector<double> dc_peaks_;
   std::vector<double> link_gbps_;
   std::vector<double> link_peaks_;
+  std::vector<std::vector<double>> dc_buckets_;
+  double bucket_s_;
+  SimTime next_bucket_end_;
 };
 
 }  // namespace
@@ -114,8 +149,11 @@ struct Simulator::Partial {
   double acl_sum = 0.0;
   std::uint64_t majority_first = 0;
   std::uint64_t peak_concurrent = 0;
+  std::uint64_t failover_migrations = 0;
+  std::uint64_t dropped = 0;
   std::vector<double> dc_peaks;
   std::vector<double> link_peaks;
+  std::vector<std::vector<double>> dc_buckets;
 
   void merge(const Partial& other) {
     calls += other.calls;
@@ -123,6 +161,8 @@ struct Simulator::Partial {
     migrations += other.migrations;
     acl_sum += other.acl_sum;
     majority_first += other.majority_first;
+    failover_migrations += other.failover_migrations;
+    dropped += other.dropped;
     // Peaks merge as sums of per-partition peaks: an upper bound on the
     // time-aligned peak (partitions replay without a shared clock).
     peak_concurrent += other.peak_concurrent;
@@ -133,6 +173,81 @@ struct Simulator::Partial {
     if (link_peaks.empty()) link_peaks.assign(other.link_peaks.size(), 0.0);
     for (std::size_t i = 0; i < other.link_peaks.size(); ++i) {
       link_peaks[i] += other.link_peaks[i];
+    }
+    // Bucket samples sum exactly: every partition samples the same grid. A
+    // partition whose stream ended early contributes zero to later buckets
+    // (all its calls have ended by then), so padding is implicit.
+    if (dc_buckets.empty()) dc_buckets.resize(other.dc_buckets.size());
+    for (std::size_t x = 0; x < other.dc_buckets.size(); ++x) {
+      if (dc_buckets[x].size() < other.dc_buckets[x].size()) {
+        dc_buckets[x].resize(other.dc_buckets[x].size(), 0.0);
+      }
+      for (std::size_t b = 0; b < other.dc_buckets[x].size(); ++b) {
+        dc_buckets[x][b] += other.dc_buckets[x][b];
+      }
+    }
+  }
+};
+
+/// Shared coordination for fault events. In sequential mode (parties <= 1)
+/// the replaying thread invokes the allocator hook inline. In concurrent
+/// mode every partition's queue carries every fault event, so each fault is
+/// a rendezvous: arrivals block until all `parties` partitions reach it,
+/// the last arrival invokes the hook (all peers are parked in the wait, so
+/// the drain races no call event — same semantics as the sequential
+/// driver), and the outcome lands in a per-event slot each partition then
+/// applies to its own calls.
+struct Simulator::FaultRuntime {
+  std::vector<fault::FaultEvent> events;
+  std::vector<fault::FailoverOutcome> outcomes;
+  std::size_t parties = 1;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t waiting = 0;
+  std::uint64_t generation = 0;
+
+  explicit FaultRuntime(const fault::FaultSchedule& schedule,
+                        std::size_t parties_in)
+      : events(schedule.events()),
+        outcomes(events.size()),
+        parties(parties_in) {}
+
+  static void invoke(CallAllocator& allocator, const fault::FaultEvent& fe,
+                     fault::FailoverOutcome& slot) {
+    switch (fe.kind) {
+      case fault::FaultEvent::Kind::kDcDown:
+        slot = allocator.on_dc_failed(fe.dc, fe.time);
+        break;
+      case fault::FaultEvent::Kind::kDcUp:
+        allocator.on_dc_recovered(fe.dc, fe.time);
+        break;
+      case fault::FaultEvent::Kind::kLinkDown:
+        allocator.on_link_failed(fe.link, fe.time);
+        break;
+      case fault::FaultEvent::Kind::kLinkUp:
+        allocator.on_link_recovered(fe.link, fe.time);
+        break;
+    }
+  }
+
+  /// Returns once `outcomes[index]` is populated for this event.
+  void arrive(CallAllocator& allocator, std::size_t index) {
+    if (parties <= 1) {
+      invoke(allocator, events[index], outcomes[index]);
+      return;
+    }
+    std::unique_lock lock(mutex);
+    if (++waiting == parties) {
+      // Last arrival: every peer is parked in the wait below, so the hook
+      // (e.g. a full drain through the selector) runs with the allocator
+      // quiesced, exactly like the sequential driver.
+      invoke(allocator, events[index], outcomes[index]);
+      waiting = 0;
+      ++generation;
+      cv.notify_all();
+    } else {
+      const std::uint64_t gen = generation;
+      cv.wait(lock, [&] { return generation != gen; });
     }
   }
 };
@@ -164,14 +279,25 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
                                  CallAllocator& allocator,
                                  double freeze_delay_s,
                                  const std::vector<std::uint8_t>& mine,
-                                 Partial& out) const {
+                                 Partial& out, FaultRuntime* faults,
+                                 double bucket_s) const {
   const auto& records = db.records();
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
   std::uint64_t seq = 0;
+  // Fault events take the lowest sequence numbers so that at an equal
+  // timestamp the fault applies before any call event — every partition
+  // (and the sequential driver) therefore orders them identically.
+  std::unordered_map<CallId, std::size_t> id_to_record;
+  if (faults != nullptr) {
+    for (std::size_t f = 0; f < faults->events.size(); ++f) {
+      queue.push({faults->events[f].time, seq++, EventType::kFault, f, 0});
+    }
+  }
   for (std::size_t r = 0; r < records.size(); ++r) {
     if (!mine[r]) continue;
     const CallRecord& rec = records[r];
+    if (faults != nullptr) id_to_record.emplace(rec.id, r);
     queue.push({rec.start_s, seq++, EventType::kStart, r, 0});
     for (std::size_t leg = 1; leg < rec.legs.size(); ++leg) {
       queue.push({rec.start_s + rec.legs[leg].join_offset_s, seq++,
@@ -189,13 +315,43 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
     queue.push({rec.start_s + rec.duration_s, seq++, EventType::kEnd, r, 0});
   }
 
-  UsageTracker usage(ctx_);
+  UsageTracker usage(ctx_, bucket_s);
   std::vector<LiveCall> live(records.size());
   std::uint64_t concurrent = 0;
 
   while (!queue.empty()) {
     const Event ev = queue.top();
     queue.pop();
+    usage.advance(ev.time);
+
+    if (ev.type == EventType::kFault) {
+      faults->arrive(allocator, ev.record);
+      // Re-point this partition's accounting for every one of ITS calls the
+      // allocator moved or dropped (other partitions handle their own).
+      const fault::FailoverOutcome& outcome = faults->outcomes[ev.record];
+      for (const fault::FailoverMove& m : outcome.moved) {
+        const auto it = id_to_record.find(m.call);
+        if (it == id_to_record.end()) continue;
+        LiveCall& call = live[it->second];
+        if (!call.active) continue;
+        usage.add_call(call, -1.0);
+        call.dc = m.to;
+        usage.add_call(call, +1.0);
+        ++out.failover_migrations;
+      }
+      for (CallId dropped : outcome.dropped) {
+        const auto it = id_to_record.find(dropped);
+        if (it == id_to_record.end()) continue;
+        LiveCall& call = live[it->second];
+        if (!call.active) continue;
+        usage.add_call(call, -1.0);
+        call.active = false;
+        --concurrent;
+        ++out.dropped;
+      }
+      continue;
+    }
+
     const CallRecord& rec = records[ev.record];
     const CallConfig& config = ctx_.registry->get(rec.config);
     LiveCall& call = live[ev.record];
@@ -244,7 +400,7 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
         break;
       }
       case EventType::kEnd: {
-        if (!call.active) break;
+        if (!call.active) break;  // dropped by a failover before its end
         usage.add_call(call, -1.0);
         call.active = false;
         allocator.on_call_end(rec.id, ev.time);
@@ -254,22 +410,27 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
         --concurrent;
         break;
       }
+      case EventType::kFault:
+        break;  // handled above
     }
   }
 
   out.dc_peaks = usage.dc_peaks();
   out.link_peaks = usage.link_peaks();
+  out.dc_buckets = usage.take_dc_buckets();
 }
 
 SimReport Simulator::finalize(const CallRecordDatabase& /*db*/,
-                              CallAllocator& allocator,
-                              const Partial& total) const {
+                              CallAllocator& allocator, const Partial& total,
+                              double bucket_s, bool bucket_peaks) const {
   SimReport report;
   report.allocator = allocator.name();
   report.calls = total.calls;
   report.frozen = total.frozen;
   report.migrations = total.migrations;
   report.peak_concurrent_calls = total.peak_concurrent;
+  report.failover_migrations = total.failover_migrations;
+  report.dropped_calls = total.dropped;
   report.migration_fraction =
       report.calls == 0
           ? 0.0
@@ -283,6 +444,8 @@ SimReport Simulator::finalize(const CallRecordDatabase& /*db*/,
           ? 0.0
           : static_cast<double>(total.majority_first) /
                 static_cast<double>(report.calls);
+  report.dc_cores_buckets = total.dc_buckets;
+  report.bucket_s = bucket_s;
 
   metrics_.calls.inc(report.calls);
   metrics_.frozen.inc(report.frozen);
@@ -290,7 +453,17 @@ SimReport Simulator::finalize(const CallRecordDatabase& /*db*/,
   // One pass copies the realized peaks into the report and raises the
   // process-wide peak gauges (handles resolved at construction; no per-run
   // name lookups or second accounting loop).
-  report.dc_peak_cores = total.dc_peaks;
+  if (bucket_peaks) {
+    // Concurrent driver: the time-aligned bucket maximum, exact at bucket
+    // granularity (the summed per-partition continuous peaks in
+    // total.dc_peaks are only an upper bound).
+    report.dc_peak_cores.resize(total.dc_buckets.size(), 0.0);
+    for (std::size_t x = 0; x < total.dc_buckets.size(); ++x) {
+      report.dc_peak_cores[x] = report.dc_bucket_peak(x);
+    }
+  } else {
+    report.dc_peak_cores = total.dc_peaks;
+  }
   for (std::size_t x = 0; x < report.dc_peak_cores.size(); ++x) {
     metrics_.dc_peak_cores[x]->max_of(report.dc_peak_cores[x]);
   }
@@ -301,20 +474,32 @@ SimReport Simulator::finalize(const CallRecordDatabase& /*db*/,
 }
 
 SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
-                         double freeze_delay_s) const {
+                         double freeze_delay_s,
+                         const fault::FaultSchedule* faults,
+                         double bucket_s) const {
   require(freeze_delay_s > 0.0, "Simulator::run: freeze delay");
+  require(bucket_s > 0.0, "Simulator::run: bucket width");
   obs::ScopedTimer run_timer(metrics_.run_s);
   Partial total;
   const std::vector<std::uint8_t> all(db.records().size(), 1);
-  replay_partition(db, allocator, freeze_delay_s, all, total);
-  return finalize(db, allocator, total);
+  if (faults != nullptr && !faults->empty()) {
+    FaultRuntime runtime(*faults, 1);
+    replay_partition(db, allocator, freeze_delay_s, all, total, &runtime,
+                     bucket_s);
+  } else {
+    replay_partition(db, allocator, freeze_delay_s, all, total, nullptr,
+                     bucket_s);
+  }
+  return finalize(db, allocator, total, bucket_s, /*bucket_peaks=*/false);
 }
 
 SimReport Simulator::run_concurrent(const CallRecordDatabase& db,
                                     CallAllocator& allocator,
-                                    double freeze_delay_s,
-                                    std::size_t threads) const {
+                                    double freeze_delay_s, std::size_t threads,
+                                    const fault::FaultSchedule* faults,
+                                    double bucket_s) const {
   require(freeze_delay_s > 0.0, "Simulator::run_concurrent: freeze delay");
+  require(bucket_s > 0.0, "Simulator::run_concurrent: bucket width");
   if (threads == 0) {
     threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
   }
@@ -330,20 +515,30 @@ SimReport Simulator::run_concurrent(const CallRecordDatabase& db,
     mine[records[r].id.value() % threads][r] = 1;
   }
 
+  // The fault rendezvous needs every partition live at once: the pool below
+  // has exactly `threads` workers for `threads` partition tasks, so all
+  // parties can reach each fault barrier.
+  std::unique_ptr<FaultRuntime> runtime;
+  if (faults != nullptr && !faults->empty()) {
+    runtime = std::make_unique<FaultRuntime>(*faults, threads);
+  }
+
   ThreadPool pool(threads);
   std::vector<std::future<Partial>> futures;
   futures.reserve(threads);
   for (std::size_t p = 0; p < threads; ++p) {
     futures.push_back(pool.submit([this, &db, &allocator, freeze_delay_s,
-                                   part = &mine[p]] {
+                                   part = &mine[p], rt = runtime.get(),
+                                   bucket_s] {
       Partial out;
-      replay_partition(db, allocator, freeze_delay_s, *part, out);
+      replay_partition(db, allocator, freeze_delay_s, *part, out, rt,
+                       bucket_s);
       return out;
     }));
   }
   Partial total;
   for (auto& f : futures) total.merge(f.get());
-  return finalize(db, allocator, total);
+  return finalize(db, allocator, total, bucket_s, /*bucket_peaks=*/true);
 }
 
 }  // namespace sb

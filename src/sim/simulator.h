@@ -10,6 +10,15 @@
 // migrate); the call ends. Loads follow the Table 1 model and the joined
 // participant set at each instant.
 //
+// Fault injection: pass a fault::FaultSchedule and its DC/link down/up
+// events are woven into the replayed stream in strict time order, invoking
+// the allocator's fault hooks (drain/failover for Switchboard) and
+// re-pointing usage accounting for every call the allocator moved or
+// dropped. In the concurrent driver each fault is a barrier: all partitions
+// align at the fault time, exactly one invokes the hook, then all apply the
+// outcome — so a drain observes precisely the events before the fault,
+// matching the sequential semantics.
+//
 // Two driver modes: run() replays the whole event stream on the calling
 // thread in strict time order (the bit-exact reference), run_concurrent()
 // partitions calls by shard (CallId % threads) across a thread pool to
@@ -18,6 +27,7 @@
 #pragma once
 
 #include "calls/call_record.h"
+#include "fault/fault_schedule.h"
 #include "obs/metrics.h"
 #include "sim/allocator.h"
 
@@ -37,9 +47,21 @@ struct SimReport {
   std::vector<double> dc_peak_cores;   ///< realized per-DC peaks
   std::vector<double> link_peak_gbps;  ///< realized per-link peaks
   std::uint64_t peak_concurrent_calls = 0;
+  /// Fault outcomes (0 when no schedule was passed).
+  std::uint64_t failover_migrations = 0;  ///< calls moved off failed DCs
+  std::uint64_t dropped_calls = 0;        ///< calls lost to exhausted backup
+  /// Realized per-DC core usage sampled at bucket boundaries:
+  /// dc_cores_buckets[x][b] is DC x's load at time (b+1)*bucket_s (buckets
+  /// anchored at t = 0). Sample-and-hold at bucket ends, so the series is
+  /// an exact time-aligned snapshot in both driver modes — this is what
+  /// realized-vs-provisioned comparisons should read.
+  std::vector<std::vector<double>> dc_cores_buckets;
+  double bucket_s = 0.0;
 
   [[nodiscard]] double total_peak_cores() const;
   [[nodiscard]] double total_peak_gbps() const;
+  /// Max over buckets of dc_cores_buckets[dc]; 0 when out of range/empty.
+  [[nodiscard]] double dc_bucket_peak(std::size_t dc) const;
 };
 
 class Simulator {
@@ -48,9 +70,14 @@ class Simulator {
 
   /// Replays `db` against `allocator` on the calling thread, every event in
   /// strict (time, insertion) order. `freeze_delay_s` is the A parameter
-  /// (§6.4); calls shorter than it are never frozen or migrated.
+  /// (§6.4); calls shorter than it are never frozen or migrated. Fault
+  /// events from `faults` (optional) interleave at their times, ordered
+  /// before call events at the same instant. `bucket_s` sets the sampling
+  /// grain of dc_cores_buckets.
   SimReport run(const CallRecordDatabase& db, CallAllocator& allocator,
-                double freeze_delay_s = 300.0) const;
+                double freeze_delay_s = 300.0,
+                const fault::FaultSchedule* faults = nullptr,
+                double bucket_s = 60.0) const;
 
   /// Multi-threaded driver: partitions the event stream by CallId % threads
   /// and replays each partition on the shared thread pool. Every call's
@@ -60,21 +87,28 @@ class Simulator {
   /// RealtimeSelector / Switchboard; NOT the RR/LF baselines).
   ///
   /// Count and per-call fields (calls, frozen, migrations, mean_acl_ms,
-  /// first_joiner_majority_fraction) are exact sums over partitions. The
-  /// peak fields (dc_peak_cores, link_peak_gbps, peak_concurrent_calls) are
-  /// per-partition peaks summed — an upper bound on the true time-aligned
-  /// peak, since partitions replay concurrently without a global clock. Use
-  /// run() when exact peaks matter; it remains the bit-exact reference.
+  /// first_joiner_majority_fraction) are exact sums over partitions.
+  /// dc_peak_cores is exact at bucket granularity: partitions sample their
+  /// usage on a shared bucket grid (anchored at t = 0), the per-bucket
+  /// samples sum exactly across partitions, and the peak is the max over
+  /// buckets — time-aligned, unlike a sum of per-partition peaks, though it
+  /// can sit below run()'s continuous peak by whatever spike fits inside
+  /// one bucket. link_peak_gbps and peak_concurrent_calls remain summed
+  /// per-partition peaks (upper bounds). Use run() when exact continuous
+  /// peaks matter; it remains the bit-exact reference.
   ///
   /// `threads` == 0 picks hardware_concurrency; 1 degenerates to a single
   /// pool-driven partition (same event order as run()).
   SimReport run_concurrent(const CallRecordDatabase& db,
                            CallAllocator& allocator,
                            double freeze_delay_s = 300.0,
-                           std::size_t threads = 0) const;
+                           std::size_t threads = 0,
+                           const fault::FaultSchedule* faults = nullptr,
+                           double bucket_s = 60.0) const;
 
  private:
-  struct Partial;  // per-partition accumulator (simulator.cpp)
+  struct Partial;       // per-partition accumulator (simulator.cpp)
+  struct FaultRuntime;  // shared fault-event coordination (simulator.cpp)
 
   /// sb.sim.* handles resolved once so run() never does a registry name
   /// lookup; per-DC peak gauges are updated in the same pass that copies
@@ -95,10 +129,11 @@ class Simulator {
   /// implementation when `mine` selects everything.
   void replay_partition(const CallRecordDatabase& db, CallAllocator& allocator,
                         double freeze_delay_s,
-                        const std::vector<std::uint8_t>& mine,
-                        Partial& out) const;
+                        const std::vector<std::uint8_t>& mine, Partial& out,
+                        FaultRuntime* faults, double bucket_s) const;
   SimReport finalize(const CallRecordDatabase& db, CallAllocator& allocator,
-                     const Partial& total) const;
+                     const Partial& total, double bucket_s,
+                     bool bucket_peaks) const;
 
   EvalContext ctx_;
   Metrics metrics_;
