@@ -1,13 +1,23 @@
 // google-benchmark microbenchmarks for the LP solvers: dense tableau vs
-// revised simplex across problem sizes, plus a provisioning-LP-shaped
-// instance (sparse columns, capacity peaks).
+// legacy dense-inverse revised simplex vs the sparse LU/eta engine, across
+// random instances and provisioning-LP-shaped instances (sparse columns,
+// capacity peaks) up to the real Switchboard scale of 168 half-hour slots x
+// 40 configs x 12 DCs.
 //
 // Besides google-benchmark's own wall-time mean, each benchmark reports
 // p50/p99 solve latency and iterations-per-solve sourced from the sb::obs
 // registry (lp::solve times itself into sb.lp.solve_s), by diffing registry
-// snapshots around the timed loop.
+// snapshots around the timed loop. Provisioning benches additionally emit
+// `{"bench": ...}` JSON lines (see bench_util.h) so BENCH_lp.json can track
+// the dense-vs-revised-vs-sparse trajectory across sessions:
+//
+//   ./bench/micro_lp --benchmark_min_time=1x | grep '^{"bench"'
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+
+#include "bench_util.h"
 #include "common/rng.h"
 #include "lp/solver.h"
 #include "obs/snapshot.h"
@@ -85,6 +95,23 @@ Model make_provisioning_lp(std::size_t slots, std::size_t configs,
   return m;
 }
 
+const char* method_name(Method method) {
+  switch (method) {
+    case Method::kDense:
+      return "dense";
+    case Method::kRevised:
+      return "revised";
+    default:
+      return "sparse";
+  }
+}
+
+std::string prov_bench_name(benchmark::State& state, const char* variant) {
+  return "lp_prov_t" + std::to_string(state.range(0)) + "_c" +
+         std::to_string(state.range(1)) + "_d" +
+         std::to_string(state.range(2)) + "_" + variant;
+}
+
 void BM_DenseSimplexRandom(benchmark::State& state) {
   const Model m = make_random_lp(static_cast<std::size_t>(state.range(0)),
                                  static_cast<std::size_t>(state.range(1)), 7);
@@ -114,21 +141,131 @@ BENCHMARK(BM_RevisedSimplexRandom)
     ->Args({60, 40})
     ->Args({120, 80});
 
-void BM_ProvisioningShapedLp(benchmark::State& state) {
-  const Model m = make_provisioning_lp(
-      static_cast<std::size_t>(state.range(0)),
-      static_cast<std::size_t>(state.range(1)), 5, 11);
+void BM_SparseSimplexRandom(benchmark::State& state) {
+  const Model m = make_random_lp(static_cast<std::size_t>(state.range(0)),
+                                 static_cast<std::size_t>(state.range(1)), 7);
+  SolveOptions options;
+  options.method = Method::kSparse;
   const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
   for (auto _ : state) {
-    const Solution s = solve(m);
-    if (!s.optimal()) state.SkipWithError("not optimal");
-    benchmark::DoNotOptimize(s.objective);
+    benchmark::DoNotOptimize(solve(m, options));
   }
   report_registry_latencies(state, before);
 }
+BENCHMARK(BM_SparseSimplexRandom)
+    ->Args({20, 15})
+    ->Args({60, 40})
+    ->Args({120, 80});
+
+/// Args: {slots, configs, dcs, method (0 dense, 1 revised, 2 sparse)}. The
+/// dense engines are registered only at the shapes their quadratic memory
+/// can stomach; the sparse engine goes up to the paper-scale 168x40x12.
+void BM_ProvisioningShapedLp(benchmark::State& state) {
+  const Model m = make_provisioning_lp(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(1)),
+      static_cast<std::size_t>(state.range(2)), 11);
+  SolveOptions options;
+  options.method = static_cast<Method>(state.range(3) + 1);  // skip kAuto
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+  double objective = 0.0;
+  double total_s = 0.0;
+  std::size_t solves = 0;
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const Solution s = solve(m, options);
+    total_s += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    ++solves;
+    if (!s.optimal()) state.SkipWithError("not optimal");
+    objective = s.objective;
+    iters += s.iterations;
+    benchmark::DoNotOptimize(s.objective);
+  }
+  report_registry_latencies(state, before);
+  state.counters["objective"] = objective;
+  if (solves > 0) {
+    const std::string name =
+        prov_bench_name(state, method_name(options.method));
+    bench::emit_json(name, "mean_ms", total_s / solves * 1e3);
+    bench::emit_json(name, "objective", objective);
+    bench::emit_json(name, "iters_per_solve",
+                     static_cast<double>(iters) / solves);
+    const obs::MetricsSnapshot delta = obs::snapshot_diff(
+        before, obs::MetricsRegistry::global().snapshot());
+    bench::emit_json(name, "factorizations_per_solve",
+                     static_cast<double>(
+                         delta.counter_value("sb.lp.factorizations")) /
+                         static_cast<double>(solves));
+    bench::emit_json(name, "pricing_passes_per_solve",
+                     static_cast<double>(
+                         delta.counter_value("sb.lp.pricing_passes")) /
+                         static_cast<double>(solves));
+  }
+}
 BENCHMARK(BM_ProvisioningShapedLp)
-    ->Args({6, 10})
-    ->Args({12, 16})
+    ->Args({6, 10, 5, 0})
+    ->Args({12, 16, 5, 0})
+    ->Args({6, 10, 5, 1})
+    ->Args({12, 16, 5, 1})
+    ->Args({42, 24, 8, 1})
+    ->Args({6, 10, 5, 2})
+    ->Args({12, 16, 5, 2})
+    ->Args({42, 24, 8, 2})
+    ->Args({84, 32, 10, 2})
+    ->Args({168, 40, 12, 2})
+    ->Unit(benchmark::kMillisecond);
+
+/// Warm-started re-solve of a provisioning shape: the cold solve's column
+/// AND row basis is fed back via SolveOptions::warm_start / warm_start_rows,
+/// mimicking the provisioner's failure-scenario loop (same structure,
+/// perturbed data).
+void BM_ProvisioningWarmStart(benchmark::State& state) {
+  const Model m = make_provisioning_lp(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(1)),
+      static_cast<std::size_t>(state.range(2)), 11);
+  SolveOptions options;
+  options.method = Method::kSparse;
+  const Solution cold = solve(m, options);
+  if (!cold.optimal()) {
+    state.SkipWithError("cold solve not optimal");
+    return;
+  }
+  options.warm_start = cold.basis;
+  options.warm_start_rows = cold.row_basis;
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
+  double total_s = 0.0;
+  std::size_t solves = 0;
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    const Solution s = solve(m, options);
+    total_s += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    ++solves;
+    if (!s.optimal()) state.SkipWithError("not optimal");
+    iters += s.iterations;
+    benchmark::DoNotOptimize(s.objective);
+  }
+  report_registry_latencies(state, before);
+  state.counters["cold_iters"] = static_cast<double>(cold.iterations);
+  if (solves > 0) {
+    const std::string name = prov_bench_name(state, "sparse_warm");
+    bench::emit_json(name, "mean_ms", total_s / solves * 1e3);
+    bench::emit_json(name, "iters_per_solve",
+                     static_cast<double>(iters) / solves);
+    bench::emit_json(name, "cold_iters",
+                     static_cast<double>(cold.iterations));
+  }
+}
+BENCHMARK(BM_ProvisioningWarmStart)
+    ->Args({42, 24, 8})
+    ->Args({84, 32, 10})
+    ->Args({168, 40, 12})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "core/backup_lp.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
@@ -78,7 +79,8 @@ SwitchboardProvisioner::SwitchboardProvisioner(EvalContext ctx,
 
 ScenarioOutcome SwitchboardProvisioner::solve_scenario(
     const DemandMatrix& demand, const FailureScenario& scenario,
-    PlacementMatrix* placement_out, const CapacityPlan* floors) const {
+    PlacementMatrix* placement_out, const CapacityPlan* floors,
+    const ScenarioBasisHint* warm, ScenarioBasisHint* basis_out) const {
   static obs::Counter& scenarios_solved =
       obs::MetricsRegistry::global().counter("sb.provisioner.scenarios_solved");
   static obs::Histogram& scenario_solve_s =
@@ -96,6 +98,15 @@ ScenarioOutcome SwitchboardProvisioner::solve_scenario(
 
   lp::Model model;
 
+  // Semantic key per LP column — (kind, flat index) — so a basis can be
+  // carried between scenarios whose column sets differ. 'c' = CP per DC,
+  // 'n' = NP per link, 's' = S per (slot, config, DC).
+  std::vector<std::pair<char, std::size_t>> var_keys;
+  // Same idea per constraint row — 'C' = DC capacity per (slot, DC), 'L' =
+  // link capacity per (slot, link), 'E' = completeness per (slot, config) —
+  // so the slack/tight row pattern warm-starts along with the columns.
+  std::vector<std::pair<char, std::size_t>> row_keys;
+
   // Peak variables. CP_x only for DCs that are candidates somewhere; NP_l
   // only for links some (config, DC) pair uses.
   std::vector<int> cp_var(world.dc_count(), -1);
@@ -107,6 +118,7 @@ ScenarioOutcome SwitchboardProvisioner::solve_scenario(
         cp_var[dc.value()] = model.add_variable(
             0.0, lp::kInf, world.datacenter(dc).core_cost,
             "CP_" + world.datacenter(dc).name);
+        var_keys.emplace_back('c', dc.value());
       }
       if (options_.joint_network) {
         for (const auto& [l, _] : plans[c].profiles[k].link_gbps_per_call) {
@@ -114,6 +126,7 @@ ScenarioOutcome SwitchboardProvisioner::solve_scenario(
             np_var[l.value()] = model.add_variable(
                 0.0, lp::kInf, topo.link(l).cost_per_gbps,
                 "NP_" + topo.link(l).name);
+            var_keys.emplace_back('n', l.value());
           }
         }
       }
@@ -134,6 +147,10 @@ ScenarioOutcome SwitchboardProvisioner::solve_scenario(
         vars.push_back(model.add_variable(
             0.0, lp::kInf,
             options_.acl_epsilon * plans[c].profiles[k].acl_ms, ""));
+        var_keys.emplace_back(
+            's', (static_cast<std::size_t>(t) * config_count + c) *
+                         world.dc_count() +
+                     plans[c].candidates[k].value());
       }
     }
   }
@@ -165,12 +182,16 @@ ScenarioOutcome SwitchboardProvisioner::solve_scenario(
                            floors ? floors->dc_serving_cores[x] +
                                         floors->dc_backup_cores[x]
                                   : 0.0);
+      row_keys.emplace_back(
+          'C', static_cast<std::size_t>(t) * world.dc_count() + x);
     }
     for (std::size_t l = 0; l < topo.link_count(); ++l) {
       if (link_rows[l].empty()) continue;
       link_rows[l].push_back({np_var[l], -1.0});
       model.add_constraint(std::move(link_rows[l]), lp::Sense::kLe,
                            floors ? floors->link_gbps[l] : 0.0);
+      row_keys.emplace_back(
+          'L', static_cast<std::size_t>(t) * topo.link_count() + l);
     }
   }
 
@@ -184,13 +205,65 @@ ScenarioOutcome SwitchboardProvisioner::solve_scenario(
       for (int v : vars) terms.push_back({v, 1.0});
       model.add_constraint(std::move(terms), lp::Sense::kEq,
                            demand.demand(t, c));
+      row_keys.emplace_back('E',
+                            static_cast<std::size_t>(t) * config_count + c);
     }
   }
 
-  const lp::Solution solution = lp::solve(model, options_.lp_options);
+  lp::SolveOptions lp_options = options_.lp_options;
+  if (warm && !warm->empty()) {
+    // Translate the semantic hint into this model's column order. Columns
+    // the hint doesn't know (or an undersized hint vector) default to
+    // at-lower, which is also the cold-start state.
+    lp_options.warm_start.assign(var_keys.size(), lp::VarStatus::kAtLower);
+    for (std::size_t j = 0; j < var_keys.size(); ++j) {
+      const auto& [kind, idx] = var_keys[j];
+      const std::vector<lp::VarStatus>* bank =
+          kind == 'c' ? &warm->cp : kind == 'n' ? &warm->np : &warm->s;
+      if (idx < bank->size()) lp_options.warm_start[j] = (*bank)[idx];
+    }
+    // Rows the hint doesn't know default to kBasic (slack basic), which is
+    // exactly the cold-start state of a fresh row.
+    lp_options.warm_start_rows.assign(row_keys.size(), lp::VarStatus::kBasic);
+    for (std::size_t r = 0; r < row_keys.size(); ++r) {
+      const auto& [kind, idx] = row_keys[r];
+      const std::vector<lp::VarStatus>* bank =
+          kind == 'C' ? &warm->row_dc
+                      : kind == 'L' ? &warm->row_link : &warm->row_cfg;
+      if (idx < bank->size()) lp_options.warm_start_rows[r] = (*bank)[idx];
+    }
+  }
+  const lp::Solution solution = lp::solve(model, lp_options);
   if (!solution.optimal()) {
     throw SolveError("provisioning LP for scenario " + scenario.name +
                      " returned " + lp::to_string(solution.status));
+  }
+  if (basis_out && solution.basis.size() == var_keys.size()) {
+    basis_out->cp.assign(world.dc_count(), lp::VarStatus::kAtLower);
+    basis_out->np.assign(topo.link_count(), lp::VarStatus::kAtLower);
+    basis_out->s.assign(slots * config_count * world.dc_count(),
+                        lp::VarStatus::kAtLower);
+    for (std::size_t j = 0; j < var_keys.size(); ++j) {
+      const auto& [kind, idx] = var_keys[j];
+      std::vector<lp::VarStatus>& bank =
+          kind == 'c' ? basis_out->cp : kind == 'n' ? basis_out->np
+                                                    : basis_out->s;
+      bank[idx] = solution.basis[j];
+    }
+    if (solution.row_basis.size() == row_keys.size()) {
+      basis_out->row_dc.assign(slots * world.dc_count(), lp::VarStatus::kBasic);
+      basis_out->row_link.assign(slots * topo.link_count(),
+                                 lp::VarStatus::kBasic);
+      basis_out->row_cfg.assign(slots * config_count, lp::VarStatus::kBasic);
+      for (std::size_t r = 0; r < row_keys.size(); ++r) {
+        const auto& [kind, idx] = row_keys[r];
+        std::vector<lp::VarStatus>& bank =
+            kind == 'C' ? basis_out->row_dc
+                        : kind == 'L' ? basis_out->row_link
+                                      : basis_out->row_cfg;
+        bank[idx] = solution.row_basis[r];
+      }
+    }
   }
 
   ScenarioOutcome outcome;
@@ -430,25 +503,66 @@ ProvisionResult SwitchboardProvisioner::provision(
                          {}};
   CapacityPlan combined = CapacityPlan::zeros(world, topo);
   CapacityPlan serving = combined;
-  for (const FailureScenario& scenario : scenarios) {
+
+  // F0 first, always sequentially: it defines `serving`, the base placement,
+  // and the basis hint every failure scenario warm-starts from (failure LPs
+  // are the F0 LP minus one DC's or link's columns, so its optimal basis is
+  // usually a few pivots from theirs).
+  ScenarioBasisHint f0_basis;
+  {
     PlacementMatrix placement(demand.slot_count(), demand.config_count(),
                               world.dc_count());
-    // Under capacity reuse (Eq 7/8 coupling), each scenario sees the
-    // running combined plan as a free floor and pays only for increments;
-    // F0 always runs first with a zero floor, so `serving` is unaffected.
-    const CapacityPlan* floors =
-        options_.capacity_reuse &&
-                scenario.type != FailureScenario::Type::kNone
-            ? &combined
-            : nullptr;
-    ScenarioOutcome outcome =
-        solve_scenario(demand, scenario, &placement, floors);
-    if (scenario.type == FailureScenario::Type::kNone) {
-      serving = outcome.required;
-      result.base_placement = std::move(placement);
-    }
-    combined = max_capacity(combined, outcome.required);
+    ScenarioOutcome outcome = solve_scenario(demand, scenarios.front(),
+                                             &placement, nullptr, nullptr,
+                                             &f0_basis);
+    serving = outcome.required;
+    combined = outcome.required;
+    result.base_placement = std::move(placement);
     result.scenarios.push_back(std::move(outcome));
+  }
+
+  const bool chained =
+      options_.capacity_reuse &&
+      options_.floor_mode == ProvisionOptions::FloorMode::kChained;
+  if (chained || scenarios.size() <= 1) {
+    // Under chained reuse (Eq 7/8 coupling), each scenario sees the running
+    // combined plan as a free floor and pays only for increments — an
+    // inherently sequential recurrence.
+    for (std::size_t f = 1; f < scenarios.size(); ++f) {
+      const CapacityPlan* floors = options_.capacity_reuse ? &combined : nullptr;
+      ScenarioOutcome outcome =
+          solve_scenario(demand, scenarios[f], nullptr, floors, &f0_basis);
+      combined = max_capacity(combined, outcome.required);
+      result.scenarios.push_back(std::move(outcome));
+    }
+  } else {
+    // kFromBase (or no reuse at all): every failure scenario floors on the
+    // fixed F0 requirement, so the solves commute and can fan out over a
+    // thread pool. Results are combined in enumeration order, making the
+    // plan bit-identical whatever the thread count.
+    const CapacityPlan* floors = options_.capacity_reuse ? &serving : nullptr;
+    auto solve_one = [&](std::size_t f) {
+      return solve_scenario(demand, scenarios[f], nullptr, floors, &f0_basis);
+    };
+    std::vector<ScenarioOutcome> outcomes;
+    outcomes.reserve(scenarios.size() - 1);
+    if (options_.scenario_threads == 1) {
+      for (std::size_t f = 1; f < scenarios.size(); ++f) {
+        outcomes.push_back(solve_one(f));
+      }
+    } else {
+      ThreadPool pool(options_.scenario_threads);
+      std::vector<std::future<ScenarioOutcome>> futures;
+      futures.reserve(scenarios.size() - 1);
+      for (std::size_t f = 1; f < scenarios.size(); ++f) {
+        futures.push_back(pool.submit(solve_one, f));
+      }
+      for (auto& fut : futures) outcomes.push_back(fut.get());
+    }
+    for (ScenarioOutcome& outcome : outcomes) {
+      combined = max_capacity(combined, outcome.required);
+      result.scenarios.push_back(std::move(outcome));
+    }
   }
 
   // Serving/backup split: serving is the no-failure requirement; backup is

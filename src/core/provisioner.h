@@ -51,7 +51,45 @@ struct ProvisionOptions {
   /// placements prefer lower ACL. Kept small so it never outweighs a real
   /// resource trade-off.
   double acl_epsilon = 1e-6;
+  /// How failure scenarios see capacity provisioned by other scenarios
+  /// (only meaningful with capacity_reuse):
+  ///  - kChained: each scenario floors on the RUNNING combined plan, so
+  ///    later scenarios reuse what earlier ones bought. Order-dependent;
+  ///    forces sequential solves. The historical default.
+  ///  - kFromBase: every failure scenario floors on the F0 (no-failure)
+  ///    requirement only. Order-independent — scenario solves commute, so
+  ///    they can fan out over a thread pool and still produce bit-identical
+  ///    plans to a sequential run; may buy slightly more backup than
+  ///    kChained when two failures need capacity in the same place.
+  enum class FloorMode { kChained, kFromBase };
+  FloorMode floor_mode = FloorMode::kChained;
+  /// Failure-scenario solve parallelism. >1 fans the per-scenario LPs over
+  /// a ThreadPool when the scenarios are independent (floor_mode ==
+  /// kFromBase, or capacity_reuse off); chained floors are inherently
+  /// sequential and ignore this. 0 means hardware concurrency.
+  std::size_t scenario_threads = 1;
   lp::SolveOptions lp_options;
+};
+
+/// Final basis of one scenario solve keyed by SEMANTIC identity — CP per
+/// DC, NP per link, S per (slot, config, DC) — rather than LP column index,
+/// so a structurally different scenario (a failed DC drops its CP column
+/// and candidate placements) can still warm-start from it. Produced and
+/// consumed by SwitchboardProvisioner::solve_scenario.
+struct ScenarioBasisHint {
+  std::vector<lp::VarStatus> cp;  ///< per DC id
+  std::vector<lp::VarStatus> np;  ///< per link id
+  std::vector<lp::VarStatus> s;   ///< (t * configs + c) * dc_count + dc id
+  /// Row (logical) statuses, keyed like the columns so the slack/tight
+  /// pattern survives between scenarios whose row sets differ. kBasic means
+  /// the row was inactive. Capacity rows per (slot, DC) / (slot, link),
+  /// completeness rows per (slot, config).
+  std::vector<lp::VarStatus> row_dc;    ///< t * dc_count + dc id
+  std::vector<lp::VarStatus> row_link;  ///< t * link_count + link id
+  std::vector<lp::VarStatus> row_cfg;   ///< t * config_count + config
+  [[nodiscard]] bool empty() const {
+    return cp.empty() && np.empty() && s.empty();
+  }
 };
 
 /// Capacity requirement determined by one failure scenario's LP.
@@ -86,10 +124,15 @@ class SwitchboardProvisioner {
   /// Solves a single scenario's LP; exposed for tests and the Fig 4 bench.
   /// With `floors` set, capacity up to the floor is free and the LP prices
   /// only the increment; the returned requirement then includes the floor.
+  /// `warm` (if non-empty) seeds the sparse engine's starting basis from a
+  /// previous structurally-similar solve; `basis_out` (if non-null)
+  /// receives this solve's final basis keyed semantically for reuse.
   [[nodiscard]] ScenarioOutcome solve_scenario(
       const DemandMatrix& demand, const FailureScenario& scenario,
       PlacementMatrix* placement_out = nullptr,
-      const CapacityPlan* floors = nullptr) const;
+      const CapacityPlan* floors = nullptr,
+      const ScenarioBasisHint* warm = nullptr,
+      ScenarioBasisHint* basis_out = nullptr) const;
 
  private:
   /// The exact Eq 3+7/8 LP over F0 and all DC-failure scenarios (shared

@@ -1,0 +1,385 @@
+#include "lp/dense_inverse_simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sb::lp {
+namespace {
+
+/// Sparse column: (row, value) pairs.
+using SparseCol = std::vector<std::pair<std::size_t, double>>;
+
+class RevisedSimplex {
+ public:
+  RevisedSimplex(const StandardForm& sf, const SimplexOptions& options)
+      : options_(options), n_(sf.var_count()), m_(sf.rows.size()) {
+    build(sf);
+  }
+
+  SfSolution run() {
+    SfSolution result;
+    if (artificial_begin_ < cols_) {
+      set_phase_costs(/*phase1=*/true);
+      const SolveStatus p1 = iterate(result.iterations, /*phase1=*/true);
+      if (p1 == SolveStatus::kIterationLimit) {
+        result.status = p1;
+        return result;
+      }
+      if (phase_objective() > options_.feasibility_tol * rhs_scale_) {
+        result.status = SolveStatus::kInfeasible;
+        return result;
+      }
+      expel_artificials();
+    }
+    set_phase_costs(/*phase1=*/false);
+    for (std::size_t j = artificial_begin_; j < cols_; ++j) banned_[j] = true;
+    result.status = iterate(result.iterations, /*phase1=*/false);
+    if (result.status == SolveStatus::kOptimal) {
+      result.values.assign(n_, 0.0);
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (basis_[r] < n_) result.values[basis_[r]] = x_basic_[r];
+      }
+    }
+    return result;
+  }
+
+ private:
+  void build(const StandardForm& sf) {
+    std::size_t slack_count = 0;
+    std::size_t artificial_count = 0;
+    std::vector<int> row_sign(m_, 1);
+    std::vector<Sense> sense(m_);
+    for (std::size_t r = 0; r < m_; ++r) {
+      sense[r] = sf.rows[r].sense;
+      if (sf.rows[r].rhs < 0.0) {
+        row_sign[r] = -1;
+        if (sense[r] == Sense::kLe) {
+          sense[r] = Sense::kGe;
+        } else if (sense[r] == Sense::kGe) {
+          sense[r] = Sense::kLe;
+        }
+      }
+      if (sense[r] != Sense::kEq) ++slack_count;
+      if (sense[r] != Sense::kLe) ++artificial_count;
+    }
+    slack_begin_ = n_;
+    artificial_begin_ = n_ + slack_count;
+    cols_ = artificial_begin_ + artificial_count;
+
+    columns_.resize(cols_);
+    cost_.assign(cols_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) cost_[j] = sf.cost[j];
+    rhs_.assign(m_, 0.0);
+    basis_.assign(m_, 0);
+    in_basis_.assign(cols_, false);
+    banned_.assign(cols_, false);
+
+    for (std::size_t j = 0; j < n_; ++j) columns_[j].clear();
+    for (std::size_t r = 0; r < m_; ++r) {
+      const double sign = row_sign[r];
+      for (const Term& t : sf.rows[r].terms) {
+        if (t.coeff != 0.0) {
+          columns_[static_cast<std::size_t>(t.var)].emplace_back(
+              r, sign * t.coeff);
+        }
+      }
+      rhs_[r] = sign * sf.rows[r].rhs;
+      rhs_scale_ = std::max(rhs_scale_, std::abs(rhs_[r]));
+    }
+    std::size_t next_slack = slack_begin_;
+    std::size_t next_artificial = artificial_begin_;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (sense[r] == Sense::kLe) {
+        columns_[next_slack] = {{r, 1.0}};
+        set_basis(r, next_slack++);
+      } else if (sense[r] == Sense::kGe) {
+        columns_[next_slack] = {{r, -1.0}};
+        ++next_slack;
+        columns_[next_artificial] = {{r, 1.0}};
+        set_basis(r, next_artificial++);
+      } else {
+        columns_[next_artificial] = {{r, 1.0}};
+        set_basis(r, next_artificial++);
+      }
+    }
+    // Initial basis is the identity.
+    binv_.assign(m_ * m_, 0.0);
+    for (std::size_t r = 0; r < m_; ++r) binv_[r * m_ + r] = 1.0;
+    x_basic_ = rhs_;
+  }
+
+  void set_basis(std::size_t row, std::size_t col) {
+    basis_[row] = col;
+    in_basis_[col] = true;
+  }
+
+  void set_phase_costs(bool phase1) {
+    active_cost_.assign(cols_, 0.0);
+    if (phase1) {
+      for (std::size_t j = artificial_begin_; j < cols_; ++j) {
+        active_cost_[j] = 1.0;
+      }
+    } else {
+      active_cost_ = cost_;
+    }
+  }
+
+  double phase_objective() const {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      acc += active_cost_[basis_[r]] * x_basic_[r];
+    }
+    return acc;
+  }
+
+  /// y = c_B^T B^-1, skipping zero-cost basic rows.
+  void compute_duals(std::vector<double>& y) const {
+    y.assign(m_, 0.0);
+    for (std::size_t r = 0; r < m_; ++r) {
+      const double c = active_cost_[basis_[r]];
+      if (c == 0.0) continue;
+      const double* row = &binv_[r * m_];
+      for (std::size_t i = 0; i < m_; ++i) y[i] += c * row[i];
+    }
+  }
+
+  [[nodiscard]] double reduced_cost(std::size_t j,
+                                    const std::vector<double>& y) const {
+    double d = active_cost_[j];
+    for (const auto& [row, val] : columns_[j]) d -= y[row] * val;
+    return d;
+  }
+
+  /// w = B^-1 a_j (FTRAN via the dense inverse and the sparse column).
+  void ftran(std::size_t j, std::vector<double>& w) const {
+    w.assign(m_, 0.0);
+    for (const auto& [row, val] : columns_[j]) {
+      for (std::size_t i = 0; i < m_; ++i) w[i] += binv_[i * m_ + row] * val;
+    }
+  }
+
+  SolveStatus iterate(std::size_t& iterations, bool phase1) {
+    bool bland = false;
+    std::size_t stall = 0;
+    std::size_t since_refactor = 0;
+    double last_objective = phase_objective();
+    std::vector<double> y;
+    std::vector<double> w;
+    for (;; ++iterations) {
+      if (iterations >= options_.max_iterations) {
+        return SolveStatus::kIterationLimit;
+      }
+      compute_duals(y);
+      const int entering = pick_entering(y, bland);
+      if (entering < 0) return SolveStatus::kOptimal;
+      ftran(static_cast<std::size_t>(entering), w);
+      const int leaving = pick_leaving(w, phase1);
+      if (leaving < 0) {
+        if (phase1) throw InternalError("revised simplex: phase-1 unbounded");
+        return SolveStatus::kUnbounded;
+      }
+      pivot(static_cast<std::size_t>(leaving),
+            static_cast<std::size_t>(entering), w);
+      if (++since_refactor >= options_.refactor_interval) {
+        refactorize();
+        since_refactor = 0;
+      }
+      const double objective = phase_objective();
+      if (objective < last_objective - options_.optimality_tol) {
+        stall = 0;
+        last_objective = objective;
+      } else if (++stall >= options_.stall_limit) {
+        bland = true;
+      }
+    }
+  }
+
+  int pick_entering(const std::vector<double>& y, bool bland) const {
+    int best = -1;
+    double best_cost = -options_.optimality_tol;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      if (in_basis_[j] || banned_[j]) continue;
+      const double d = reduced_cost(j, y);
+      if (d < best_cost) {
+        if (bland) return static_cast<int>(j);
+        best_cost = d;
+        best = static_cast<int>(j);
+      }
+    }
+    return best;
+  }
+
+  int pick_leaving(const std::vector<double>& w, bool phase1) const {
+    int leaving = -1;
+    double best_ratio = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      double ratio;
+      if (w[r] > options_.feasibility_tol) {
+        ratio = std::max(0.0, x_basic_[r]) / w[r];
+      } else if (!phase1 && basis_[r] >= artificial_begin_ &&
+                 w[r] < -options_.feasibility_tol) {
+        ratio = 0.0;  // keep zero-valued artificials from going positive
+      } else {
+        continue;
+      }
+      if (leaving < 0 || ratio < best_ratio - options_.optimality_tol ||
+          (ratio < best_ratio + options_.optimality_tol &&
+           basis_[r] < basis_[static_cast<std::size_t>(leaving)])) {
+        leaving = static_cast<int>(r);
+        best_ratio = ratio;
+      }
+    }
+    return leaving;
+  }
+
+  void pivot(std::size_t leave_row, std::size_t enter_col,
+             const std::vector<double>& w) {
+    const double pivot_val = w[leave_row];
+    require(std::abs(pivot_val) > options_.feasibility_tol * 1e-3,
+            "revised simplex: tiny pivot");
+    const double theta =
+        w[leave_row] > 0.0 ? std::max(0.0, x_basic_[leave_row]) / pivot_val
+                           : 0.0;
+    for (std::size_t r = 0; r < m_; ++r) x_basic_[r] -= theta * w[r];
+    x_basic_[leave_row] = theta;
+
+    in_basis_[basis_[leave_row]] = false;
+    set_basis(leave_row, enter_col);
+
+    // Rank-1 update of the dense inverse: eliminate column `enter` from all
+    // rows except the pivot row, then scale the pivot row.
+    double* pivot_row = &binv_[leave_row * m_];
+    const double inv = 1.0 / pivot_val;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == leave_row) continue;
+      const double factor = w[r] * inv;
+      if (factor == 0.0) continue;
+      double* row = &binv_[r * m_];
+      for (std::size_t i = 0; i < m_; ++i) row[i] -= factor * pivot_row[i];
+    }
+    for (std::size_t i = 0; i < m_; ++i) pivot_row[i] *= inv;
+
+    for (double& x : x_basic_) {
+      if (x < 0.0 && x > -options_.feasibility_tol) x = 0.0;
+    }
+  }
+
+  /// Rebuilds binv_ from the sparse basis columns by Gauss-Jordan with
+  /// partial pivoting, then refreshes x_basic_ = B^-1 rhs. Controls drift
+  /// from repeated rank-1 updates.
+  void refactorize() {
+    std::vector<double> b(m_ * m_, 0.0);
+    for (std::size_t r = 0; r < m_; ++r) {
+      for (const auto& [row, val] : columns_[basis_[r]]) {
+        b[row * m_ + r] = val;
+      }
+    }
+    std::vector<double> inv(m_ * m_, 0.0);
+    for (std::size_t r = 0; r < m_; ++r) inv[r * m_ + r] = 1.0;
+    for (std::size_t col = 0; col < m_; ++col) {
+      std::size_t pivot_row = col;
+      double best = std::abs(b[col * m_ + col]);
+      for (std::size_t r = col + 1; r < m_; ++r) {
+        if (std::abs(b[r * m_ + col]) > best) {
+          best = std::abs(b[r * m_ + col]);
+          pivot_row = r;
+        }
+      }
+      if (best < 1e-12) {
+        throw InternalError("revised simplex: singular basis at refactor");
+      }
+      if (pivot_row != col) {
+        for (std::size_t i = 0; i < m_; ++i) {
+          std::swap(b[pivot_row * m_ + i], b[col * m_ + i]);
+          std::swap(inv[pivot_row * m_ + i], inv[col * m_ + i]);
+        }
+      }
+      const double scale = 1.0 / b[col * m_ + col];
+      for (std::size_t i = 0; i < m_; ++i) {
+        b[col * m_ + i] *= scale;
+        inv[col * m_ + i] *= scale;
+      }
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double factor = b[r * m_ + col];
+        if (factor == 0.0) continue;
+        for (std::size_t i = 0; i < m_; ++i) {
+          b[r * m_ + i] -= factor * b[col * m_ + i];
+          inv[r * m_ + i] -= factor * inv[col * m_ + i];
+        }
+      }
+    }
+    binv_ = std::move(inv);
+    x_basic_.assign(m_, 0.0);
+    for (std::size_t r = 0; r < m_; ++r) {
+      const double* row = &binv_[r * m_];
+      double acc = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) acc += row[i] * rhs_[i];
+      x_basic_[r] = acc < 0.0 && acc > -options_.feasibility_tol ? 0.0 : acc;
+    }
+  }
+
+  /// Pivots zero-valued basic artificials out after phase 1 where a
+  /// non-artificial pivot column exists; otherwise the row is redundant and
+  /// the artificial stays basic at zero (guarded by pick_leaving).
+  void expel_artificials() {
+    std::vector<double> w;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (basis_[r] < artificial_begin_) continue;
+      const double* binv_row = &binv_[r * m_];
+      for (std::size_t j = 0; j < artificial_begin_; ++j) {
+        if (in_basis_[j]) continue;
+        double val = 0.0;
+        for (const auto& [row, coeff] : columns_[j]) {
+          val += binv_row[row] * coeff;
+        }
+        if (std::abs(val) > options_.feasibility_tol) {
+          ftran(j, w);
+          pivot(r, j, w);
+          break;
+        }
+      }
+    }
+  }
+
+  SimplexOptions options_;
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t slack_begin_ = 0;
+  std::size_t artificial_begin_ = 0;
+  double rhs_scale_ = 1.0;
+  std::vector<SparseCol> columns_;
+  std::vector<double> cost_;         ///< phase-2 costs
+  std::vector<double> active_cost_;  ///< current phase costs
+  std::vector<double> rhs_;
+  std::vector<double> binv_;  ///< dense m_ x m_ basis inverse, row-major
+  std::vector<double> x_basic_;
+  std::vector<std::size_t> basis_;
+  std::vector<bool> in_basis_;
+  std::vector<bool> banned_;
+};
+
+}  // namespace
+
+SfSolution solve_dense_inverse(const StandardForm& sf,
+                               const SimplexOptions& options) {
+  if (sf.rows.empty()) {
+    SfSolution result;
+    for (double c : sf.cost) {
+      if (c < 0.0) {
+        result.status = SolveStatus::kUnbounded;
+        return result;
+      }
+    }
+    result.status = SolveStatus::kOptimal;
+    result.values.assign(sf.var_count(), 0.0);
+    return result;
+  }
+  RevisedSimplex solver(sf, options);
+  return solver.run();
+}
+
+}  // namespace sb::lp

@@ -1,0 +1,19 @@
+// Legacy revised simplex: two-phase, sparse columns, dense periodically
+// refactorized basis inverse. Kept as a reference implementation and bench
+// comparison point for the sparse LU/eta engine in lp/revised_simplex.h —
+// the dense binv_ costs O(m^2) per pivot and O(m^3) per refactorization,
+// which is exactly the scaling wall the sparse engine removes. Guarded by a
+// row limit in the solver facade; do not use for new call sites.
+#pragma once
+
+#include "lp/dense_simplex.h"
+#include "lp/standard_form.h"
+
+namespace sb::lp {
+
+/// Solves a standard-form LP (upper bounds materialized as rows) with the
+/// dense-inverse revised simplex.
+SfSolution solve_dense_inverse(const StandardForm& sf,
+                               const SimplexOptions& options);
+
+}  // namespace sb::lp

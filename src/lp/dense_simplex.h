@@ -21,8 +21,17 @@ struct SimplexOptions {
   double feasibility_tol = 1e-7;
   /// Consecutive non-improving iterations before switching to Bland's rule.
   std::size_t stall_limit = 500;
-  /// Revised simplex only: refactorize the basis inverse every N pivots.
-  std::size_t refactor_interval = 300;
+  /// Revised engines only: refactorize the basis every N pivots. The sparse
+  /// engine's product-form etas carry near-dense FTRAN images, so every
+  /// btran pays O(interval * m) — while a fresh LU costs well under a
+  /// millisecond on Switchboard-shaped bases. Short intervals win by a wide
+  /// margin (bench/micro_lp.cpp: 32 is ~3x faster than 300 at the
+  /// 42x24x8 provisioning shape).
+  std::size_t refactor_interval = 32;
+  /// Sparse engine only: size of the partial-pricing candidate list. The
+  /// pricer re-scores only this many nonbasic columns per iteration and
+  /// refills the list from a rotating cursor when it runs dry.
+  std::size_t pricing_candidates = 256;
 };
 
 /// Solver-internal result in standard-form variable space.
@@ -30,6 +39,11 @@ struct SfSolution {
   SolveStatus status = SolveStatus::kIterationLimit;
   std::vector<double> values;
   std::size_t iterations = 0;
+  /// Final status per standard-form column — var_count() structurals
+  /// followed by one logical per row (sparse engine only; empty for the
+  /// dense engines). Feed back via solve_sparse(..., warm) to warm-start;
+  /// the engine also accepts a structurals-only prefix.
+  std::vector<VarStatus> statuses;
 };
 
 /// Solves a standard-form LP with the dense tableau method.

@@ -1,0 +1,265 @@
+#include "lp/lu_factor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sb::lp {
+namespace {
+
+/// Threshold partial pivoting: a pinned (symbolically chosen) pivot is kept
+/// only while it is within this factor of the column's largest candidate,
+/// otherwise the numeric pass falls back to the largest entry.
+constexpr double kPivotThreshold = 0.01;
+/// Entries below this are numerically zero for pivoting purposes; a column
+/// whose candidates are all below it is rejected as dependent.
+constexpr double kPivotAbsTol = 1e-10;
+
+}  // namespace
+
+std::vector<int> LuFactor::factorize(
+    const std::vector<const SparseCol*>& cols, std::size_t m) {
+  m_ = m;
+  const std::size_t k_cols = cols.size();
+  l_.clear();
+  u_.clear();
+  l_.reserve(k_cols);
+  u_.reserve(k_cols);
+  eta_of_row_.assign(m, -1);
+  unpivoted_rows_.clear();
+  fill_nnz_ = 0;
+  work_.resize(m);
+  result_.resize(m);
+  queued_.assign(m, 0);
+  heap_.clear();
+
+  // --- Symbolic Markowitz-style ordering: peel row/column singletons
+  // (fill-free pivots), then sparsest-column-first for the nucleus.
+  std::vector<std::vector<int>> rowlist(m);
+  std::vector<int> colcount(k_cols, 0);
+  std::vector<int> rowcount(m, 0);
+  for (std::size_t p = 0; p < k_cols; ++p) {
+    colcount[p] = static_cast<int>(cols[p]->size());
+    for (const auto& [r, v] : *cols[p]) {
+      rowlist[r].push_back(static_cast<int>(p));
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    rowcount[r] = static_cast<int>(rowlist[r].size());
+  }
+  std::vector<unsigned char> col_active(k_cols, 1);
+  std::vector<unsigned char> row_active(m, 1);
+  std::vector<int> col_queue;
+  std::vector<int> row_queue;
+  for (std::size_t p = 0; p < k_cols; ++p) {
+    if (colcount[p] == 1) col_queue.push_back(static_cast<int>(p));
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    if (rowcount[r] == 1) row_queue.push_back(static_cast<int>(r));
+  }
+
+  std::vector<std::pair<int, int>> order;  ///< (position, pinned row or -1)
+  order.reserve(k_cols);
+  auto symbolic_pivot = [&](int p, int r) {
+    order.emplace_back(p, r);
+    col_active[p] = 0;
+    row_active[r] = 0;
+    for (const auto& [r2, v2] : *cols[p]) {
+      if (!row_active[r2]) continue;
+      if (--rowcount[r2] == 1) row_queue.push_back(static_cast<int>(r2));
+    }
+    for (int p2 : rowlist[r]) {
+      if (!col_active[p2]) continue;
+      if (--colcount[p2] == 1) col_queue.push_back(p2);
+    }
+  };
+  while (true) {
+    if (!col_queue.empty()) {
+      const int p = col_queue.back();
+      col_queue.pop_back();
+      if (!col_active[p] || colcount[p] != 1) continue;
+      int pin = -1;
+      for (const auto& [r, v] : *cols[p]) {
+        if (row_active[r]) {
+          pin = static_cast<int>(r);
+          break;
+        }
+      }
+      if (pin >= 0) symbolic_pivot(p, pin);
+      continue;
+    }
+    if (!row_queue.empty()) {
+      const int r = row_queue.back();
+      row_queue.pop_back();
+      if (!row_active[r] || rowcount[r] != 1) continue;
+      int pin = -1;
+      for (int p : rowlist[r]) {
+        if (col_active[p]) {
+          pin = p;
+          break;
+        }
+      }
+      if (pin >= 0) symbolic_pivot(pin, r);
+      continue;
+    }
+    break;
+  }
+  std::vector<int> nucleus;
+  for (std::size_t p = 0; p < k_cols; ++p) {
+    if (col_active[p]) nucleus.push_back(static_cast<int>(p));
+  }
+  std::stable_sort(nucleus.begin(), nucleus.end(),
+                   [&](int a, int b) { return colcount[a] < colcount[b]; });
+  for (int p : nucleus) order.emplace_back(p, -1);
+
+  // --- Numeric left-looking pass in the symbolic order.
+  std::vector<int> rejected;
+  for (const auto& [pos, pinned] : order) {
+    const SparseCol& col = *cols[static_cast<std::size_t>(pos)];
+    work_.clear();
+    for (const auto& [r, v] : col) work_.add(static_cast<int>(r), v);
+    apply_l(work_);
+
+    // Split the transformed column into U entries (pivoted rows) and pivot
+    // candidates (unpivoted rows).
+    double best_abs = 0.0;
+    int best_row = -1;
+    for (int i : work_.nz) {
+      const double v = work_.values[static_cast<std::size_t>(i)];
+      if (v == 0.0 || eta_of_row_[static_cast<std::size_t>(i)] >= 0) continue;
+      const double a = std::abs(v);
+      if (a > best_abs) {
+        best_abs = a;
+        best_row = i;
+      }
+    }
+    if (best_abs <= kPivotAbsTol) {
+      rejected.push_back(pos);
+      continue;
+    }
+    int pivot_row = best_row;
+    if (pinned >= 0 && eta_of_row_[static_cast<std::size_t>(pinned)] < 0) {
+      const double pv =
+          std::abs(work_.values[static_cast<std::size_t>(pinned)]);
+      if (pv > kPivotAbsTol && pv >= kPivotThreshold * best_abs) {
+        pivot_row = pinned;
+      }
+    }
+
+    const double diag = work_.values[static_cast<std::size_t>(pivot_row)];
+    const int k = static_cast<int>(l_.size());
+    UCol ucol;
+    ucol.position = pos;
+    ucol.pivot_row = pivot_row;
+    ucol.diag = diag;
+    LEta eta;
+    eta.pivot_row = pivot_row;
+    const double inv = 1.0 / diag;
+    for (int i : work_.nz) {
+      const double v = work_.values[static_cast<std::size_t>(i)];
+      if (v == 0.0 || i == pivot_row) continue;
+      const int prev = eta_of_row_[static_cast<std::size_t>(i)];
+      if (prev >= 0) {
+        ucol.entries.emplace_back(prev, v);
+      } else {
+        eta.entries.emplace_back(i, v * inv);
+      }
+    }
+    fill_nnz_ += ucol.entries.size() + eta.entries.size() + 1;
+    u_.push_back(std::move(ucol));
+    l_.push_back(std::move(eta));
+    eta_of_row_[static_cast<std::size_t>(pivot_row)] = k;
+  }
+  work_.clear();
+
+  for (std::size_t r = 0; r < m; ++r) {
+    if (eta_of_row_[r] < 0) unpivoted_rows_.push_back(static_cast<int>(r));
+  }
+  std::sort(rejected.begin(), rejected.end());
+  gwork_.assign(l_.size(), 0.0);
+  return rejected;
+}
+
+/// Applies the L etas reachable from x's pattern, in pivot order, via a
+/// min-heap worklist (Gilbert-Peierls-style sparse lower solve).
+void LuFactor::apply_l(IndexedVector& x) const {
+  auto push = [&](int k) {
+    if (queued_[static_cast<std::size_t>(k)]) return;
+    queued_[static_cast<std::size_t>(k)] = 1;
+    heap_.push_back(k);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+  };
+  for (int r : x.nz) {
+    const int k = eta_of_row_[static_cast<std::size_t>(r)];
+    if (k >= 0 && x.values[static_cast<std::size_t>(r)] != 0.0) push(k);
+  }
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    const int k = heap_.back();
+    heap_.pop_back();
+    queued_[static_cast<std::size_t>(k)] = 0;
+    const LEta& eta = l_[static_cast<std::size_t>(k)];
+    const double t = x.values[static_cast<std::size_t>(eta.pivot_row)];
+    if (t == 0.0) continue;
+    for (const auto& [i, l] : eta.entries) {
+      x.add(i, -l * t);
+      if (x.values[static_cast<std::size_t>(i)] == 0.0) continue;
+      const int k2 = eta_of_row_[static_cast<std::size_t>(i)];
+      if (k2 > k) push(k2);
+    }
+  }
+}
+
+void LuFactor::ftran(IndexedVector& x) const {
+  apply_l(x);
+  // U backsolve, pivots in reverse order; result lands in position space.
+  result_.clear();
+  for (std::size_t k = u_.size(); k-- > 0;) {
+    const UCol& uc = u_[k];
+    const double xr = x.values[static_cast<std::size_t>(uc.pivot_row)];
+    if (xr == 0.0) continue;
+    const double z = xr / uc.diag;
+    result_.set(uc.position, z);
+    for (const auto& [j, uv] : uc.entries) {
+      x.add(u_[static_cast<std::size_t>(j)].pivot_row, -uv * z);
+    }
+  }
+  x.clear();
+  std::swap(x, result_);
+}
+
+void LuFactor::btran(IndexedVector& x) const {
+  // U^T forward solve into gwork_ (indexed by pivot order).
+  const std::size_t kp = u_.size();
+  for (std::size_t k = 0; k < kp; ++k) {
+    const UCol& uc = u_[k];
+    double acc = x.values[static_cast<std::size_t>(uc.position)];
+    for (const auto& [j, uv] : uc.entries) {
+      const double g = gwork_[static_cast<std::size_t>(j)];
+      if (g != 0.0) acc -= uv * g;
+    }
+    gwork_[k] = acc == 0.0 ? 0.0 : acc / uc.diag;
+  }
+  // Scatter into row space and apply L^T etas in reverse order.
+  x.clear();
+  for (std::size_t k = 0; k < kp; ++k) {
+    if (gwork_[k] != 0.0) x.set(u_[k].pivot_row, gwork_[k]);
+    gwork_[k] = 0.0;
+  }
+  for (std::size_t k = kp; k-- > 0;) {
+    const LEta& eta = l_[k];
+    double acc = x.values[static_cast<std::size_t>(eta.pivot_row)];
+    bool any = acc != 0.0;
+    for (const auto& [i, l] : eta.entries) {
+      const double v = x.values[static_cast<std::size_t>(i)];
+      if (v != 0.0) {
+        acc -= l * v;
+        any = true;
+      }
+    }
+    if (any) x.set(eta.pivot_row, acc);
+  }
+}
+
+}  // namespace sb::lp

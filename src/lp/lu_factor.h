@@ -1,0 +1,119 @@
+// Sparse LU factorization of a simplex basis, stored as an eta file.
+//
+// The factorization runs Markowitz-style: a symbolic triangularization pass
+// peels row and column singletons (the bulk of a provisioning basis — slack
+// and near-triangular structural columns — pivots with zero fill-in), then
+// the residual nucleus is ordered sparsest-column-first and factorized
+// left-looking with threshold partial pivoting. L is kept as a sequence of
+// column etas in pivot order (unit diagonal), U as sparse per-pivot columns
+// plus a diagonal; FTRAN/BTRAN exploit both the eta sparsity and the
+// sparsity of the right-hand side (an ordered worklist applies only the L
+// etas actually reached by the rhs pattern).
+//
+// Singular or near-singular input columns are not fatal: factorize()
+// reports them as rejected so the caller (lp::Basis) can repair the basis
+// by substituting logical columns for the unpivoted rows — that is how warm
+// starts crash an old basis onto a new model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sb::lp {
+
+/// Sparse column: (row, value) pairs. Shared with the simplex column store.
+using SparseCol = std::vector<std::pair<std::size_t, double>>;
+
+/// Dense-values-plus-nonzero-list vector used by all sparse kernels. `nz`
+/// is a duplicate-free superset of the true pattern (entries may cancel to
+/// zero); `mark` tracks membership so repeated writes stay O(1).
+struct IndexedVector {
+  std::vector<double> values;
+  std::vector<unsigned char> mark;  ///< 1 iff the index is in `nz`
+  std::vector<int> nz;
+
+  void resize(std::size_t m) {
+    values.assign(m, 0.0);
+    mark.assign(m, 0);
+    nz.clear();
+  }
+  /// Zeroes the listed entries (O(nnz) reset between kernel calls).
+  void clear() {
+    for (int i : nz) {
+      values[static_cast<std::size_t>(i)] = 0.0;
+      mark[static_cast<std::size_t>(i)] = 0;
+    }
+    nz.clear();
+  }
+  void touch(int i) {
+    if (!mark[static_cast<std::size_t>(i)]) {
+      mark[static_cast<std::size_t>(i)] = 1;
+      nz.push_back(i);
+    }
+  }
+  void set(int i, double v) {
+    touch(i);
+    values[static_cast<std::size_t>(i)] = v;
+  }
+  void add(int i, double v) {
+    touch(i);
+    values[static_cast<std::size_t>(i)] += v;
+  }
+};
+
+class LuFactor {
+ public:
+  /// Factorizes the m x m matrix whose k-th column is `cols[k]` (entries are
+  /// (row, value); rows in [0, m)). Returns the indices of columns that
+  /// could not be pivoted (structurally or numerically dependent); when
+  /// non-empty the factorization covers only the pivoted subset and
+  /// `unpivoted_rows()` lists the rows left without a pivot, in ascending
+  /// order. A clean factorization returns an empty vector.
+  std::vector<int> factorize(const std::vector<const SparseCol*>& cols,
+                             std::size_t m);
+
+  /// Solves B w = b. Input `x` holds b in row space; output holds w indexed
+  /// by basis position (the column order given to factorize()).
+  void ftran(IndexedVector& x) const;
+
+  /// Solves B^T y = c. Input `x` holds c indexed by basis position; output
+  /// holds y in row space.
+  void btran(IndexedVector& x) const;
+
+  [[nodiscard]] const std::vector<int>& unpivoted_rows() const {
+    return unpivoted_rows_;
+  }
+  /// Total stored nonzeros in L + U (fill measure).
+  [[nodiscard]] std::size_t fill_nnz() const { return fill_nnz_; }
+  [[nodiscard]] std::size_t size() const { return m_; }
+
+ private:
+  struct LEta {
+    int pivot_row = -1;
+    std::vector<std::pair<int, double>> entries;  ///< (row, multiplier)
+  };
+  struct UCol {
+    int position = -1;     ///< basis position of this pivot's column
+    int pivot_row = -1;
+    double diag = 0.0;
+    std::vector<std::pair<int, double>> entries;  ///< (earlier pivot k, u)
+  };
+
+  std::size_t m_ = 0;
+  std::size_t fill_nnz_ = 0;
+  std::vector<LEta> l_;             ///< in pivot order, unit diagonal
+  std::vector<UCol> u_;             ///< parallel to l_
+  std::vector<int> eta_of_row_;     ///< pivot row -> pivot index, -1 if none
+  std::vector<int> unpivoted_rows_;
+  void apply_l(IndexedVector& x) const;
+
+  // Workspaces reused across factorize/ftran calls (single-threaded use;
+  // the simplex owns one LuFactor per solve).
+  mutable IndexedVector work_;
+  mutable IndexedVector result_;
+  mutable std::vector<double> gwork_;
+  mutable std::vector<int> heap_;
+  mutable std::vector<unsigned char> queued_;
+};
+
+}  // namespace sb::lp

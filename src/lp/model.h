@@ -80,6 +80,19 @@ enum class SolveStatus {
 
 std::string to_string(SolveStatus s);
 
+/// Simplex status of one variable in an optimal basis. The sparse engine
+/// reports these per model variable after a solve (Solution::basis) and can
+/// start from them (SolveOptions::warm_start): a warm start re-installs the
+/// nonbasic variables at their bounds, crash-factorizes the proposed basic
+/// set (repairing rank deficiencies with logicals), and lets phase 1 clean
+/// up whatever residual infeasibility the new model introduces.
+enum class VarStatus : unsigned char {
+  kAtLower,  ///< nonbasic at its lower bound
+  kAtUpper,  ///< nonbasic at its (finite) upper bound
+  kBasic,    ///< in the basis
+  kFixed,    ///< lower == upper; substituted out before the simplex
+};
+
 /// Result of a solve. `values` are in the original model's variable space
 /// (including fixed/shifted variables mapped back).
 struct Solution {
@@ -87,6 +100,19 @@ struct Solution {
   double objective = 0.0;
   std::vector<double> values;
   std::size_t iterations = 0;
+  /// Final basis, one status per model variable. Filled only by the sparse
+  /// engine (Method::kSparse / kAuto dispatching to it) on optimal solves;
+  /// empty otherwise. Feed it to SolveOptions::warm_start of a related
+  /// model to skip most of phase 1/2.
+  std::vector<VarStatus> basis;
+  /// Final status of each constraint row's logical (slack/surplus) variable,
+  /// one per model constraint; kBasic means the row was inactive (slack
+  /// basic) at the optimum. Filled alongside `basis` by the sparse engine;
+  /// rows removed by presolve report kBasic. Feed it to
+  /// SolveOptions::warm_start_rows together with `basis` — without the row
+  /// pattern the engine must guess which rows were tight, which costs
+  /// phase-1 repair pivots.
+  std::vector<VarStatus> row_basis;
 
   [[nodiscard]] bool optimal() const { return status == SolveStatus::kOptimal; }
 };

@@ -116,9 +116,11 @@ PresolveResult presolve(const Model& model, double tolerance) {
     if (lower == upper && v.lower != v.upper) ++result.variables_fixed;
     result.reduced.add_variable(lower, upper, v.cost, v.name);
   }
+  result.row_map.assign(model.constraint_count(), -1);
   for (std::size_t r = 0; r < model.constraint_count(); ++r) {
     if (!row_alive[r]) continue;
     const Constraint& row = model.constraint(static_cast<int>(r));
+    result.row_map[r] = static_cast<int>(result.reduced.constraint_count());
     result.reduced.add_constraint(row.terms, row.sense, row.rhs, row.name);
   }
   return result;

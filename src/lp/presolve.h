@@ -28,6 +28,10 @@ struct PresolveResult {
   /// meaningless.
   bool infeasible = false;
   std::string infeasible_reason;
+  /// Original constraint index -> index in `reduced` (-1 when the row was
+  /// removed). Lets callers map row-level data (e.g. warm-start logical
+  /// statuses) between the original and reduced models.
+  std::vector<int> row_map;
   /// Statistics for logging/tests.
   std::size_t rows_removed = 0;
   std::size_t bounds_tightened = 0;

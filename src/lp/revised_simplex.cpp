@@ -2,384 +2,890 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
 #include "common/error.h"
+#include "lp/basis.h"
+#include "lp/lu_factor.h"
 
 namespace sb::lp {
 namespace {
 
-/// Sparse column: (row, value) pairs.
-using SparseCol = std::vector<std::pair<std::size_t, double>>;
+/// Absolute slack when comparing ratio-test breakpoints for ties.
+constexpr double kRatioTieTol = 1e-9;
+/// Relative improvement below which an iteration counts as stalled.
+constexpr double kStallRelTol = 1e-12;
+/// Rounds of basis repair (demote dependent columns, slot in logicals for
+/// uncovered rows) before a crash start is abandoned.
+constexpr int kMaxRepairRounds = 5;
+/// Devex reference-framework reset: when the entering column's own weight
+/// exceeds this, accumulated weight growth has outlived its reference basis.
+constexpr double kDevexResetThreshold = 1e6;
 
-class RevisedSimplex {
+class SparseSimplex {
  public:
-  RevisedSimplex(const StandardForm& sf, const SimplexOptions& options)
-      : options_(options), n_(sf.var_count()), m_(sf.rows.size()) {
+  SparseSimplex(const StandardForm& sf, const SimplexOptions& options)
+      : options_(options),
+        n_(sf.var_count()),
+        m_(sf.rows.size()),
+        total_(n_ + m_) {
     build(sf);
   }
 
-  SfSolution run() {
-    SfSolution result;
-    if (artificial_begin_ < cols_) {
-      set_phase_costs(/*phase1=*/true);
-      const SolveStatus p1 = iterate(result.iterations, /*phase1=*/true);
-      if (p1 == SolveStatus::kIterationLimit) {
-        result.status = p1;
-        return result;
+  SfSolution run(const std::vector<VarStatus>* warm, SparseSolveStats* stats) {
+    SfSolution out;
+    if (!init_warm(warm)) init_cold();
+    out.status = SolveStatus::kOptimal;
+
+    const SolveStatus p1 = run_phase(/*phase1=*/true, out.iterations);
+    if (p1 != SolveStatus::kOptimal) {
+      out.status = p1;
+    } else if (infeasibility() >
+               options_.feasibility_tol * rhs_scale_ * 10.0) {
+      out.status = SolveStatus::kInfeasible;
+    } else {
+      // Snap residual within-tolerance violations onto the bounds so phase 2
+      // starts from a (numerically) feasible point.
+      for (std::size_t p = 0; p < m_; ++p) {
+        const int col = basis_[p];
+        x_basic_[p] = std::clamp(x_basic_[p],
+                                 lower_[static_cast<std::size_t>(col)],
+                                 upper_[static_cast<std::size_t>(col)]);
       }
-      if (phase_objective() > options_.feasibility_tol * rhs_scale_) {
-        result.status = SolveStatus::kInfeasible;
-        return result;
-      }
-      expel_artificials();
+      out.status = run_phase(/*phase1=*/false, out.iterations);
     }
-    set_phase_costs(/*phase1=*/false);
-    for (std::size_t j = artificial_begin_; j < cols_; ++j) banned_[j] = true;
-    result.status = iterate(result.iterations, /*phase1=*/false);
-    if (result.status == SolveStatus::kOptimal) {
-      result.values.assign(n_, 0.0);
-      for (std::size_t r = 0; r < m_; ++r) {
-        if (basis_[r] < n_) result.values[basis_[r]] = x_basic_[r];
-      }
+
+    out.values.resize(n_);
+    // Statuses cover the logical (row) block too: a warm start that knows
+    // which rows had basic slacks skips the repair pivots a structural-only
+    // hint needs.
+    out.statuses.resize(total_);
+    for (std::size_t j = 0; j < total_; ++j) out.statuses[j] = status_[j];
+    for (std::size_t j = 0; j < n_; ++j) {
+      out.values[j] = status_[j] == VarStatus::kBasic
+                          ? x_basic_[static_cast<std::size_t>(pos_of_[j])]
+                          : nonbasic_value(static_cast<int>(j));
     }
-    return result;
+    if (stats != nullptr) {
+      stats->factorizations = basis_state_.factorizations();
+      stats->eta_nnz = basis_state_.eta_nnz();
+      stats->pricing_passes = pricing_passes_;
+    }
+    return out;
   }
 
  private:
   void build(const StandardForm& sf) {
-    std::size_t slack_count = 0;
-    std::size_t artificial_count = 0;
-    std::vector<int> row_sign(m_, 1);
-    std::vector<Sense> sense(m_);
+    columns_.resize(total_);
+    lower_.assign(total_, 0.0);
+    upper_.assign(total_, kInf);
+    cost_.assign(total_, 0.0);
+    rhs_.resize(m_);
+    rhs_scale_ = 1.0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      cost_[j] = sf.cost[j];
+      upper_[j] = sf.upper[j];
+    }
+    rows_.resize(m_);
     for (std::size_t r = 0; r < m_; ++r) {
-      sense[r] = sf.rows[r].sense;
-      if (sf.rows[r].rhs < 0.0) {
-        row_sign[r] = -1;
-        if (sense[r] == Sense::kLe) {
-          sense[r] = Sense::kGe;
-        } else if (sense[r] == Sense::kGe) {
-          sense[r] = Sense::kLe;
+      const StandardRow& row = sf.rows[r];
+      for (const Term& t : row.terms) {
+        columns_[static_cast<std::size_t>(t.var)].emplace_back(r, t.coeff);
+        rows_[r].emplace_back(static_cast<std::size_t>(t.var), t.coeff);
+      }
+      const std::size_t lj = n_ + r;
+      columns_[lj].emplace_back(r, 1.0);
+      switch (row.sense) {
+        case Sense::kLe:
+          break;  // s in [0, inf)
+        case Sense::kGe:
+          lower_[lj] = -kInf;
+          upper_[lj] = 0.0;
+          break;
+        case Sense::kEq:
+          upper_[lj] = 0.0;
+          break;
+      }
+      rhs_[r] = row.rhs;
+      rhs_scale_ = std::max(rhs_scale_, std::abs(row.rhs));
+    }
+    status_.assign(total_, VarStatus::kAtLower);
+    pos_of_.assign(total_, -1);
+    devex_.assign(total_, 1.0);
+    w_.resize(m_);
+    cb_.resize(m_);
+    bwork_.resize(m_);
+    rho_.resize(m_);
+    alpha_.resize(total_);
+  }
+
+  [[nodiscard]] double nonbasic_value(int j) const {
+    const auto ju = static_cast<std::size_t>(j);
+    return status_[ju] == VarStatus::kAtUpper ? upper_[ju] : lower_[ju];
+  }
+
+  /// Nonbasic resting status: at-lower unless the lower bound is -inf
+  /// (kGe logicals), which can only rest at their (zero) upper bound.
+  [[nodiscard]] VarStatus resting_status(std::size_t j) const {
+    return lower_[j] == -kInf ? VarStatus::kAtUpper : VarStatus::kAtLower;
+  }
+
+  void init_cold() {
+    basis_.resize(m_);
+    for (std::size_t j = 0; j < total_; ++j) status_[j] = resting_status(j);
+    for (std::size_t r = 0; r < m_; ++r) {
+      basis_[r] = static_cast<int>(n_ + r);
+      status_[n_ + r] = VarStatus::kBasic;
+    }
+    // Crash: rows whose logical would start infeasible (eq rows with
+    // nonzero rhs, ge rows with positive rhs) get the cheapest structural
+    // column instead — it can absorb the rhs inside its own bounds, which
+    // moves most of the phase-1 work into the initial basis. Dependent
+    // picks are demoted again by load_with_repair().
+    std::vector<unsigned char> taken(total_, 0);
+    // Build a row -> structural columns list once (only rows needing crash).
+    std::vector<std::vector<int>> row_cols(m_);
+    {
+      std::vector<unsigned char> wanted(m_, 0);
+      bool any = false;
+      for (std::size_t r = 0; r < m_; ++r) {
+        const std::size_t lj = n_ + r;
+        if (rhs_[r] < lower_[lj] || rhs_[r] > upper_[lj]) {
+          wanted[r] = 1;
+          any = true;
         }
       }
-      if (sense[r] != Sense::kEq) ++slack_count;
-      if (sense[r] != Sense::kLe) ++artificial_count;
-    }
-    slack_begin_ = n_;
-    artificial_begin_ = n_ + slack_count;
-    cols_ = artificial_begin_ + artificial_count;
-
-    columns_.resize(cols_);
-    cost_.assign(cols_, 0.0);
-    for (std::size_t j = 0; j < n_; ++j) cost_[j] = sf.cost[j];
-    rhs_.assign(m_, 0.0);
-    basis_.assign(m_, 0);
-    in_basis_.assign(cols_, false);
-    banned_.assign(cols_, false);
-
-    for (std::size_t j = 0; j < n_; ++j) columns_[j].clear();
-    for (std::size_t r = 0; r < m_; ++r) {
-      const double sign = row_sign[r];
-      for (const Term& t : sf.rows[r].terms) {
-        if (t.coeff != 0.0) {
-          columns_[static_cast<std::size_t>(t.var)].emplace_back(
-              r, sign * t.coeff);
+      if (any) {
+        for (std::size_t j = 0; j < n_; ++j) {
+          for (const auto& [r, v] : columns_[j]) {
+            if (wanted[r] && v != 0.0) {
+              row_cols[r].push_back(static_cast<int>(j));
+            }
+          }
+        }
+        for (std::size_t r = 0; r < m_; ++r) {
+          if (!wanted[r] || row_cols[r].empty()) continue;
+          int pick = -1;
+          for (int j : row_cols[r]) {
+            if (taken[static_cast<std::size_t>(j)]) continue;
+            if (pick < 0 ||
+                cost_[static_cast<std::size_t>(j)] <
+                    cost_[static_cast<std::size_t>(pick)]) {
+              pick = j;
+            }
+          }
+          if (pick < 0) continue;
+          taken[static_cast<std::size_t>(pick)] = 1;
+          status_[n_ + r] = resting_status(n_ + r);
+          basis_[r] = pick;
+          status_[static_cast<std::size_t>(pick)] = VarStatus::kBasic;
         }
       }
-      rhs_[r] = sign * sf.rows[r].rhs;
-      rhs_scale_ = std::max(rhs_scale_, std::abs(rhs_[r]));
     }
-    std::size_t next_slack = slack_begin_;
-    std::size_t next_artificial = artificial_begin_;
+    if (!load_with_repair()) {
+      throw InternalError("sparse simplex: cold basis failed to factorize");
+    }
+    compute_basic_values();
+  }
+
+  /// Crash start from a foreign status vector: nonbasic variables land on
+  /// their bounds, the proposed basic set is factorized with repair. Returns
+  /// false (leaving state unspecified) when the crash is unusable. Accepts
+  /// either n (structurals only — logicals padded in row order) or n + m
+  /// entries (logical kBasic hints restore the exact slack/tight row
+  /// pattern of the donor basis).
+  bool init_warm(const std::vector<VarStatus>* warm) {
+    if (warm == nullptr || (warm->size() != n_ && warm->size() != total_)) {
+      return false;
+    }
+    const bool has_row_hints = warm->size() == total_;
+    basis_.clear();
+    for (std::size_t j = 0; j < n_; ++j) {
+      switch ((*warm)[j]) {
+        case VarStatus::kBasic:
+          if (basis_.size() < m_) {
+            basis_.push_back(static_cast<int>(j));
+            status_[j] = VarStatus::kBasic;
+          } else {
+            status_[j] = resting_status(j);
+          }
+          break;
+        case VarStatus::kAtUpper:
+          status_[j] =
+              upper_[j] < kInf ? VarStatus::kAtUpper : VarStatus::kAtLower;
+          break;
+        default:
+          status_[j] = resting_status(j);
+          break;
+      }
+    }
     for (std::size_t r = 0; r < m_; ++r) {
-      if (sense[r] == Sense::kLe) {
-        columns_[next_slack] = {{r, 1.0}};
-        set_basis(r, next_slack++);
-      } else if (sense[r] == Sense::kGe) {
-        columns_[next_slack] = {{r, -1.0}};
-        ++next_slack;
-        columns_[next_artificial] = {{r, 1.0}};
-        set_basis(r, next_artificial++);
+      const std::size_t lj = n_ + r;
+      if (has_row_hints && (*warm)[lj] == VarStatus::kBasic &&
+          basis_.size() < m_) {
+        basis_.push_back(static_cast<int>(lj));
+        status_[lj] = VarStatus::kBasic;
       } else {
-        columns_[next_artificial] = {{r, 1.0}};
-        set_basis(r, next_artificial++);
+        status_[lj] = resting_status(lj);
       }
     }
-    // Initial basis is the identity.
-    binv_.assign(m_ * m_, 0.0);
-    for (std::size_t r = 0; r < m_; ++r) binv_[r * m_ + r] = 1.0;
-    x_basic_ = rhs_;
-  }
-
-  void set_basis(std::size_t row, std::size_t col) {
-    basis_[row] = col;
-    in_basis_[col] = true;
-  }
-
-  void set_phase_costs(bool phase1) {
-    active_cost_.assign(cols_, 0.0);
-    if (phase1) {
-      for (std::size_t j = artificial_begin_; j < cols_; ++j) {
-        active_cost_[j] = 1.0;
+    // A short basis means the donor's basics for some rows are gone (e.g. a
+    // failure scenario removed the columns a hint row relied on). Pad on the
+    // rows no basic column touches, reusing init_cold's crash heuristic:
+    // rows whose logical would start infeasible (eq rows with nonzero rhs)
+    // get their cheapest nonbasic structural column, the rest their logical.
+    // Blind first-rows padding here costs a phase-1 repair pivot per
+    // uncovered eq row and makes the warm start slower than cold.
+    if (basis_.size() < m_) {
+      std::vector<unsigned char> covered(m_, 0);
+      for (int col : basis_) {
+        for (const auto& [r, v] : columns_[static_cast<std::size_t>(col)]) {
+          if (v != 0.0) covered[r] = 1;
+        }
       }
-    } else {
-      active_cost_ = cost_;
+      for (std::size_t r = 0; r < m_ && basis_.size() < m_; ++r) {
+        if (covered[r]) continue;
+        const std::size_t lj = n_ + r;
+        int pick = -1;
+        if (rhs_[r] < lower_[lj] || rhs_[r] > upper_[lj]) {
+          for (const auto& [j, v] : rows_[r]) {
+            if (v == 0.0 || status_[j] == VarStatus::kBasic) continue;
+            if (pick < 0 ||
+                cost_[j] < cost_[static_cast<std::size_t>(pick)]) {
+              pick = static_cast<int>(j);
+            }
+          }
+        }
+        if (pick >= 0) {
+          basis_.push_back(pick);
+          status_[static_cast<std::size_t>(pick)] = VarStatus::kBasic;
+          for (const auto& [rr, v] : columns_[static_cast<std::size_t>(pick)]) {
+            if (v != 0.0) covered[rr] = 1;
+          }
+        } else {
+          basis_.push_back(static_cast<int>(lj));
+          status_[lj] = VarStatus::kBasic;
+          covered[r] = 1;
+        }
+      }
     }
+    // Rank-deficiency safety net: still short (every row covered but the
+    // basic set is dependent) — first nonbasic logicals; load_with_repair()
+    // swaps any that turn out redundant.
+    for (std::size_t r = 0; r < m_ && basis_.size() < m_; ++r) {
+      const std::size_t lj = n_ + r;
+      if (status_[lj] == VarStatus::kBasic) continue;
+      basis_.push_back(static_cast<int>(lj));
+      status_[lj] = VarStatus::kBasic;
+    }
+    if (!load_with_repair()) return false;
+    compute_basic_values();
+    return true;
   }
 
-  double phase_objective() const {
-    double acc = 0.0;
+  /// Factorizes basis_, demoting rejected columns to their bounds and
+  /// substituting logicals for uncovered rows until the factorization is
+  /// clean. Rebinds pos_of_ / statuses on success.
+  bool load_with_repair() {
+    std::vector<const SparseCol*> cols;
+    for (int round = 0; round < kMaxRepairRounds; ++round) {
+      cols.clear();
+      cols.reserve(basis_.size());
+      for (int col : basis_) {
+        cols.push_back(&columns_[static_cast<std::size_t>(col)]);
+      }
+      const Basis::LoadResult res = basis_state_.load(cols, m_);
+      if (res.clean() && basis_.size() == m_) {
+        std::fill(pos_of_.begin(), pos_of_.end(), -1);
+        for (std::size_t p = 0; p < m_; ++p) {
+          pos_of_[static_cast<std::size_t>(basis_[p])] = static_cast<int>(p);
+          status_[static_cast<std::size_t>(basis_[p])] = VarStatus::kBasic;
+        }
+        return true;
+      }
+      std::vector<int> next;
+      next.reserve(m_);
+      std::size_t rej = 0;
+      for (std::size_t p = 0; p < basis_.size(); ++p) {
+        if (rej < res.rejected.size() &&
+            res.rejected[rej] == static_cast<int>(p)) {
+          ++rej;
+          const auto col = static_cast<std::size_t>(basis_[p]);
+          status_[col] = resting_status(col);
+          continue;
+        }
+        next.push_back(basis_[p]);
+      }
+      for (int r : res.unpivoted_rows) {
+        const std::size_t lj = n_ + static_cast<std::size_t>(r);
+        next.push_back(static_cast<int>(lj));
+        status_[lj] = VarStatus::kBasic;
+      }
+      basis_ = std::move(next);
+      if (basis_.size() != m_) return false;  // inconsistent repair
+    }
+    return false;
+  }
+
+  /// Recomputes basic values from scratch: x_B = B^-1 (b - N x_N).
+  void compute_basic_values() {
+    bwork_.clear();
     for (std::size_t r = 0; r < m_; ++r) {
-      acc += active_cost_[basis_[r]] * x_basic_[r];
+      if (rhs_[r] != 0.0) bwork_.set(static_cast<int>(r), rhs_[r]);
     }
-    return acc;
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      const double v = nonbasic_value(static_cast<int>(j));
+      if (v == 0.0) continue;
+      for (const auto& [r, a] : columns_[j]) {
+        bwork_.add(static_cast<int>(r), -a * v);
+      }
+    }
+    basis_state_.ftran(bwork_);
+    x_basic_.assign(m_, 0.0);
+    for (int p : bwork_.nz) {
+      if (p >= 0 && static_cast<std::size_t>(p) < m_) {
+        x_basic_[static_cast<std::size_t>(p)] =
+            bwork_.values[static_cast<std::size_t>(p)];
+      }
+    }
+    nb_cost_ = 0.0;
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (status_[j] != VarStatus::kBasic && cost_[j] != 0.0) {
+        nb_cost_ += cost_[j] * nonbasic_value(static_cast<int>(j));
+      }
+    }
   }
 
-  /// y = c_B^T B^-1, skipping zero-cost basic rows.
-  void compute_duals(std::vector<double>& y) const {
-    y.assign(m_, 0.0);
-    for (std::size_t r = 0; r < m_; ++r) {
-      const double c = active_cost_[basis_[r]];
-      if (c == 0.0) continue;
-      const double* row = &binv_[r * m_];
-      for (std::size_t i = 0; i < m_; ++i) y[i] += c * row[i];
-    }
+  bool refactorize() {
+    if (!load_with_repair()) return false;
+    compute_basic_values();
+    return true;
   }
 
-  [[nodiscard]] double reduced_cost(std::size_t j,
-                                    const std::vector<double>& y) const {
-    double d = active_cost_[j];
-    for (const auto& [row, val] : columns_[j]) d -= y[row] * val;
+  [[nodiscard]] double infeasibility() const {
+    double total = 0.0;
+    for (std::size_t p = 0; p < m_; ++p) {
+      const auto col = static_cast<std::size_t>(basis_[p]);
+      const double x = x_basic_[p];
+      if (x < lower_[col]) total += lower_[col] - x;
+      if (x > upper_[col]) total += x - upper_[col];
+    }
+    return total;
+  }
+
+  [[nodiscard]] double objective_value() const {
+    double obj = nb_cost_;
+    for (std::size_t p = 0; p < m_; ++p) {
+      obj += cost_[static_cast<std::size_t>(basis_[p])] * x_basic_[p];
+    }
+    return obj;
+  }
+
+  [[nodiscard]] double reduced_cost(int j, bool phase1) const {
+    const auto ju = static_cast<std::size_t>(j);
+    double d = phase1 ? 0.0 : cost_[ju];
+    for (const auto& [r, v] : columns_[ju]) {
+      d -= cb_.values[r] * v;
+    }
     return d;
   }
 
-  /// w = B^-1 a_j (FTRAN via the dense inverse and the sparse column).
-  void ftran(std::size_t j, std::vector<double>& w) const {
-    w.assign(m_, 0.0);
-    for (const auto& [row, val] : columns_[j]) {
-      for (std::size_t i = 0; i < m_; ++i) w[i] += binv_[i * m_ + row] * val;
-    }
+  [[nodiscard]] bool eligible(int j, double d) const {
+    const auto ju = static_cast<std::size_t>(j);
+    if (status_[ju] == VarStatus::kBasic) return false;
+    if (!(upper_[ju] - lower_[ju] > 0.0)) return false;  // fixed (kEq slack)
+    return status_[ju] == VarStatus::kAtLower ? d < -options_.optimality_tol
+                                              : d > options_.optimality_tol;
   }
 
-  SolveStatus iterate(std::size_t& iterations, bool phase1) {
-    bool bland = false;
-    std::size_t stall = 0;
-    std::size_t since_refactor = 0;
-    double last_objective = phase_objective();
-    std::vector<double> y;
-    std::vector<double> w;
-    for (;; ++iterations) {
-      if (iterations >= options_.max_iterations) {
-        return SolveStatus::kIterationLimit;
+  /// Picks the entering column. Partial pricing with Devex weights: the
+  /// candidate list is re-scored by d^2 / devex_[j] (approximate steepest
+  /// edge — heavily degenerate provisioning LPs crawl under plain Dantzig),
+  /// refilling it from a rotating cursor only when it runs dry (one full
+  /// wrap with no hit is the optimality proof). Bland mode degrades to a
+  /// lowest-index full scan for guaranteed termination.
+  int price(bool phase1) {
+    if (bland_) {
+      for (std::size_t j = 0; j < total_; ++j) {
+        if (eligible(static_cast<int>(j),
+                     reduced_cost(static_cast<int>(j), phase1))) {
+          return static_cast<int>(j);
+        }
       }
-      compute_duals(y);
-      const int entering = pick_entering(y, bland);
-      if (entering < 0) return SolveStatus::kOptimal;
-      ftran(static_cast<std::size_t>(entering), w);
-      const int leaving = pick_leaving(w, phase1);
-      if (leaving < 0) {
-        if (phase1) throw InternalError("revised simplex: phase-1 unbounded");
-        return SolveStatus::kUnbounded;
-      }
-      pivot(static_cast<std::size_t>(leaving),
-            static_cast<std::size_t>(entering), w);
-      if (++since_refactor >= options_.refactor_interval) {
-        refactorize();
-        since_refactor = 0;
-      }
-      const double objective = phase_objective();
-      if (objective < last_objective - options_.optimality_tol) {
-        stall = 0;
-        last_objective = objective;
-      } else if (++stall >= options_.stall_limit) {
-        bland = true;
-      }
+      return -1;
     }
-  }
-
-  int pick_entering(const std::vector<double>& y, bool bland) const {
     int best = -1;
-    double best_cost = -options_.optimality_tol;
-    for (std::size_t j = 0; j < cols_; ++j) {
-      if (in_basis_[j] || banned_[j]) continue;
-      const double d = reduced_cost(j, y);
-      if (d < best_cost) {
-        if (bland) return static_cast<int>(j);
-        best_cost = d;
-        best = static_cast<int>(j);
+    double best_score = 0.0;
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      const int j = candidates_[i];
+      const double d = reduced_cost(j, phase1);
+      if (!eligible(j, d)) continue;
+      candidates_[out++] = j;
+      const double score = d * d / devex_[static_cast<std::size_t>(j)];
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+    candidates_.resize(out);
+    if (best >= 0) return best;
+
+    ++pricing_passes_;
+    candidates_.clear();
+    for (std::size_t scanned = 0; scanned < total_; ++scanned) {
+      const int j = static_cast<int>(cursor_);
+      cursor_ = cursor_ + 1 == total_ ? 0 : cursor_ + 1;
+      const double d = reduced_cost(j, phase1);
+      if (!eligible(j, d)) continue;
+      candidates_.push_back(j);
+      const double score = d * d / devex_[static_cast<std::size_t>(j)];
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+      }
+      if (candidates_.size() >= options_.pricing_candidates) break;
+    }
+    return best;
+  }
+
+  /// Devex weight update after a pivot (entering column q at basis position
+  /// r): the full pivot row alpha_r = e_r^T B^-1 A is computed through the
+  /// row-wise matrix copy, and every nonbasic column's reference weight is
+  /// raised to max(w_j, (alpha_rj/alpha_rq)^2 w_q). One extra btran plus an
+  /// O(nnz) pass per pivot buys a steepest-edge-quality pricing signal.
+  void update_devex(int entering, int leaving, int r) {
+    const double alpha_q = w_.values[static_cast<std::size_t>(r)];
+    if (alpha_q == 0.0) return;
+    const double wq = devex_[static_cast<std::size_t>(entering)];
+    // rho = row r of B^-1 (btran of the r-th unit vector), in row space.
+    rho_.clear();
+    rho_.set(r, 1.0);
+    basis_state_.btran(rho_);
+    const double scale = wq / (alpha_q * alpha_q);
+    double rho_max = 0.0;
+    for (int i : rho_.nz) {
+      rho_max =
+          std::max(rho_max, std::abs(rho_.values[static_cast<std::size_t>(i)]));
+    }
+    // Rows with negligible pivot-row weight cannot move any weight past its
+    // current value; skipping them keeps the update pass near the pivot
+    // row's true (short) reach instead of its roundoff fill.
+    const double rho_cut = rho_max * 1e-7;
+    for (int i : rho_.nz) {
+      const double rv = rho_.values[static_cast<std::size_t>(i)];
+      if (std::abs(rv) <= rho_cut) continue;
+      for (const auto& [col, v] : rows_[static_cast<std::size_t>(i)]) {
+        alpha_.add(static_cast<int>(col), rv * v);
+      }
+      // The logical of row i is a unit column: alpha contribution is rv.
+      alpha_.add(static_cast<int>(n_) + i, rv);
+    }
+    for (int j : alpha_.nz) {
+      const auto ju = static_cast<std::size_t>(j);
+      if (status_[ju] == VarStatus::kBasic) continue;
+      const double a = alpha_.values[ju];
+      const double cand = a * a * scale;
+      if (cand > devex_[ju]) devex_[ju] = cand;
+    }
+    alpha_.clear();
+    devex_[static_cast<std::size_t>(leaving)] =
+        std::max(wq / (alpha_q * alpha_q), 1.0);
+    if (wq > kDevexResetThreshold) {
+      std::fill(devex_.begin(), devex_.end(), 1.0);
+    }
+  }
+
+  struct Ratio {
+    double t = kInf;
+    int pos = -1;  ///< leaving basis position; -1 means bound flip
+    bool to_upper = false;
+  };
+
+  /// Soft breakpoint in the long-step phase-1 ratio test: a violated basic
+  /// reaching the bound it violates. Passing it adds `weight` (= |w_p|) to
+  /// the infeasibility slope.
+  struct Breakpoint {
+    double cap;
+    int pos;
+    double weight;
+    bool to_upper;
+  };
+
+  /// Bounded-variable (phase-2) ratio test. `dir` is +1 entering from
+  /// lower, -1 from upper; w_ holds the FTRAN image of the entering column.
+  Ratio ratio_test(int entering, double dir) const {
+    const auto ent = static_cast<std::size_t>(entering);
+    Ratio best;
+    best.t = upper_[ent] - lower_[ent];  // bound-flip distance (may be inf)
+    best.pos = -1;
+    const double ftol = options_.feasibility_tol;
+    for (int p : w_.nz) {
+      const double wv = w_.values[static_cast<std::size_t>(p)];
+      if (std::abs(wv) <= ftol) continue;
+      const double s = -dir * wv;  // d x_basic[p] / d t
+      const auto col =
+          static_cast<std::size_t>(basis_[static_cast<std::size_t>(p)]);
+      const double l = lower_[col];
+      const double u = upper_[col];
+      const double x = x_basic_[static_cast<std::size_t>(p)];
+      double cap = kInf;
+      bool to_upper = false;
+      if (s < 0.0) {
+        if (l == -kInf) continue;
+        cap = (x - l) / (-s);
+        to_upper = false;
+      } else {
+        if (u == kInf) continue;
+        cap = (u - x) / s;
+        to_upper = true;
+      }
+      if (cap < 0.0) cap = 0.0;
+      bool take = false;
+      if (cap < best.t - kRatioTieTol) {
+        take = true;
+      } else if (best.pos >= 0 && cap <= best.t + kRatioTieTol) {
+        // Tie between two leaving candidates: prefer the larger pivot for
+        // stability; under Bland, the lowest column index for termination.
+        const double bw =
+            std::abs(w_.values[static_cast<std::size_t>(best.pos)]);
+        take = bland_ ? static_cast<int>(col) <
+                            basis_[static_cast<std::size_t>(best.pos)]
+                      : std::abs(wv) > bw;
+      }
+      if (take) {
+        best.t = cap;
+        best.pos = p;
+        best.to_upper = to_upper;
       }
     }
     return best;
   }
 
-  int pick_leaving(const std::vector<double>& w, bool phase1) const {
-    int leaving = -1;
-    double best_ratio = 0.0;
-    for (std::size_t r = 0; r < m_; ++r) {
-      double ratio;
-      if (w[r] > options_.feasibility_tol) {
-        ratio = std::max(0.0, x_basic_[r]) / w[r];
-      } else if (!phase1 && basis_[r] >= artificial_begin_ &&
-                 w[r] < -options_.feasibility_tol) {
-        ratio = 0.0;  // keep zero-valued artificials from going positive
+  /// Long-step composite phase-1 ratio test. Feasible basics block hard at
+  /// their bounds (no new violations are ever created), but a VIOLATED
+  /// basic merely stops reducing the infeasibility once it reaches the
+  /// bound it violates — the entering variable may travel past that
+  /// breakpoint as long as the total infeasibility slope stays negative.
+  /// One pivot can therefore repair many violated rows at once (e.g. a
+  /// capacity-peak column covering every violated slot row of its DC).
+  /// `d` is the phase-1 reduced cost of the entering column.
+  Ratio ratio_test_phase1(int entering, double dir, double d) const {
+    const auto ent = static_cast<std::size_t>(entering);
+    const double ftol = options_.feasibility_tol;
+
+    double hard_cap = upper_[ent] - lower_[ent];  // bound flip (may be inf)
+    int hard_pos = -1;
+    bool hard_to_upper = false;
+    breakpoints_.clear();
+    for (int p : w_.nz) {
+      const double wv = w_.values[static_cast<std::size_t>(p)];
+      if (std::abs(wv) <= ftol) continue;
+      const double s = -dir * wv;  // d x_basic[p] / d t
+      const auto col =
+          static_cast<std::size_t>(basis_[static_cast<std::size_t>(p)]);
+      const double l = lower_[col];
+      const double u = upper_[col];
+      const double x = x_basic_[static_cast<std::size_t>(p)];
+      double cap = kInf;
+      bool to_upper = false;
+      bool soft = false;
+      if (x < l - ftol) {
+        if (s <= 0.0) continue;  // drifting further below: no block
+        cap = (l - x) / s;
+        to_upper = false;
+        // Fixed variables (l == u) re-violate immediately past the bound;
+        // ranged ones travel on to their far bound, so the first touch is
+        // only a slope change unless the range is degenerate.
+        soft = u > l;
+        if (u < kInf && soft) {
+          // Far bound is a hard block further out; fold it in.
+          const double far = (u - x) / s;
+          if (far < hard_cap) {
+            hard_cap = far;
+            hard_pos = p;
+            hard_to_upper = true;
+          }
+        }
+      } else if (x > u + ftol) {
+        if (s >= 0.0) continue;
+        cap = (u - x) / s;  // s < 0, cap >= 0
+        to_upper = true;
+        soft = u > l;
+        if (l > -kInf && soft) {
+          const double far = (l - x) / s;
+          if (far < hard_cap) {
+            hard_cap = far;
+            hard_pos = p;
+            hard_to_upper = false;
+          }
+        }
+      } else if (s < 0.0) {
+        if (l == -kInf) continue;
+        cap = (x - l) / (-s);
+        to_upper = false;
       } else {
-        continue;
+        if (u == kInf) continue;
+        cap = (u - x) / s;
+        to_upper = true;
       }
-      if (leaving < 0 || ratio < best_ratio - options_.optimality_tol ||
-          (ratio < best_ratio + options_.optimality_tol &&
-           basis_[r] < basis_[static_cast<std::size_t>(leaving)])) {
-        leaving = static_cast<int>(r);
-        best_ratio = ratio;
+      if (cap < 0.0) cap = 0.0;
+      if (soft) {
+        breakpoints_.push_back({cap, p, std::abs(wv), to_upper});
+      } else if (cap < hard_cap ||
+                 (hard_pos >= 0 && cap <= hard_cap + kRatioTieTol &&
+                  std::abs(wv) >
+                      std::abs(w_.values[static_cast<std::size_t>(hard_pos)]))) {
+        hard_cap = cap;
+        hard_pos = p;
+        hard_to_upper = to_upper;
       }
     }
-    return leaving;
+
+    std::sort(breakpoints_.begin(), breakpoints_.end(),
+              [](const Breakpoint& a, const Breakpoint& b) {
+                return a.cap < b.cap;
+              });
+    // Walk the soft breakpoints while the infeasibility keeps decreasing.
+    double slope = dir * d;  // < 0: rate of infeasibility change per unit t
+    Ratio best;
+    best.t = kInf;
+    for (const Breakpoint& bp : breakpoints_) {
+      if (bp.cap >= hard_cap) break;
+      slope += bp.weight;
+      if (slope >= -options_.optimality_tol || bp.cap >= hard_cap) {
+        best.t = bp.cap;
+        best.pos = bp.pos;
+        best.to_upper = bp.to_upper;
+        return best;
+      }
+    }
+    best.t = hard_cap;
+    best.pos = hard_pos;
+    best.to_upper = hard_to_upper;
+    return best;
   }
 
-  void pivot(std::size_t leave_row, std::size_t enter_col,
-             const std::vector<double>& w) {
-    const double pivot_val = w[leave_row];
-    require(std::abs(pivot_val) > options_.feasibility_tol * 1e-3,
-            "revised simplex: tiny pivot");
-    const double theta =
-        w[leave_row] > 0.0 ? std::max(0.0, x_basic_[leave_row]) / pivot_val
-                           : 0.0;
-    for (std::size_t r = 0; r < m_; ++r) x_basic_[r] -= theta * w[r];
-    x_basic_[leave_row] = theta;
+  SolveStatus run_phase(bool phase1, std::size_t& iterations) {
+    bland_ = false;
+    candidates_.clear();
+    std::fill(devex_.begin(), devex_.end(), 1.0);  // new reference framework
+    std::size_t stalled = 0;
+    double last_obj = phase1 ? infeasibility() : objective_value();
+    const double ftol = options_.feasibility_tol;
+    while (true) {
+      if (iterations >= options_.max_iterations) {
+        return SolveStatus::kIterationLimit;
+      }
+      if (basis_state_.update_count() >= options_.refactor_interval) {
+        if (!refactorize()) {
+          throw InternalError("sparse simplex: basis repair failed");
+        }
+      }
 
-    in_basis_[basis_[leave_row]] = false;
-    set_basis(leave_row, enter_col);
+      // BTRAN the phase objective's basic costs into row space (cb_ doubles
+      // as the y workspace used by reduced_cost()).
+      cb_.clear();
+      for (std::size_t p = 0; p < m_; ++p) {
+        double c;
+        if (phase1) {
+          const auto col = static_cast<std::size_t>(basis_[p]);
+          const double x = x_basic_[p];
+          c = x < lower_[col] - ftol ? -1.0
+                                     : (x > upper_[col] + ftol ? 1.0 : 0.0);
+        } else {
+          c = cost_[static_cast<std::size_t>(basis_[p])];
+        }
+        if (c != 0.0) cb_.set(static_cast<int>(p), c);
+      }
+      basis_state_.btran(cb_);
 
-    // Rank-1 update of the dense inverse: eliminate column `enter` from all
-    // rows except the pivot row, then scale the pivot row.
-    double* pivot_row = &binv_[leave_row * m_];
-    const double inv = 1.0 / pivot_val;
-    for (std::size_t r = 0; r < m_; ++r) {
-      if (r == leave_row) continue;
-      const double factor = w[r] * inv;
-      if (factor == 0.0) continue;
-      double* row = &binv_[r * m_];
-      for (std::size_t i = 0; i < m_; ++i) row[i] -= factor * pivot_row[i];
-    }
-    for (std::size_t i = 0; i < m_; ++i) pivot_row[i] *= inv;
+      const int entering = price(phase1);
+      if (entering < 0) {
+        // Optimality (or phase-1 completion) is only declared against fresh
+        // factors: eta-file drift in the duals can hide reduced costs at the
+        // tie-break scale. Refactorize and price once more.
+        if (basis_state_.update_count() > 0) {
+          if (!refactorize()) {
+            throw InternalError("sparse simplex: basis repair failed");
+          }
+          candidates_.clear();
+          continue;
+        }
+        return SolveStatus::kOptimal;
+      }
 
-    for (double& x : x_basic_) {
-      if (x < 0.0 && x > -options_.feasibility_tol) x = 0.0;
+      w_.clear();
+      for (const auto& [r, v] : columns_[static_cast<std::size_t>(entering)]) {
+        w_.add(static_cast<int>(r), v);
+      }
+      basis_state_.ftran(w_);
+
+      const double dir =
+          status_[static_cast<std::size_t>(entering)] == VarStatus::kAtUpper
+              ? -1.0
+              : 1.0;
+      const Ratio ratio =
+          phase1 ? ratio_test_phase1(entering, dir,
+                                     reduced_cost(entering, /*phase1=*/true))
+                 : ratio_test(entering, dir);
+      if (ratio.t == kInf) {
+        if (basis_state_.update_count() > 0) {
+          // Stale duals from accumulated eta updates can nominate a column
+          // with no blocking pivot; refresh the factorization and re-price.
+          if (!refactorize()) {
+            throw InternalError("sparse simplex: basis repair failed");
+          }
+          candidates_.clear();
+          continue;
+        }
+        if (phase1) {
+          double wmax = 0.0;
+          for (int p : w_.nz) {
+            wmax = std::max(
+                wmax, std::abs(w_.values[static_cast<std::size_t>(p)]));
+          }
+          throw InternalError(
+              "sparse simplex: phase-1 unbounded (col=" +
+              std::to_string(entering) +
+              " d=" + std::to_string(reduced_cost(entering, phase1)) +
+              " wmax=" + std::to_string(wmax) +
+              " iter=" + std::to_string(iterations) +
+              " infeas=" + std::to_string(infeasibility()) + ")");
+        }
+        return SolveStatus::kUnbounded;
+      }
+
+      if (ratio.pos < 0) {
+        // Bound flip: the entering variable crosses its whole range without
+        // any basic variable blocking; no basis change.
+        const auto ent = static_cast<std::size_t>(entering);
+        for (int p : w_.nz) {
+          x_basic_[static_cast<std::size_t>(p)] -=
+              dir * ratio.t * w_.values[static_cast<std::size_t>(p)];
+        }
+        const double old_v = nonbasic_value(entering);
+        status_[ent] = status_[ent] == VarStatus::kAtLower
+                           ? VarStatus::kAtUpper
+                           : VarStatus::kAtLower;
+        nb_cost_ += cost_[ent] * (nonbasic_value(entering) - old_v);
+      } else {
+        // Devex needs the pre-pivot basis for the pivot-row btran, so the
+        // weights are updated before the eta is appended.
+        update_devex(entering, basis_[static_cast<std::size_t>(ratio.pos)],
+                     ratio.pos);
+        // Pivot: append the update eta first — on a numerically unsafe
+        // pivot, refactorize and retry the iteration with fresh factors.
+        if (!basis_state_.update(ratio.pos, w_)) {
+          if (!refactorize()) {
+            throw InternalError("sparse simplex: basis repair failed");
+          }
+          candidates_.clear();
+          continue;
+        }
+        const auto ent = static_cast<std::size_t>(entering);
+        const auto lpos = static_cast<std::size_t>(ratio.pos);
+        const int leaving = basis_[lpos];
+        const auto lea = static_cast<std::size_t>(leaving);
+        for (int p : w_.nz) {
+          x_basic_[static_cast<std::size_t>(p)] -=
+              dir * ratio.t * w_.values[static_cast<std::size_t>(p)];
+        }
+        nb_cost_ -= cost_[ent] * nonbasic_value(entering);
+        status_[lea] =
+            ratio.to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        pos_of_[lea] = -1;
+        nb_cost_ += cost_[lea] * nonbasic_value(leaving);
+        basis_[lpos] = entering;
+        pos_of_[ent] = ratio.pos;
+        status_[ent] = VarStatus::kBasic;
+        x_basic_[lpos] = dir > 0.0 ? lower_[ent] + ratio.t
+                                   : upper_[ent] - ratio.t;
+      }
+      ++iterations;
+
+      const double obj = phase1 ? infeasibility() : objective_value();
+      if (obj < last_obj - kStallRelTol * (1.0 + std::abs(last_obj))) {
+        stalled = 0;
+        last_obj = obj;
+        if (bland_) {
+          // Degenerate plateau broken: return to partial pricing. Bland's
+          // rule guarantees escape but converges far too slowly to keep
+          // beyond the plateau that triggered it.
+          bland_ = false;
+          candidates_.clear();
+        }
+      } else if (++stalled >= options_.stall_limit && !bland_) {
+        bland_ = true;
+        candidates_.clear();
+      }
     }
   }
 
-  /// Rebuilds binv_ from the sparse basis columns by Gauss-Jordan with
-  /// partial pivoting, then refreshes x_basic_ = B^-1 rhs. Controls drift
-  /// from repeated rank-1 updates.
-  void refactorize() {
-    std::vector<double> b(m_ * m_, 0.0);
-    for (std::size_t r = 0; r < m_; ++r) {
-      for (const auto& [row, val] : columns_[basis_[r]]) {
-        b[row * m_ + r] = val;
-      }
-    }
-    std::vector<double> inv(m_ * m_, 0.0);
-    for (std::size_t r = 0; r < m_; ++r) inv[r * m_ + r] = 1.0;
-    for (std::size_t col = 0; col < m_; ++col) {
-      std::size_t pivot_row = col;
-      double best = std::abs(b[col * m_ + col]);
-      for (std::size_t r = col + 1; r < m_; ++r) {
-        if (std::abs(b[r * m_ + col]) > best) {
-          best = std::abs(b[r * m_ + col]);
-          pivot_row = r;
-        }
-      }
-      if (best < 1e-12) {
-        throw InternalError("revised simplex: singular basis at refactor");
-      }
-      if (pivot_row != col) {
-        for (std::size_t i = 0; i < m_; ++i) {
-          std::swap(b[pivot_row * m_ + i], b[col * m_ + i]);
-          std::swap(inv[pivot_row * m_ + i], inv[col * m_ + i]);
-        }
-      }
-      const double scale = 1.0 / b[col * m_ + col];
-      for (std::size_t i = 0; i < m_; ++i) {
-        b[col * m_ + i] *= scale;
-        inv[col * m_ + i] *= scale;
-      }
-      for (std::size_t r = 0; r < m_; ++r) {
-        if (r == col) continue;
-        const double factor = b[r * m_ + col];
-        if (factor == 0.0) continue;
-        for (std::size_t i = 0; i < m_; ++i) {
-          b[r * m_ + i] -= factor * b[col * m_ + i];
-          inv[r * m_ + i] -= factor * inv[col * m_ + i];
-        }
-      }
-    }
-    binv_ = std::move(inv);
-    x_basic_.assign(m_, 0.0);
-    for (std::size_t r = 0; r < m_; ++r) {
-      const double* row = &binv_[r * m_];
-      double acc = 0.0;
-      for (std::size_t i = 0; i < m_; ++i) acc += row[i] * rhs_[i];
-      x_basic_[r] = acc < 0.0 && acc > -options_.feasibility_tol ? 0.0 : acc;
-    }
-  }
+  const SimplexOptions options_;
+  const std::size_t n_;      ///< structural variables
+  const std::size_t m_;      ///< rows (= logical variables)
+  const std::size_t total_;  ///< n_ + m_
 
-  /// Pivots zero-valued basic artificials out after phase 1 where a
-  /// non-artificial pivot column exists; otherwise the row is redundant and
-  /// the artificial stays basic at zero (guarded by pick_leaving).
-  void expel_artificials() {
-    std::vector<double> w;
-    for (std::size_t r = 0; r < m_; ++r) {
-      if (basis_[r] < artificial_begin_) continue;
-      const double* binv_row = &binv_[r * m_];
-      for (std::size_t j = 0; j < artificial_begin_; ++j) {
-        if (in_basis_[j]) continue;
-        double val = 0.0;
-        for (const auto& [row, coeff] : columns_[j]) {
-          val += binv_row[row] * coeff;
-        }
-        if (std::abs(val) > options_.feasibility_tol) {
-          ftran(j, w);
-          pivot(r, j, w);
-          break;
-        }
-      }
-    }
-  }
-
-  SimplexOptions options_;
-  std::size_t n_ = 0;
-  std::size_t m_ = 0;
-  std::size_t cols_ = 0;
-  std::size_t slack_begin_ = 0;
-  std::size_t artificial_begin_ = 0;
-  double rhs_scale_ = 1.0;
-  std::vector<SparseCol> columns_;
-  std::vector<double> cost_;         ///< phase-2 costs
-  std::vector<double> active_cost_;  ///< current phase costs
+  std::vector<SparseCol> columns_;  ///< structurals then logicals
+  std::vector<SparseCol> rows_;     ///< row-wise structural copy (Devex)
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> cost_;
   std::vector<double> rhs_;
-  std::vector<double> binv_;  ///< dense m_ x m_ basis inverse, row-major
-  std::vector<double> x_basic_;
-  std::vector<std::size_t> basis_;
-  std::vector<bool> in_basis_;
-  std::vector<bool> banned_;
+  double rhs_scale_ = 1.0;
+
+  Basis basis_state_;
+  std::vector<int> basis_;   ///< column id per basis position
+  std::vector<int> pos_of_;  ///< column id -> basis position or -1
+  std::vector<VarStatus> status_;
+  std::vector<double> x_basic_;  ///< value of the basic var at each position
+  double nb_cost_ = 0.0;  ///< objective contribution of nonbasic variables
+
+  std::vector<int> candidates_;  ///< partial-pricing list
+  std::vector<double> devex_;    ///< Devex reference weights per column
+  std::size_t cursor_ = 0;
+  std::size_t pricing_passes_ = 0;
+  bool bland_ = false;
+
+  mutable std::vector<Breakpoint> breakpoints_;  ///< phase-1 workspace
+
+  IndexedVector w_;      ///< entering column FTRAN image (position space)
+  IndexedVector cb_;     ///< basic costs -> BTRAN -> dual values y
+  IndexedVector bwork_;  ///< rhs workspace for compute_basic_values()
+  IndexedVector rho_;    ///< pivot-row workspace for update_devex()
+  IndexedVector alpha_;  ///< pivot-row in column space (Devex)
 };
 
 }  // namespace
 
-SfSolution solve_revised(const StandardForm& sf,
-                         const SimplexOptions& options) {
+SfSolution solve_sparse(const StandardForm& sf, const SimplexOptions& options,
+                        const std::vector<VarStatus>* warm,
+                        SparseSolveStats* stats) {
+  const std::size_t n = sf.var_count();
   if (sf.rows.empty()) {
-    SfSolution result;
-    for (double c : sf.cost) {
-      if (c < 0.0) {
-        result.status = SolveStatus::kUnbounded;
-        return result;
+    // No constraints: each variable independently sits at whichever bound
+    // minimizes its cost term.
+    SfSolution out;
+    out.status = SolveStatus::kOptimal;
+    out.values.assign(n, 0.0);
+    out.statuses.assign(n, VarStatus::kAtLower);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (sf.cost[j] < 0.0) {
+        if (sf.upper[j] == kInf) {
+          out.status = SolveStatus::kUnbounded;
+          return out;
+        }
+        out.values[j] = sf.upper[j];
+        out.statuses[j] = VarStatus::kAtUpper;
       }
     }
-    result.status = SolveStatus::kOptimal;
-    result.values.assign(sf.var_count(), 0.0);
-    return result;
+    return out;
   }
-  RevisedSimplex solver(sf, options);
-  return solver.run();
+  SparseSimplex engine(sf, options);
+  return engine.run(warm, stats);
 }
 
 }  // namespace sb::lp

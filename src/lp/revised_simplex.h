@@ -1,17 +1,46 @@
-// Production LP solver: two-phase revised simplex with sparse columns and a
-// dense, periodically refactorized basis inverse. The provisioning LP's
-// columns are very sparse (a call-share variable touches one compute row,
-// one completeness row, and the few WAN rows on its path), which makes
-// pricing and FTRAN cheap; the dense basis-inverse update is the O(m^2)
-// cost per pivot.
+// Production LP engine: bounded-variable two-phase revised simplex over a
+// sparse LU/eta basis (lp/lu_factor.h, lp/basis.h).
+//
+// What makes it scale where the legacy engines (lp/dense_simplex.h,
+// lp/dense_inverse_simplex.h) do not:
+//  - the basis is a sparse LU factorization with Markowitz-style pivot
+//    ordering, updated between periodic refactorizations by product-form
+//    etas — O(nnz) per pivot instead of the dense inverse's O(m^2);
+//  - finite upper bounds live in the variable state (at-lower / at-upper /
+//    basic), so the row count is independent of how many variables are
+//    bounded (standard form built with BoundPolicy::kInline);
+//  - rows need no artificial columns: every row carries one logical
+//    (slack) variable and a composite phase 1 drives bound violations of
+//    the basic set to zero, which is also what makes warm starts work —
+//    any crash basis is a valid phase-1 start;
+//  - pricing keeps a rotating candidate list (partial pricing) instead of
+//    scanning every column per iteration, with Bland's rule as the
+//    anti-cycling fallback.
 #pragma once
+
+#include <vector>
 
 #include "lp/dense_simplex.h"
 #include "lp/standard_form.h"
 
 namespace sb::lp {
 
-/// Solves a standard-form LP with the revised simplex method.
-SfSolution solve_revised(const StandardForm& sf, const SimplexOptions& options);
+/// Per-solve counters surfaced as sb.lp.* metrics by the solver facade.
+struct SparseSolveStats {
+  std::size_t factorizations = 0;  ///< basis (re)factorizations
+  std::size_t eta_nnz = 0;         ///< LU + update-eta nonzeros at the end
+  std::size_t pricing_passes = 0;  ///< candidate-list refresh scans
+};
+
+/// Solves a standard-form LP built with BoundPolicy::kInline. `warm`, when
+/// non-null, holds one status per standard-form structural variable from a
+/// previous solve of a structurally similar model: nonbasic variables are
+/// re-installed at their bounds, the proposed basic set is crash-factorized
+/// (dependent columns demoted, uncovered rows filled with logicals), and
+/// phase 1 repairs the residual infeasibility. SfSolution::statuses reports
+/// the final structural statuses for the next warm start.
+SfSolution solve_sparse(const StandardForm& sf, const SimplexOptions& options,
+                        const std::vector<VarStatus>* warm = nullptr,
+                        SparseSolveStats* stats = nullptr);
 
 }  // namespace sb::lp

@@ -1,5 +1,9 @@
 #include "lp/solver.h"
 
+#include <string>
+
+#include "common/error.h"
+#include "lp/dense_inverse_simplex.h"
 #include "lp/presolve.h"
 #include "lp/revised_simplex.h"
 #include "lp/standard_form.h"
@@ -16,12 +20,19 @@ struct SolveMetrics {
   obs::Counter& solves;
   obs::Counter& infeasible;
   obs::Counter& iterations;
+  obs::Counter& iterations_warm;
+  obs::Counter& iterations_cold;
+  obs::Counter& warm_starts;
+  obs::Counter& factorizations;
+  obs::Counter& pricing_passes;
   obs::Counter& presolve_rows_removed;
   obs::Counter& presolve_bounds_tightened;
   obs::Counter& presolve_variables_fixed;
+  obs::Histogram& eta_nnz;
   obs::Histogram& solve_s;
   obs::Histogram& solve_dense_s;
   obs::Histogram& solve_revised_s;
+  obs::Histogram& solve_sparse_s;
 
   static SolveMetrics& get() {
     static SolveMetrics metrics = [] {
@@ -30,17 +41,35 @@ struct SolveMetrics {
           r.counter("sb.lp.solves"),
           r.counter("sb.lp.infeasible"),
           r.counter("sb.lp.simplex_iterations"),
+          r.counter("sb.lp.iterations_warm"),
+          r.counter("sb.lp.iterations_cold"),
+          r.counter("sb.lp.warm_starts"),
+          r.counter("sb.lp.factorizations"),
+          r.counter("sb.lp.pricing_passes"),
           r.counter("sb.lp.presolve_rows_removed"),
           r.counter("sb.lp.presolve_bounds_tightened"),
           r.counter("sb.lp.presolve_variables_fixed"),
+          r.histogram("sb.lp.eta_nnz"),
           r.histogram("sb.lp.solve_s"),
           r.histogram("sb.lp.solve_dense_s"),
           r.histogram("sb.lp.solve_revised_s"),
+          r.histogram("sb.lp.solve_sparse_s"),
       };
     }();
     return metrics;
   }
 };
+
+obs::Histogram& method_timer_for(SolveMetrics& metrics, Method method) {
+  switch (method) {
+    case Method::kDense:
+      return metrics.solve_dense_s;
+    case Method::kRevised:
+      return metrics.solve_revised_s;
+    default:
+      return metrics.solve_sparse_s;
+  }
+}
 
 }  // namespace
 
@@ -64,21 +93,85 @@ Solution solve(const Model& model, const SolveOptions& options) {
     }
     target = &pre.reduced;
   }
-  const StandardForm sf = to_standard_form(*target);
 
   Method method = options.method;
   if (method == Method::kAuto) {
-    method = sf.rows.size() >= 100 ? Method::kRevised : Method::kDense;
+    method = target->constraint_count() >= kAutoSparseRowCutoff
+                 ? Method::kSparse
+                 : Method::kDense;
   }
+  const StandardForm sf = to_standard_form(
+      *target, method == Method::kSparse ? BoundPolicy::kInline
+                                         : BoundPolicy::kUpperRows);
+  if (method == Method::kDense && sf.rows.size() > kDenseRowLimit) {
+    throw InvalidArgument(
+        "lp: dense tableau is limited to " + std::to_string(kDenseRowLimit) +
+        " standard-form rows (got " + std::to_string(sf.rows.size()) +
+        "); use Method::kSparse or kAuto");
+  }
+  if (method == Method::kRevised && sf.rows.size() > kDenseInverseRowLimit) {
+    throw InvalidArgument(
+        "lp: dense-inverse revised simplex is limited to " +
+        std::to_string(kDenseInverseRowLimit) + " standard-form rows (got " +
+        std::to_string(sf.rows.size()) + "); use Method::kSparse or kAuto");
+  }
+
+  // Map the warm-start statuses (model variable space) onto the reduced
+  // model's structural variables. Variables presolve fixed simply drop out.
+  std::vector<VarStatus> sf_warm;
+  const std::vector<VarStatus>* warm_ptr = nullptr;
+  if (method == Method::kSparse && !options.warm_start.empty() &&
+      options.warm_start.size() == model.variable_count()) {
+    sf_warm.assign(sf.var_count(), VarStatus::kAtLower);
+    for (std::size_t i = 0; i < options.warm_start.size(); ++i) {
+      const int sv = sf.var_map[i];
+      if (sv < 0) continue;
+      const VarStatus s = options.warm_start[i];
+      sf_warm[static_cast<std::size_t>(sv)] =
+          s == VarStatus::kFixed ? VarStatus::kAtLower : s;
+    }
+    // Row statuses ride along when supplied: the standard form emits one row
+    // per reduced-model constraint in order (BoundPolicy::kInline adds no
+    // extra rows), so reduced row r is standard-form logical var_count()+r.
+    // Rows presolve removed keep the engine's resting default.
+    if (options.warm_start_rows.size() == model.constraint_count()) {
+      sf_warm.resize(sf.var_count() + sf.rows.size(), VarStatus::kAtLower);
+      for (std::size_t r = 0; r < options.warm_start_rows.size(); ++r) {
+        const int rr = options.use_presolve ? pre.row_map[r]
+                                            : static_cast<int>(r);
+        if (rr < 0) continue;
+        sf_warm[sf.var_count() + static_cast<std::size_t>(rr)] =
+            options.warm_start_rows[r];
+      }
+    }
+    warm_ptr = &sf_warm;
+    metrics.warm_starts.inc();
+  }
+
   SfSolution raw;
+  SparseSolveStats stats;
   {
-    obs::ScopedTimer method_timer(method == Method::kDense
-                                      ? metrics.solve_dense_s
-                                      : metrics.solve_revised_s);
-    raw = method == Method::kDense ? solve_dense(sf, options)
-                                   : solve_revised(sf, options);
+    obs::ScopedTimer method_timer(method_timer_for(metrics, method));
+    switch (method) {
+      case Method::kDense:
+        raw = solve_dense(sf, options);
+        break;
+      case Method::kRevised:
+        raw = solve_dense_inverse(sf, options);
+        break;
+      default:
+        raw = solve_sparse(sf, options, warm_ptr, &stats);
+        break;
+    }
   }
   metrics.iterations.inc(raw.iterations);
+  (warm_ptr != nullptr ? metrics.iterations_warm : metrics.iterations_cold)
+      .inc(raw.iterations);
+  if (method == Method::kSparse) {
+    metrics.factorizations.inc(stats.factorizations);
+    metrics.pricing_passes.inc(stats.pricing_passes);
+    metrics.eta_nnz.record(static_cast<double>(stats.eta_nnz));
+  }
   if (raw.status == SolveStatus::kInfeasible) metrics.infeasible.inc();
 
   Solution solution;
@@ -89,6 +182,32 @@ Solution solve(const Model& model, const SolveOptions& options) {
     // reduced model's standard form lands in the original variable space.
     solution.values = map_back(sf, raw.values, model.variable_count());
     solution.objective = model.objective_value(solution.values);
+    if (method == Method::kSparse) {
+      // Variables presolve (or upper == lower) substituted out have no
+      // standard-form column; they report kFixed. When presolve fixes
+      // EVERYTHING the engine sees an empty model and returns no statuses —
+      // the all-kFixed basis is still a valid warm start.
+      solution.basis.assign(model.variable_count(), VarStatus::kFixed);
+      for (std::size_t i = 0; i < sf.var_map.size(); ++i) {
+        const int sv = sf.var_map[i];
+        if (sv >= 0 && static_cast<std::size_t>(sv) < raw.statuses.size()) {
+          solution.basis[i] = raw.statuses[static_cast<std::size_t>(sv)];
+        }
+      }
+      // Logical (row) statuses follow the structural block in the engine's
+      // status vector. Rows presolve dropped were redundant — report kBasic
+      // (slack basic / row inactive) so re-feeding the basis stays exact.
+      solution.row_basis.assign(model.constraint_count(), VarStatus::kBasic);
+      for (std::size_t r = 0; r < model.constraint_count(); ++r) {
+        const int rr = options.use_presolve ? pre.row_map[r]
+                                            : static_cast<int>(r);
+        if (rr < 0) continue;
+        const std::size_t idx = sf.var_count() + static_cast<std::size_t>(rr);
+        if (idx < raw.statuses.size()) {
+          solution.row_basis[r] = raw.statuses[idx];
+        }
+      }
+    }
   }
   return solution;
 }

@@ -3,28 +3,60 @@
 // the only LP entry point the rest of Switchboard uses.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "lp/dense_simplex.h"
 #include "lp/model.h"
 
 namespace sb::lp {
 
 enum class Method {
-  kAuto,     ///< revised simplex for >= 100 rows, dense tableau otherwise
+  kAuto,     ///< sparse LU/eta engine at scale, dense tableau for tiny LPs
   kDense,    ///< force the dense tableau (reference implementation)
-  kRevised,  ///< force the revised simplex
+  kRevised,  ///< force the legacy dense-inverse revised simplex
+  kSparse,   ///< force the sparse LU/eta bounded-variable engine
 };
+
+/// kAuto cutoff: models with at least this many constraints go to the sparse
+/// engine; below it the dense tableau's tiny constant factor wins (tuned
+/// with bench/micro_lp.cpp — the crossover sits well under 100 rows because
+/// the sparse engine prices and factorizes only nonzeros).
+inline constexpr std::size_t kAutoSparseRowCutoff = 32;
+
+/// The dense tableau materializes an m x (n + m) tableau and the legacy
+/// revised simplex a dense m x m inverse; both are quadratic-plus in the row
+/// count. Forcing them beyond these limits throws InvalidArgument instead of
+/// silently burning memory and time — use Method::kSparse (or kAuto) for
+/// large instances. Limits count standard-form rows, which for these
+/// engines include one row per finite upper bound.
+inline constexpr std::size_t kDenseRowLimit = 2000;
+inline constexpr std::size_t kDenseInverseRowLimit = 8000;
 
 struct SolveOptions : SimplexOptions {
   Method method = Method::kAuto;
   /// Run the presolve reductions (singleton rows -> bounds, empty rows,
   /// early infeasibility) before the simplex. See lp/presolve.h.
   bool use_presolve = true;
+  /// Optional warm start for the sparse engine: one status per model
+  /// variable, as returned in Solution::basis by a previous solve of a
+  /// structurally similar model (same variables, perturbed rows/bounds —
+  /// e.g. successive failure scenarios). Ignored by the dense engines;
+  /// a mismatched size falls back to a cold start.
+  std::vector<VarStatus> warm_start;
+  /// Optional companion to `warm_start`: one status per model constraint,
+  /// as returned in Solution::row_basis. Supplying it preserves which rows
+  /// were tight vs slack in the hint basis, eliminating most of the repair
+  /// pivots a variables-only warm start needs. Ignored unless `warm_start`
+  /// is also set and both sizes match their model dimensions.
+  std::vector<VarStatus> warm_start_rows;
 };
 
 /// Solves `model` (minimization). The returned Solution's `values` cover all
 /// model variables, including fixed ones. Throws InvalidArgument for models
-/// with non-finite lower bounds; solver failures are reported via
-/// Solution::status, not exceptions.
+/// with non-finite lower bounds or when a dense method is forced beyond its
+/// row limit; solver failures are reported via Solution::status, not
+/// exceptions.
 Solution solve(const Model& model, const SolveOptions& options = {});
 
 }  // namespace sb::lp

@@ -4,7 +4,7 @@
 
 namespace sb::lp {
 
-StandardForm to_standard_form(const Model& model) {
+StandardForm to_standard_form(const Model& model, BoundPolicy policy) {
   StandardForm sf;
   const std::size_t n = model.variable_count();
   sf.var_map.assign(n, -1);
@@ -21,16 +21,20 @@ StandardForm to_standard_form(const Model& model) {
     sf.var_map[i] = static_cast<int>(sf.cost.size());
     sf.var_base[i] = v.lower;
     sf.cost.push_back(v.cost);
+    sf.upper.push_back(v.upper == kInf ? kInf : v.upper - v.lower);
     sf.objective_offset += v.cost * v.lower;
   }
 
-  // Upper-bound rows for shifted variables with finite upper bounds.
-  for (std::size_t i = 0; i < n; ++i) {
-    const Variable& v = model.variable(static_cast<int>(i));
-    if (sf.var_map[i] < 0 || v.upper == kInf) continue;
-    sf.rows.push_back(StandardRow{{Term{sf.var_map[i], 1.0}},
-                                  Sense::kLe,
-                                  v.upper - v.lower});
+  // Upper-bound rows for shifted variables with finite upper bounds (legacy
+  // policy only; the sparse engine reads `upper` directly).
+  if (policy == BoundPolicy::kUpperRows) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Variable& v = model.variable(static_cast<int>(i));
+      if (sf.var_map[i] < 0 || v.upper == kInf) continue;
+      sf.rows.push_back(StandardRow{{Term{sf.var_map[i], 1.0}},
+                                    Sense::kLe,
+                                    v.upper - v.lower});
+    }
   }
 
   // Constraint rows with fixed variables folded into the rhs and the

@@ -1,11 +1,15 @@
 // Conversion of a Model to computational standard form:
 //
-//     minimize c'x   s.t.  A x {<=,>=,=} b,   x >= 0
+//     minimize c'x   s.t.  A x {<=,>=,=} b,   0 <= x <= u
 //
 // Fixed variables (lower == upper) are substituted out; remaining variables
-// are shifted by their lower bound; finite upper bounds become extra <=
-// rows. Both simplex implementations consume this form, and map_back()
-// restores values in the original model's variable space.
+// are shifted by their lower bound. Finite upper bounds are handled by
+// policy: the legacy dense solvers want them materialized as extra `<=`
+// rows (BoundPolicy::kUpperRows); the sparse bounded-variable simplex keeps
+// them in the per-variable `upper` array instead (BoundPolicy::kInline),
+// which keeps the row count — and the basis size — independent of how many
+// variables are bounded. map_back() restores values in the original model's
+// variable space either way.
 #pragma once
 
 #include <vector>
@@ -20,8 +24,15 @@ struct StandardRow {
   double rhs = 0.0;
 };
 
+/// How finite upper bounds are represented in the standard form.
+enum class BoundPolicy {
+  kUpperRows,  ///< emit one `x <= u` row per bounded variable (dense solvers)
+  kInline,     ///< keep bounds in `upper`; no extra rows (sparse engine)
+};
+
 struct StandardForm {
   std::vector<double> cost;       ///< per standard-form variable
+  std::vector<double> upper;      ///< shifted upper bound (kInf if none)
   std::vector<StandardRow> rows;
   double objective_offset = 0.0;  ///< from fixed variables and shifts
 
@@ -34,7 +45,8 @@ struct StandardForm {
 
 /// Builds the standard form. Throws InvalidArgument if any variable has a
 /// non-finite lower bound.
-StandardForm to_standard_form(const Model& model);
+StandardForm to_standard_form(const Model& model,
+                              BoundPolicy policy = BoundPolicy::kUpperRows);
 
 /// Maps standard-form values back into the model's variable space.
 std::vector<double> map_back(const StandardForm& sf,

@@ -284,11 +284,16 @@ TEST(FailoverPropertyTest, SurvivorsCoverEverySingleDcFailureAtPeak) {
       total_peak = std::max(total_peak, at_t);
     }
     EXPECT_GE(survivor_capacity + 1e-5, total_peak) << s.name;
-    // The scenario is non-trivial: the failed DC carried real planned load.
-    const auto& failed_series = usage.dc_cores[s.dc.value()];
-    EXPECT_GT(*std::max_element(failed_series.begin(), failed_series.end()),
-              0.0)
-        << s.name;
+    // The scenario is non-trivial: a DC the plan actually provisions carried
+    // real planned load. (A DC the optimizer left empty — zero cores — is
+    // trivially coverable; engines differ only in whether its usage row
+    // holds an exact zero or 1e-15 numerical dust, so don't assert on it.)
+    if (result.capacity.dc_total_cores(s.dc) > 1e-6) {
+      const auto& failed_series = usage.dc_cores[s.dc.value()];
+      EXPECT_GT(*std::max_element(failed_series.begin(), failed_series.end()),
+                1e-9)
+          << s.name;
+    }
   }
   EXPECT_EQ(dc_scenarios, scenario.world().dc_count());
 }

@@ -1,0 +1,243 @@
+// Differential property tests for the sparse LU/eta simplex: on ~200 seeded
+// instances — random bounded-variable LPs and provisioning-shaped LPs — the
+// sparse engine must match the dense tableau's optimal objective, and both
+// answers must pass the independent feasibility validator. A third sweep
+// forces the sparse engine onto Bland's anti-cycling rule almost immediately
+// (stall_limit = 1) on degenerate instances to exercise that fallback path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "lp/solver.h"
+
+namespace sb::lp {
+namespace {
+
+struct DiffSpec {
+  std::uint64_t seed;
+  std::size_t vars;
+  std::size_t rows;
+};
+
+/// Random LP with BOUNDED variables: every variable gets a lower bound in
+/// [0, 2] and, with probability 1/2, a finite upper bound. Variables with a
+/// finite upper may take a negative cost (bounded below by the box, so the
+/// problem stays bounded); free-upward variables keep non-negative costs.
+/// Feasible by construction via an in-box witness.
+Model make_bounded_random_lp(const DiffSpec& spec) {
+  Rng rng(spec.seed);
+  Model m;
+  std::vector<double> witness(spec.vars);
+  for (std::size_t i = 0; i < spec.vars; ++i) {
+    const double lo = rng.uniform(0.0, 2.0);
+    const bool boxed = rng.chance(0.5);
+    const double hi = boxed ? lo + rng.uniform(0.5, 8.0) : kInf;
+    const double cost =
+        boxed ? rng.uniform(-3.0, 4.0) : rng.uniform(0.0, 4.0);
+    witness[i] = boxed ? rng.uniform(lo, hi) : lo + rng.uniform(0.0, 6.0);
+    m.add_variable(lo, hi, cost);
+  }
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    std::vector<Term> terms;
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < spec.vars; ++i) {
+      if (!rng.chance(0.4)) continue;
+      const double coeff = rng.uniform(-3.0, 3.0);
+      terms.push_back({static_cast<int>(i), coeff});
+      lhs += coeff * witness[i];
+    }
+    if (terms.empty()) continue;
+    const double pick = rng.uniform();
+    if (pick < 0.4) {
+      m.add_constraint(std::move(terms), Sense::kLe,
+                       lhs + rng.uniform(0.0, 4.0));
+    } else if (pick < 0.8) {
+      m.add_constraint(std::move(terms), Sense::kGe,
+                       lhs - rng.uniform(0.0, 4.0));
+    } else {
+      m.add_constraint(std::move(terms), Sense::kEq, lhs);
+    }
+  }
+  return m;
+}
+
+/// The bench's provisioning shape at test scale: per-DC capacity-peak
+/// variables, per-(slot, config) completeness equalities, per-slot kLe
+/// usage rows linking placements to the peaks.
+Model make_provisioning_lp(std::size_t slots, std::size_t configs,
+                           std::size_t dcs, std::uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  std::vector<int> cp(dcs);
+  for (std::size_t x = 0; x < dcs; ++x) {
+    cp[x] = m.add_variable(0.0, kInf, rng.uniform(0.9, 1.4));
+  }
+  for (std::size_t t = 0; t < slots; ++t) {
+    std::vector<std::vector<Term>> dc_rows(dcs);
+    for (std::size_t c = 0; c < configs; ++c) {
+      std::vector<Term> completeness;
+      for (std::size_t x = 0; x < dcs; ++x) {
+        const int s = m.add_variable(0.0, kInf, 1e-6 * rng.uniform(5, 100));
+        dc_rows[x].push_back({s, rng.uniform(0.01, 0.1)});
+        completeness.push_back({s, 1.0});
+      }
+      m.add_constraint(std::move(completeness), Sense::kEq,
+                       rng.uniform(0.0, 50.0));
+    }
+    for (std::size_t x = 0; x < dcs; ++x) {
+      dc_rows[x].push_back({cp[x], -1.0});
+      m.add_constraint(std::move(dc_rows[x]), Sense::kLe, 0.0);
+    }
+  }
+  return m;
+}
+
+/// Degenerate transportation LP: equal costs on many arcs and zero-slack
+/// supplies create heavy reduced-cost and ratio-test ties.
+Model make_degenerate_lp(std::uint64_t seed) {
+  Rng rng(seed);
+  Model m;
+  const std::size_t src = 2 + rng.uniform_index(3);
+  const std::size_t dst = 2 + rng.uniform_index(4);
+  std::vector<double> demand(dst);
+  double total = 0.0;
+  for (std::size_t j = 0; j < dst; ++j) {
+    demand[j] = static_cast<double>(1 + rng.uniform_index(5));
+    total += demand[j];
+  }
+  std::vector<std::vector<int>> v(src, std::vector<int>(dst));
+  for (std::size_t i = 0; i < src; ++i) {
+    for (std::size_t j = 0; j < dst; ++j) {
+      // Two cost levels only -> massive tie sets.
+      v[i][j] = m.add_variable(0.0, kInf, rng.chance(0.5) ? 1.0 : 2.0);
+    }
+  }
+  for (std::size_t i = 0; i < src; ++i) {
+    std::vector<Term> row;
+    for (std::size_t j = 0; j < dst; ++j) row.push_back({v[i][j], 1.0});
+    // Supplies sum exactly to demand: every supply row is tight.
+    m.add_constraint(std::move(row), Sense::kLe,
+                     total / static_cast<double>(src));
+  }
+  for (std::size_t j = 0; j < dst; ++j) {
+    std::vector<Term> col;
+    for (std::size_t i = 0; i < src; ++i) col.push_back({v[i][j], 1.0});
+    m.add_constraint(std::move(col), Sense::kEq, demand[j]);
+  }
+  return m;
+}
+
+void expect_sparse_matches_dense(const Model& m, const SolveOptions& sparse_opt,
+                                 std::uint64_t seed) {
+  SolveOptions dense_opt;
+  dense_opt.method = Method::kDense;
+  const Solution dense = solve(m, dense_opt);
+  const Solution sparse = solve(m, sparse_opt);
+  ASSERT_EQ(dense.status, SolveStatus::kOptimal) << "seed=" << seed;
+  ASSERT_EQ(sparse.status, SolveStatus::kOptimal) << "seed=" << seed;
+  const double scale = std::max(1.0, std::abs(dense.objective));
+  EXPECT_NEAR(dense.objective, sparse.objective, 1e-5 * scale)
+      << "seed=" << seed;
+  const ValidationReport report = validate_solution(m, sparse.values, 1e-5);
+  EXPECT_TRUE(report.feasible)
+      << "seed=" << seed << " sparse violated " << report.worst << " by "
+      << report.max_violation;
+  // The sparse engine must also report a usable basis on every optimum.
+  EXPECT_EQ(sparse.basis.size(), m.variable_count());
+}
+
+class BoundedRandomDifferentialTest
+    : public ::testing::TestWithParam<DiffSpec> {};
+
+TEST_P(BoundedRandomDifferentialTest, SparseMatchesDense) {
+  const Model m = make_bounded_random_lp(GetParam());
+  SolveOptions sparse_opt;
+  sparse_opt.method = Method::kSparse;
+  expect_sparse_matches_dense(m, sparse_opt, GetParam().seed);
+}
+
+std::vector<DiffSpec> make_bounded_specs() {
+  std::vector<DiffSpec> specs;
+  std::uint64_t seed = 20000;
+  for (std::size_t vars : {4u, 10u, 24u}) {
+    for (std::size_t rows : {3u, 8u, 16u, 32u}) {
+      for (int rep = 0; rep < 12; ++rep) {
+        specs.push_back({seed++, vars, rows});
+      }
+    }
+  }
+  return specs;  // 3 * 4 * 12 = 144 cases
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BoundedRandomDifferentialTest,
+                         ::testing::ValuesIn(make_bounded_specs()),
+                         [](const auto& info) {
+                           const DiffSpec& s = info.param;
+                           return "seed" + std::to_string(s.seed) + "_v" +
+                                  std::to_string(s.vars) + "_r" +
+                                  std::to_string(s.rows);
+                         });
+
+struct ProvShape {
+  std::uint64_t seed;
+  std::size_t slots;
+  std::size_t configs;
+  std::size_t dcs;
+};
+
+class ProvisioningShapedDifferentialTest
+    : public ::testing::TestWithParam<ProvShape> {};
+
+TEST_P(ProvisioningShapedDifferentialTest, SparseMatchesDense) {
+  const ProvShape& p = GetParam();
+  const Model m = make_provisioning_lp(p.slots, p.configs, p.dcs, p.seed);
+  SolveOptions sparse_opt;
+  sparse_opt.method = Method::kSparse;
+  expect_sparse_matches_dense(m, sparse_opt, p.seed);
+}
+
+std::vector<ProvShape> make_prov_shapes() {
+  std::vector<ProvShape> shapes;
+  std::uint64_t seed = 30000;
+  for (std::size_t slots : {2u, 4u, 6u}) {
+    for (std::size_t configs : {4u, 8u}) {
+      for (std::size_t dcs : {3u, 5u}) {
+        for (int rep = 0; rep < 4; ++rep) {
+          shapes.push_back({seed++, slots, configs, dcs});
+        }
+      }
+    }
+  }
+  return shapes;  // 3 * 2 * 2 * 4 = 48 cases
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ProvisioningShapedDifferentialTest,
+                         ::testing::ValuesIn(make_prov_shapes()),
+                         [](const auto& info) {
+                           const ProvShape& p = info.param;
+                           return "seed" + std::to_string(p.seed) + "_t" +
+                                  std::to_string(p.slots) + "_c" +
+                                  std::to_string(p.configs) + "_d" +
+                                  std::to_string(p.dcs);
+                         });
+
+/// Degenerate instances solved with stall_limit = 1, so the sparse engine
+/// drops to Bland's rule after a single non-improving pivot — the
+/// anti-cycling path must still reach the dense engine's optimum.
+class BlandFallbackTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlandFallbackTest, DegenerateInstancesSolveUnderBland) {
+  const Model m = make_degenerate_lp(GetParam());
+  SolveOptions sparse_opt;
+  sparse_opt.method = Method::kSparse;
+  sparse_opt.stall_limit = 1;
+  expect_sparse_matches_dense(m, sparse_opt, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlandFallbackTest,
+                         ::testing::Range<std::uint64_t>(700, 712));
+
+}  // namespace
+}  // namespace sb::lp

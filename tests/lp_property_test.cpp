@@ -1,6 +1,7 @@
 // Property tests for the LP solvers: on randomized feasible instances, the
-// dense tableau and revised simplex must agree on the optimal objective and
-// both answers must pass the independent feasibility validator.
+// dense tableau, the legacy revised simplex, and the sparse LU/eta engine
+// must agree on the optimal objective and every answer must pass the
+// independent feasibility validator.
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
@@ -59,15 +60,21 @@ TEST_P(RandomLpAgreementTest, DenseAndRevisedAgreeAndValidate) {
   dense_opt.method = Method::kDense;
   SolveOptions revised_opt;
   revised_opt.method = Method::kRevised;
+  SolveOptions sparse_opt;
+  sparse_opt.method = Method::kSparse;
 
   const Solution dense = solve(m, dense_opt);
   const Solution revised = solve(m, revised_opt);
+  const Solution sparse = solve(m, sparse_opt);
 
   ASSERT_EQ(dense.status, SolveStatus::kOptimal);
   ASSERT_EQ(revised.status, SolveStatus::kOptimal);
+  ASSERT_EQ(sparse.status, SolveStatus::kOptimal);
 
   const double scale = std::max({1.0, std::abs(dense.objective)});
   EXPECT_NEAR(dense.objective, revised.objective, 1e-5 * scale)
+      << "seed=" << GetParam().seed;
+  EXPECT_NEAR(dense.objective, sparse.objective, 1e-5 * scale)
       << "seed=" << GetParam().seed;
 
   const ValidationReport dr = validate_solution(m, dense.values, 1e-5);
@@ -76,6 +83,9 @@ TEST_P(RandomLpAgreementTest, DenseAndRevisedAgreeAndValidate) {
   const ValidationReport rr = validate_solution(m, revised.values, 1e-5);
   EXPECT_TRUE(rr.feasible) << "revised violated " << rr.worst << " by "
                            << rr.max_violation;
+  const ValidationReport sr = validate_solution(m, sparse.values, 1e-5);
+  EXPECT_TRUE(sr.feasible) << "sparse violated " << sr.worst << " by "
+                           << sr.max_violation;
 }
 
 std::vector<RandomLpSpec> make_specs() {
@@ -118,7 +128,7 @@ TEST_P(RandomInfeasibleTest, BothMethodsReportInfeasible) {
   for (std::size_t i = 0; i < vars; ++i) {
     m.add_constraint({{static_cast<int>(i), 1.0}}, Sense::kLe, 1.0);
   }
-  for (Method method : {Method::kDense, Method::kRevised}) {
+  for (Method method : {Method::kDense, Method::kRevised, Method::kSparse}) {
     SolveOptions opt;
     opt.method = method;
     EXPECT_EQ(solve(m, opt).status, SolveStatus::kInfeasible);

@@ -152,11 +152,18 @@ TEST_P(SimplexMethodTest, TransportationProblem) {
   EXPECT_TRUE(validate_solution(m, s.values).feasible);
 }
 
-INSTANTIATE_TEST_SUITE_P(BothMethods, SimplexMethodTest,
-                         ::testing::Values(Method::kDense, Method::kRevised),
+INSTANTIATE_TEST_SUITE_P(AllMethods, SimplexMethodTest,
+                         ::testing::Values(Method::kDense, Method::kRevised,
+                                           Method::kSparse),
                          [](const auto& info) {
-                           return info.param == Method::kDense ? "Dense"
-                                                               : "Revised";
+                           switch (info.param) {
+                             case Method::kDense:
+                               return "Dense";
+                             case Method::kRevised:
+                               return "Revised";
+                             default:
+                               return "Sparse";
+                           }
                          });
 
 TEST(StandardFormTest, ShiftsLowerBoundsAndAddsUpperRows) {

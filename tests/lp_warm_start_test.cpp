@@ -1,0 +1,216 @@
+// Warm-start and bounded-variable behavior of the sparse LU/eta engine:
+// re-solving from a previous optimal basis must reproduce the objective in
+// strictly fewer iterations, fixed (upper == lower) variables must be
+// substituted and reported as kFixed, optima resting on finite upper bounds
+// must be reported as kAtUpper, and a model made infeasible AFTER a warm
+// basis was captured must still be detected as infeasible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "lp/solver.h"
+
+namespace sb::lp {
+namespace {
+
+/// Provisioning-shaped LP (see bench/micro_lp.cpp): per-DC peaks, per-slot
+/// capacity rows, completeness equalities. `demand_scale` perturbs every
+/// completeness rhs, modeling a failure scenario's shifted demand.
+Model make_provisioning_lp(std::size_t slots, std::size_t configs,
+                           std::size_t dcs, std::uint64_t seed,
+                           double demand_scale = 1.0) {
+  Rng rng(seed);
+  Model m;
+  std::vector<int> cp(dcs);
+  for (std::size_t x = 0; x < dcs; ++x) {
+    cp[x] = m.add_variable(0.0, kInf, rng.uniform(0.9, 1.4));
+  }
+  for (std::size_t t = 0; t < slots; ++t) {
+    std::vector<std::vector<Term>> dc_rows(dcs);
+    for (std::size_t c = 0; c < configs; ++c) {
+      std::vector<Term> completeness;
+      for (std::size_t x = 0; x < dcs; ++x) {
+        const int s = m.add_variable(0.0, kInf, 1e-6 * rng.uniform(5, 100));
+        dc_rows[x].push_back({s, rng.uniform(0.01, 0.1)});
+        completeness.push_back({s, 1.0});
+      }
+      m.add_constraint(std::move(completeness), Sense::kEq,
+                       demand_scale * rng.uniform(0.0, 50.0));
+    }
+    for (std::size_t x = 0; x < dcs; ++x) {
+      dc_rows[x].push_back({cp[x], -1.0});
+      m.add_constraint(std::move(dc_rows[x]), Sense::kLe, 0.0);
+    }
+  }
+  return m;
+}
+
+TEST(WarmStartTest, ResolveFromOwnBasisIsIterationFree) {
+  const Model m = make_provisioning_lp(8, 10, 5, 17);
+  SolveOptions options;
+  options.method = Method::kSparse;
+  const Solution cold = solve(m, options);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_GT(cold.iterations, 0u);
+  ASSERT_EQ(cold.basis.size(), m.variable_count());
+
+  options.warm_start = cold.basis;
+  const Solution warm = solve(m, options);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective,
+              1e-8 * std::max(1.0, std::abs(cold.objective)));
+  // An already-optimal basis needs at most a crash-repair pivot or two —
+  // nothing like the cold solve's full path.
+  EXPECT_LE(warm.iterations, 2u);
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST(WarmStartTest, FullBasisRoundTripIsIterationFree) {
+  const Model m = make_provisioning_lp(8, 10, 5, 17);
+  SolveOptions options;
+  options.method = Method::kSparse;
+  const Solution cold = solve(m, options);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_EQ(cold.basis.size(), m.variable_count());
+  // Row statuses are exported per model constraint alongside the columns.
+  ASSERT_EQ(cold.row_basis.size(), m.constraint_count());
+
+  // With BOTH banks the slack/tight row pattern survives, so the re-solve
+  // needs zero pivots (the structural-only variant above may need a couple
+  // of repair pivots to rediscover which rows were tight).
+  options.warm_start = cold.basis;
+  options.warm_start_rows = cold.row_basis;
+  const Solution warm = solve(m, options);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective,
+              1e-8 * std::max(1.0, std::abs(cold.objective)));
+  EXPECT_EQ(warm.iterations, 0u);
+}
+
+TEST(WarmStartTest, RowBasisCoversPresolveDroppedRows) {
+  // Row 0 is a singleton presolve folds into x's bounds; the exported
+  // row_basis must still have one entry per ORIGINAL constraint (dropped
+  // rows report kBasic, i.e. inactive) and round-trip cleanly.
+  Model m = make_provisioning_lp(4, 6, 3, 23);
+  const int extra = m.add_variable(0.0, kInf, 0.5, "singleton");
+  m.add_constraint({{extra, 1.0}}, Sense::kGe, 2.0);
+
+  SolveOptions options;
+  options.method = Method::kSparse;
+  const Solution cold = solve(m, options);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_EQ(cold.row_basis.size(), m.constraint_count());
+
+  options.warm_start = cold.basis;
+  options.warm_start_rows = cold.row_basis;
+  const Solution warm = solve(m, options);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, cold.objective,
+              1e-8 * std::max(1.0, std::abs(cold.objective)));
+  EXPECT_LT(warm.iterations, std::max<std::size_t>(cold.iterations, 1));
+}
+
+TEST(WarmStartTest, PerturbedModelSolvesWithStrictlyFewerIterations) {
+  const Model base = make_provisioning_lp(8, 10, 5, 17);
+  // Same structure, every demand shifted 7% — the provisioner's
+  // failure-scenario situation.
+  const Model shifted = make_provisioning_lp(8, 10, 5, 17, 1.07);
+
+  SolveOptions options;
+  options.method = Method::kSparse;
+  const Solution base_sol = solve(base, options);
+  ASSERT_TRUE(base_sol.optimal());
+  const Solution shifted_cold = solve(shifted, options);
+  ASSERT_TRUE(shifted_cold.optimal());
+  ASSERT_GT(shifted_cold.iterations, 0u);
+
+  options.warm_start = base_sol.basis;
+  const Solution shifted_warm = solve(shifted, options);
+  ASSERT_TRUE(shifted_warm.optimal());
+  EXPECT_NEAR(shifted_warm.objective, shifted_cold.objective,
+              1e-7 * std::max(1.0, std::abs(shifted_cold.objective)));
+  EXPECT_LT(shifted_warm.iterations, shifted_cold.iterations);
+}
+
+TEST(WarmStartTest, MismatchedHintSizeFallsBackToColdStart) {
+  const Model m = make_provisioning_lp(4, 6, 3, 23);
+  SolveOptions options;
+  options.method = Method::kSparse;
+  const Solution cold = solve(m, options);
+  ASSERT_TRUE(cold.optimal());
+
+  options.warm_start.assign(3, VarStatus::kBasic);  // wrong length
+  const Solution s = solve(m, options);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, cold.objective, 1e-9);
+}
+
+TEST(BoundedVariableTest, FixedVariablesReportKFixedAndExactValue) {
+  Model m;
+  const int fixed = m.add_variable(4.5, 4.5, 3.0, "fixed");
+  const int x = m.add_variable(0.0, kInf, 1.0, "x");
+  m.add_constraint({{fixed, 1.0}, {x, 1.0}}, Sense::kGe, 10.0);
+
+  SolveOptions options;
+  options.method = Method::kSparse;
+  const Solution s = solve(m, options);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.values[fixed], 4.5);
+  EXPECT_NEAR(s.values[x], 5.5, 1e-9);
+  ASSERT_EQ(s.basis.size(), 2u);
+  EXPECT_EQ(s.basis[fixed], VarStatus::kFixed);
+  // The fixed status must round-trip through warm_start unharmed.
+  options.warm_start = s.basis;
+  const Solution warm = solve(m, options);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.objective, s.objective, 1e-12);
+}
+
+TEST(BoundedVariableTest, NegativeCostRestsAtUpperWithoutUpperBoundRow) {
+  // min -2a - b with a in [0, 3], b in [0, 4], a + b <= 5.
+  // Optimum a=3 (its own upper bound, NOT a constraint row), b=2.
+  Model m;
+  const int a = m.add_variable(0.0, 3.0, -2.0, "a");
+  const int b = m.add_variable(0.0, 4.0, -1.0, "b");
+  m.add_constraint({{a, 1.0}, {b, 1.0}}, Sense::kLe, 5.0);
+
+  SolveOptions options;
+  options.method = Method::kSparse;
+  const Solution s = solve(m, options);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -8.0, 1e-9);
+  EXPECT_NEAR(s.values[a], 3.0, 1e-9);
+  EXPECT_NEAR(s.values[b], 2.0, 1e-9);
+  ASSERT_EQ(s.basis.size(), 2u);
+  EXPECT_EQ(s.basis[a], VarStatus::kAtUpper);
+}
+
+TEST(BoundedVariableTest, InfeasibleAfterTighteningDetectedFromWarmBasis) {
+  // Feasible base model: x + y >= 8 with generous boxes.
+  Model base;
+  const int x = base.add_variable(0.0, 10.0, 1.0, "x");
+  const int y = base.add_variable(0.0, 10.0, 2.0, "y");
+  base.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGe, 8.0);
+
+  SolveOptions options;
+  options.method = Method::kSparse;
+  const Solution sol = solve(base, options);
+  ASSERT_TRUE(sol.optimal());
+
+  // Tighten both boxes so the constraint can no longer be met; warm-start
+  // from the now-invalid basis. Phase 1 must discover the infeasibility
+  // (and map_back must not fabricate values outside the new boxes).
+  Model tight;
+  tight.add_variable(0.0, 3.0, 1.0, "x");
+  tight.add_variable(0.0, 4.0, 2.0, "y");
+  tight.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGe, 8.0);
+
+  options.warm_start = sol.basis;
+  const Solution infeasible = solve(tight, options);
+  EXPECT_EQ(infeasible.status, SolveStatus::kInfeasible);
+  EXPECT_TRUE(infeasible.basis.empty());
+}
+
+}  // namespace
+}  // namespace sb::lp
