@@ -1,0 +1,103 @@
+// A self-contained, serializable fuzz scenario: the world (locations, DCs,
+// WAN links), the call trace, the fault schedule, and every provisioning /
+// realtime / simulator option the executor randomizes. A FuzzCase is the
+// unit the shrinker minimizes and the unit sb_fuzz --replay consumes — a
+// repro file is just `{seed, case}` as JSON, so a failure found on one
+// machine deterministically replays on another with no generator state.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "calls/call_record.h"
+#include "calls/media.h"
+#include "check/json.h"
+#include "core/placement.h"
+#include "fault/fault_schedule.h"
+#include "geo/latency.h"
+#include "geo/topology.h"
+#include "geo/world.h"
+
+namespace sb::check {
+
+/// Serialized world: enough to rebuild World + Topology + LatencyMatrix.
+struct FuzzWorld {
+  std::vector<Location> locations;
+  std::vector<Datacenter> dcs;
+  std::vector<WanLink> links;  ///< name is regenerated, not serialized
+};
+
+/// One call, media carried inline so the config registry can be rebuilt
+/// from the calls alone (the config is the grouped multiset of leg
+/// locations plus this media type).
+struct FuzzCall {
+  std::uint64_t id = 0;
+  MediaType media = MediaType::kAudio;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double media_change_offset_s = 0.0;
+  std::vector<CallLeg> legs;  ///< sorted by join offset; front = first joiner
+};
+
+/// Everything the executor randomizes besides the scenario data itself.
+struct FuzzOptions {
+  double freeze_delay_s = 300.0;
+  double bucket_s = 60.0;  ///< keep integral: the recount oracle's bucket
+                           ///< grid must match the tracker's additive grid
+  double slot_s = 900.0;
+  std::size_t shard_count = 16;
+  std::size_t sim_threads = 3;   ///< run_concurrent partition count
+  bool use_plan = true;          ///< provision + plan + controller path
+  bool with_backup = true;
+  bool include_link_failures = true;
+  int floor_mode = 0;            ///< ProvisionOptions::FloorMode value
+  std::size_t scenario_threads = 1;
+  int lp_method = 0;             ///< lp::Method value
+  bool rebuild_storm = false;    ///< post-sim plan-rebuild churn phase
+  bool chaos_skip_drain_credit = false;  ///< mutation knob (oracle self-test)
+};
+
+/// A materialized case: the live objects a case deserializes into. Owned
+/// behind unique_ptr so the EvalContext pointers stay stable.
+struct Materialized {
+  World world;
+  Topology topology;
+  LatencyMatrix latency;
+  CallConfigRegistry registry;
+  LoadModel loads;
+  CallRecordDatabase db;
+  fault::FaultSchedule faults;
+
+  explicit Materialized(const struct FuzzCase& c);
+
+  [[nodiscard]] EvalContext ctx() const {
+    return {&world, &topology, &latency, &registry, &loads};
+  }
+};
+
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  SimTime window_start_s = 0.0;
+  SimTime window_end_s = 0.0;
+  FuzzWorld world;
+  std::vector<FuzzCall> calls;
+  std::vector<fault::FaultEvent> faults;
+  FuzzOptions options;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static FuzzCase from_json(const Json& j);
+
+  /// One-line human description ("seed=7 3 dcs 42 calls 2 faults plan").
+  [[nodiscard]] std::string describe() const;
+
+  /// Rebuilds the live objects. Throws InvalidArgument on an inconsistent
+  /// case (bad location ids, disconnected topology, ...).
+  [[nodiscard]] std::unique_ptr<Materialized> materialize() const;
+};
+
+/// Repro file I/O: pretty-printed canonical JSON so repros diff cleanly.
+void write_repro(const FuzzCase& c, const std::string& path);
+[[nodiscard]] FuzzCase load_repro(const std::string& path);
+
+}  // namespace sb::check

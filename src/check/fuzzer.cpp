@@ -1,0 +1,123 @@
+#include "check/fuzzer.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "geo/world_presets.h"
+#include "lp/solver.h"
+#include "trace/diurnal.h"
+#include "trace/trace_gen.h"
+
+namespace sb::check {
+
+FuzzCase ScenarioFuzzer::generate(std::uint64_t seed) const {
+  // Mix the raw seed so consecutive --seed-base runs do not feed xoshiro
+  // near-identical states (splitmix inside Rng handles most of it; the
+  // constant keeps seed 0 away from the Rng default).
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x1234abcdULL);
+
+  FuzzCase c;
+  c.seed = seed;
+
+  // World: a handful of locations and DCs over a random geographic box.
+  RandomWorldParams wp;
+  wp.dc_count = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(params_.min_dcs),
+                      static_cast<std::int64_t>(params_.max_dcs)));
+  wp.location_count = std::max(
+      wp.dc_count, static_cast<std::size_t>(rng.uniform_int(
+                       4, static_cast<std::int64_t>(params_.max_locations))));
+  wp.knn = static_cast<std::size_t>(rng.uniform_int(2, 3));
+  GeoModel geo = make_random_world(rng, wp);
+  c.world.locations = geo.world.locations();
+  c.world.dcs = geo.world.datacenters();
+  c.world.links = geo.topology.links();
+
+  // Config universe + trace shape.
+  UniverseParams up;
+  up.config_count = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(params_.min_configs),
+                      static_cast<std::int64_t>(params_.max_configs)));
+  up.zipf_exponent = rng.uniform(0.6, 1.8);
+  up.total_peak_rate_per_hour = rng.uniform(params_.min_peak_rate_per_hour,
+                                            params_.max_peak_rate_per_hour);
+  up.multi_country_prob = rng.uniform(0.0, 0.4);
+  up.size_geometric_p = 0.5;
+  up.max_participants = 10;
+
+  TraceParams tp;
+  tp.bucket_s = 900.0;
+  tp.mean_duration_s = rng.uniform(240.0, 1500.0);
+  tp.duration_sigma = rng.uniform(0.4, 0.9);
+  tp.join_p80_s = rng.uniform(120.0, 360.0);
+  tp.media_upgrade_prob = rng.uniform(0.0, 0.8);
+
+  // Window: a weekday daytime stretch so the diurnal shape is non-trivial.
+  const double day = static_cast<double>(rng.uniform_int(0, 4));
+  const double start_hour = rng.uniform(8.0, 16.0);
+  c.window_start_s = day * kSecondsPerDay + start_hour * kSecondsPerHour;
+  c.window_end_s =
+      c.window_start_s + rng.uniform(params_.min_window_s, params_.max_window_s);
+
+  // Options are drawn BEFORE the trace so their stream position is fixed
+  // (db size only gates use_plan after the fact).
+  FuzzOptions& o = c.options;
+  o.freeze_delay_s = rng.uniform(60.0, 600.0);
+  const double buckets[] = {30.0, 60.0, 120.0};
+  o.bucket_s = buckets[rng.uniform_index(3)];
+  o.slot_s = 900.0;
+  const std::size_t shards[] = {1, 2, 4, 16};
+  o.shard_count = shards[rng.uniform_index(4)];
+  o.sim_threads = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  o.use_plan = rng.chance(params_.plan_prob);
+  o.with_backup = rng.chance(0.8);
+  o.include_link_failures = rng.chance(0.5);
+  o.floor_mode = rng.chance(0.5) ? 1 : 0;
+  o.scenario_threads = rng.chance(0.5) ? 2 : 1;
+  o.lp_method = rng.chance(0.8) ? static_cast<int>(lp::Method::kAuto)
+                                : static_cast<int>(lp::Method::kSparse);
+  o.rebuild_storm = rng.chance(params_.rebuild_storm_prob);
+  o.chaos_skip_drain_credit = params_.chaos_skip_drain_credit;
+
+  // Fault storm: outage pairs over the window; durations may straddle the
+  // window end (the up edge then lands after the last call event).
+  const auto outages = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(params_.min_outages),
+                      static_cast<std::int64_t>(params_.max_outages)));
+  const double mean_outage_s = rng.uniform(180.0, 1200.0);
+  const fault::FaultSchedule storm = fault::FaultSchedule::random(
+      rng, c.world.dcs.size(), c.world.links.size(), outages, c.window_start_s,
+      c.window_end_s, mean_outage_s);
+  c.faults = storm.events();
+
+  // Trace: materialize the call records and carry them as plain calls (the
+  // config is reconstructed from the legs at materialize time).
+  CallConfigRegistry registry;
+  const ConfigUniverse universe =
+      sample_universe(geo.world, registry, up, rng);
+  const TraceGenerator gen(geo.world, registry, universe, DiurnalShape{}, tp,
+                           seed);
+  const CallRecordDatabase db = gen.generate(c.window_start_s, c.window_end_s);
+  c.calls.reserve(std::min(db.size(), params_.max_calls));
+  for (const CallRecord& rec : db.records()) {
+    if (c.calls.size() >= params_.max_calls) break;
+    FuzzCall fc;
+    fc.id = rec.id.value();
+    fc.media = registry.get(rec.config).media();
+    fc.start_s = rec.start_s;
+    fc.duration_s = rec.duration_s;
+    fc.media_change_offset_s = rec.media_change_offset_s;
+    fc.legs = rec.legs;
+    c.calls.push_back(std::move(fc));
+  }
+
+  if (c.calls.empty()) {
+    // Nothing to provision against; fall back to the plan-less path.
+    o.use_plan = false;
+    o.rebuild_storm = false;
+  }
+  if (!o.use_plan) o.rebuild_storm = false;
+  return c;
+}
+
+}  // namespace sb::check

@@ -1,0 +1,54 @@
+// The seeded scenario fuzzer: one seed -> one fully randomized FuzzCase
+// (world, trace, fault storm, provisioning/realtime/simulator options).
+// Generation is pure — the same (params, seed) always yields a byte-
+// identical case (canonical JSON equality is asserted by check_test), which
+// is what makes `sb_fuzz --seeds N` reproducible across machines.
+#pragma once
+
+#include <cstdint>
+
+#include "check/fuzz_case.h"
+
+namespace sb::check {
+
+struct FuzzerParams {
+  std::size_t min_dcs = 2;
+  std::size_t max_dcs = 5;
+  std::size_t max_locations = 10;
+  std::size_t min_configs = 4;
+  std::size_t max_configs = 24;
+  /// Arrival-rate range (calls/hour at peak) for the whole universe.
+  double min_peak_rate_per_hour = 60.0;
+  double max_peak_rate_per_hour = 240.0;
+  /// Trace window length range (seconds).
+  double min_window_s = 1800.0;
+  double max_window_s = 7200.0;
+  /// Fault-storm outage count range (down/up pairs).
+  std::size_t min_outages = 0;
+  std::size_t max_outages = 3;
+  /// Probability the case runs the full plan-driven controller path (vs the
+  /// plan-less closest-DC selector).
+  double plan_prob = 0.85;
+  /// Probability the case appends the post-sim plan-rebuild churn phase.
+  double rebuild_storm_prob = 0.3;
+  /// Hard cap on materialized calls (keeps one case sub-second).
+  std::size_t max_calls = 2000;
+  /// Forces the drain-credit chaos knob on every generated case — used to
+  /// prove the conservation oracle catches the bug class (sb_fuzz --chaos).
+  bool chaos_skip_drain_credit = false;
+};
+
+class ScenarioFuzzer {
+ public:
+  explicit ScenarioFuzzer(FuzzerParams params = {}) : params_(params) {}
+
+  [[nodiscard]] const FuzzerParams& params() const { return params_; }
+
+  /// Generates the deterministic case for `seed`.
+  [[nodiscard]] FuzzCase generate(std::uint64_t seed) const;
+
+ private:
+  FuzzerParams params_;
+};
+
+}  // namespace sb::check

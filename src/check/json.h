@@ -1,0 +1,90 @@
+// Minimal JSON value type for sb_check's self-contained repro files. The
+// repo deliberately has no third-party JSON dependency, so this implements
+// exactly the subset the fuzzer needs: null/bool/number/string/array/object,
+// recursive-descent parsing, and deterministic serialization (objects keep
+// keys sorted — std::map — so equal values always dump to equal strings,
+// which is what makes repro files diffable and fuzzer determinism testable
+// by string comparison).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sb::check {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Ordered map: serialization order is key order, so dumps are canonical.
+  using Object = std::map<std::string, Json>;
+
+  Json() = default;
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : value_(static_cast<double>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(value_);
+  }
+
+  /// Typed accessors; throw InvalidArgument on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Integral conveniences (number cast with range truncation).
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] std::int64_t as_i64() const;
+
+  /// Object member access; `get` throws InvalidArgument when the key is
+  /// absent, `get_or` returns the fallback.
+  [[nodiscard]] const Json& get(const std::string& key) const;
+  [[nodiscard]] double get_or(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_or(const std::string& key, bool fallback) const;
+  Json& operator[](const std::string& key);
+
+  /// Serializes this value. `indent` > 0 pretty-prints with that many
+  /// spaces per level; 0 emits the compact single-line form.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parses a complete JSON document (trailing non-whitespace is an error).
+  /// Throws InvalidArgument with a byte offset on malformed input.
+  static Json parse(const std::string& text);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_ = nullptr;
+};
+
+}  // namespace sb::check

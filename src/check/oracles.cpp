@@ -1,0 +1,775 @@
+#include "check/oracles.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "calls/demand.h"
+#include "common/error.h"
+#include "core/controller.h"
+#include "core/failure.h"
+#include "core/provisioner.h"
+#include "fault/failover.h"
+#include "lp/solver.h"
+#include "sim/allocator.h"
+
+namespace sb::check {
+
+namespace {
+
+/// Tolerance for comparing independently-summed floating-point series (the
+/// tracker and the recount accumulate the same deltas in different orders).
+constexpr double kSumTol = 1e-6;
+/// Tolerance for LP-derived quantities (objectives, placements).
+constexpr double kLpTol = 1e-5;
+
+bool close(double a, double b, double tol) {
+  return std::abs(a - b) <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+void fail(std::vector<OracleFailure>& out, std::string oracle,
+          std::string detail) {
+  out.push_back({std::move(oracle), std::move(detail)});
+}
+
+/// Demand horizon: window start through the last call's end, rounded up to
+/// whole provisioning slots so the allocation plan covers every freeze the
+/// simulation will issue (the plan clamps beyond-horizon times anyway; the
+/// rounding just keeps the LP honest about tail demand).
+DemandMatrix build_demand(const Materialized& m, const FuzzCase& c) {
+  double end = c.window_end_s;
+  for (const CallRecord& rec : m.db.records()) {
+    end = std::max(end, rec.start_s + rec.duration_s);
+  }
+  const double slot_s = c.options.slot_s;
+  const double span = std::max(end - c.window_start_s, slot_s);
+  const auto slots = static_cast<std::size_t>(std::ceil(span / slot_s - 1e-9));
+  const double horizon = c.window_start_s + static_cast<double>(slots) * slot_s;
+  return DemandMatrix::from_records(m.db, m.registry.ids(), slot_s,
+                                    c.window_start_s, horizon);
+}
+
+ControllerOptions controller_options(const FuzzOptions& o) {
+  ControllerOptions copts;
+  copts.slot_s = o.slot_s;
+  copts.provision.with_backup = o.with_backup;
+  copts.provision.include_link_failures = o.include_link_failures;
+  copts.provision.floor_mode = o.floor_mode == 1
+                                   ? ProvisionOptions::FloorMode::kFromBase
+                                   : ProvisionOptions::FloorMode::kChained;
+  copts.provision.scenario_threads = o.scenario_threads;
+  copts.provision.lp_options.method = static_cast<lp::Method>(o.lp_method);
+  copts.allocation.lp_options.method = static_cast<lp::Method>(o.lp_method);
+  copts.realtime.freeze_delay_s = o.freeze_delay_s;
+  copts.realtime.shard_count = o.shard_count;
+  copts.realtime.chaos_skip_drain_credit = o.chaos_skip_drain_credit;
+  return copts;
+}
+
+RealtimeOptions realtime_options(const FuzzOptions& o) {
+  RealtimeOptions ropts;
+  ropts.freeze_delay_s = o.freeze_delay_s;
+  ropts.shard_count = o.shard_count;
+  ropts.chaos_skip_drain_credit = o.chaos_skip_drain_credit;
+  return ropts;
+}
+
+/// One executor instance: either the full controller path (provision ->
+/// plan -> ControllerAllocator) or the plan-less selector path. Every run
+/// (reference, determinism re-run, concurrent differential) constructs a
+/// fresh Exec so no state leaks between runs.
+class Exec {
+ public:
+  /// `demand` must be non-null iff the case uses a plan. Throws SolveError
+  /// when provisioning is infeasible (the caller maps that to a skip).
+  Exec(const Materialized& m, const FuzzCase& c, const DemandMatrix* demand) {
+    if (c.options.use_plan) {
+      require(demand != nullptr, "Exec: plan path needs a demand matrix");
+      sb_ = std::make_unique<Switchboard>(m.ctx(),
+                                          controller_options(c.options));
+      sb_->provision(*demand);
+      sb_->build_allocation_plan(*demand, c.window_start_s);
+      controller_alloc_ = std::make_unique<ControllerAllocator>(*sb_);
+    } else {
+      health_ = std::make_unique<fault::HealthTable>(m.world.dc_count(),
+                                                     m.topology.link_count());
+      selector_ = std::make_unique<RealtimeSelector>(
+          m.ctx(), nullptr, realtime_options(c.options), 0.0, health_.get());
+      selector_alloc_ =
+          std::make_unique<SwitchboardAllocator>(*selector_, health_.get());
+    }
+  }
+
+  [[nodiscard]] CallAllocator& allocator() {
+    return sb_ ? static_cast<CallAllocator&>(*controller_alloc_)
+               : static_cast<CallAllocator&>(*selector_alloc_);
+  }
+  [[nodiscard]] RealtimeSelector::Stats stats() const {
+    return sb_ ? sb_->realtime_stats() : selector_->stats();
+  }
+  [[nodiscard]] std::uint64_t held_slots() const {
+    return sb_ ? sb_->held_slots() : selector_->held_slots();
+  }
+  [[nodiscard]] std::size_t active_calls() const {
+    return sb_ ? sb_->active_calls() : selector_->active_calls();
+  }
+  [[nodiscard]] Switchboard* controller() { return sb_.get(); }
+
+ private:
+  std::unique_ptr<Switchboard> sb_;
+  std::unique_ptr<ControllerAllocator> controller_alloc_;
+  std::unique_ptr<fault::HealthTable> health_;
+  std::unique_ptr<RealtimeSelector> selector_;
+  std::unique_ptr<SwitchboardAllocator> selector_alloc_;
+};
+
+// ---------------------------------------------------------------------------
+// Oracles
+// ---------------------------------------------------------------------------
+
+/// Re-checks the provisioning LP's base placement against the provisioned
+/// capacities: per-slot DC usage within serving cores, per-slot link usage
+/// within link capacity, and every (slot, config) demand fully placed (the
+/// Eq 4 completeness rows).
+void lp_feasibility_oracle(const Materialized& m, const DemandMatrix& demand,
+                           const ProvisionResult& pr,
+                           std::vector<OracleFailure>& out) {
+  const UsageProfile usage = compute_usage(pr.base_placement, demand, m.ctx());
+  for (std::size_t x = 0; x < usage.dc_cores.size(); ++x) {
+    const double cap = pr.capacity.dc_serving_cores[x];
+    for (std::size_t t = 0; t < usage.dc_cores[x].size(); ++t) {
+      const double used = usage.dc_cores[x][t];
+      if (used > cap + kLpTol * std::max(1.0, cap)) {
+        std::ostringstream os;
+        os << "dc " << x << " slot " << t << " uses " << used
+           << " cores > serving " << cap;
+        fail(out, "lp-feasibility", os.str());
+        return;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < usage.link_gbps.size(); ++l) {
+    const double cap = pr.capacity.link_gbps[l];
+    for (std::size_t t = 0; t < usage.link_gbps[l].size(); ++t) {
+      const double used = usage.link_gbps[l][t];
+      if (used > cap + kLpTol * std::max(1.0, cap)) {
+        std::ostringstream os;
+        os << "link " << l << " slot " << t << " uses " << used
+           << " gbps > capacity " << cap;
+        fail(out, "lp-feasibility", os.str());
+        return;
+      }
+    }
+  }
+  for (TimeSlot t = 0; t < demand.slot_count(); ++t) {
+    for (std::size_t cc = 0; cc < demand.config_count(); ++cc) {
+      const double placed = pr.base_placement.total_calls(t, cc);
+      const double want = demand.demand(t, cc);
+      if (!close(placed, want, kLpTol)) {
+        std::ostringstream os;
+        os << "slot " << t << " config col " << cc << " places " << placed
+           << " calls, demand " << want;
+        fail(out, "lp-feasibility", os.str());
+        return;
+      }
+    }
+  }
+}
+
+/// Per-record lifecycle from the hosting log: exactly one kStart first,
+/// only kMove in the middle, exactly one terminal kDrop/kEnd, nothing
+/// after; every record present; drops only when the case has a DC outage.
+void exactly_once_oracle(const Materialized& m, const FuzzCase& c,
+                         const HostingLog& log,
+                         std::vector<OracleFailure>& out) {
+  const std::size_t n = m.db.size();
+  // 0 = unseen, 1 = started, 2 = terminated.
+  std::vector<std::uint8_t> state(n, 0);
+  bool dc_fault = false;
+  for (const fault::FaultEvent& e : c.faults) {
+    dc_fault |= e.kind == fault::FaultEvent::Kind::kDcDown;
+  }
+  for (const HostingEvent& e : log.events) {
+    if (e.record >= n) {
+      fail(out, "exactly-once",
+           "hosting event references record " + std::to_string(e.record) +
+               " of " + std::to_string(n));
+      return;
+    }
+    std::uint8_t& s = state[e.record];
+    switch (e.kind) {
+      case HostingEvent::Kind::kStart:
+        if (s != 0) {
+          fail(out, "exactly-once",
+               "record " + std::to_string(e.record) + " started twice");
+          return;
+        }
+        s = 1;
+        break;
+      case HostingEvent::Kind::kMove:
+        if (s != 1) {
+          fail(out, "exactly-once",
+               "record " + std::to_string(e.record) +
+                   " moved while not live (state " + std::to_string(s) + ")");
+          return;
+        }
+        break;
+      case HostingEvent::Kind::kDrop:
+        if (!dc_fault) {
+          fail(out, "exactly-once",
+               "record " + std::to_string(e.record) +
+                   " dropped with no DC outage in the schedule");
+          return;
+        }
+        [[fallthrough]];
+      case HostingEvent::Kind::kEnd:
+        if (s != 1) {
+          fail(out, "exactly-once",
+               "record " + std::to_string(e.record) +
+                   " terminated while not live (state " + std::to_string(s) +
+                   ")");
+          return;
+        }
+        s = 2;
+        break;
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    if (state[r] != 2) {
+      fail(out, "exactly-once",
+           "record " + std::to_string(r) + " never " +
+               (state[r] == 0 ? "started" : "terminated"));
+      return;
+    }
+  }
+}
+
+/// True when `dc` is down at `t` for CALL events: fault events apply before
+/// call events at the same instant, so an outage covers [down_t, up_t).
+bool dc_down_at(const std::vector<fault::FaultEvent>& faults, DcId dc,
+                SimTime t) {
+  bool down = false;
+  for (const fault::FaultEvent& e : faults) {
+    if (e.time > t) break;
+    if (!e.is_dc() || e.dc != dc) continue;
+    down = e.kind == fault::FaultEvent::Kind::kDcDown;
+  }
+  return down;
+}
+
+std::size_t dcs_down_at(const std::vector<fault::FaultEvent>& faults,
+                        std::size_t dc_count, SimTime t) {
+  std::size_t down = 0;
+  for (std::uint32_t x = 0; x < dc_count; ++x) {
+    down += dc_down_at(faults, DcId(x), t) ? 1 : 0;
+  }
+  return down;
+}
+
+/// No hosting decision may land on a failed DC while at least one DC is up
+/// (with EVERY DC down the selector fails open by design — a degraded
+/// placement beats refusing service).
+void down_dc_oracle(const Materialized& m, const FuzzCase& c,
+                    const HostingLog& log, std::vector<OracleFailure>& out) {
+  if (c.faults.empty()) return;
+  const std::size_t dc_count = m.world.dc_count();
+  for (const HostingEvent& e : log.events) {
+    if (e.kind != HostingEvent::Kind::kStart &&
+        e.kind != HostingEvent::Kind::kMove) {
+      continue;
+    }
+    if (!dc_down_at(c.faults, e.dc, e.time)) continue;
+    if (dcs_down_at(c.faults, dc_count, e.time) >= dc_count) continue;
+    std::ostringstream os;
+    os << "record " << e.record << " "
+       << (e.kind == HostingEvent::Kind::kStart ? "started" : "moved")
+       << " onto down dc " << e.dc.value() << " at t=" << e.time;
+    fail(out, "down-dc", os.str());
+    return;
+  }
+}
+
+/// Quiescence conservation: the selector tracks no calls and holds no plan
+/// slots, slot debits balance credits, and the selector's own counters
+/// agree with the simulator's report. This is the oracle the
+/// chaos_skip_drain_credit knob trips (a leaked debit keeps held_slots
+/// non-zero forever).
+void conservation_oracle(const Exec& exec, const SimReport& rep,
+                         std::size_t record_count,
+                         std::vector<OracleFailure>& out) {
+  const RealtimeSelector::Stats s = exec.stats();
+  const auto check = [&](bool ok, const std::string& detail) {
+    if (!ok) fail(out, "conservation", detail);
+  };
+  check(exec.active_calls() == 0,
+        "selector still tracks " + std::to_string(exec.active_calls()) +
+            " calls at quiescence");
+  check(exec.held_slots() == 0,
+        "selector still holds " + std::to_string(exec.held_slots()) +
+            " plan slots at quiescence");
+  check(s.slot_debits == s.slot_credits,
+        "slot debits " + std::to_string(s.slot_debits) + " != credits " +
+            std::to_string(s.slot_credits));
+  check(s.calls_started == rep.calls,
+        "selector started " + std::to_string(s.calls_started) +
+            " calls, simulator replayed " + std::to_string(rep.calls));
+  check(rep.calls == record_count,
+        "simulator replayed " + std::to_string(rep.calls) + " of " +
+            std::to_string(record_count) + " records");
+  check(s.calls_frozen == rep.frozen,
+        "selector froze " + std::to_string(s.calls_frozen) +
+            ", simulator reports " + std::to_string(rep.frozen));
+  check(s.failover_drops == rep.dropped_calls,
+        "selector dropped " + std::to_string(s.failover_drops) +
+            ", simulator reports " + std::to_string(rep.dropped_calls));
+  check(s.failover_moves == rep.failover_migrations,
+        "selector re-homed " + std::to_string(s.failover_moves) +
+            ", simulator reports " + std::to_string(rep.failover_migrations));
+}
+
+/// Compares the report's bucket series against the independent recount.
+void recount_oracle(const Materialized& m, const FuzzCase& c,
+                    const SimReport& rep, const HostingLog& log,
+                    const std::string& oracle_name,
+                    std::vector<OracleFailure>& out) {
+  std::size_t buckets = 0;
+  for (const auto& row : rep.dc_cores_buckets) {
+    buckets = std::max(buckets, row.size());
+  }
+  const auto counted =
+      recount_dc_buckets(m, log, c.options.bucket_s, buckets);
+  if (counted.size() != rep.dc_cores_buckets.size()) {
+    fail(out, oracle_name,
+         "recount has " + std::to_string(counted.size()) + " DCs, report " +
+             std::to_string(rep.dc_cores_buckets.size()));
+    return;
+  }
+  for (std::size_t x = 0; x < counted.size(); ++x) {
+    const auto& want = counted[x];
+    const auto& got = rep.dc_cores_buckets[x];
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const double w = b < want.size() ? want[b] : 0.0;
+      const double g = b < got.size() ? got[b] : 0.0;
+      if (!close(w, g, kSumTol)) {
+        std::ostringstream os;
+        os << "dc " << x << " bucket " << b << " recount " << w
+           << " != tracked " << g;
+        fail(out, oracle_name, os.str());
+        return;
+      }
+    }
+  }
+}
+
+bool buckets_close(const std::vector<std::vector<double>>& a,
+                   const std::vector<std::vector<double>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t x = 0; x < a.size(); ++x) {
+    const std::size_t n = std::max(a[x].size(), b[x].size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double av = i < a[x].size() ? a[x][i] : 0.0;
+      const double bv = i < b[x].size() ? b[x][i] : 0.0;
+      if (!close(av, bv, kSumTol)) return false;
+    }
+  }
+  return true;
+}
+
+bool logs_equal(const HostingLog& a, const HostingLog& b) {
+  if (a.events.size() != b.events.size()) return false;
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    const HostingEvent& x = a.events[i];
+    const HostingEvent& y = b.events[i];
+    if (x.record != y.record || x.time != y.time || x.kind != y.kind ||
+        x.dc != y.dc) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Sparse LU/eta simplex vs the dense-inverse revised simplex on the same
+/// scenario LPs, plus warm-started vs cold scenario solves. Optimal
+/// OBJECTIVES are unique (placements need not be), so that is what is
+/// compared. Only run on small shapes — the dense engine is O(rows^2)
+/// memory. Scenario infeasibility here is a skip, not a failure.
+void lp_differential_oracle(const Materialized& m, const FuzzCase& c,
+                            const DemandMatrix& demand,
+                            std::vector<OracleFailure>& out) {
+  const std::size_t rows_est =
+      demand.slot_count() * (m.world.dc_count() + m.topology.link_count() +
+                             demand.config_count());
+  if (rows_est == 0 || rows_est > 2000) return;
+
+  ProvisionOptions po = controller_options(c.options).provision;
+  po.scenario_threads = 1;
+  po.lp_options.method = lp::Method::kSparse;
+  const SwitchboardProvisioner sparse(m.ctx(), po);
+  po.lp_options.method = lp::Method::kRevised;
+  const SwitchboardProvisioner revised(m.ctx(), po);
+
+  try {
+    ScenarioBasisHint basis;
+    const ScenarioOutcome f0_sparse = sparse.solve_scenario(
+        demand, FailureScenario::none(), nullptr, nullptr, nullptr, &basis);
+    const ScenarioOutcome f0_revised =
+        revised.solve_scenario(demand, FailureScenario::none());
+    if (!close(f0_sparse.lp_objective, f0_revised.lp_objective, kLpTol)) {
+      std::ostringstream os;
+      os << "F0 objective sparse " << f0_sparse.lp_objective << " != revised "
+         << f0_revised.lp_objective;
+      fail(out, "lp-differential", os.str());
+      return;
+    }
+    if (m.world.dc_count() < 2) return;
+    const FailureScenario f1 = FailureScenario::dc_failure(DcId(0), m.world);
+    const ScenarioOutcome warm = sparse.solve_scenario(
+        demand, f1, nullptr, nullptr, &basis, nullptr);
+    const ScenarioOutcome cold = sparse.solve_scenario(demand, f1);
+    if (!close(warm.lp_objective, cold.lp_objective, kLpTol)) {
+      std::ostringstream os;
+      os << "dc0-failure objective warm " << warm.lp_objective << " != cold "
+         << cold.lp_objective;
+      fail(out, "lp-differential", os.str());
+    }
+  } catch (const SolveError&) {
+    // A failure scenario with no feasible placement is a property of the
+    // random world, not a solver bug.
+  }
+}
+
+/// Hammers the controller with concurrent signaling while the main thread
+/// rebuilds the plan and flips DC health, then verifies a fresh plan and a
+/// clean sequential cycle end balanced. Plan rebuilds orphan in-flight
+/// calls BY DESIGN (the selector is rebuilt), so churn threads treat
+/// sb::Error as expected; the invariant is that the controller itself stays
+/// usable and conserves state once the churn stops.
+void rebuild_storm_oracle(Exec& exec, const Materialized& m,
+                          const FuzzCase& c, const DemandMatrix& demand,
+                          std::vector<OracleFailure>& out) {
+  Switchboard* sb = exec.controller();
+  if (sb == nullptr || m.db.size() == 0) return;
+  const SimTime t0 = c.window_end_s + 3600.0;
+  const std::size_t dc_count = m.world.dc_count();
+  const CallRecord& sample = m.db.records().front();
+  const CallConfig& sample_config = m.registry.get(sample.config);
+  const LocationId sample_loc = sample.legs.front().location;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churn;
+  churn.reserve(3);
+  for (std::uint32_t w = 0; w < 3; ++w) {
+    churn.emplace_back([&, w] {
+      std::uint32_t id = (w + 1) << 20;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const CallId call(id++);
+        try {
+          sb->call_started(call, sample_loc, t0);
+          sb->config_frozen(call, sample_config, t0);
+          sb->call_ended(call, t0 + 1.0);
+        } catch (const Error&) {
+          // A plan swap or drain between this call's events tore it down;
+          // expected under churn.
+        }
+      }
+    });
+  }
+  try {
+    for (std::size_t i = 0; i < 8; ++i) {
+      sb->build_allocation_plan(demand, c.window_start_s);
+      if (dc_count > 1) {
+        const DcId dc(static_cast<std::uint32_t>(i % dc_count));
+        sb->dc_failed(dc, t0);
+        sb->dc_recovered(dc, t0);
+      }
+    }
+  } catch (const Error& e) {
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& t : churn) t.join();
+    fail(out, "rebuild-storm",
+         std::string("rebuild/fault churn threw: ") + e.what());
+    return;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : churn) t.join();
+
+  // Quiesce: every DC healthy, fresh plan (fresh selector + quota table),
+  // then a clean sequential cycle must leave the controller balanced.
+  for (std::uint32_t x = 0; x < dc_count; ++x) {
+    sb->dc_recovered(DcId(x), t0);
+  }
+  sb->build_allocation_plan(demand, c.window_start_s);
+  const std::size_t cycle = std::min<std::size_t>(m.db.size(), 50);
+  for (std::size_t i = 0; i < cycle; ++i) {
+    const CallRecord& rec = m.db.records()[i];
+    const CallId call(static_cast<std::uint32_t>((2u << 20) + i));
+    sb->call_started(call, rec.legs.front().location, t0);
+    sb->config_frozen(call, m.registry.get(rec.config), t0);
+    sb->call_ended(call, t0 + 1.0);
+  }
+  const RealtimeSelector::Stats s = sb->realtime_stats();
+  if (sb->active_calls() != 0 || sb->held_slots() != 0 ||
+      s.slot_debits != s.slot_credits) {
+    std::ostringstream os;
+    os << "post-storm clean cycle not conserved: active="
+       << sb->active_calls() << " held=" << sb->held_slots()
+       << " debits=" << s.slot_debits << " credits=" << s.slot_credits;
+    fail(out, "rebuild-storm", os.str());
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> recount_dc_buckets(
+    const Materialized& m, const HostingLog& log, double bucket_s,
+    std::size_t bucket_count) {
+  require(bucket_s > 0.0, "recount_dc_buckets: bucket_s must be positive");
+  const auto& records = m.db.records();
+  const std::size_t dc_count = m.world.dc_count();
+  // Per-bucket load DELTAS, prefix-summed into samples at the end. An event
+  // at time t first shows up in the sample taken at the next bucket end
+  // strictly after t, i.e. bucket floor(t / bucket_s) (the tracker samples
+  // bucket ends <= t before applying the event at t).
+  std::vector<std::vector<double>> series(
+      dc_count, std::vector<double>(bucket_count, 0.0));
+  const auto add_delta = [&](SimTime t, DcId dc, double cores) {
+    if (cores == 0.0 || !dc.valid()) return;
+    const auto b = static_cast<std::size_t>(std::floor(t / bucket_s));
+    if (b < bucket_count) series[dc.value()][b] += cores;
+  };
+
+  std::vector<std::vector<const HostingEvent*>> per_record(records.size());
+  for (const HostingEvent& e : log.events) {
+    require(e.record < records.size(),
+            "recount_dc_buckets: hosting event references unknown record");
+    per_record[e.record].push_back(&e);
+  }
+
+  // Merged per-record timeline entry. Hosting events sort before trace
+  // events at equal times (rank 0 vs 1): the call must exist before a leg
+  // can join, and every other same-instant ordering provably yields the
+  // same bucket samples (sampling precedes all events at t, and the
+  // deltas land in the same bucket either way).
+  struct Ev {
+    SimTime t;
+    int rank;
+    int kind;  ///< 0 = hosting event, 1 = leg join, 2 = media change
+    const HostingEvent* host;
+  };
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const CallRecord& rec = records[r];
+    const CallConfig& config = m.registry.get(rec.config);
+    std::vector<Ev> evs;
+    evs.reserve(per_record[r].size() + rec.legs.size() + 1);
+    for (const HostingEvent* he : per_record[r]) {
+      evs.push_back({he->time, 0, 0, he});
+    }
+    for (std::size_t leg = 1; leg < rec.legs.size(); ++leg) {
+      evs.push_back(
+          {rec.start_s + rec.legs[leg].join_offset_s, 1, 1, nullptr});
+    }
+    const bool upgrade = config.media() != MediaType::kAudio &&
+                         rec.media_change_offset_s > 0.0;
+    if (upgrade) {
+      evs.push_back({rec.start_s + rec.media_change_offset_s, 1, 2, nullptr});
+    }
+    std::stable_sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+      return a.t < b.t || (a.t == b.t && a.rank < b.rank);
+    });
+
+    bool active = false;
+    DcId dc;
+    MediaType media = MediaType::kAudio;
+    double joined = 0.0;
+    const auto cores_pp = [&](MediaType mt) {
+      return m.loads.cores_per_participant(mt);
+    };
+    for (const Ev& ev : evs) {
+      if (ev.kind == 0) {
+        const HostingEvent& he = *ev.host;
+        switch (he.kind) {
+          case HostingEvent::Kind::kStart:
+            active = true;
+            dc = he.dc;
+            media = rec.media_change_offset_s > 0.0 ? MediaType::kAudio
+                                                    : config.media();
+            joined = 1.0;
+            add_delta(he.time, dc, cores_pp(media));
+            break;
+          case HostingEvent::Kind::kMove:
+            if (!active) break;
+            add_delta(he.time, dc, -cores_pp(media) * joined);
+            dc = he.dc;
+            add_delta(he.time, dc, cores_pp(media) * joined);
+            break;
+          case HostingEvent::Kind::kDrop:
+          case HostingEvent::Kind::kEnd:
+            if (!active) break;
+            add_delta(he.time, dc, -cores_pp(media) * joined);
+            active = false;
+            break;
+        }
+      } else if (ev.kind == 1) {
+        if (!active) continue;  // call already dropped/ended
+        joined += 1.0;
+        add_delta(ev.t, dc, cores_pp(media));
+      } else {
+        if (!active) continue;
+        add_delta(ev.t, dc, (cores_pp(config.media()) - cores_pp(media)) *
+                                joined);
+        media = config.media();
+      }
+    }
+  }
+  for (auto& row : series) {
+    for (std::size_t b = 1; b < row.size(); ++b) row[b] += row[b - 1];
+  }
+  return series;
+}
+
+std::string CheckResult::summary() const {
+  std::ostringstream os;
+  if (provision_infeasible) {
+    os << "skip (provisioning infeasible)";
+    return os.str();
+  }
+  os << (ok() ? "ok" : "FAIL") << " calls=" << calls << " dropped=" << dropped
+     << " moves=" << failover_moves;
+  if (over_capacity_core_s > 0.0) {
+    os << " over_cap_core_s=" << over_capacity_core_s;
+  }
+  for (const OracleFailure& f : failures) {
+    os << "\n  [" << f.oracle << "] " << f.detail;
+  }
+  return os.str();
+}
+
+CheckResult run_case(const FuzzCase& c, const CheckOptions& opts) {
+  CheckResult res;
+  try {
+    const std::unique_ptr<Materialized> mp = c.materialize();
+    const Materialized& m = *mp;
+    const Simulator sim(m.ctx());
+    const fault::FaultSchedule* faults =
+        m.faults.empty() ? nullptr : &m.faults;
+
+    std::optional<DemandMatrix> demand;
+    if (c.options.use_plan) {
+      demand.emplace(build_demand(m, c));
+      try {
+        // Provision once, throw-away: discovers infeasibility before any
+        // oracle machinery runs so it can be reported as a skip.
+        Exec probe(m, c, &*demand);
+      } catch (const SolveError&) {
+        res.provision_infeasible = true;
+        return res;
+      }
+    }
+    const DemandMatrix* dp = demand ? &*demand : nullptr;
+
+    // Reference run: sequential, bit-exact, hosting log captured.
+    Exec ref(m, c, dp);
+    HostingLog log;
+    const SimReport rep =
+        sim.run(m.db, ref.allocator(), c.options.freeze_delay_s, faults,
+                c.options.bucket_s, &log);
+    res.calls = rep.calls;
+    res.dropped = rep.dropped_calls;
+    res.failover_moves = rep.failover_migrations;
+
+    if (c.options.use_plan) {
+      const ProvisionResult& pr = *ref.controller()->provision_result();
+      lp_feasibility_oracle(m, *demand, pr, res.failures);
+      std::vector<double> cap(m.world.dc_count(), 0.0);
+      for (std::uint32_t x = 0; x < cap.size(); ++x) {
+        cap[x] = pr.capacity.dc_total_cores(DcId(x));
+      }
+      res.over_capacity_core_s = fault::over_capacity_core_s(
+          rep.dc_cores_buckets, cap, c.options.bucket_s);
+    }
+    exactly_once_oracle(m, c, log, res.failures);
+    conservation_oracle(ref, rep, m.db.size(), res.failures);
+    recount_oracle(m, c, rep, log, "recount", res.failures);
+    down_dc_oracle(m, c, log, res.failures);
+
+    // Determinism: a fresh sequential run must be bit-identical.
+    if (opts.run_determinism && res.failures.empty()) {
+      Exec re(m, c, dp);
+      HostingLog log2;
+      const SimReport rep2 =
+          sim.run(m.db, re.allocator(), c.options.freeze_delay_s, faults,
+                  c.options.bucket_s, &log2);
+      if (rep2.calls != rep.calls || rep2.frozen != rep.frozen ||
+          rep2.migrations != rep.migrations ||
+          rep2.dropped_calls != rep.dropped_calls ||
+          rep2.failover_migrations != rep.failover_migrations ||
+          rep2.dc_cores_buckets != rep.dc_cores_buckets ||
+          !logs_equal(log, log2)) {
+        fail(res.failures, "determinism",
+             "second sequential run diverged from the first");
+      }
+    }
+
+    // Sequential vs concurrent differential. With plan quotas the CAS
+    // acquisition order legitimately changes WHICH DC serves a call, so
+    // only call conservation is compared cross-run — but the concurrent
+    // run's own hosting log must satisfy every single-run oracle.
+    if (opts.run_concurrent && res.failures.empty()) {
+      Exec conc(m, c, dp);
+      HostingLog clog;
+      const SimReport crep = sim.run_concurrent(
+          m.db, conc.allocator(), c.options.freeze_delay_s,
+          c.options.sim_threads, faults, c.options.bucket_s, &clog);
+      if (crep.calls != rep.calls) {
+        fail(res.failures, "seq-vs-concurrent",
+             "concurrent run replayed " + std::to_string(crep.calls) +
+                 " calls, sequential " + std::to_string(rep.calls));
+      }
+      if (!c.options.use_plan) {
+        // Plan-less decisions are per-call pure functions of health state,
+        // so the two drivers must agree exactly on outcomes (buckets only
+        // up to summation order).
+        if (crep.frozen != rep.frozen || crep.migrations != rep.migrations ||
+            crep.dropped_calls != rep.dropped_calls ||
+            crep.failover_migrations != rep.failover_migrations) {
+          fail(res.failures, "seq-vs-concurrent",
+               "plan-less concurrent run diverged: frozen " +
+                   std::to_string(crep.frozen) + "/" +
+                   std::to_string(rep.frozen) + " migrations " +
+                   std::to_string(crep.migrations) + "/" +
+                   std::to_string(rep.migrations) + " drops " +
+                   std::to_string(crep.dropped_calls) + "/" +
+                   std::to_string(rep.dropped_calls));
+        }
+        if (!buckets_close(crep.dc_cores_buckets, rep.dc_cores_buckets)) {
+          fail(res.failures, "seq-vs-concurrent",
+               "plan-less concurrent bucket series diverged");
+        }
+      }
+      exactly_once_oracle(m, c, clog, res.failures);
+      conservation_oracle(conc, crep, m.db.size(), res.failures);
+      recount_oracle(m, c, crep, clog, "recount-concurrent", res.failures);
+      down_dc_oracle(m, c, clog, res.failures);
+    }
+
+    if (opts.run_lp_differential && c.options.use_plan &&
+        res.failures.empty()) {
+      lp_differential_oracle(m, c, *demand, res.failures);
+    }
+
+    if (opts.run_rebuild_storm && c.options.rebuild_storm &&
+        res.failures.empty()) {
+      rebuild_storm_oracle(ref, m, c, *demand, res.failures);
+    }
+  } catch (const Error& e) {
+    fail(res.failures, "exception", e.what());
+  }
+  return res;
+}
+
+}  // namespace sb::check

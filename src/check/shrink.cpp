@@ -1,0 +1,158 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sb::check {
+
+namespace {
+
+/// Tracks the current best case and runs candidates against the predicate
+/// "still fails the same oracle".
+class Shrinker {
+ public:
+  Shrinker(FuzzCase best, std::string oracle, const CheckOptions& opts)
+      : best_(std::move(best)), oracle_(std::move(oracle)), opts_(opts) {}
+
+  [[nodiscard]] const FuzzCase& best() const { return best_; }
+  [[nodiscard]] std::size_t attempts() const { return attempts_; }
+  [[nodiscard]] std::size_t successes() const { return successes_; }
+  [[nodiscard]] const std::string& oracle() const { return oracle_; }
+
+  /// Runs the candidate; adopts it as the new best when it still fails the
+  /// target oracle. A candidate that passes, skips (infeasible
+  /// provisioning), or fails a DIFFERENT oracle is rejected.
+  bool accept(const FuzzCase& candidate) {
+    ++attempts_;
+    const CheckResult r = run_case(candidate, opts_);
+    if (r.first_oracle() != oracle_) return false;
+    best_ = candidate;
+    ++successes_;
+    return true;
+  }
+
+  /// Pass 1: remove call chunks, ddmin style — halves first, then smaller
+  /// chunks down to single calls. Restarts the granularity whenever a chunk
+  /// removal sticks (the remaining calls often shrink further).
+  bool shrink_calls() {
+    bool progress = false;
+    std::size_t chunk = std::max<std::size_t>(best_.calls.size() / 2, 1);
+    while (chunk >= 1 && !best_.calls.empty()) {
+      bool removed_any = false;
+      for (std::size_t at = 0; at < best_.calls.size();) {
+        FuzzCase candidate = best_;
+        const std::size_t take =
+            std::min(chunk, candidate.calls.size() - at);
+        candidate.calls.erase(
+            candidate.calls.begin() + static_cast<std::ptrdiff_t>(at),
+            candidate.calls.begin() + static_cast<std::ptrdiff_t>(at + take));
+        if (accept(candidate)) {
+          removed_any = progress = true;
+          // best_ shrank; retry the same offset against the new tail.
+        } else {
+          at += take;
+        }
+      }
+      if (!removed_any || chunk == 1) {
+        if (chunk == 1) break;
+        chunk = std::max<std::size_t>(chunk / 2, 1);
+      } else {
+        chunk = std::max<std::size_t>(
+            std::min(chunk, std::max<std::size_t>(best_.calls.size() / 2, 1)),
+            1);
+      }
+    }
+    return progress;
+  }
+
+  /// Pass 2: drop individual fault events (an orphaned up-edge is a no-op,
+  /// so down/up pairs shrink one edge at a time).
+  bool shrink_faults() {
+    bool progress = false;
+    for (std::size_t i = 0; i < best_.faults.size();) {
+      FuzzCase candidate = best_;
+      candidate.faults.erase(candidate.faults.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      if (accept(candidate)) {
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+    return progress;
+  }
+
+  /// Pass 3: remove whole DCs (keeping at least one), renumbering every
+  /// DcId above the removed index and dropping that DC's fault events.
+  /// Worlds whose provisioning becomes infeasible are rejected by the
+  /// predicate (run_case reports a skip, not the target oracle).
+  bool shrink_dcs() {
+    bool progress = false;
+    for (std::size_t d = 0; best_.world.dcs.size() > 1 &&
+                            d < best_.world.dcs.size();) {
+      FuzzCase candidate = best_;
+      candidate.world.dcs.erase(candidate.world.dcs.begin() +
+                                static_cast<std::ptrdiff_t>(d));
+      std::vector<fault::FaultEvent> kept;
+      kept.reserve(candidate.faults.size());
+      for (fault::FaultEvent e : candidate.faults) {
+        if (e.is_dc()) {
+          if (e.dc.value() == d) continue;
+          if (e.dc.value() > d) e.dc = DcId(e.dc.value() - 1);
+        }
+        kept.push_back(e);
+      }
+      candidate.faults = std::move(kept);
+      if (accept(candidate)) {
+        progress = true;
+      } else {
+        ++d;
+      }
+    }
+    return progress;
+  }
+
+  /// Pass 4: truncate the window to the surviving calls' span (affects the
+  /// provisioning horizon, not the replay, so this mostly shrinks the LP).
+  bool shrink_window() {
+    if (best_.calls.empty()) return false;
+    double last = best_.window_start_s;
+    for (const FuzzCall& call : best_.calls) {
+      last = std::max(last, call.start_s + 1.0);
+    }
+    if (last >= best_.window_end_s) return false;
+    FuzzCase candidate = best_;
+    candidate.window_end_s = last;
+    return accept(candidate);
+  }
+
+ private:
+  FuzzCase best_;
+  std::string oracle_;
+  CheckOptions opts_;
+  std::size_t attempts_ = 0;
+  std::size_t successes_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult shrink_case(const FuzzCase& failing,
+                         const CheckOptions& check_opts,
+                         const ShrinkOptions& opts) {
+  const CheckResult initial = run_case(failing, check_opts);
+  require(!initial.ok() && !initial.provision_infeasible,
+          "shrink_case: input does not fail any oracle");
+  Shrinker s(failing, initial.first_oracle(), check_opts);
+  for (std::size_t round = 0; round < opts.max_rounds; ++round) {
+    bool progress = false;
+    progress |= s.shrink_calls();
+    progress |= s.shrink_faults();
+    progress |= s.shrink_dcs();
+    progress |= s.shrink_window();
+    if (!progress) break;
+  }
+  return {s.best(), s.oracle(), s.attempts(), s.successes()};
+}
+
+}  // namespace sb::check

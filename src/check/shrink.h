@@ -1,0 +1,36 @@
+// Greedy scenario minimizer: given a FuzzCase that fails some oracle,
+// repeatedly tries structurally smaller candidates (fewer calls, fewer
+// fault events, fewer DCs, a shorter window) and keeps each one that still
+// fails the SAME oracle — so the minimizer never wanders onto a different
+// bug than the one it was asked to isolate. The result is what sb_fuzz
+// writes as a repro file.
+#pragma once
+
+#include <cstddef>
+
+#include "check/fuzz_case.h"
+#include "check/oracles.h"
+
+namespace sb::check {
+
+struct ShrinkOptions {
+  /// Full pass-sequence iterations; each round re-runs every pass and the
+  /// loop stops early once a round makes no progress (fixpoint).
+  std::size_t max_rounds = 8;
+};
+
+struct ShrinkResult {
+  FuzzCase best;          ///< smallest case still failing `oracle`
+  std::string oracle;     ///< the oracle being preserved
+  std::size_t attempts = 0;   ///< candidate executions tried
+  std::size_t successes = 0;  ///< candidates accepted (strict reductions)
+};
+
+/// Minimizes `failing` (which must fail at least one oracle under
+/// `check_opts`; throws InvalidArgument otherwise). Every accepted
+/// candidate fails with the same first oracle as the input.
+[[nodiscard]] ShrinkResult shrink_case(const FuzzCase& failing,
+                                       const CheckOptions& check_opts = {},
+                                       const ShrinkOptions& opts = {});
+
+}  // namespace sb::check

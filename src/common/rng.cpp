@@ -137,7 +137,9 @@ Rng Rng::fork() { return Rng((*this)()); }
 
 ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
   require(n > 0, "ZipfSampler: n must be positive");
-  require(exponent > 0, "ZipfSampler: exponent must be positive");
+  // Exponent 0 is the degenerate uniform pmf (1/k^0 == 1): useful for
+  // stress-testing equal-rate tie handling downstream.
+  require(exponent >= 0, "ZipfSampler: exponent must be non-negative");
   cdf_.resize(n);
   double acc = 0.0;
   for (std::size_t k = 0; k < n; ++k) {

@@ -219,4 +219,14 @@ RealtimeSelector::Stats Switchboard::realtime_stats() const {
   return selector_->stats();
 }
 
+std::uint64_t Switchboard::held_slots() const {
+  std::shared_lock lock(swap_mutex_);
+  return selector_->held_slots();
+}
+
+std::size_t Switchboard::active_calls() const {
+  std::shared_lock lock(swap_mutex_);
+  return selector_->active_calls();
+}
+
 }  // namespace sb

@@ -91,6 +91,12 @@ class Switchboard {
   [[nodiscard]] const fault::HealthTable& health() const { return *health_; }
 
   [[nodiscard]] RealtimeSelector::Stats realtime_stats() const;
+  /// Plan slots currently held by the live selector (sum of the atomic
+  /// quota-usage table). Zero at quiescence — the sb_check conservation
+  /// oracle asserts exactly that after every run.
+  [[nodiscard]] std::uint64_t held_slots() const;
+  /// Calls currently tracked by the live selector (exact when quiescent).
+  [[nodiscard]] std::size_t active_calls() const;
   [[nodiscard]] const std::optional<ProvisionResult>& provision_result() const {
     return provision_result_;
   }

@@ -283,8 +283,10 @@ bool RealtimeSelector::rehome(CallId call, ActiveCall& state, DcId failed,
                      plan_->quota(slot, state.plan_col, best))) {
         continue;  // lost the race for the last slot; rescan
       }
-      usage(state.plan_col, state.slot_dc)
-          .fetch_sub(1, std::memory_order_acq_rel);
+      if (!options_.chaos_skip_drain_credit) {
+        usage(state.plan_col, state.slot_dc)
+            .fetch_sub(1, std::memory_order_acq_rel);
+      }
       out.moved.push_back({call, state.dc, best});
       add_cores(state.dc, -state.cores);
       add_cores(best, state.cores);

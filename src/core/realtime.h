@@ -42,6 +42,13 @@ struct RealtimeOptions {
   /// Lock stripes over the call table (shard = CallId % shard_count).
   /// Events for calls on different shards proceed concurrently.
   std::size_t shard_count = 16;
+  /// TEST-ONLY mutation knob for the sb_check oracle suite: when set, a
+  /// drain-time tier-1 re-home does NOT credit the vacated quota cell,
+  /// deliberately leaking a slot debit per failover move. This exists to
+  /// prove the fuzzer's conservation oracles actually detect the class of
+  /// bug they claim to (quota accounting drift); nothing in production code
+  /// sets it. See tools/sb_fuzz --chaos.
+  bool chaos_skip_drain_credit = false;
 };
 
 /// Outcome of freezing one call's config.

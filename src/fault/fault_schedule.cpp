@@ -95,4 +95,17 @@ FaultSchedule FaultSchedule::random(Rng& rng, std::size_t dc_count,
   return schedule;
 }
 
+FaultSchedule FaultSchedule::from_events(std::vector<FaultEvent> events) {
+  for (const FaultEvent& e : events) {
+    if (e.is_dc()) {
+      require(e.dc.valid(), "FaultSchedule::from_events: invalid DC");
+    } else {
+      require(e.link.valid(), "FaultSchedule::from_events: invalid link");
+    }
+  }
+  FaultSchedule schedule;
+  schedule.events_ = std::move(events);
+  return schedule;
+}
+
 }  // namespace sb::fault

@@ -73,6 +73,13 @@ class FaultSchedule {
                                             double t1, double mean_outage_s,
                                             double link_fraction = 0.25);
 
+  /// Rebuilds a schedule from an explicit event list (repro replay and the
+  /// sb_check shrinker). Events keep their relative order at equal times —
+  /// round-tripping through events() is the identity. Ids must be valid for
+  /// their kind.
+  [[nodiscard]] static FaultSchedule from_events(
+      std::vector<FaultEvent> events);
+
  private:
   std::vector<FaultEvent> events_;  ///< insertion order
 };

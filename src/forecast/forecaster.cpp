@@ -11,9 +11,24 @@ namespace sb {
 std::vector<double> forecast_calls(std::span<const double> history,
                                    std::size_t season_length,
                                    std::size_t horizon) {
+  require(!history.empty(), "forecast_calls: empty history");
+  require(season_length >= 1, "forecast_calls: season length");
+  // Holt-Winters needs two full seasons to initialize level/trend/seasonal.
+  // Shorter histories (a season longer than the data, or exactly one season
+  // — both occur under fuzzed traces) fall back to a flat mean forecast
+  // rather than throwing: a config with too little history is forecast as
+  // "more of the same".
+  if (history.size() < 2 * season_length) {
+    double mean = 0.0;
+    for (double v : history) mean += v;
+    mean = std::max(0.0, mean / static_cast<double>(history.size()));
+    return std::vector<double>(horizon, mean);
+  }
   HoltWinters model = HoltWinters::fit(history, season_length);
   std::vector<double> forecast = model.forecast(horizon);
-  for (double& v : forecast) v = std::max(0.0, v);
+  for (double& v : forecast) {
+    v = std::isfinite(v) ? std::max(0.0, v) : 0.0;
+  }
   return forecast;
 }
 

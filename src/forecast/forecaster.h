@@ -14,7 +14,10 @@ namespace sb {
 
 /// Forecasts `horizon` future buckets of call counts from a history,
 /// fitting Holt-Winters with the given season length and clamping the
-/// output at zero (counts cannot be negative).
+/// output at zero (counts cannot be negative). Histories shorter than two
+/// full seasons get a flat mean-of-history forecast instead of an error;
+/// the output never contains NaN/inf. Empty histories and a zero season
+/// length throw InvalidArgument.
 std::vector<double> forecast_calls(std::span<const double> history,
                                    std::size_t season_length,
                                    std::size_t horizon);

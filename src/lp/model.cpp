@@ -108,4 +108,29 @@ ValidationReport validate_solution(const Model& model,
   return report;
 }
 
+ValidationReport validate_solution(const Model& model, const Solution& solution,
+                                   double tolerance) {
+  if (!solution.optimal()) {
+    ValidationReport report;
+    report.feasible = false;
+    report.max_violation = kInf;
+    report.worst = "solution status " + to_string(solution.status);
+    return report;
+  }
+  ValidationReport report =
+      validate_solution(model, solution.values, tolerance);
+  const double recomputed = model.objective_value(solution.values);
+  const double scale = std::max(1.0, std::abs(recomputed));
+  const double objective_gap =
+      std::abs(solution.objective - recomputed) / scale;
+  if (objective_gap > report.max_violation) {
+    report.max_violation = objective_gap;
+    report.worst = "objective mismatch: reported " +
+                   std::to_string(solution.objective) + " vs recomputed " +
+                   std::to_string(recomputed);
+  }
+  report.feasible = report.max_violation <= tolerance;
+  return report;
+}
+
 }  // namespace sb::lp

@@ -130,4 +130,13 @@ ValidationReport validate_solution(const Model& model,
                                    const std::vector<double>& values,
                                    double tolerance = 1e-6);
 
+/// Full-solution variant, the sb_check feasibility-oracle entry point: on
+/// top of the bounds/constraints check it verifies that the reported
+/// objective matches `model.objective_value(solution.values)` (relative
+/// tolerance on large objectives), so a solver that mis-reports its own
+/// answer is caught too. Only meaningful for optimal solutions; any other
+/// status reports infeasible with `worst` naming the status.
+ValidationReport validate_solution(const Model& model, const Solution& solution,
+                                   double tolerance = 1e-6);
+
 }  // namespace sb::lp

@@ -154,8 +154,9 @@ struct Simulator::Partial {
   std::vector<double> dc_peaks;
   std::vector<double> link_peaks;
   std::vector<std::vector<double>> dc_buckets;
+  std::vector<HostingEvent> hosting;  ///< filled only when a log was requested
 
-  void merge(const Partial& other) {
+  void merge(Partial& other) {
     calls += other.calls;
     frozen += other.frozen;
     migrations += other.migrations;
@@ -186,6 +187,11 @@ struct Simulator::Partial {
         dc_buckets[x][b] += other.dc_buckets[x][b];
       }
     }
+    // Hosting events concatenate partition-by-partition: each record lives
+    // in exactly one partition, so its events stay in replay order.
+    hosting.insert(hosting.end(),
+                   std::make_move_iterator(other.hosting.begin()),
+                   std::make_move_iterator(other.hosting.end()));
   }
 };
 
@@ -280,7 +286,7 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
                                  double freeze_delay_s,
                                  const std::vector<std::uint8_t>& mine,
                                  Partial& out, FaultRuntime* faults,
-                                 double bucket_s) const {
+                                 double bucket_s, bool log_hosting) const {
   const auto& records = db.records();
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
@@ -338,6 +344,10 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
         call.dc = m.to;
         usage.add_call(call, +1.0);
         ++out.failover_migrations;
+        if (log_hosting) {
+          out.hosting.push_back({it->second, ev.time,
+                                 HostingEvent::Kind::kMove, m.to});
+        }
       }
       for (CallId dropped : outcome.dropped) {
         const auto it = id_to_record.find(dropped);
@@ -348,6 +358,10 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
         call.active = false;
         --concurrent;
         ++out.dropped;
+        if (log_hosting) {
+          out.hosting.push_back({it->second, ev.time,
+                                 HostingEvent::Kind::kDrop, DcId()});
+        }
       }
       continue;
     }
@@ -368,6 +382,10 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
         call.active = true;
         usage.add_leg(call.dc, call.media, first, +1.0);
         ++out.calls;
+        if (log_hosting) {
+          out.hosting.push_back({ev.record, ev.time,
+                                 HostingEvent::Kind::kStart, call.dc});
+        }
         if (first == config.majority_location()) ++out.majority_first;
         ++concurrent;
         out.peak_concurrent = std::max(out.peak_concurrent, concurrent);
@@ -396,6 +414,10 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
           usage.add_call(call, -1.0);
           call.dc = result.dc;
           usage.add_call(call, +1.0);
+          if (log_hosting) {
+            out.hosting.push_back({ev.record, ev.time,
+                                   HostingEvent::Kind::kMove, call.dc});
+          }
         }
         break;
       }
@@ -403,6 +425,10 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
         if (!call.active) break;  // dropped by a failover before its end
         usage.add_call(call, -1.0);
         call.active = false;
+        if (log_hosting) {
+          out.hosting.push_back({ev.record, ev.time,
+                                 HostingEvent::Kind::kEnd, DcId()});
+        }
         allocator.on_call_end(rec.id, ev.time);
         const double final_acl_ms = acl_ms(config, call.dc, *ctx_.latency);
         out.acl_sum += final_acl_ms;
@@ -476,20 +502,22 @@ SimReport Simulator::finalize(const CallRecordDatabase& /*db*/,
 SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
                          double freeze_delay_s,
                          const fault::FaultSchedule* faults,
-                         double bucket_s) const {
+                         double bucket_s, HostingLog* hosting_log) const {
   require(freeze_delay_s > 0.0, "Simulator::run: freeze delay");
   require(bucket_s > 0.0, "Simulator::run: bucket width");
   obs::ScopedTimer run_timer(metrics_.run_s);
   Partial total;
   const std::vector<std::uint8_t> all(db.records().size(), 1);
+  const bool log_hosting = hosting_log != nullptr;
   if (faults != nullptr && !faults->empty()) {
     FaultRuntime runtime(*faults, 1);
     replay_partition(db, allocator, freeze_delay_s, all, total, &runtime,
-                     bucket_s);
+                     bucket_s, log_hosting);
   } else {
     replay_partition(db, allocator, freeze_delay_s, all, total, nullptr,
-                     bucket_s);
+                     bucket_s, log_hosting);
   }
+  if (hosting_log != nullptr) hosting_log->events = std::move(total.hosting);
   return finalize(db, allocator, total, bucket_s, /*bucket_peaks=*/false);
 }
 
@@ -497,7 +525,8 @@ SimReport Simulator::run_concurrent(const CallRecordDatabase& db,
                                     CallAllocator& allocator,
                                     double freeze_delay_s, std::size_t threads,
                                     const fault::FaultSchedule* faults,
-                                    double bucket_s) const {
+                                    double bucket_s,
+                                    HostingLog* hosting_log) const {
   require(freeze_delay_s > 0.0, "Simulator::run_concurrent: freeze delay");
   require(bucket_s > 0.0, "Simulator::run_concurrent: bucket width");
   if (threads == 0) {
@@ -526,18 +555,23 @@ SimReport Simulator::run_concurrent(const CallRecordDatabase& db,
   ThreadPool pool(threads);
   std::vector<std::future<Partial>> futures;
   futures.reserve(threads);
+  const bool log_hosting = hosting_log != nullptr;
   for (std::size_t p = 0; p < threads; ++p) {
     futures.push_back(pool.submit([this, &db, &allocator, freeze_delay_s,
                                    part = &mine[p], rt = runtime.get(),
-                                   bucket_s] {
+                                   bucket_s, log_hosting] {
       Partial out;
       replay_partition(db, allocator, freeze_delay_s, *part, out, rt,
-                       bucket_s);
+                       bucket_s, log_hosting);
       return out;
     }));
   }
   Partial total;
-  for (auto& f : futures) total.merge(f.get());
+  for (auto& f : futures) {
+    Partial part = f.get();
+    total.merge(part);
+  }
+  if (hosting_log != nullptr) hosting_log->events = std::move(total.hosting);
   return finalize(db, allocator, total, bucket_s, /*bucket_peaks=*/true);
 }
 

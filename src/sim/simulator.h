@@ -64,6 +64,31 @@ struct SimReport {
   [[nodiscard]] double dc_bucket_peak(std::size_t dc) const;
 };
 
+/// One hosting decision captured by the optional HostingLog: which record
+/// was (re)hosted where, or left the system. Events of a single record
+/// appear in replay order; events of different records may interleave
+/// arbitrarily (concurrent partitions are concatenated), so consumers must
+/// group by `record`.
+struct HostingEvent {
+  enum class Kind : std::uint8_t {
+    kStart,  ///< call admitted; `dc` is the initial hosting DC
+    kMove,   ///< freeze migration or failover move; `dc` is the new DC
+    kDrop,   ///< dropped by failover (usage released; no kEnd follows)
+    kEnd,    ///< normal end (usage released)
+  };
+  std::size_t record = 0;  ///< index into the replayed CallRecordDatabase
+  SimTime time = 0.0;
+  Kind kind = Kind::kStart;
+  DcId dc;  ///< hosting DC after the event (kStart/kMove only)
+};
+
+/// Opt-in capture of every hosting decision a run made. The sb_check oracle
+/// suite replays it single-threaded to recount dc_cores_buckets
+/// independently of the UsageTracker (see check/oracles.h).
+struct HostingLog {
+  std::vector<HostingEvent> events;
+};
+
 class Simulator {
  public:
   explicit Simulator(EvalContext ctx);
@@ -73,11 +98,12 @@ class Simulator {
   /// (§6.4); calls shorter than it are never frozen or migrated. Fault
   /// events from `faults` (optional) interleave at their times, ordered
   /// before call events at the same instant. `bucket_s` sets the sampling
-  /// grain of dc_cores_buckets.
+  /// grain of dc_cores_buckets. `hosting_log` (optional) receives every
+  /// hosting decision the run made.
   SimReport run(const CallRecordDatabase& db, CallAllocator& allocator,
                 double freeze_delay_s = 300.0,
                 const fault::FaultSchedule* faults = nullptr,
-                double bucket_s = 60.0) const;
+                double bucket_s = 60.0, HostingLog* hosting_log = nullptr) const;
 
   /// Multi-threaded driver: partitions the event stream by CallId % threads
   /// and replays each partition on the shared thread pool. Every call's
@@ -104,7 +130,8 @@ class Simulator {
                            double freeze_delay_s = 300.0,
                            std::size_t threads = 0,
                            const fault::FaultSchedule* faults = nullptr,
-                           double bucket_s = 60.0) const;
+                           double bucket_s = 60.0,
+                           HostingLog* hosting_log = nullptr) const;
 
  private:
   struct Partial;       // per-partition accumulator (simulator.cpp)
@@ -130,7 +157,8 @@ class Simulator {
   void replay_partition(const CallRecordDatabase& db, CallAllocator& allocator,
                         double freeze_delay_s,
                         const std::vector<std::uint8_t>& mine, Partial& out,
-                        FaultRuntime* faults, double bucket_s) const;
+                        FaultRuntime* faults, double bucket_s,
+                        bool log_hosting) const;
   SimReport finalize(const CallRecordDatabase& db, CallAllocator& allocator,
                      const Partial& total, double bucket_s,
                      bool bucket_peaks) const;

@@ -105,10 +105,18 @@ ConfigUniverse sample_universe(const World& world, CallConfigRegistry& registry,
       universe.configs[it->second].base_rate_per_hour += rate;
     }
   }
-  // Keep ranks sorted by rate descending (ranks may have merged).
+  // Keep ranks sorted by rate descending (ranks may have merged). The
+  // ConfigId tie-break makes this a strict total order: equal-rate entries
+  // (common with zipf_exponent near 0) would otherwise land in an
+  // implementation-defined order — std::sort is unstable and the entries
+  // arrive in unordered_map insertion order — so the sampled trace would
+  // differ across standard libraries for the same seed.
   std::sort(universe.configs.begin(), universe.configs.end(),
             [](const ConfigUsage& a, const ConfigUsage& b) {
-              return a.base_rate_per_hour > b.base_rate_per_hour;
+              if (a.base_rate_per_hour != b.base_rate_per_hour) {
+                return a.base_rate_per_hour > b.base_rate_per_hour;
+              }
+              return a.config < b.config;
             });
   return universe;
 }

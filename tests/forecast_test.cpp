@@ -137,5 +137,54 @@ TEST(DemandFromArrivalsTest, RejectsRaggedInput) {
       InvalidArgument);
 }
 
+// Seasonal edge cases the fuzzed trace histories actually produce: the
+// forecast must degrade to a flat mean (or zeros), never to NaN/inf.
+TEST(ForecastCallsTest, SeasonLongerThanHistoryFallsBackToFlatMean) {
+  const std::vector<double> history{3.0, 5.0, 7.0};
+  const std::vector<double> f = forecast_calls(history, 48, 6);
+  ASSERT_EQ(f.size(), 6u);
+  for (const double v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_NEAR(v, 5.0, 1e-9);  // mean of history
+  }
+}
+
+TEST(ForecastCallsTest, AllZeroHistoryForecastsZerosNeverNan) {
+  const std::vector<double> zeros(96, 0.0);
+  const std::vector<double> f = forecast_calls(zeros, 24, 24);
+  ASSERT_EQ(f.size(), 24u);
+  for (const double v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+  // A zero truth/forecast pair is the "zero iff zero" case of the Fig 9
+  // metric — it must also not divide by the zero peak.
+  const NormalizedErrors e = normalized_errors(zeros, zeros);
+  EXPECT_DOUBLE_EQ(e.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(e.mae, 0.0);
+}
+
+TEST(ForecastCallsTest, SingleSeasonHistoryIsFlatMean) {
+  // Exactly one season of history (< the two full seasons Holt-Winters
+  // needs to initialize its seasonal profile) -> flat mean fallback.
+  std::vector<double> one_season(24);
+  for (std::size_t i = 0; i < one_season.size(); ++i) {
+    one_season[i] = static_cast<double>(i);
+  }
+  const std::vector<double> f = forecast_calls(one_season, 24, 12);
+  ASSERT_EQ(f.size(), 12u);
+  for (const double v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_NEAR(v, 11.5, 1e-9);
+  }
+}
+
+TEST(ForecastCallsTest, RejectsEmptyHistoryAndZeroSeason) {
+  const std::vector<double> empty;
+  EXPECT_THROW(forecast_calls(empty, 24, 4), InvalidArgument);
+  const std::vector<double> some{1.0, 2.0};
+  EXPECT_THROW(forecast_calls(some, 0, 4), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace sb

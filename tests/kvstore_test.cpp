@@ -105,5 +105,76 @@ TEST(KvStoreTest, ValidatesOptions) {
   EXPECT_THROW(KvStore{bad_range}, InvalidArgument);
 }
 
+// Eight threads hammer disjoint-but-overlapping key ranges with a mix of
+// set/get/incr/erase while latency injection is ON (the concurrent path the
+// controller drives). Afterwards the op-stats projection and the latency
+// histogram must agree on exactly how many operations ran — no sample lost
+// or double-counted under contention — and the store must hold exactly the
+// keys the deterministic op schedule leaves behind.
+TEST(KvStoreTest, MixedStressConservesOpStatsHistogram) {
+  KvStoreOptions options;
+  options.inject_latency = true;
+  options.min_latency_ms = 0.005;  // keep the stress fast but on the
+  options.max_latency_ms = 0.05;   // injected-latency code path
+  KvStore store(options);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 400;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&store, t] {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        const std::string key =
+            "k" + std::to_string(t) + ":" + std::to_string(i % 8);
+        switch (i % 4) {
+          case 0:
+            store.set(key, std::to_string(i));
+            break;
+          case 1:
+            (void)store.get(key);
+            break;
+          case 2:
+            (void)store.incr("ctr:" + std::to_string(t), 1);
+            break;
+          default:
+            (void)store.erase(key);
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+#ifdef SB_METRICS_ENABLED
+  // Snapshot the stats BEFORE the semantic checks below: incr() (even with
+  // delta 0) rides the same instrumented path and would add samples.
+  const KvStore::OpStats stats = store.stats();
+  const obs::HistogramData histogram = store.latency_histogram();
+#endif
+
+  // Per-thread schedule: i%4==0 sets k<t>:<i%8> (i%8 in {0,4}), i%4==3
+  // erases (i%8 in {3,7}) — disjoint, so both set keys survive, plus one
+  // counter key per thread.
+  EXPECT_EQ(store.size(), kThreads * 3);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(store.incr("ctr:" + std::to_string(t), 0),
+              static_cast<std::int64_t>(kOpsPerThread / 4));
+  }
+
+#ifdef SB_METRICS_ENABLED
+  EXPECT_EQ(stats.ops, kThreads * kOpsPerThread);
+  EXPECT_EQ(histogram.count, kThreads * kOpsPerThread);
+  // Histogram conservation: bucket counts (including both overflow
+  // buckets) sum exactly to the observation count.
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t b : histogram.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, histogram.count);
+  EXPECT_GE(stats.min_latency_ms, options.min_latency_ms);
+  EXPECT_LE(stats.max_latency_ms, options.max_latency_ms);
+  EXPECT_NEAR(histogram.sum * 1e3, stats.total_latency_ms,
+              1e-6 * stats.total_latency_ms);
+#endif
+}
+
 }  // namespace
 }  // namespace sb

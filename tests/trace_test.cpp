@@ -175,5 +175,48 @@ TEST(UniverseSamplerTest, RespectsMediaMixAndMultiCountryShare) {
               1e-6);
 }
 
+// Regression for an iteration-order dependence: with zipf_exponent = 0
+// every rank gets the same rate, so the sampler's rate sort is ALL ties.
+// The ConfigId tie-break must make the universe order a strict total order
+// (not whatever order the merge map iterated in), so two identically-seeded
+// samples — and the traces generated from them — are byte-identical.
+TEST(UniverseSamplerTest, EqualRateTiesOrderDeterministically) {
+  const GeoModel apac = make_apac_world();
+  UniverseParams params;
+  params.config_count = 300;
+  params.zipf_exponent = 0.0;  // maximal rate ties
+  CallConfigRegistry reg_a;
+  CallConfigRegistry reg_b;
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const ConfigUniverse a = sample_universe(apac.world, reg_a, params, rng_a);
+  const ConfigUniverse b = sample_universe(apac.world, reg_b, params, rng_b);
+  ASSERT_EQ(a.configs.size(), b.configs.size());
+  for (std::size_t i = 0; i < a.configs.size(); ++i) {
+    EXPECT_EQ(a.configs[i].config, b.configs[i].config) << "index " << i;
+    EXPECT_DOUBLE_EQ(a.configs[i].base_rate_per_hour,
+                     b.configs[i].base_rate_per_hour);
+  }
+  // Strict total order: rate descending, ConfigId ascending on equal rates.
+  for (std::size_t i = 1; i < a.configs.size(); ++i) {
+    const ConfigUsage& prev = a.configs[i - 1];
+    const ConfigUsage& cur = a.configs[i];
+    EXPECT_TRUE(prev.base_rate_per_hour > cur.base_rate_per_hour ||
+                (prev.base_rate_per_hour == cur.base_rate_per_hour &&
+                 prev.config.value() < cur.config.value()))
+        << "universe order not strict at index " << i;
+  }
+  // And the downstream traces agree event for event.
+  const TraceGenerator gen_a(apac.world, reg_a, a, DiurnalShape{}, {}, 5);
+  const TraceGenerator gen_b(apac.world, reg_b, b, DiurnalShape{}, {}, 5);
+  const CallRecordDatabase db_a = gen_a.generate(0.0, kSecondsPerDay / 4);
+  const CallRecordDatabase db_b = gen_b.generate(0.0, kSecondsPerDay / 4);
+  ASSERT_EQ(db_a.size(), db_b.size());
+  for (std::size_t i = 0; i < db_a.size(); ++i) {
+    EXPECT_EQ(db_a.records()[i].config, db_b.records()[i].config);
+    EXPECT_DOUBLE_EQ(db_a.records()[i].start_s, db_b.records()[i].start_s);
+  }
+}
+
 }  // namespace
 }  // namespace sb

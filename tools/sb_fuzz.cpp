@@ -1,0 +1,235 @@
+// sb_fuzz: the scenario-fuzzing driver over sb_check.
+//
+//   sb_fuzz --seeds 256                # fuzz seeds 0..255
+//   sb_fuzz --seeds 64 --budget-s 60   # stop early after 60 s wall clock
+//   sb_fuzz --chaos skip-drain-credit  # mutation mode: MUST fail (oracle
+//                                      # self-test; exit 0 iff a failure was
+//                                      # found and shrunk)
+//   sb_fuzz --replay repro.json        # re-run one repro file; exit 1 if it
+//                                      # (still) fails
+//   sb_fuzz --replay-dir tests/repros  # regression-run a repro corpus:
+//                                      # every case must PASS
+//   sb_fuzz --dump 7 case.json         # write seed 7's generated case
+//
+// On a fuzzing failure the case is shrunk and written to --out (default
+// "sb_fuzz_repros") as repro_seed<N>.json, and the exit code is 1 (unless
+// --chaos, where finding the planted bug is the point).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.h"
+#include "check/oracles.h"
+#include "check/shrink.h"
+#include "common/error.h"
+
+namespace {
+
+struct Args {
+  std::uint64_t seeds = 64;
+  std::uint64_t seed_base = 0;
+  double budget_s = 0.0;  ///< 0 = unlimited
+  std::string replay;
+  std::string replay_dir;
+  std::string out_dir = "sb_fuzz_repros";
+  std::string dump_file;
+  std::uint64_t dump_seed = 0;
+  bool dump = false;
+  bool chaos = false;
+  bool keep_going = false;
+  bool no_shrink = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: sb_fuzz [--seeds N] [--seed-base S] [--budget-s T]\n"
+      "               [--out DIR] [--chaos skip-drain-credit]\n"
+      "               [--keep-going] [--no-shrink]\n"
+      "       sb_fuzz --replay FILE\n"
+      "       sb_fuzz --replay-dir DIR\n"
+      "       sb_fuzz --dump SEED FILE\n");
+}
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a.seeds = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed-base") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a.seed_base = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--budget-s") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a.budget_s = std::strtod(v, nullptr);
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a.replay = v;
+    } else if (arg == "--replay-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a.replay_dir = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a.out_dir = v;
+    } else if (arg == "--dump") {
+      const char* s = next();
+      const char* f = next();
+      if (s == nullptr || f == nullptr) return false;
+      a.dump = true;
+      a.dump_seed = std::strtoull(s, nullptr, 10);
+      a.dump_file = f;
+    } else if (arg == "--chaos") {
+      const char* v = next();
+      if (v == nullptr || std::strcmp(v, "skip-drain-credit") != 0) {
+        std::fprintf(stderr, "sb_fuzz: unknown chaos mode\n");
+        return false;
+      }
+      a.chaos = true;
+    } else if (arg == "--keep-going") {
+      a.keep_going = true;
+    } else if (arg == "--no-shrink") {
+      a.no_shrink = true;
+    } else {
+      std::fprintf(stderr, "sb_fuzz: unknown argument %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int replay_one(const std::string& path) {
+  const sb::check::FuzzCase c = sb::check::load_repro(path);
+  const sb::check::CheckResult r = sb::check::run_case(c);
+  std::printf("%s: %s\n  %s\n", path.c_str(), c.describe().c_str(),
+              r.summary().c_str());
+  return r.ok() ? 0 : 1;
+}
+
+int replay_dir(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  int failures = 0;
+  for (const std::string& f : files) {
+    failures += replay_one(f) == 0 ? 0 : 1;
+  }
+  std::printf("replayed %zu repro(s), %d failing\n", files.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+/// Shrinks a failing case and writes the repro; returns the repro path.
+std::string write_failure(const sb::check::FuzzCase& c, bool no_shrink,
+                          const std::string& out_dir) {
+  std::filesystem::create_directories(out_dir);
+  sb::check::FuzzCase minimized = c;
+  if (!no_shrink) {
+    const sb::check::ShrinkResult s = sb::check::shrink_case(c);
+    minimized = s.best;
+    std::printf("  shrunk to: %s (%zu attempts, %zu accepted, oracle=%s)\n",
+                minimized.describe().c_str(), s.attempts, s.successes,
+                s.oracle.c_str());
+  }
+  const std::string path =
+      out_dir + "/repro_seed" + std::to_string(c.seed) + ".json";
+  sb::check::write_repro(minimized, path);
+  std::printf("  repro written to %s\n", path.c_str());
+  return path;
+}
+
+int fuzz(const Args& a) {
+  sb::check::FuzzerParams params;
+  params.chaos_skip_drain_credit = a.chaos;
+  const sb::check::ScenarioFuzzer fuzzer(params);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t run = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t failed = 0;
+  for (std::uint64_t i = 0; i < a.seeds; ++i) {
+    if (a.budget_s > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - t0;
+      if (elapsed.count() > a.budget_s) {
+        std::printf("budget exhausted after %llu seed(s)\n",
+                    static_cast<unsigned long long>(run));
+        break;
+      }
+    }
+    const std::uint64_t seed = a.seed_base + i;
+    const sb::check::FuzzCase c = fuzzer.generate(seed);
+    const sb::check::CheckResult r = sb::check::run_case(c);
+    ++run;
+    if (r.provision_infeasible) {
+      ++skipped;
+      continue;
+    }
+    if (!r.ok()) {
+      ++failed;
+      std::printf("seed %llu FAILED: %s\n  %s\n",
+                  static_cast<unsigned long long>(seed), c.describe().c_str(),
+                  r.summary().c_str());
+      write_failure(c, a.no_shrink, a.out_dir);
+      if (a.chaos || !a.keep_going) break;
+    }
+  }
+  std::printf("fuzzed %llu seed(s): %llu failed, %llu skipped "
+              "(provisioning infeasible)\n",
+              static_cast<unsigned long long>(run),
+              static_cast<unsigned long long>(failed),
+              static_cast<unsigned long long>(skipped));
+  if (a.chaos) {
+    // Mutation mode inverts the exit code: the planted bug MUST be caught.
+    if (failed == 0) {
+      std::fprintf(stderr,
+                   "sb_fuzz --chaos: planted bug was NOT detected\n");
+      return 1;
+    }
+    return 0;
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse_args(argc, argv, a)) {
+    usage();
+    return 2;
+  }
+  try {
+    if (a.dump) {
+      const sb::check::FuzzCase c =
+          sb::check::ScenarioFuzzer().generate(a.dump_seed);
+      sb::check::write_repro(c, a.dump_file);
+      std::printf("seed %llu (%s) written to %s\n",
+                  static_cast<unsigned long long>(a.dump_seed),
+                  c.describe().c_str(), a.dump_file.c_str());
+      return 0;
+    }
+    if (!a.replay.empty()) return replay_one(a.replay);
+    if (!a.replay_dir.empty()) return replay_dir(a.replay_dir);
+    return fuzz(a);
+  } catch (const sb::Error& e) {
+    std::fprintf(stderr, "sb_fuzz: %s\n", e.what());
+    return 2;
+  }
+}
