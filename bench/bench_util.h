@@ -46,6 +46,16 @@ inline std::size_t arg_size(int argc, char** argv, const std::string& name,
       arg_double(argc, argv, name, static_cast<double>(fallback)));
 }
 
+inline std::string arg_string(int argc, char** argv, const std::string& name,
+                              const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
 /// Restricts a demand matrix to its first `top_k` columns (the trace
 /// universe is sorted by base rate, so these are the most popular configs —
 /// the §5.2 "top 1%" device that keeps the LP tractable).

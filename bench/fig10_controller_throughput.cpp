@@ -19,8 +19,18 @@
 // Flags: --hours=1 --threads_max=N (sweep 1..N; default covers
 // hw_concurrency and at least 8) --threads=N (measure just 1 and N).
 // Machine-readable results are emitted as `{"bench": ...}` JSON lines.
+//
+// Observability flags (the span-overhead experiment in BENCH_obs.json):
+//   --tracing=on|off|flight  span recording mode — on (default ring), off
+//                            (recorder disabled: one relaxed load per span
+//                            site), flight (small 1024-slot ring, the
+//                            black-box mode sb_fuzz arms)
+//   --trace-out=FILE         Chrome trace-event dump at exit
+//   --timeseries-out=FILE    TimeSeriesRecorder CSV sampled on the trace's
+//                            sim clock (call start times) during the replay
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -28,6 +38,9 @@
 #include "bench_util.h"
 #include "core/controller.h"
 #include "obs/snapshot.h"
+#include "obs/span.h"
+#include "obs/timeseries.h"
+#include "obs/trace_export.h"
 
 namespace sb {
 namespace {
@@ -38,9 +51,13 @@ struct CallWork {
 };
 
 /// Replays one call's full event sequence against the controller + store.
-/// Returns the number of store-backed events processed.
+/// Returns the number of store-backed events processed. `telemetry`
+/// (optional) is offered the record's start time as the sim clock, so the
+/// time-series cadence follows the trace rather than the wall clock.
 std::size_t replay_call(Switchboard& controller, KvStore& store,
-                        const CallWork& work) {
+                        const CallWork& work,
+                        obs::TimeSeriesRecorder* telemetry) {
+  if (telemetry != nullptr) telemetry->sample(work.record->start_s);
   const CallRecord& r = *work.record;
   std::size_t events = 0;
   controller.call_started(r.id, r.legs.front().location, r.start_s);
@@ -73,6 +90,25 @@ int run(int argc, char** argv) {
   const std::size_t threads_max =
       bench::arg_size(argc, argv, "threads_max", default_max);
   const std::size_t threads_only = bench::arg_size(argc, argv, "threads", 0);
+  const std::string tracing = bench::arg_string(argc, argv, "tracing", "on");
+  const std::string trace_out = bench::arg_string(argc, argv, "trace-out", "");
+  const std::string timeseries_out =
+      bench::arg_string(argc, argv, "timeseries-out", "");
+
+  if (tracing == "off") {
+    obs::SpanRecorder::global().set_enabled(false);
+  } else if (tracing == "flight") {
+    obs::SpanRecorder::global().configure(
+        {.enabled = true, .ring_capacity = 1024});
+  } else if (tracing == "on") {
+    obs::SpanRecorder::global().configure({.enabled = true});
+  } else {
+    std::cerr << "unknown --tracing mode '" << tracing
+              << "' (want on|off|flight)\n";
+    return 2;
+  }
+  obs::TimeSeriesRecorder telemetry(&obs::MetricsRegistry::global(),
+                                    {.period_s = 60.0});
 
   std::vector<std::size_t> sweep;
   if (threads_only > 0) {
@@ -152,7 +188,8 @@ int run(int argc, char** argv) {
         for (;;) {
           const std::size_t i = next.fetch_add(1);
           if (i >= work.size()) return;
-          events += replay_call(controller, store, work[i]);
+          events += replay_call(controller, store, work[i],
+                                timeseries_out.empty() ? nullptr : &telemetry);
         }
       });
     }
@@ -189,6 +226,30 @@ int run(int argc, char** argv) {
                "writes); the paper reports 1.4x its production peak at 10 "
                "threads — our synthetic trace peak is far smaller than "
                "Teams's, hence the larger multiples\n";
+
+  if (!timeseries_out.empty()) {
+    // Last sample carries the final totals regardless of cadence alignment.
+    telemetry.force_sample(start + hours * kSecondsPerHour);
+    std::ofstream out(timeseries_out);
+    if (out) {
+      telemetry.write_csv(out);
+      std::cout << "time series written to " << timeseries_out << " ("
+                << telemetry.sample_count() << " samples, "
+                << telemetry.column_count() << " columns)\n";
+    } else {
+      std::cerr << "cannot write " << timeseries_out << "\n";
+    }
+  }
+  if (!trace_out.empty()) {
+    std::uint64_t dropped = 0;
+    if (obs::dump_chrome_trace(trace_out, &dropped)) {
+      std::cout << "trace written to " << trace_out
+                << (dropped > 0 ? " (ring wrapped; oldest spans dropped)" : "")
+                << "\n";
+    } else {
+      std::cerr << "cannot write " << trace_out << "\n";
+    }
+  }
   return 0;
 }
 

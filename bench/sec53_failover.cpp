@@ -9,6 +9,9 @@
 // contrast that justifies paying for backup cores up front.
 //
 // Flags: --plan_configs=40 --cushion=1.3 --outage_h=1.0 --pad_h=0.5
+//        --trace-out=trace.json (Chrome trace-event span dump: every drain
+//        walks nested under its ctl.dc_failed span — load in Perfetto to see
+//        the per-call re-homing tiers during the outage)
 #include <iostream>
 #include <vector>
 
@@ -16,6 +19,8 @@
 #include "core/controller.h"
 #include "fault/fault_schedule.h"
 #include "fault/failover.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
 #include "sim/simulator.h"
 
 int main(int argc, char** argv) {
@@ -27,6 +32,9 @@ int main(int argc, char** argv) {
       bench::arg_double(argc, argv, "outage_h", 1.0) * kSecondsPerHour;
   const double pad_s =
       bench::arg_double(argc, argv, "pad_h", 0.5) * kSecondsPerHour;
+  const std::string trace_out = bench::arg_string(argc, argv, "trace-out", "");
+  // No trace requested -> don't pay for span recording at all.
+  obs::SpanRecorder::global().set_enabled(!trace_out.empty());
 
   Scenario scenario = make_apac_scenario();
   const LoadModel loads = LoadModel::paper_default();
@@ -143,5 +151,16 @@ int main(int argc, char** argv) {
   bench::emit_json("sec53_failover", "lf_failover_migrations", lf_moved);
   bench::emit_json("sec53_failover", "lf_net_over_capacity_core_s",
                    lf_overcap);
+
+  if (!trace_out.empty()) {
+    std::uint64_t dropped = 0;
+    if (obs::dump_chrome_trace(trace_out, &dropped)) {
+      std::cout << "\ntrace written to " << trace_out
+                << (dropped > 0 ? " (ring wrapped; oldest spans dropped)" : "")
+                << "\n";
+    } else {
+      std::cerr << "cannot write " << trace_out << "\n";
+    }
+  }
   return 0;
 }

@@ -12,12 +12,18 @@
 // Flags: --hours=4 --configs=30
 //        --fail-dc=Tokyo --fail-at=1.5 --recover-after=1
 //        (fail-at/recover-after in hours from the replay window start)
+//        --trace-out=trace.json    Chrome trace-event span dump (Perfetto)
+//        --metrics-out=metrics.json  final MetricsRegistry snapshot
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "common/table.h"
 #include "core/controller.h"
 #include "fault/fault_schedule.h"
+#include "obs/snapshot.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
 #include "sim/simulator.h"
 #include "trace/scenario.h"
 
@@ -53,6 +59,10 @@ int main(int argc, char** argv) {
   const std::string fail_dc_name = string_flag(argc, argv, "fail-dc", "");
   const double fail_at_h = flag(argc, argv, "fail-at", 1.0);
   const double recover_after_h = flag(argc, argv, "recover-after", 1.0);
+  const std::string trace_out = string_flag(argc, argv, "trace-out", "");
+  const std::string metrics_out = string_flag(argc, argv, "metrics-out", "");
+  // No trace requested -> don't pay for span recording at all.
+  obs::SpanRecorder::global().set_enabled(!trace_out.empty());
 
   Scenario scenario = make_apac_scenario();
   const LoadModel loads = LoadModel::paper_default();
@@ -160,5 +170,25 @@ int main(int argc, char** argv) {
                "small negative headroom comes from long-tail configs the "
                "top-K plan does not cover, which §5.2's cushion absorbs in "
                "production)\n";
+
+  if (!trace_out.empty()) {
+    std::uint64_t dropped = 0;
+    if (obs::dump_chrome_trace(trace_out, &dropped)) {
+      std::cout << "\ntrace written to " << trace_out
+                << (dropped > 0 ? " (ring wrapped; oldest spans dropped)" : "")
+                << "\n";
+    } else {
+      std::cerr << "cannot write " << trace_out << "\n";
+    }
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (out) {
+      obs::MetricsRegistry::global().snapshot().write_json(out);
+      std::cout << "metrics written to " << metrics_out << "\n";
+    } else {
+      std::cerr << "cannot write " << metrics_out << "\n";
+    }
+  }
   return 0;
 }

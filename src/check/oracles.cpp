@@ -651,6 +651,9 @@ std::string CheckResult::summary() const {
 
 CheckResult run_case(const FuzzCase& c, const CheckOptions& opts) {
   CheckResult res;
+  // Flight mode: start the black box from a clean ring so the recording is
+  // this case's activity only (retained per-thread up to the ring capacity).
+  if (opts.capture_flight) obs::SpanRecorder::global().reset();
   try {
     const std::unique_ptr<Materialized> mp = c.materialize();
     const Materialized& m = *mp;
@@ -768,6 +771,9 @@ CheckResult run_case(const FuzzCase& c, const CheckOptions& opts) {
     }
   } catch (const Error& e) {
     fail(res.failures, "exception", e.what());
+  }
+  if (opts.capture_flight && !res.ok()) {
+    res.flight = obs::SpanRecorder::global().collect();
   }
   return res;
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "check/fuzz_case.h"
+#include "obs/span.h"
 #include "sim/simulator.h"
 
 namespace sb::check {
@@ -46,6 +47,11 @@ struct CheckResult {
   /// serving+backup (core-seconds). A stat, not a failure: a realized
   /// Poisson trace may legitimately exceed mean-concurrency provisioning.
   double over_capacity_core_s = 0.0;
+  /// Black-box flight recording: the last spans in the ring when an oracle
+  /// failed (CheckOptions::capture_flight; empty on success, with tracing
+  /// compiled out, or when the option is off). sb_fuzz writes this next to
+  /// the shrunken repro as Chrome trace-event JSON.
+  std::vector<obs::SpanData> flight;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }
   /// Name of the first failing oracle ("" when ok). The shrinker minimizes
@@ -61,6 +67,12 @@ struct CheckOptions {
   bool run_concurrent = true;
   bool run_lp_differential = true;
   bool run_rebuild_storm = true;  ///< gates the case's rebuild_storm flag
+  /// Reset the global SpanRecorder before the case and, on any oracle
+  /// failure, snapshot the ring into CheckResult::flight — the black-box
+  /// record of what the controller did leading up to the violation. Size
+  /// the recorder's ring (SpanRecorder::configure) before the first span
+  /// to bound the retained window.
+  bool capture_flight = false;
 };
 
 /// Executes the case and every applicable oracle. Never throws for scenario

@@ -1,6 +1,7 @@
 #include "core/controller.h"
 
 #include "common/error.h"
+#include "obs/span.h"
 #include "obs/timer.h"
 
 namespace sb {
@@ -59,6 +60,7 @@ Switchboard::Switchboard(EvalContext ctx, ControllerOptions options)
 }
 
 const ProvisionResult& Switchboard::provision(const DemandMatrix& demand) {
+  obs::Span span("ctl.provision", obs::Subsystem::kController);
   obs::ScopedTimer timer(metrics_.provision_s);
   SwitchboardProvisioner provisioner(ctx_, options_.provision);
   ProvisionResult result = provisioner.provision(demand);
@@ -74,6 +76,8 @@ const AllocationPlan& Switchboard::build_allocation_plan(
   require(provision_result_.has_value(),
           "build_allocation_plan: call provision() first");
   obs::ScopedTimer timer(metrics_.allocation_plan_s);
+  obs::Span span("ctl.plan_rebuild", obs::Subsystem::kController,
+                 plan_start_s);
   AllocationPlanner planner(ctx_, options_.allocation);
   // Plan into a local first: the live selector dereferences &*plan_, so
   // plan_ may only be reassigned once the exclusive lock has drained every
@@ -82,6 +86,8 @@ const AllocationPlan& Switchboard::build_allocation_plan(
   // plan paired with the old selector (or vice versa).
   AllocationPlan new_plan =
       planner.plan(demand, provision_result_->capacity, options_.slot_s);
+  obs::Span publish("ctl.plan_publish", obs::Subsystem::kController,
+                    plan_start_s);
   std::unique_lock lock(swap_mutex_);
   plan_ = std::move(new_plan);
   selector_ = std::make_unique<RealtimeSelector>(
@@ -95,6 +101,9 @@ const AllocationPlan& Switchboard::build_allocation_plan(
 // overlap freely across threads.
 DcId Switchboard::call_started(CallId call, LocationId first_joiner,
                                SimTime now) {
+  obs::Span span("ctl.call_started", obs::Subsystem::kController, now);
+  span.attr(obs::AttrKey::kCallId,
+            static_cast<std::int64_t>(call.value()));
   obs::ScopedTimer timer(metrics_.start_latency_s);
   DcId dc;
   {
@@ -111,6 +120,9 @@ DcId Switchboard::call_started(CallId call, LocationId first_joiner,
 
 FreezeResult Switchboard::config_frozen(CallId call, const CallConfig& config,
                                         SimTime now) {
+  obs::Span span("ctl.config_frozen", obs::Subsystem::kController, now);
+  span.attr(obs::AttrKey::kCallId,
+            static_cast<std::int64_t>(call.value()));
   obs::ScopedTimer timer(metrics_.freeze_latency_s);
   FreezeResult result;
   {
@@ -128,6 +140,9 @@ FreezeResult Switchboard::config_frozen(CallId call, const CallConfig& config,
 }
 
 void Switchboard::call_ended(CallId call, SimTime now) {
+  obs::Span span("ctl.call_ended", obs::Subsystem::kController, now);
+  span.attr(obs::AttrKey::kCallId,
+            static_cast<std::int64_t>(call.value()));
   obs::ScopedTimer timer(metrics_.end_latency_s);
   {
     std::shared_lock lock(swap_mutex_);
@@ -142,6 +157,8 @@ void Switchboard::call_ended(CallId call, SimTime now) {
 fault::FailoverOutcome Switchboard::dc_failed(DcId dc, SimTime now) {
   require(dc.valid() && dc.value() < ctx_.world->dc_count(),
           "dc_failed: bad dc");
+  obs::Span span("ctl.dc_failed", obs::Subsystem::kController, now);
+  span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(dc.value()));
   obs::ScopedTimer timer(metrics_.drain_s);
   metrics_.dc_failures.inc();
   {
@@ -181,6 +198,10 @@ fault::FailoverOutcome Switchboard::dc_failed(DcId dc, SimTime now) {
   }
   metrics_.failover_migrations.inc(outcome.moved.size());
   metrics_.dropped_calls.inc(outcome.dropped.size());
+  span.attr(obs::AttrKey::kMoved,
+            static_cast<std::int64_t>(outcome.moved.size()));
+  span.attr(obs::AttrKey::kDropped,
+            static_cast<std::int64_t>(outcome.dropped.size()));
   return outcome;
 }
 

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "core/backup_lp.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/timer.h"
 
 namespace sb {
@@ -312,6 +313,8 @@ ScenarioOutcome SwitchboardProvisioner::solve_scenario(
   return outcome;
 }
 
+// provision() wraps this call in its "prov.provision" span before
+// dispatching here, so the joint path needs no span of its own.
 ProvisionResult SwitchboardProvisioner::provision_joint(
     const DemandMatrix& demand) const {
   const World& world = *ctx_.world;
@@ -476,6 +479,7 @@ ProvisionResult SwitchboardProvisioner::provision_joint(
 
 ProvisionResult SwitchboardProvisioner::provision(
     const DemandMatrix& demand) const {
+  obs::Span span("prov.provision", obs::Subsystem::kProvisioner);
   const World& world = *ctx_.world;
   const Topology& topo = *ctx_.topology;
 
@@ -512,9 +516,12 @@ ProvisionResult SwitchboardProvisioner::provision(
   {
     PlacementMatrix placement(demand.slot_count(), demand.config_count(),
                               world.dc_count());
+    obs::Span f0_span("prov.scenario", obs::Subsystem::kProvisioner);
+    f0_span.attr(obs::AttrKey::kScenario, 0);
     ScenarioOutcome outcome = solve_scenario(demand, scenarios.front(),
                                              &placement, nullptr, nullptr,
                                              &f0_basis);
+    f0_span.finish();
     serving = outcome.required;
     combined = outcome.required;
     result.base_placement = std::move(placement);
@@ -530,8 +537,11 @@ ProvisionResult SwitchboardProvisioner::provision(
     // inherently sequential recurrence.
     for (std::size_t f = 1; f < scenarios.size(); ++f) {
       const CapacityPlan* floors = options_.capacity_reuse ? &combined : nullptr;
+      obs::Span s("prov.scenario", obs::Subsystem::kProvisioner);
+      s.attr(obs::AttrKey::kScenario, static_cast<std::int64_t>(f));
       ScenarioOutcome outcome =
           solve_scenario(demand, scenarios[f], nullptr, floors, &f0_basis);
+      s.finish();
       combined = max_capacity(combined, outcome.required);
       result.scenarios.push_back(std::move(outcome));
     }
@@ -541,7 +551,13 @@ ProvisionResult SwitchboardProvisioner::provision(
     // thread pool. Results are combined in enumeration order, making the
     // plan bit-identical whatever the thread count.
     const CapacityPlan* floors = options_.capacity_reuse ? &serving : nullptr;
-    auto solve_one = [&](std::size_t f) {
+    // Fan-out spans run on pool threads where no span is open; parent them
+    // explicitly under this provision() span so the trace stays nested.
+    const std::uint64_t fan_parent = obs::SpanRecorder::current_span();
+    auto solve_one = [&, fan_parent](std::size_t f) {
+      obs::Span s("prov.scenario", obs::Subsystem::kProvisioner,
+                  obs::kNoSimTime, fan_parent);
+      s.attr(obs::AttrKey::kScenario, static_cast<std::int64_t>(f));
       return solve_scenario(demand, scenarios[f], nullptr, floors, &f0_basis);
     };
     std::vector<ScenarioOutcome> outcomes;

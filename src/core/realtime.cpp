@@ -4,6 +4,7 @@
 
 #include "calls/acl.h"
 #include "common/error.h"
+#include "obs/span.h"
 
 namespace sb {
 
@@ -37,7 +38,8 @@ RealtimeSelector::RealtimeSelector(EvalContext ctx, const AllocationPlan* plan,
 }
 
 bool RealtimeSelector::try_debit(std::size_t col, DcId dc,
-                                 std::uint32_t quota) {
+                                 std::uint32_t quota,
+                                 std::uint32_t* retries) {
   std::atomic<std::uint32_t>& u = usage(col, dc);
   std::uint32_t cur = u.load(std::memory_order_relaxed);
   while (cur < quota) {
@@ -45,6 +47,7 @@ bool RealtimeSelector::try_debit(std::size_t col, DcId dc,
                                 std::memory_order_relaxed)) {
       return true;
     }
+    if (retries != nullptr) ++*retries;
   }
   return false;
 }
@@ -102,11 +105,17 @@ DcId RealtimeSelector::closest_available_dc(LocationId joiner) const {
 }
 
 DcId RealtimeSelector::on_call_start(CallId call, LocationId first_joiner,
-                                     SimTime /*now*/) {
+                                     SimTime now) {
+  obs::Span span("sel.admit", obs::Subsystem::kRealtime, now);
+  span.attr(obs::AttrKey::kCallId,
+            static_cast<std::int64_t>(call.value()));
+  span.attr(obs::AttrKey::kShard,
+            static_cast<std::int64_t>(shard_of(call, shard_count_)));
   // closest_dc only reads the immutable latency matrix (and, when degraded,
   // the lock-free health table), so it runs before the stripe lock is taken.
   const DcId dc = degraded() ? closest_available_dc(first_joiner)
                              : ctx_.latency->closest_dc(first_joiner, all_dcs_);
+  span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(dc.value()));
   CallShard& s = shard(call);
   {
     std::lock_guard lock(s.mutex);
@@ -121,6 +130,12 @@ DcId RealtimeSelector::on_call_start(CallId call, LocationId first_joiner,
 FreezeResult RealtimeSelector::on_config_frozen(CallId call,
                                                 const CallConfig& config,
                                                 SimTime now) {
+  obs::Span span("sel.freeze", obs::Subsystem::kRealtime, now);
+  span.attr(obs::AttrKey::kCallId,
+            static_cast<std::int64_t>(call.value()));
+  span.attr(obs::AttrKey::kShard,
+            static_cast<std::int64_t>(shard_of(call, shard_count_)));
+  std::uint32_t cas_retries = 0;
   CallShard& s = shard(call);
   ShardStats& stat = shard_stats(call);
   std::lock_guard lock(s.mutex);
@@ -163,12 +178,14 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
     state.cores = call_cores;
     add_cores(target, call_cores);
     result.dc = target;
+    span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(target.value()));
     return result;
   }
 
   const TimeSlot slot = plan_->slot_at(now - plan_start_s_);
   if ((!faulted || dc_ok(state.dc)) &&
-      try_debit(col, state.dc, plan_->quota(slot, col, state.dc))) {
+      try_debit(col, state.dc, plan_->quota(slot, col, state.dc),
+                &cas_retries)) {
     // Initial heuristic matched the plan: just debit (§5.4b).
     stat.slot_debits.fetch_add(1, std::memory_order_relaxed);
     state.plan_col = col;
@@ -176,6 +193,8 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
     state.slot_dc = state.dc;
     state.cores = call_cores;
     add_cores(state.dc, call_cores);
+    span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(state.dc.value()));
+    span.attr(obs::AttrKey::kCasRetries, cas_retries);
     return result;
   }
   // Migrate to the planned DC with spare quota and the lowest ACL (§5.4c).
@@ -216,9 +235,16 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
       }
       state.cores = call_cores;
       add_cores(state.dc, call_cores);
+      span.attr(obs::AttrKey::kDc,
+                static_cast<std::int64_t>(state.dc.value()));
+      span.attr(obs::AttrKey::kCasRetries, cas_retries);
       return result;
     }
-    if (try_debit(col, best, plan_->quota(slot, col, best))) break;
+    if (try_debit(col, best, plan_->quota(slot, col, best), &cas_retries)) {
+      break;
+    }
+    // Lost the scan-to-debit race outright: the rescan is itself a retry.
+    ++cas_retries;
   }
   stat.slot_debits.fetch_add(1, std::memory_order_relaxed);
   state.plan_col = col;
@@ -232,10 +258,15 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
   }
   state.cores = call_cores;
   add_cores(state.dc, call_cores);
+  span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(state.dc.value()));
+  span.attr(obs::AttrKey::kCasRetries, cas_retries);
   return result;
 }
 
-void RealtimeSelector::on_call_end(CallId call, SimTime /*now*/) {
+void RealtimeSelector::on_call_end(CallId call, SimTime now) {
+  obs::Span span("sel.end", obs::Subsystem::kRealtime, now);
+  span.attr(obs::AttrKey::kCallId,
+            static_cast<std::int64_t>(call.value()));
   CallShard& s = shard(call);
   std::lock_guard lock(s.mutex);
   const auto it = s.calls.find(call);
@@ -249,6 +280,7 @@ void RealtimeSelector::on_call_end(CallId call, SimTime /*now*/) {
     usage(state.plan_col, state.slot_dc).fetch_sub(1, std::memory_order_acq_rel);
     shard_stats(call).slot_credits.fetch_add(1, std::memory_order_relaxed);
   }
+  span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(state.dc.value()));
   add_cores(state.dc, -state.cores);
   s.calls.erase(it);
 }
@@ -256,6 +288,11 @@ void RealtimeSelector::on_call_end(CallId call, SimTime /*now*/) {
 bool RealtimeSelector::rehome(CallId call, ActiveCall& state, DcId failed,
                               SimTime now, const std::vector<double>& budget,
                               fault::FailoverOutcome& out) {
+  obs::Span span("sel.rehome", obs::Subsystem::kDrain, now);
+  span.attr(obs::AttrKey::kCallId,
+            static_cast<std::int64_t>(call.value()));
+  span.attr(obs::AttrKey::kFromDc,
+            static_cast<std::int64_t>(state.dc.value()));
   if (state.holds_slot) {
     // Tier 1: another planned DC with spare quota, min ACL — the same scan
     // the freeze path runs, minus the failed/down DCs.
@@ -292,6 +329,8 @@ bool RealtimeSelector::rehome(CallId call, ActiveCall& state, DcId failed,
       add_cores(best, state.cores);
       state.slot_dc = best;
       state.dc = best;
+      span.attr(obs::AttrKey::kDrainTier, 1);
+      span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(best.value()));
       return true;
     }
     // Tier 2: provisioned backup. The call keeps its original slot
@@ -314,6 +353,8 @@ bool RealtimeSelector::rehome(CallId call, ActiveCall& state, DcId failed,
       add_cores(state.dc, -state.cores);
       add_cores(backup, state.cores);
       state.dc = backup;
+      span.attr(obs::AttrKey::kDrainTier, 2);
+      span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(backup.value()));
       return true;
     }
     // Tier 3: backup truly exhausted — drop. Credit the slot so the quota
@@ -323,6 +364,7 @@ bool RealtimeSelector::rehome(CallId call, ActiveCall& state, DcId failed,
     shard_stats(call).slot_credits.fetch_add(1, std::memory_order_relaxed);
     add_cores(state.dc, -state.cores);
     out.dropped.push_back(call);
+    span.attr(obs::AttrKey::kDrainTier, 3);
     return false;
   }
 
@@ -348,10 +390,14 @@ bool RealtimeSelector::rehome(CallId call, ActiveCall& state, DcId failed,
     add_cores(state.dc, -state.cores);
     add_cores(target, state.cores);
     state.dc = target;
+    // Tier 0: slotless call re-ran the closest-DC heuristic (no quota moved).
+    span.attr(obs::AttrKey::kDrainTier, 0);
+    span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(target.value()));
     return true;
   }
   add_cores(state.dc, -state.cores);
   out.dropped.push_back(call);
+  span.attr(obs::AttrKey::kDrainTier, 3);
   return false;
 }
 
@@ -363,6 +409,8 @@ fault::FailoverOutcome RealtimeSelector::drain_dc(
   require(budget_cores.empty() || budget_cores.size() == all_dcs_.size(),
           "drain_dc: budget shape");
   const std::size_t batch = std::max<std::size_t>(batch_size, 1);
+  obs::Span span("sel.drain_dc", obs::Subsystem::kDrain, now);
+  span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(failed.value()));
   fault::FailoverOutcome out;
   std::vector<CallId> pending;
   for (std::size_t i = 0; i < shard_count_; ++i) {
@@ -395,6 +443,10 @@ fault::FailoverOutcome RealtimeSelector::drain_dc(
       }
     }
   }
+  span.attr(obs::AttrKey::kMoved,
+            static_cast<std::int64_t>(out.moved.size()));
+  span.attr(obs::AttrKey::kDropped,
+            static_cast<std::int64_t>(out.dropped.size()));
   return out;
 }
 

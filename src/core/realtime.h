@@ -180,8 +180,11 @@ class RealtimeSelector {
     return usage_[col * plan_->dc_count() + dc.value()];
   }
   /// CAS loop: acquires one slot of (col, dc) iff usage < quota. Exact under
-  /// contention — never debits past the quota, never loses a debit.
-  bool try_debit(std::size_t col, DcId dc, std::uint32_t quota);
+  /// contention — never debits past the quota, never loses a debit. When
+  /// `retries` is set it accumulates the failed CAS attempts (contention
+  /// telemetry on the freeze/drain spans).
+  bool try_debit(std::size_t col, DcId dc, std::uint32_t quota,
+                 std::uint32_t* retries = nullptr);
 
   [[nodiscard]] bool degraded() const {
     return health_ != nullptr && !health_->all_up();

@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "lp/basis.h"
 #include "lp/lu_factor.h"
+#include "obs/span.h"
 
 namespace sb::lp {
 namespace {
@@ -35,16 +36,28 @@ class SparseSimplex {
 
   SfSolution run(const std::vector<VarStatus>* warm, SparseSolveStats* stats) {
     SfSolution out;
-    if (!init_warm(warm)) init_cold();
+    {
+      obs::Span crash("lp.crash", obs::Subsystem::kLp);
+      const bool warmed = init_warm(warm);
+      if (!warmed) init_cold();
+      crash.attr(obs::AttrKey::kWarmStart, warmed ? 1 : 0);
+    }
     out.status = SolveStatus::kOptimal;
 
-    const SolveStatus p1 = run_phase(/*phase1=*/true, out.iterations);
-    if (p1 != SolveStatus::kOptimal) {
-      out.status = p1;
-    } else if (infeasibility() >
-               options_.feasibility_tol * rhs_scale_ * 10.0) {
-      out.status = SolveStatus::kInfeasible;
-    } else {
+    {
+      obs::Span phase1("lp.phase1", obs::Subsystem::kLp);
+      const std::uint64_t before = out.iterations;
+      const SolveStatus p1 = run_phase(/*phase1=*/true, out.iterations);
+      phase1.attr(obs::AttrKey::kIterations,
+                  static_cast<std::int64_t>(out.iterations - before));
+      if (p1 != SolveStatus::kOptimal) {
+        out.status = p1;
+      } else if (infeasibility() >
+                 options_.feasibility_tol * rhs_scale_ * 10.0) {
+        out.status = SolveStatus::kInfeasible;
+      }
+    }
+    if (out.status == SolveStatus::kOptimal) {
       // Snap residual within-tolerance violations onto the bounds so phase 2
       // starts from a (numerically) feasible point.
       for (std::size_t p = 0; p < m_; ++p) {
@@ -53,7 +66,15 @@ class SparseSimplex {
                                  lower_[static_cast<std::size_t>(col)],
                                  upper_[static_cast<std::size_t>(col)]);
       }
+      obs::Span phase2("lp.phase2", obs::Subsystem::kLp);
+      const std::uint64_t before = out.iterations;
       out.status = run_phase(/*phase1=*/false, out.iterations);
+      phase2.attr(obs::AttrKey::kIterations,
+                  static_cast<std::int64_t>(out.iterations - before));
+      phase2.attr(obs::AttrKey::kFactorizations,
+                  static_cast<std::int64_t>(basis_state_.factorizations()));
+      phase2.attr(obs::AttrKey::kPricingPasses,
+                  static_cast<std::int64_t>(pricing_passes_));
     }
 
     out.values.resize(n_);

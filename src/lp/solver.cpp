@@ -8,6 +8,7 @@
 #include "lp/revised_simplex.h"
 #include "lp/standard_form.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/timer.h"
 
 namespace sb::lp {
@@ -77,18 +78,28 @@ Solution solve(const Model& model, const SolveOptions& options) {
   SolveMetrics& metrics = SolveMetrics::get();
   metrics.solves.inc();
   obs::ScopedTimer total_timer(metrics.solve_s);
+  obs::Span span("lp.solve", obs::Subsystem::kLp);
+  span.attr(obs::AttrKey::kRows,
+            static_cast<std::int64_t>(model.constraint_count()));
+  span.attr(obs::AttrKey::kCols,
+            static_cast<std::int64_t>(model.variable_count()));
 
   const Model* target = &model;
   PresolveResult pre;
   if (options.use_presolve) {
+    obs::Span presolve_span("lp.presolve", obs::Subsystem::kLp);
     pre = presolve(model);
     metrics.presolve_rows_removed.inc(pre.rows_removed);
     metrics.presolve_bounds_tightened.inc(pre.bounds_tightened);
     metrics.presolve_variables_fixed.inc(pre.variables_fixed);
+    presolve_span.attr(obs::AttrKey::kRows,
+                       static_cast<std::int64_t>(pre.rows_removed));
     if (pre.infeasible) {
       metrics.infeasible.inc();
       Solution solution;
       solution.status = SolveStatus::kInfeasible;
+      span.attr(obs::AttrKey::kStatus,
+                static_cast<std::int64_t>(SolveStatus::kInfeasible));
       return solution;
     }
     target = &pre.reduced;
@@ -173,6 +184,10 @@ Solution solve(const Model& model, const SolveOptions& options) {
     metrics.eta_nnz.record(static_cast<double>(stats.eta_nnz));
   }
   if (raw.status == SolveStatus::kInfeasible) metrics.infeasible.inc();
+  span.attr(obs::AttrKey::kIterations,
+            static_cast<std::int64_t>(raw.iterations));
+  span.attr(obs::AttrKey::kWarmStart, warm_ptr != nullptr ? 1 : 0);
+  span.attr(obs::AttrKey::kStatus, static_cast<std::int64_t>(raw.status));
 
   Solution solution;
   solution.status = raw.status;

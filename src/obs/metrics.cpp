@@ -66,10 +66,28 @@ HistogramData histogram_diff(const HistogramData& before,
   }
   out.count = after.count - before.count;
   out.sum = after.sum - before.sum;
-  // Extrema of just the delta window are unrecoverable; report the
-  // full-history extrema, which still bound every delta sample.
-  out.min = after.min;
-  out.max = after.max;
+  // Exact extrema of just the delta window are unrecoverable from bucket
+  // counts, and reporting the lifetime min/max would claim values the
+  // window never saw. When `before` was empty the window IS the lifetime,
+  // so the exact extrema carry over; otherwise estimate at bucket
+  // resolution: the edges of the lowest/highest occupied window bucket
+  // (underflow has no finite lower edge — fall back to the exact lifetime
+  // min, a lower bound; likewise overflow uses the lifetime max).
+  if (out.count == 0) {
+    out.min = 0.0;
+    out.max = 0.0;
+  } else if (before.count == 0) {
+    out.min = after.min;
+    out.max = after.max;
+  } else {
+    std::size_t lo = 0;
+    while (lo < out.buckets.size() && out.buckets[lo] == 0) ++lo;
+    std::size_t hi = out.buckets.size();
+    while (hi > 0 && out.buckets[hi - 1] == 0) --hi;
+    --hi;
+    out.min = lo == 0 ? after.min : out.bucket_lower(lo);
+    out.max = hi == out.buckets.size() - 1 ? after.max : out.bucket_upper(hi);
+  }
   return out;
 }
 

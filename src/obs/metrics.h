@@ -67,8 +67,14 @@ struct HistogramData {
 };
 
 /// Bucket-level subtraction (after - before) for diffing two reads of the
-/// same histogram; min/max are taken from `after` (extrema can't be
-/// un-merged). Throws InvalidArgument on mismatched layouts.
+/// same histogram. Exact extrema can't be un-merged, so the diff reports
+/// per-window estimates at bucket resolution: the lower/upper edges of the
+/// lowest/highest bucket the window touched (exact lifetime values when the
+/// window occupies the edgeless underflow/overflow buckets, or when
+/// `before` was empty and the window is the lifetime; 0/0 for an empty
+/// window). Quantiles of the diff stay consistent: they clamp to these
+/// window extrema, never to values outside the window's buckets. Throws
+/// InvalidArgument on mismatched layouts.
 HistogramData histogram_diff(const HistogramData& before,
                              const HistogramData& after);
 

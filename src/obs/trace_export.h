@@ -1,0 +1,54 @@
+// Span consumers: Chrome trace-event JSON export (loadable in Perfetto /
+// chrome://tracing) and per-name span statistics for text reports.
+//
+// Always compiled — these operate on SpanData values, which exist in both
+// tracing modes; with -DSB_TRACING=OFF SpanRecorder::collect() simply
+// returns nothing and the exports are empty (but structurally valid).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace sb::obs {
+
+/// Writes `spans` as Chrome trace-event JSON: one complete ("ph": "X") event
+/// per span with ts/dur in microseconds, tid = recorder thread, cat = the
+/// subsystem, and the typed attributes (plus span/parent ids and sim_time)
+/// under "args". Perfetto nests events of one tid by time containment,
+/// which matches span nesting because child spans close before their
+/// parents on the recording thread.
+void write_chrome_trace(std::ostream& out, const std::vector<SpanData>& spans);
+
+/// Collects the global recorder and writes the trace to `path`. Returns
+/// false (writing nothing) when the file cannot be opened. `dropped_out`,
+/// when non-null, receives the recorder's wrap-drop count so callers can
+/// surface truncation.
+bool dump_chrome_trace(const std::string& path,
+                       std::uint64_t* dropped_out = nullptr);
+
+/// Aggregate of every span sharing a name.
+struct SpanStats {
+  const char* name = "";
+  Subsystem subsystem = Subsystem::kOther;
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+
+  [[nodiscard]] double mean_s() const {
+    return count == 0 ? 0.0 : total_s / static_cast<double>(count);
+  }
+};
+
+/// Groups spans by name, sorted by descending total duration.
+std::vector<SpanStats> span_stats(const std::vector<SpanData>& spans);
+
+/// Renders span_stats() as an aligned text table (name, count, total,
+/// mean, min, max), one row per name; writes nothing for no spans.
+void write_span_stats(std::ostream& out, const std::vector<SpanStats>& stats);
+
+}  // namespace sb::obs

@@ -10,7 +10,9 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "obs/span.h"
 #include "obs/timer.h"
+#include "obs/timeseries.h"
 
 namespace sb {
 
@@ -286,7 +288,13 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
                                  double freeze_delay_s,
                                  const std::vector<std::uint8_t>& mine,
                                  Partial& out, FaultRuntime* faults,
-                                 double bucket_s, bool log_hosting) const {
+                                 double bucket_s, bool log_hosting,
+                                 std::size_t partition,
+                                 std::uint64_t parent_span) const {
+  obs::Span span("sim.partition", obs::Subsystem::kSim, obs::kNoSimTime,
+                 parent_span);
+  span.attr(obs::AttrKey::kPartition, static_cast<std::int64_t>(partition));
+  std::uint64_t event_count = 0;
   const auto& records = db.records();
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
@@ -329,6 +337,8 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
     const Event ev = queue.top();
     queue.pop();
     usage.advance(ev.time);
+    if (telemetry_ != nullptr) telemetry_->sample(ev.time);
+    ++event_count;
 
     if (ev.type == EventType::kFault) {
       faults->arrive(allocator, ev.record);
@@ -444,6 +454,7 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
   out.dc_peaks = usage.dc_peaks();
   out.link_peaks = usage.link_peaks();
   out.dc_buckets = usage.take_dc_buckets();
+  span.attr(obs::AttrKey::kEvents, static_cast<std::int64_t>(event_count));
 }
 
 SimReport Simulator::finalize(const CallRecordDatabase& /*db*/,
@@ -506,16 +517,17 @@ SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
   require(freeze_delay_s > 0.0, "Simulator::run: freeze delay");
   require(bucket_s > 0.0, "Simulator::run: bucket width");
   obs::ScopedTimer run_timer(metrics_.run_s);
+  obs::Span span("sim.run", obs::Subsystem::kSim);
   Partial total;
   const std::vector<std::uint8_t> all(db.records().size(), 1);
   const bool log_hosting = hosting_log != nullptr;
   if (faults != nullptr && !faults->empty()) {
     FaultRuntime runtime(*faults, 1);
     replay_partition(db, allocator, freeze_delay_s, all, total, &runtime,
-                     bucket_s, log_hosting);
+                     bucket_s, log_hosting, 0, span.id());
   } else {
     replay_partition(db, allocator, freeze_delay_s, all, total, nullptr,
-                     bucket_s, log_hosting);
+                     bucket_s, log_hosting, 0, span.id());
   }
   if (hosting_log != nullptr) hosting_log->events = std::move(total.hosting);
   return finalize(db, allocator, total, bucket_s, /*bucket_peaks=*/false);
@@ -533,6 +545,7 @@ SimReport Simulator::run_concurrent(const CallRecordDatabase& db,
     threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
   }
   obs::ScopedTimer run_timer(metrics_.run_s);
+  obs::Span span("sim.run_concurrent", obs::Subsystem::kSim);
   const auto& records = db.records();
 
   // Partition by call shard: every event of a call replays on one thread,
@@ -556,13 +569,14 @@ SimReport Simulator::run_concurrent(const CallRecordDatabase& db,
   std::vector<std::future<Partial>> futures;
   futures.reserve(threads);
   const bool log_hosting = hosting_log != nullptr;
+  const std::uint64_t root_span = span.id();
   for (std::size_t p = 0; p < threads; ++p) {
     futures.push_back(pool.submit([this, &db, &allocator, freeze_delay_s,
                                    part = &mine[p], rt = runtime.get(),
-                                   bucket_s, log_hosting] {
+                                   bucket_s, log_hosting, p, root_span] {
       Partial out;
       replay_partition(db, allocator, freeze_delay_s, *part, out, rt,
-                       bucket_s, log_hosting);
+                       bucket_s, log_hosting, p, root_span);
       return out;
     }));
   }

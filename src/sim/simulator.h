@@ -31,6 +31,10 @@
 #include "obs/metrics.h"
 #include "sim/allocator.h"
 
+namespace sb::obs {
+class TimeSeriesRecorder;
+}  // namespace sb::obs
+
 namespace sb {
 
 struct SimReport {
@@ -93,6 +97,15 @@ class Simulator {
  public:
   explicit Simulator(EvalContext ctx);
 
+  /// Optional telemetry hook: when set, every partition offers its event
+  /// clock to the recorder (TimeSeriesRecorder::sample is thread-safe and
+  /// cheap off-cadence), so registry time series advance on SIM time in both
+  /// driver modes. The recorder must outlive the runs; pass nullptr to
+  /// detach.
+  void attach_telemetry(obs::TimeSeriesRecorder* telemetry) {
+    telemetry_ = telemetry;
+  }
+
   /// Replays `db` against `allocator` on the calling thread, every event in
   /// strict (time, insertion) order. `freeze_delay_s` is the A parameter
   /// (§6.4); calls shorter than it are never frozen or migrated. Fault
@@ -154,17 +167,21 @@ class Simulator {
   /// Replays the records selected by `mine` (record index -> bool) and
   /// accumulates into `out`. Identical event ordering to the pre-sharding
   /// implementation when `mine` selects everything.
+  /// `partition`/`parent_span` label the per-partition trace span (parented
+  /// under the driver's root span across the pool fan-out).
   void replay_partition(const CallRecordDatabase& db, CallAllocator& allocator,
                         double freeze_delay_s,
                         const std::vector<std::uint8_t>& mine, Partial& out,
                         FaultRuntime* faults, double bucket_s,
-                        bool log_hosting) const;
+                        bool log_hosting, std::size_t partition,
+                        std::uint64_t parent_span) const;
   SimReport finalize(const CallRecordDatabase& db, CallAllocator& allocator,
                      const Partial& total, double bucket_s,
                      bool bucket_peaks) const;
 
   EvalContext ctx_;
   Metrics metrics_;
+  obs::TimeSeriesRecorder* telemetry_ = nullptr;
 };
 
 }  // namespace sb

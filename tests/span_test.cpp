@@ -1,0 +1,360 @@
+// Tests for the sb_span tracing layer: span field/parent correctness, the
+// flight-recorder ring-wrap contract (last N retained), concurrent
+// record-while-collect safety (the TSan target for this subsystem), Chrome
+// trace-event export validity, and the -DSB_TRACING=OFF stub contract.
+//
+// The recorder is process-global; tests reset() it up front and filter
+// collected spans by their own names so they stay order-independent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/json.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
+
+namespace sb::obs {
+namespace {
+
+std::vector<SpanData> collect_named(const std::string& name) {
+  std::vector<SpanData> out;
+  for (const SpanData& s : SpanRecorder::global().collect()) {
+    if (name == s.name) out.push_back(s);
+  }
+  return out;
+}
+
+#ifdef SB_TRACING_ENABLED
+
+TEST(SpanTest, RecordsFieldsAttrsAndNesting) {
+  SpanRecorder& recorder = SpanRecorder::global();
+  recorder.reset();
+  recorder.set_enabled(true);
+  std::uint64_t outer_id = 0, inner_id = 0;
+  {
+    Span outer("test.outer", Subsystem::kCheck, 42.5);
+    outer.attr(AttrKey::kCallId, 7);
+    outer.attr(AttrKey::kDc, 3);
+    outer_id = outer.id();
+    EXPECT_NE(outer_id, 0u);
+    {
+      Span inner("test.inner", Subsystem::kLp);
+      inner.attr(AttrKey::kIterations, 12);
+      inner_id = inner.id();
+    }
+  }
+  const std::vector<SpanData> outer_spans = collect_named("test.outer");
+  const std::vector<SpanData> inner_spans = collect_named("test.inner");
+  ASSERT_EQ(outer_spans.size(), 1u);
+  ASSERT_EQ(inner_spans.size(), 1u);
+  const SpanData& outer = outer_spans.front();
+  const SpanData& inner = inner_spans.front();
+
+  EXPECT_EQ(outer.id, outer_id);
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(outer.subsystem, Subsystem::kCheck);
+  EXPECT_DOUBLE_EQ(outer.sim_time, 42.5);
+  ASSERT_EQ(outer.attr_count, 2u);
+  ASSERT_NE(outer.find_attr(AttrKey::kCallId), nullptr);
+  EXPECT_EQ(outer.find_attr(AttrKey::kCallId)->value, 7);
+  ASSERT_NE(outer.find_attr(AttrKey::kDc), nullptr);
+  EXPECT_EQ(outer.find_attr(AttrKey::kDc)->value, 3);
+  EXPECT_EQ(outer.find_attr(AttrKey::kIterations), nullptr);
+
+  EXPECT_EQ(inner.id, inner_id);
+  EXPECT_EQ(inner.parent, outer_id);  // inherited from the enclosing span
+  EXPECT_EQ(inner.subsystem, Subsystem::kLp);
+  EXPECT_DOUBLE_EQ(inner.sim_time, kNoSimTime);
+  // The child starts after and ends before its parent.
+  EXPECT_GE(inner.wall_start_ns, outer.wall_start_ns);
+  EXPECT_LE(inner.wall_end_ns, outer.wall_end_ns);
+  EXPECT_GE(inner.duration_s(), 0.0);
+}
+
+TEST(SpanTest, ExplicitParentCrossesThreadsAndZeroForcesRoot) {
+  SpanRecorder& recorder = SpanRecorder::global();
+  recorder.reset();
+  recorder.set_enabled(true);
+  EXPECT_EQ(SpanRecorder::current_span(), 0u);
+  // Pin the main thread to its own ring before the worker runs: buffers are
+  // recycled through a free list at thread exit, so without this the worker's
+  // released buffer would be the one main() grabs and the tids would alias.
+  { Span pin("test.fanout_pin", Subsystem::kCheck); }
+  std::uint64_t outer_id = 0;
+  {
+    Span outer("test.fanout", Subsystem::kCheck);
+    outer_id = outer.id();
+    EXPECT_EQ(SpanRecorder::current_span(), outer_id);
+
+    // The fan-out idiom: capture the open span's id, hand it to a worker.
+    const std::uint64_t parent = SpanRecorder::current_span();
+    std::thread worker([parent] {
+      Span child("test.fanout_child", Subsystem::kCheck, kNoSimTime, parent);
+    });
+    worker.join();
+
+    // parent = 0 forces a root even inside an open span.
+    Span forced("test.forced_root", Subsystem::kCheck, kNoSimTime, 0);
+  }
+  EXPECT_EQ(SpanRecorder::current_span(), 0u);
+
+  const std::vector<SpanData> child = collect_named("test.fanout_child");
+  const std::vector<SpanData> forced = collect_named("test.forced_root");
+  const std::vector<SpanData> outer = collect_named("test.fanout");
+  ASSERT_EQ(child.size(), 1u);
+  ASSERT_EQ(forced.size(), 1u);
+  ASSERT_EQ(outer.size(), 1u);
+  EXPECT_EQ(child.front().parent, outer_id);
+  EXPECT_NE(child.front().thread, outer.front().thread);
+  EXPECT_EQ(forced.front().parent, 0u);
+}
+
+TEST(SpanTest, AttrOverflowIsSilentlyDropped) {
+  SpanRecorder& recorder = SpanRecorder::global();
+  recorder.reset();
+  recorder.set_enabled(true);
+  {
+    Span span("test.attr_overflow", Subsystem::kCheck);
+    for (std::size_t a = 0; a < kSpanAttrMax + 3; ++a) {
+      span.attr(AttrKey::kCallId, static_cast<std::int64_t>(a));
+    }
+  }
+  const std::vector<SpanData> spans = collect_named("test.attr_overflow");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans.front().attr_count, kSpanAttrMax);
+}
+
+TEST(SpanTest, EarlyFinishIsIdempotentAndRestoresScope) {
+  SpanRecorder& recorder = SpanRecorder::global();
+  recorder.reset();
+  recorder.set_enabled(true);
+  {
+    Span span("test.early_finish", Subsystem::kCheck);
+    span.finish();
+    EXPECT_EQ(SpanRecorder::current_span(), 0u);
+    span.finish();  // second finish (and the destructor) must not re-record
+  }
+  EXPECT_EQ(collect_named("test.early_finish").size(), 1u);
+}
+
+TEST(SpanTest, DisabledRecorderRecordsNothing) {
+  SpanRecorder& recorder = SpanRecorder::global();
+  recorder.reset();
+  recorder.set_enabled(false);
+  {
+    Span span("test.disabled", Subsystem::kCheck);
+    span.attr(AttrKey::kCallId, 1);
+    EXPECT_EQ(span.id(), 0u);
+  }
+  EXPECT_TRUE(collect_named("test.disabled").empty());
+  recorder.set_enabled(true);
+}
+
+TEST(SpanTest, RingWrapRetainsTheMostRecentSpans) {
+  SpanRecorder& recorder = SpanRecorder::global();
+  recorder.reset();
+  recorder.set_enabled(true);
+  const std::uint64_t capacity = recorder.ring_capacity();
+  const std::uint64_t total = capacity + 512;
+  // A dedicated thread gets its own ring; joining before collect() makes
+  // the retained window exact (no in-flight writer).
+  std::thread writer([total] {
+    for (std::uint64_t i = 0; i < total; ++i) {
+      Span span("test.wrap", Subsystem::kCheck);
+      span.attr(AttrKey::kCallId, static_cast<std::int64_t>(i));
+    }
+  });
+  writer.join();
+
+  const std::vector<SpanData> spans = collect_named("test.wrap");
+  // The flight window, not all `total`. collect() conservatively discards
+  // the single oldest slot of a wrapped ring (the one the NEXT push would
+  // alias — it cannot tell no push is in flight), hence capacity - 1.
+  EXPECT_GE(spans.size(), capacity - 1);
+  EXPECT_LE(spans.size(), capacity);
+  for (const SpanData& s : spans) {
+    const SpanAttr* seq = s.find_attr(AttrKey::kCallId);
+    ASSERT_NE(seq, nullptr);
+    // Only the most recent `capacity` spans survive the wrap.
+    EXPECT_GE(seq->value, static_cast<std::int64_t>(total - capacity));
+  }
+  EXPECT_GE(recorder.dropped(), total - capacity);
+}
+
+TEST(SpanTest, ConcurrentRecordAndCollectKeepsSpansWellFormed) {
+  SpanRecorder& recorder = SpanRecorder::global();
+  recorder.reset();
+  recorder.set_enabled(true);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::int64_t kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        Span outer("test.stress", Subsystem::kCheck);
+        outer.attr(AttrKey::kShard, static_cast<std::int64_t>(t));
+        outer.attr(AttrKey::kCallId, i);
+        if (i % 16 == 0) {
+          Span inner("test.stress_child", Subsystem::kCheck);
+          inner.attr(AttrKey::kCallId, i);
+        }
+      }
+    });
+  }
+  // Hammer collect() while the writers are recording: every span that comes
+  // back must be internally consistent (torn slots are discarded, never
+  // returned half-written).
+  std::thread reader([&stop, kPerThread = kPerThread] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const SpanData& s : SpanRecorder::global().collect()) {
+        ASSERT_NE(s.name, nullptr);
+        ASSERT_LE(s.attr_count, kSpanAttrMax);
+        if (std::string("test.stress") == s.name) {
+          ASSERT_EQ(s.attr_count, 2u);
+          const SpanAttr* shard = s.find_attr(AttrKey::kShard);
+          const SpanAttr* seq = s.find_attr(AttrKey::kCallId);
+          ASSERT_NE(shard, nullptr);
+          ASSERT_NE(seq, nullptr);
+          ASSERT_GE(shard->value, 0);
+          ASSERT_LT(shard->value, static_cast<std::int64_t>(kThreads));
+          ASSERT_GE(seq->value, 0);
+          ASSERT_LT(seq->value, kPerThread);
+        }
+      }
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // Quiescent check: the final snapshot holds at most one ring per writer
+  // and only well-formed spans.
+  const std::vector<SpanData> spans = collect_named("test.stress");
+  EXPECT_LE(spans.size(), kThreads * recorder.ring_capacity());
+  EXPECT_FALSE(spans.empty());
+}
+
+TEST(SpanTest, ChromeTraceExportIsValidNestedJson) {
+  SpanRecorder& recorder = SpanRecorder::global();
+  recorder.reset();
+  recorder.set_enabled(true);
+  std::uint64_t parent_id = 0;
+  {
+    Span parent("test.export_parent", Subsystem::kDrain, 120.0);
+    parent.attr(AttrKey::kDc, 2);
+    parent_id = parent.id();
+    Span child("test.export_child", Subsystem::kRealtime);
+    child.attr(AttrKey::kDrainTier, 1);
+  }
+  std::vector<SpanData> spans;
+  for (const SpanData& s : recorder.collect()) {
+    if (std::string(s.name).rfind("test.export", 0) == 0) spans.push_back(s);
+  }
+  ASSERT_EQ(spans.size(), 2u);
+
+  std::ostringstream out;
+  write_chrome_trace(out, spans);
+  const check::Json doc = check::Json::parse(out.str());
+  EXPECT_EQ(doc.get("displayTimeUnit").as_string(), "ms");
+  const check::Json::Array& events = doc.get("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+
+  const check::Json* parent_ev = nullptr;
+  const check::Json* child_ev = nullptr;
+  for (const check::Json& ev : events) {
+    const std::string& name = ev.get("name").as_string();
+    if (name == "test.export_parent") parent_ev = &ev;
+    if (name == "test.export_child") child_ev = &ev;
+  }
+  ASSERT_NE(parent_ev, nullptr);
+  ASSERT_NE(child_ev, nullptr);
+  EXPECT_EQ(parent_ev->get("ph").as_string(), "X");
+  EXPECT_EQ(parent_ev->get("cat").as_string(), "drain");
+  EXPECT_EQ(child_ev->get("cat").as_string(), "realtime");
+  EXPECT_EQ(parent_ev->get("args").get("span").as_u64(), parent_id);
+  EXPECT_DOUBLE_EQ(parent_ev->get("args").get("sim_time").as_number(), 120.0);
+  EXPECT_EQ(parent_ev->get("args").get("dc").as_i64(), 2);
+  // The child references its parent and nests inside it on the timeline
+  // (which is what makes Perfetto draw it as a child slice).
+  EXPECT_EQ(child_ev->get("args").get("parent").as_u64(), parent_id);
+  EXPECT_EQ(child_ev->get("args").get("drain_tier").as_i64(), 1);
+  const double p_ts = parent_ev->get("ts").as_number();
+  const double p_end = p_ts + parent_ev->get("dur").as_number();
+  const double c_ts = child_ev->get("ts").as_number();
+  const double c_end = c_ts + child_ev->get("dur").as_number();
+  EXPECT_GE(c_ts + 1e-9, p_ts);
+  EXPECT_LE(c_end, p_end + 1e-9);
+}
+
+#else  // !SB_TRACING_ENABLED — the stub contract.
+
+TEST(SpanStubTest, EverythingCompilesToNoops) {
+  SpanRecorder& recorder = SpanRecorder::global();
+  recorder.configure({.enabled = true, .ring_capacity = 64});
+  EXPECT_FALSE(recorder.enabled());
+  EXPECT_EQ(recorder.ring_capacity(), 0u);
+  EXPECT_EQ(SpanRecorder::current_span(), 0u);
+  {
+    Span span("test.stub", Subsystem::kCheck, 1.0);
+    span.attr(AttrKey::kCallId, 7);
+    EXPECT_EQ(span.id(), 0u);
+    span.finish();
+  }
+  EXPECT_TRUE(recorder.collect().empty());
+  EXPECT_EQ(recorder.dropped(), 0u);
+  recorder.reset();
+  EXPECT_TRUE(collect_named("test.stub").empty());
+}
+
+#endif  // SB_TRACING_ENABLED
+
+// SpanData consumers are always compiled, whichever mode the recorder is in.
+TEST(SpanStatsTest, AggregatesByNameSortedByTotal) {
+  std::vector<SpanData> spans;
+  const auto push = [&spans](const char* name, std::int64_t start_ns,
+                             std::int64_t end_ns) {
+    SpanData s;
+    s.name = name;
+    s.subsystem = Subsystem::kLp;
+    s.wall_start_ns = start_ns;
+    s.wall_end_ns = end_ns;
+    spans.push_back(s);
+  };
+  push("test.stats_a", 0, 1000);
+  push("test.stats_a", 0, 3000);
+  push("test.stats_b", 0, 10000);
+
+  const std::vector<SpanStats> stats = span_stats(spans);
+  ASSERT_EQ(stats.size(), 2u);
+  // Sorted by descending total duration: b (10 us) before a (4 us).
+  EXPECT_STREQ(stats[0].name, "test.stats_b");
+  EXPECT_EQ(stats[0].count, 1u);
+  EXPECT_DOUBLE_EQ(stats[0].total_s, 1e-5);
+  EXPECT_STREQ(stats[1].name, "test.stats_a");
+  EXPECT_EQ(stats[1].count, 2u);
+  EXPECT_DOUBLE_EQ(stats[1].total_s, 4e-6);
+  EXPECT_DOUBLE_EQ(stats[1].mean_s(), 2e-6);
+  EXPECT_DOUBLE_EQ(stats[1].min_s, 1e-6);
+  EXPECT_DOUBLE_EQ(stats[1].max_s, 3e-6);
+
+  std::ostringstream out;
+  write_span_stats(out, stats);
+  EXPECT_NE(out.str().find("test.stats_b"), std::string::npos);
+  EXPECT_NE(out.str().find("test.stats_a"), std::string::npos);
+
+  EXPECT_TRUE(span_stats({}).empty());
+  std::ostringstream empty;
+  write_span_stats(empty, {});
+  EXPECT_TRUE(empty.str().empty());
+}
+
+}  // namespace
+}  // namespace sb::obs

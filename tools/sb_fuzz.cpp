@@ -13,13 +13,21 @@
 //
 // On a fuzzing failure the case is shrunk and written to --out (default
 // "sb_fuzz_repros") as repro_seed<N>.json, and the exit code is 1 (unless
-// --chaos, where finding the planted bug is the point).
+// --chaos, where finding the planted bug is the point). The shrunken case is
+// re-run with the flight recorder armed and the span ring is dumped next to
+// the repro as repro_seed<N>.flight.json (Chrome trace-event JSON) — the
+// black-box record of what the controller did leading up to the violation.
+//
+// Observability flags: --flight-capacity bounds the per-thread span ring
+// (the retained flight window); --trace-out writes the full-session span
+// trace at exit; --metrics-out writes the final MetricsRegistry snapshot.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -27,6 +35,9 @@
 #include "check/oracles.h"
 #include "check/shrink.h"
 #include "common/error.h"
+#include "obs/snapshot.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
 
 namespace {
 
@@ -43,6 +54,9 @@ struct Args {
   bool chaos = false;
   bool keep_going = false;
   bool no_shrink = false;
+  std::uint64_t flight_capacity = 8192;  ///< per-thread span ring slots
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 void usage() {
@@ -51,6 +65,8 @@ void usage() {
       "usage: sb_fuzz [--seeds N] [--seed-base S] [--budget-s T]\n"
       "               [--out DIR] [--chaos skip-drain-credit]\n"
       "               [--keep-going] [--no-shrink]\n"
+      "               [--flight-capacity N] [--trace-out FILE]\n"
+      "               [--metrics-out FILE]\n"
       "       sb_fuzz --replay FILE\n"
       "       sb_fuzz --replay-dir DIR\n"
       "       sb_fuzz --dump SEED FILE\n");
@@ -104,6 +120,18 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.keep_going = true;
     } else if (arg == "--no-shrink") {
       a.no_shrink = true;
+    } else if (arg == "--flight-capacity") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a.flight_capacity = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a.trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      a.metrics_out = v;
     } else {
       std::fprintf(stderr, "sb_fuzz: unknown argument %s\n", arg.c_str());
       return false;
@@ -137,6 +165,9 @@ int replay_dir(const std::string& dir) {
 }
 
 /// Shrinks a failing case and writes the repro; returns the repro path.
+/// The minimized case is then re-run with the flight recorder armed and the
+/// captured span ring lands next to the repro as <stem>.flight.json, so the
+/// dump always matches the case the repro file holds.
 std::string write_failure(const sb::check::FuzzCase& c, bool no_shrink,
                           const std::string& out_dir) {
   std::filesystem::create_directories(out_dir);
@@ -152,6 +183,21 @@ std::string write_failure(const sb::check::FuzzCase& c, bool no_shrink,
       out_dir + "/repro_seed" + std::to_string(c.seed) + ".json";
   sb::check::write_repro(minimized, path);
   std::printf("  repro written to %s\n", path.c_str());
+
+  sb::check::CheckOptions flight_opts;
+  flight_opts.capture_flight = true;
+  const sb::check::CheckResult rerun =
+      sb::check::run_case(minimized, flight_opts);
+  if (!rerun.flight.empty()) {
+    const std::string flight_path =
+        out_dir + "/repro_seed" + std::to_string(c.seed) + ".flight.json";
+    std::ofstream out(flight_path);
+    if (out) {
+      sb::obs::write_chrome_trace(out, rerun.flight);
+      std::printf("  flight recording written to %s (%zu spans)\n",
+                  flight_path.c_str(), rerun.flight.size());
+    }
+  }
   return path;
 }
 
@@ -209,12 +255,40 @@ int fuzz(const Args& a) {
 
 }  // namespace
 
+/// Exit-time observability dumps (run whatever way the tool exits normally).
+int finish(const Args& a, int code) {
+  if (!a.trace_out.empty()) {
+    std::uint64_t dropped = 0;
+    if (sb::obs::dump_chrome_trace(a.trace_out, &dropped)) {
+      std::printf("trace written to %s%s\n", a.trace_out.c_str(),
+                  dropped > 0 ? " (ring wrapped; oldest spans dropped)" : "");
+    } else {
+      std::fprintf(stderr, "sb_fuzz: cannot write %s\n", a.trace_out.c_str());
+    }
+  }
+  if (!a.metrics_out.empty()) {
+    std::ofstream out(a.metrics_out);
+    if (out) {
+      sb::obs::MetricsRegistry::global().snapshot().write_json(out);
+      std::printf("metrics written to %s\n", a.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "sb_fuzz: cannot write %s\n",
+                   a.metrics_out.c_str());
+    }
+  }
+  return code;
+}
+
 int main(int argc, char** argv) {
   Args a;
   if (!parse_args(argc, argv, a)) {
     usage();
     return 2;
   }
+  // Size the span ring before any span is recorded: this is the flight
+  // window each thread retains (see SpanRecorderOptions::ring_capacity).
+  sb::obs::SpanRecorder::global().configure(
+      {.enabled = true, .ring_capacity = a.flight_capacity});
   try {
     if (a.dump) {
       const sb::check::FuzzCase c =
@@ -225,9 +299,9 @@ int main(int argc, char** argv) {
                   c.describe().c_str(), a.dump_file.c_str());
       return 0;
     }
-    if (!a.replay.empty()) return replay_one(a.replay);
-    if (!a.replay_dir.empty()) return replay_dir(a.replay_dir);
-    return fuzz(a);
+    if (!a.replay.empty()) return finish(a, replay_one(a.replay));
+    if (!a.replay_dir.empty()) return finish(a, replay_dir(a.replay_dir));
+    return finish(a, fuzz(a));
   } catch (const sb::Error& e) {
     std::fprintf(stderr, "sb_fuzz: %s\n", e.what());
     return 2;
