@@ -1,0 +1,226 @@
+// Server packing (the intra-DC layer beneath the DC selector): replay the
+// same APAC trace window twice — once against the classic fungible per-DC
+// core pool, once against a packed media-server fleet sized from the
+// fungible run's realized per-DC peaks, with one deliberately undersized
+// straggler server per DC (the heterogeneity that makes bin packing
+// non-trivial). Mid-window the first DC's straggler fails, exercising the
+// drain_server tier ladder. The claims under test:
+//  - DC-level outcomes are unchanged: same calls, same drops, same mean ACL
+//    (packing nests *beneath* DC selection; it never overrides it);
+//  - the straggler's realized peak stays at its (small) capacity while its
+//    siblings absorb the rest — best-fit admits respect per-server bounds,
+//    with overcommit only as fail-open (counted);
+//  - at quiescence every server's occupancy returns to zero exactly.
+// A final defragmentation showcase freezes a batch of calls, ends
+// alternating ones to shred the free space, and runs defragment_dc — the
+// pack.repack spans land in --trace-out for Perfetto.
+//
+// Flags: --servers=4 --straggler=0.25 --headroom=1.15 --window_h=4
+//        --rate_scale=1.0 --outage_min=30 --trace-out=trace.json
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/realtime.h"
+#include "fault/fault_schedule.h"
+#include "fault/health_table.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
+#include "pack/packer.h"
+#include "sim/allocator.h"
+#include "sim/simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace sb;
+  const std::size_t servers = bench::arg_size(argc, argv, "servers", 4);
+  const double straggler = bench::arg_double(argc, argv, "straggler", 0.25);
+  const double headroom = bench::arg_double(argc, argv, "headroom", 1.15);
+  const double window_s =
+      bench::arg_double(argc, argv, "window_h", 4.0) * kSecondsPerHour;
+  const double rate_scale = bench::arg_double(argc, argv, "rate_scale", 1.0);
+  const double outage_s =
+      bench::arg_double(argc, argv, "outage_min", 30.0) * 60.0;
+  const std::string trace_out = bench::arg_string(argc, argv, "trace-out", "");
+  obs::SpanRecorder::global().set_enabled(!trace_out.empty());
+
+  ScenarioParams sp;
+  sp.rate_scale = rate_scale;
+  Scenario scenario = make_apac_scenario(sp);
+  const LoadModel loads = LoadModel::paper_default();
+  const EvalContext ctx{&scenario.world(), &scenario.topology(),
+                        &scenario.latency(), scenario.registry.get(), &loads};
+  const std::size_t dc_count = scenario.world().dc_count();
+  const std::size_t link_count = scenario.topology().links().size();
+
+  // A weekday daytime window (the plan day starts at kSecondsPerDay).
+  const double t0 = kSecondsPerDay + 9.0 * kSecondsPerHour;
+  const double t1 = t0 + window_s;
+  const CallRecordDatabase db = scenario.trace->generate(t0, t1);
+
+  // --- Fungible baseline: the pre-fleet world, plan-less selector. Must
+  // run before any server is registered (the world is mutated below).
+  Simulator sim(ctx);
+  RealtimeSelector fungible_selector(ctx, nullptr, {});
+  SwitchboardAllocator fungible_alloc(fungible_selector);
+  const SimReport fungible = sim.run(db, fungible_alloc, 300.0);
+
+  // --- Fleet: size each DC's servers from the fungible run's realized
+  // peak (headroom on top), one straggler getting `straggler` of an equal
+  // share — small enough that big calls cannot land there.
+  for (std::size_t x = 0; x < dc_count; ++x) {
+    const DcId dc(static_cast<std::uint32_t>(x));
+    const double peak = std::max(fungible.dc_peak_cores[x], 1.0);
+    const double total = peak * headroom;
+    const double equal = total / static_cast<double>(servers);
+    const double small = equal * straggler;
+    const double big = servers > 1
+                           ? (total - small) / static_cast<double>(servers - 1)
+                           : small;
+    for (std::size_t s = 0; s < servers; ++s) {
+      scenario.geo->world.add_server(
+          {scenario.world().datacenter(dc).name + "-ms" + std::to_string(s),
+           dc, s == 0 ? small : big});
+    }
+  }
+  const std::size_t server_count = scenario.world().server_count();
+
+  // --- Packed run: same trace, same DC-level policy, fleet beneath it.
+  // The first DC's straggler fails mid-window (drain_server tier ladder).
+  fault::HealthTable health(dc_count, link_count, server_count);
+  RealtimeSelector packed_selector(ctx, nullptr, {}, 0.0, &health);
+  SwitchboardAllocator packed_alloc(packed_selector, &health);
+  fault::FaultSchedule faults;
+  faults.fail_server(ServerId(0), t0 + window_s / 2.0, outage_s);
+  const SimReport packed = sim.run(db, packed_alloc, 300.0, &faults);
+
+  std::cout << "server packing: " << db.size() << " calls over "
+            << window_s / kSecondsPerHour << " h, " << servers
+            << " servers/DC (straggler x" << straggler << "), straggler of "
+            << scenario.world().datacenter(DcId(0)).name
+            << " down mid-window\n\n";
+
+  TextTable dc_table({"DC", "fungible peak", "fleet cores", "straggler cap",
+                      "straggler peak", "max server peak"});
+  for (std::size_t x = 0; x < dc_count; ++x) {
+    const DcId dc(static_cast<std::uint32_t>(x));
+    double fleet_cores = 0.0;
+    double straggler_cap = 0.0;
+    double straggler_peak = 0.0;
+    double max_peak = 0.0;
+    bool first = true;
+    for (const ServerId s : scenario.world().servers_in_dc(dc)) {
+      fleet_cores += scenario.world().server(s).cores;
+      max_peak = std::max(max_peak, packed.server_peak_cores[s.value()]);
+      if (first) {
+        straggler_cap = scenario.world().server(s).cores;
+        straggler_peak = packed.server_peak_cores[s.value()];
+        first = false;
+      }
+    }
+    dc_table.row()
+        .cell(scenario.world().datacenter(dc).name)
+        .cell(fungible.dc_peak_cores[x], 1)
+        .cell(fleet_cores, 1)
+        .cell(straggler_cap, 2)
+        .cell(straggler_peak, 2)
+        .cell(max_peak, 1);
+  }
+  std::cout << dc_table << "\n";
+
+  TextTable run_table({"scheme", "calls", "dropped", "moved", "mean ACL ms",
+                       "overcommit admits"});
+  run_table.row()
+      .cell("fungible")
+      .cell(fungible.calls)
+      .cell(fungible.dropped_calls)
+      .cell(fungible.failover_migrations)
+      .cell(fungible.mean_acl_ms, 2)
+      .cell(std::uint64_t{0});
+  const std::uint64_t overcommit =
+      packed_selector.packer()->overcommit_admits();
+  run_table.row()
+      .cell("packed")
+      .cell(packed.calls)
+      .cell(packed.dropped_calls)
+      .cell(packed.failover_migrations)
+      .cell(packed.mean_acl_ms, 2)
+      .cell(overcommit);
+  std::cout << run_table << "\n";
+
+  // Quiescence: the packer's cumulative counters must balance exactly.
+  std::int64_t leaked_mc = 0;
+  std::uint64_t admits = 0;
+  std::uint64_t releases = 0;
+  for (const pack::ServerStats& s : packed_selector.packer()->stats()) {
+    leaked_mc += s.admitted_mc - s.released_mc;
+    admits += s.admits;
+    releases += s.releases;
+  }
+  std::cout << "sb.pack.admits=" << admits << " sb.pack.releases=" << releases
+            << " leaked_mc=" << leaked_mc << "\n\n";
+
+  // --- Defragmentation showcase: freeze a batch at one instant, end
+  // alternating calls to shred the free space, then consolidate.
+  fault::HealthTable defrag_health(dc_count, link_count, server_count);
+  RealtimeSelector defrag_selector(ctx, nullptr, {}, 0.0, &defrag_health);
+  const std::size_t batch = std::min<std::size_t>(db.size(), 400);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const CallRecord& rec = db.records()[i];
+    defrag_selector.on_call_start(rec.id, rec.legs.front().location, 0.0);
+    defrag_selector.on_config_frozen(rec.id,
+                                     scenario.registry->get(rec.config), 300.0);
+  }
+  for (std::size_t i = 0; i < batch; i += 2) {
+    defrag_selector.on_call_end(db.records()[i].id, 400.0);
+  }
+  double frag_gain = 0.0;
+  std::size_t defrag_moves = 0;
+  TextTable defrag_table({"DC", "repack moves", "frag before", "frag after"});
+  for (std::size_t x = 0; x < dc_count; ++x) {
+    const DcId dc(static_cast<std::uint32_t>(x));
+    const pack::DefragResult r = defrag_selector.defragment_dc(dc);
+    defrag_table.row()
+        .cell(scenario.world().datacenter(dc).name)
+        .cell(static_cast<std::uint64_t>(r.moves.size()))
+        .cell(r.fragmentation_before, 3)
+        .cell(r.fragmentation_after, 3);
+    frag_gain =
+        std::max(frag_gain, r.fragmentation_before - r.fragmentation_after);
+    defrag_moves += r.moves.size();
+  }
+  std::cout << defrag_table << "\n";
+
+  bench::emit_json("sec_pack", "fungible.dropped_calls",
+                   static_cast<double>(fungible.dropped_calls));
+  bench::emit_json("sec_pack", "packed.dropped_calls",
+                   static_cast<double>(packed.dropped_calls));
+  bench::emit_json("sec_pack", "packed.failover_moves",
+                   static_cast<double>(packed.failover_migrations));
+  bench::emit_json("sec_pack", "acl_delta_ms",
+                   packed.mean_acl_ms - fungible.mean_acl_ms);
+  bench::emit_json("sec_pack", "packed.overcommit_admits",
+                   static_cast<double>(overcommit));
+  bench::emit_json("sec_pack", "packed.leaked_mc",
+                   static_cast<double>(leaked_mc));
+  double worst_straggler_ratio = 0.0;
+  for (std::size_t x = 0; x < dc_count; ++x) {
+    const ServerId s =
+        scenario.world().servers_in_dc(DcId(static_cast<std::uint32_t>(x)))
+            .front();
+    worst_straggler_ratio = std::max(
+        worst_straggler_ratio, packed.server_peak_cores[s.value()] /
+                                   std::max(scenario.world().server(s).cores,
+                                            1e-9));
+  }
+  bench::emit_json("sec_pack", "straggler_peak_over_capacity",
+                   worst_straggler_ratio);
+  bench::emit_json("sec_pack", "defrag.moves",
+                   static_cast<double>(defrag_moves));
+  bench::emit_json("sec_pack", "defrag.best_frag_gain", frag_gain);
+
+  if (!trace_out.empty() && obs::dump_chrome_trace(trace_out)) {
+    std::cout << "trace written to " << trace_out << "\n";
+  }
+  return 0;
+}

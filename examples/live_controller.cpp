@@ -9,9 +9,18 @@
 // provisioned backup capacity, and the report shows the failover migration
 // and drop counts plus the post-failure usage of the survivors.
 //
+// With --servers-per-dc=N each DC is split into a fleet of N media servers
+// and every frozen call is bin-packed onto one of them (the intra-DC
+// packing layer); the report grows a per-server table of realized peak vs
+// physical capacity vs the provisioner's per-server budget split.
+// --fail-server=DC-India-ms0 injects a single-server outage (reusing
+// --fail-at/--recover-after) and the drain_server tier ladder re-homes the
+// server's calls onto siblings before spilling cross-DC.
+//
 // Flags: --hours=4 --configs=30
 //        --fail-dc=Tokyo --fail-at=1.5 --recover-after=1
 //        (fail-at/recover-after in hours from the replay window start)
+//        --servers-per-dc=4 --server-cores=2 --fail-server=DC-India-ms0
 //        --trace-out=trace.json    Chrome trace-event span dump (Perfetto)
 //        --metrics-out=metrics.json  final MetricsRegistry snapshot
 #include <cstdlib>
@@ -21,6 +30,7 @@
 #include "common/table.h"
 #include "core/controller.h"
 #include "fault/fault_schedule.h"
+#include "geo/world_presets.h"
 #include "obs/snapshot.h"
 #include "obs/span.h"
 #include "obs/trace_export.h"
@@ -59,16 +69,37 @@ int main(int argc, char** argv) {
   const std::string fail_dc_name = string_flag(argc, argv, "fail-dc", "");
   const double fail_at_h = flag(argc, argv, "fail-at", 1.0);
   const double recover_after_h = flag(argc, argv, "recover-after", 1.0);
+  const auto servers_per_dc =
+      static_cast<std::size_t>(flag(argc, argv, "servers-per-dc", 0));
+  const double server_cores = flag(argc, argv, "server-cores", 2.0);
+  const std::string fail_server_name =
+      string_flag(argc, argv, "fail-server", "");
   const std::string trace_out = string_flag(argc, argv, "trace-out", "");
   const std::string metrics_out = string_flag(argc, argv, "metrics-out", "");
   // No trace requested -> don't pay for span recording at all.
   obs::SpanRecorder::global().set_enabled(!trace_out.empty());
 
   Scenario scenario = make_apac_scenario();
+  // The fleet must exist before the controller is built: the selector and
+  // its health table size themselves from the world's server registry.
+  if (servers_per_dc > 0) {
+    add_uniform_fleet(scenario.geo->world, servers_per_dc, server_cores);
+  }
   const LoadModel loads = LoadModel::paper_default();
   const EvalContext ctx{&scenario.world(), &scenario.topology(),
                         &scenario.latency(), scenario.registry.get(), &loads};
   const World& world = scenario.world();
+
+  ServerId fail_server;
+  if (!fail_server_name.empty()) {
+    const auto found = world.find_server(fail_server_name);
+    if (!found) {
+      std::cerr << "unknown --fail-server '" << fail_server_name
+                << "' (use --servers-per-dc=N; names are <DC>-ms<i>)\n";
+      return 1;
+    }
+    fail_server = *found;
+  }
 
   DcId fail_dc;
   if (!fail_dc_name.empty()) {
@@ -124,6 +155,14 @@ int main(int argc, char** argv) {
               << format_double(fail_at_h, 1) << " h for "
               << format_double(recover_after_h, 1) << " h)";
   }
+  if (fail_server.valid()) {
+    const SimTime fail_at = start + fail_at_h * kSecondsPerHour;
+    faults.fail_server(fail_server, fail_at,
+                       recover_after_h * kSecondsPerHour);
+    std::cout << " (failing server " << fail_server_name << " at +"
+              << format_double(fail_at_h, 1) << " h for "
+              << format_double(recover_after_h, 1) << " h)";
+  }
   std::cout << "...\n\n";
 
   ControllerAllocator allocator(controller);
@@ -143,7 +182,7 @@ int main(int argc, char** argv) {
       .cell("first joiner in majority country")
       .cell(format_double(100.0 * report.first_joiner_majority_fraction, 1) +
             "%");
-  if (fail_dc.valid()) {
+  if (fail_dc.valid() || fail_server.valid()) {
     table.row().cell("failover migrations").cell(report.failover_migrations);
     table.row().cell("dropped calls").cell(report.dropped_calls);
   }
@@ -165,6 +204,30 @@ int main(int argc, char** argv) {
                   : "n/a");
   }
   std::cout << usage;
+
+  if (world.server_count() > 0) {
+    print_banner(std::cout, "per-server packing (realized peak vs physical "
+                            "capacity vs provisioned budget split)");
+    TextTable fleet({"server", "realized cores", "capacity",
+                     "provisioned budget"});
+    for (ServerId s : world.server_ids()) {
+      const bool failed = s == fail_server;
+      fleet.row()
+          .cell(world.server(s).name +
+                (failed ? std::string(" (failed)") : std::string()))
+          .cell(report.server_peak_cores.empty()
+                    ? 0.0
+                    : report.server_peak_cores[s.value()],
+                2)
+          .cell(world.server(s).cores, 2)
+          .cell(provision.server_budget_cores.empty()
+                    ? 0.0
+                    : provision.server_budget_cores[s.value()],
+                2);
+    }
+    std::cout << fleet;
+  }
+
   std::cout << "\n(headroom is expected: capacity also covers the day's "
                "other peaks, failure scenarios, and the planning cushion; "
                "small negative headroom comes from long-tail configs the "

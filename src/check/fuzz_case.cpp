@@ -106,12 +106,27 @@ FuzzCall call_from_json(const Json& j) {
   return c;
 }
 
+Json server_to_json(const FuzzServer& s) {
+  Json::Object o;
+  o["dc"] = static_cast<std::uint64_t>(s.dc);
+  o["cores"] = s.cores;
+  return Json(std::move(o));
+}
+
+FuzzServer server_from_json(const Json& j) {
+  FuzzServer s;
+  s.dc = static_cast<std::uint32_t>(j.get("dc").as_u64());
+  s.cores = j.get("cores").as_number();
+  return s;
+}
+
 Json fault_to_json(const fault::FaultEvent& e) {
   Json::Object o;
   o["time"] = e.time;
   o["kind"] = static_cast<std::uint64_t>(e.kind);
-  o["index"] =
-      static_cast<std::uint64_t>(e.is_dc() ? e.dc.value() : e.link.value());
+  o["index"] = static_cast<std::uint64_t>(e.is_dc()       ? e.dc.value()
+                                          : e.is_server() ? e.server.value()
+                                                          : e.link.value());
   return Json(std::move(o));
 }
 
@@ -119,11 +134,13 @@ fault::FaultEvent fault_from_json(const Json& j) {
   fault::FaultEvent e;
   e.time = j.get("time").as_number();
   const std::uint64_t kind = j.get("kind").as_u64();
-  require(kind <= 3, "FaultEvent: bad kind");
+  require(kind <= 5, "FaultEvent: bad kind");
   e.kind = static_cast<fault::FaultEvent::Kind>(kind);
   const auto index = static_cast<std::uint32_t>(j.get("index").as_u64());
   if (e.is_dc()) {
     e.dc = DcId(index);
+  } else if (e.is_server()) {
+    e.server = ServerId(index);
   } else {
     e.link = LinkId(index);
   }
@@ -145,6 +162,7 @@ Json options_to_json(const FuzzOptions& o) {
   j["lp_method"] = o.lp_method;
   j["rebuild_storm"] = o.rebuild_storm;
   j["chaos_skip_drain_credit"] = o.chaos_skip_drain_credit;
+  j["chaos_skip_server_credit"] = o.chaos_skip_server_credit;
   return Json(std::move(j));
 }
 
@@ -164,6 +182,7 @@ FuzzOptions options_from_json(const Json& j) {
   o.lp_method = static_cast<int>(j.get("lp_method").as_i64());
   o.rebuild_storm = j.get_or("rebuild_storm", false);
   o.chaos_skip_drain_credit = j.get_or("chaos_skip_drain_credit", false);
+  o.chaos_skip_server_credit = j.get_or("chaos_skip_server_credit", false);
   return o;
 }
 
@@ -176,6 +195,21 @@ World build_world(const FuzzWorld& fw) {
     require(dc.location.valid() && dc.location.value() < fw.locations.size(),
             "FuzzCase: datacenter references unknown location");
     world.add_datacenter(dc);
+  }
+  if (!fw.servers.empty()) {
+    std::vector<std::uint8_t> covered(fw.dcs.size(), 0);
+    for (std::size_t s = 0; s < fw.servers.size(); ++s) {
+      const FuzzServer& srv = fw.servers[s];
+      require(srv.dc < fw.dcs.size(),
+              "FuzzCase: server references unknown DC");
+      require(srv.cores > 0.0, "FuzzCase: server cores");
+      covered[srv.dc] = 1;
+      world.add_server({fw.dcs[srv.dc].name + "-srv" + std::to_string(s),
+                        DcId(srv.dc), srv.cores});
+    }
+    for (std::size_t x = 0; x < covered.size(); ++x) {
+      require(covered[x] != 0, "FuzzCase: fleet does not cover every DC");
+    }
   }
   return world;
 }
@@ -226,6 +260,9 @@ fault::FaultSchedule build_faults(const FuzzCase& c) {
     if (e.is_dc()) {
       require(e.dc.valid() && e.dc.value() < c.world.dcs.size(),
               "FuzzCase: fault references unknown DC");
+    } else if (e.is_server()) {
+      require(e.server.valid() && e.server.value() < c.world.servers.size(),
+              "FuzzCase: fault references unknown server");
     } else {
       require(e.link.valid() && e.link.value() < c.world.links.size(),
               "FuzzCase: fault references unknown link");
@@ -263,6 +300,15 @@ Json FuzzCase::to_json() const {
   Json::Array links;
   for (const WanLink& l : world.links) links.push_back(link_to_json(l));
   world_obj["links"] = Json(std::move(links));
+  if (!world.servers.empty()) {
+    // Emitted only for fleet cases: a no-fleet case serializes byte-
+    // identically to the pre-fleet format.
+    Json::Array servers;
+    for (const FuzzServer& s : world.servers) {
+      servers.push_back(server_to_json(s));
+    }
+    world_obj["servers"] = Json(std::move(servers));
+  }
   root["world"] = Json(std::move(world_obj));
 
   Json::Array call_arr;
@@ -294,6 +340,11 @@ FuzzCase FuzzCase::from_json(const Json& j) {
   for (const Json& lj : world_obj.get("links").as_array()) {
     c.world.links.push_back(link_from_json(lj));
   }
+  if (const Json* servers = world_obj.find("servers")) {
+    for (const Json& sj : servers->as_array()) {
+      c.world.servers.push_back(server_from_json(sj));
+    }
+  }
 
   for (const Json& cj : j.get("calls").as_array()) {
     c.calls.push_back(call_from_json(cj));
@@ -308,11 +359,13 @@ FuzzCase FuzzCase::from_json(const Json& j) {
 std::string FuzzCase::describe() const {
   std::ostringstream os;
   os << "seed=" << seed << " locs=" << world.locations.size()
-     << " dcs=" << world.dcs.size() << " links=" << world.links.size()
-     << " calls=" << calls.size() << " faults=" << faults.size()
+     << " dcs=" << world.dcs.size() << " links=" << world.links.size();
+  if (!world.servers.empty()) os << " servers=" << world.servers.size();
+  os << " calls=" << calls.size() << " faults=" << faults.size()
      << (options.use_plan ? " plan" : " no-plan")
      << (options.rebuild_storm ? " storm" : "")
-     << (options.chaos_skip_drain_credit ? " chaos" : "");
+     << (options.chaos_skip_drain_credit ? " chaos" : "")
+     << (options.chaos_skip_server_credit ? " chaos-server" : "");
   return os.str();
 }
 

@@ -21,11 +21,21 @@
 
 namespace sb::check {
 
+/// One media server in a DC's fleet (name is regenerated, not serialized).
+struct FuzzServer {
+  std::uint32_t dc = 0;  ///< index into FuzzWorld::dcs
+  double cores = 0.0;
+};
+
 /// Serialized world: enough to rebuild World + Topology + LatencyMatrix.
+/// `servers` is optional (absent key in pre-fleet repro files); when
+/// non-empty it must cover every DC (the packed selector requires a fleet
+/// beneath each DC it can place on).
 struct FuzzWorld {
   std::vector<Location> locations;
   std::vector<Datacenter> dcs;
   std::vector<WanLink> links;  ///< name is regenerated, not serialized
+  std::vector<FuzzServer> servers;
 };
 
 /// One call, media carried inline so the config registry can be rebuilt
@@ -56,6 +66,10 @@ struct FuzzOptions {
   int lp_method = 0;             ///< lp::Method value
   bool rebuild_storm = false;    ///< post-sim plan-rebuild churn phase
   bool chaos_skip_drain_credit = false;  ///< mutation knob (oracle self-test)
+  /// Mutation knob: drain/re-home moves skip the packer release on the old
+  /// server, leaking per-server occupancy the per-server conservation
+  /// oracle must catch. Requires a fleet.
+  bool chaos_skip_server_credit = false;
 };
 
 /// A materialized case: the live objects a case deserializes into. Owned

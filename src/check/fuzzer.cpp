@@ -78,16 +78,55 @@ FuzzCase ScenarioFuzzer::generate(std::uint64_t seed) const {
                                 : static_cast<int>(lp::Method::kSparse);
   o.rebuild_storm = rng.chance(params_.rebuild_storm_prob);
   o.chaos_skip_drain_credit = params_.chaos_skip_drain_credit;
+  o.chaos_skip_server_credit = params_.chaos_skip_server_credit;
+
+  // Fleet: optionally split every DC into 2..4 media servers. Cores are at
+  // call-footprint scale (a 10-participant video call is ~0.3 cores) so
+  // packing pressure, overflow admits, and stragglers all actually occur.
+  // Three shapes: uniform, heterogeneous, and single-straggler (one server
+  // barely larger than the biggest call).
+  const bool with_fleet =
+      params_.chaos_skip_server_credit || rng.chance(params_.fleet_prob);
+  if (with_fleet) {
+    const std::size_t shape = rng.uniform_index(3);
+    for (std::uint32_t d = 0; d < c.world.dcs.size(); ++d) {
+      const auto n = static_cast<std::size_t>(rng.uniform_int(2, 4));
+      const std::size_t straggler = rng.uniform_index(n);
+      const double uniform_cores = rng.uniform(0.5, 2.0);
+      for (std::size_t s = 0; s < n; ++s) {
+        FuzzServer srv;
+        srv.dc = d;
+        switch (shape) {
+          case 0:
+            srv.cores = uniform_cores;
+            break;
+          case 1:
+            srv.cores = rng.uniform(0.4, 3.0);
+            break;
+          default:
+            srv.cores =
+                s == straggler ? rng.uniform(0.25, 0.5) : rng.uniform(1.5, 3.0);
+            break;
+        }
+        c.world.servers.push_back(srv);
+      }
+    }
+  }
 
   // Fault storm: outage pairs over the window; durations may straddle the
-  // window end (the up edge then lands after the last call event).
-  const auto outages = static_cast<std::size_t>(
+  // window end (the up edge then lands after the last call event). Fleet
+  // cases mix in single-server failures; the server-credit chaos knob needs
+  // at least one (the leak only manifests when a drain moves calls).
+  auto outages = static_cast<std::size_t>(
       rng.uniform_int(static_cast<std::int64_t>(params_.min_outages),
                       static_cast<std::int64_t>(params_.max_outages)));
+  if (params_.chaos_skip_server_credit && outages == 0) outages = 1;
   const double mean_outage_s = rng.uniform(180.0, 1200.0);
+  const double server_fraction =
+      params_.chaos_skip_server_credit ? 1.0 : params_.server_outage_fraction;
   const fault::FaultSchedule storm = fault::FaultSchedule::random(
       rng, c.world.dcs.size(), c.world.links.size(), outages, c.window_start_s,
-      c.window_end_s, mean_outage_s);
+      c.window_end_s, mean_outage_s, c.world.servers.size(), server_fraction);
   c.faults = storm.events();
 
   // Trace: materialize the call records and carry them as plain calls (the

@@ -36,6 +36,17 @@ struct FuzzerParams {
   /// Forces the drain-credit chaos knob on every generated case — used to
   /// prove the conservation oracle catches the bug class (sb_fuzz --chaos).
   bool chaos_skip_drain_credit = false;
+  /// Forces the server-credit chaos knob (and therefore a fleet plus at
+  /// least one server outage) on every generated case — proves the
+  /// per-server conservation oracle catches leaked packer occupancy.
+  bool chaos_skip_server_credit = false;
+  /// Probability a case splits each DC into a media-server fleet (uniform /
+  /// heterogeneous / single-straggler shapes). The rest keep the fungible
+  /// core-pool world so the no-fleet paths stay fuzzed too.
+  double fleet_prob = 0.5;
+  /// Of the fault-storm outages, the fraction drawn as single-server
+  /// failures instead of DC/link outages (fleet cases only).
+  double server_outage_fraction = 0.35;
 };
 
 class ScenarioFuzzer {

@@ -59,6 +59,12 @@ const Json& Json::get(const std::string& key) const {
   return it->second;
 }
 
+const Json* Json::find(const std::string& key) const {
+  const Object& obj = as_object();
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
 double Json::get_or(const std::string& key, double fallback) const {
   const Object& obj = as_object();
   const auto it = obj.find(key);

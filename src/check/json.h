@@ -70,6 +70,9 @@ class Json {
   [[nodiscard]] const Json& get(const std::string& key) const;
   [[nodiscard]] double get_or(const std::string& key, double fallback) const;
   [[nodiscard]] bool get_or(const std::string& key, bool fallback) const;
+  /// Null when the key is absent (for optional structures like the fleet
+  /// block — pre-fleet repro files simply lack the key).
+  [[nodiscard]] const Json* find(const std::string& key) const;
   Json& operator[](const std::string& key);
 
   /// Serializes this value. `indent` > 0 pretty-prints with that many

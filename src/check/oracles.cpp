@@ -16,6 +16,7 @@
 #include "core/provisioner.h"
 #include "fault/failover.h"
 #include "lp/solver.h"
+#include "pack/packer.h"
 #include "sim/allocator.h"
 
 namespace sb::check {
@@ -68,6 +69,7 @@ ControllerOptions controller_options(const FuzzOptions& o) {
   copts.realtime.freeze_delay_s = o.freeze_delay_s;
   copts.realtime.shard_count = o.shard_count;
   copts.realtime.chaos_skip_drain_credit = o.chaos_skip_drain_credit;
+  copts.realtime.chaos_skip_server_credit = o.chaos_skip_server_credit;
   return copts;
 }
 
@@ -76,6 +78,7 @@ RealtimeOptions realtime_options(const FuzzOptions& o) {
   ropts.freeze_delay_s = o.freeze_delay_s;
   ropts.shard_count = o.shard_count;
   ropts.chaos_skip_drain_credit = o.chaos_skip_drain_credit;
+  ropts.chaos_skip_server_credit = o.chaos_skip_server_credit;
   return ropts;
 }
 
@@ -97,7 +100,8 @@ class Exec {
       controller_alloc_ = std::make_unique<ControllerAllocator>(*sb_);
     } else {
       health_ = std::make_unique<fault::HealthTable>(m.world.dc_count(),
-                                                     m.topology.link_count());
+                                                     m.topology.link_count(),
+                                                     m.world.server_count());
       selector_ = std::make_unique<RealtimeSelector>(
           m.ctx(), nullptr, realtime_options(c.options), 0.0, health_.get());
       selector_alloc_ =
@@ -119,6 +123,10 @@ class Exec {
     return sb_ ? sb_->active_calls() : selector_->active_calls();
   }
   [[nodiscard]] Switchboard* controller() { return sb_.get(); }
+  /// Live packer (null without a fleet). Only meaningful at quiescence.
+  [[nodiscard]] const pack::ServerPacker* packer() const {
+    return sb_ ? sb_->packer() : selector_->packer();
+  }
 
  private:
   std::unique_ptr<Switchboard> sb_;
@@ -190,9 +198,10 @@ void exactly_once_oracle(const Materialized& m, const FuzzCase& c,
   const std::size_t n = m.db.size();
   // 0 = unseen, 1 = started, 2 = terminated.
   std::vector<std::uint8_t> state(n, 0);
-  bool dc_fault = false;
+  bool drop_fault = false;
   for (const fault::FaultEvent& e : c.faults) {
-    dc_fault |= e.kind == fault::FaultEvent::Kind::kDcDown;
+    drop_fault |= e.kind == fault::FaultEvent::Kind::kDcDown ||
+                  e.kind == fault::FaultEvent::Kind::kServerDown;
   }
   for (const HostingEvent& e : log.events) {
     if (e.record >= n) {
@@ -212,6 +221,7 @@ void exactly_once_oracle(const Materialized& m, const FuzzCase& c,
         s = 1;
         break;
       case HostingEvent::Kind::kMove:
+      case HostingEvent::Kind::kPack:
         if (s != 1) {
           fail(out, "exactly-once",
                "record " + std::to_string(e.record) +
@@ -220,10 +230,10 @@ void exactly_once_oracle(const Materialized& m, const FuzzCase& c,
         }
         break;
       case HostingEvent::Kind::kDrop:
-        if (!dc_fault) {
+        if (!drop_fault) {
           fail(out, "exactly-once",
                "record " + std::to_string(e.record) +
-                   " dropped with no DC outage in the schedule");
+                   " dropped with no DC or server outage in the schedule");
           return;
         }
         [[fallthrough]];
@@ -332,6 +342,67 @@ void conservation_oracle(const Exec& exec, const SimReport& rep,
             ", simulator reports " + std::to_string(rep.failover_migrations));
 }
 
+/// Per-server conservation (fleet cases only): the packer's cumulative
+/// atomic admit/release counters must equal an exact integer recount from
+/// the hosting log, every server's occupancy must be zero at quiescence,
+/// and per-DC occupancy must equal the sum over the DC's servers. This is
+/// the oracle the chaos_skip_server_credit knob provably trips (a skipped
+/// release leaves released_mc short and occupancy non-zero forever).
+void server_conservation_oracle(const Exec& exec, const Materialized& m,
+                                const HostingLog& log,
+                                std::vector<OracleFailure>& out) {
+  const pack::ServerPacker* packer = exec.packer();
+  if (packer == nullptr) return;
+  const std::vector<pack::ServerStats> stats = packer->stats();
+  const std::vector<ServerTotals> want = recount_server_totals(m, log);
+  if (stats.size() != want.size()) {
+    fail(out, "server-conservation",
+         "packer tracks " + std::to_string(stats.size()) +
+             " servers, world has " + std::to_string(want.size()));
+    return;
+  }
+  for (std::size_t s = 0; s < stats.size(); ++s) {
+    if (stats[s].admitted_mc != want[s].admitted_mc) {
+      std::ostringstream os;
+      os << "server " << s << " packer admitted " << stats[s].admitted_mc
+         << " mc, hosting-log recount " << want[s].admitted_mc;
+      fail(out, "server-conservation", os.str());
+      return;
+    }
+    if (stats[s].released_mc != want[s].released_mc) {
+      std::ostringstream os;
+      os << "server " << s << " packer released " << stats[s].released_mc
+         << " mc, hosting-log recount " << want[s].released_mc;
+      fail(out, "server-conservation", os.str());
+      return;
+    }
+    if (stats[s].admitted_mc != stats[s].released_mc) {
+      std::ostringstream os;
+      os << "server " << s << " occupancy "
+         << (stats[s].admitted_mc - stats[s].released_mc)
+         << " mc at quiescence (admitted " << stats[s].admitted_mc
+         << ", released " << stats[s].released_mc << ")";
+      fail(out, "server-conservation", os.str());
+      return;
+    }
+  }
+  for (std::uint32_t x = 0; x < m.world.dc_count(); ++x) {
+    const DcId dc(x);
+    std::int64_t fleet_mc = 0;
+    for (ServerId sid : packer->fleet(dc)) {
+      fleet_mc += pack::to_millicores(packer->server_cores_used(sid));
+    }
+    const std::int64_t dc_mc = pack::to_millicores(packer->dc_cores_used(dc));
+    if (fleet_mc != dc_mc) {
+      std::ostringstream os;
+      os << "dc " << x << " occupancy " << dc_mc
+         << " mc != sum over its servers " << fleet_mc;
+      fail(out, "server-conservation", os.str());
+      return;
+    }
+  }
+}
+
 /// Compares the report's bucket series against the independent recount.
 void recount_oracle(const Materialized& m, const FuzzCase& c,
                     const SimReport& rep, const HostingLog& log,
@@ -386,7 +457,7 @@ bool logs_equal(const HostingLog& a, const HostingLog& b) {
     const HostingEvent& x = a.events[i];
     const HostingEvent& y = b.events[i];
     if (x.record != y.record || x.time != y.time || x.kind != y.kind ||
-        x.dc != y.dc) {
+        x.dc != y.dc || x.server != y.server) {
       return false;
     }
   }
@@ -613,6 +684,8 @@ std::vector<std::vector<double>> recount_dc_buckets(
             add_delta(he.time, dc, -cores_pp(media) * joined);
             active = false;
             break;
+          case HostingEvent::Kind::kPack:
+            break;  // intra-DC packing; DC-level load is unchanged
         }
       } else if (ev.kind == 1) {
         if (!active) continue;  // call already dropped/ended
@@ -630,6 +703,52 @@ std::vector<std::vector<double>> recount_dc_buckets(
     for (std::size_t b = 1; b < row.size(); ++b) row[b] += row[b - 1];
   }
   return series;
+}
+
+std::vector<ServerTotals> recount_server_totals(const Materialized& m,
+                                                const HostingLog& log) {
+  std::vector<ServerTotals> totals(m.world.server_count());
+  const auto& records = m.db.records();
+  // Current packed server per record. Events of one record appear in replay
+  // order in the log (different records interleave, but server accounting
+  // is per-record independent), so one forward pass suffices.
+  std::vector<ServerId> current(records.size());
+  for (const HostingEvent& e : log.events) {
+    require(e.record < records.size(),
+            "recount_server_totals: hosting event references unknown record");
+    ServerId& cur = current[e.record];
+    if (e.kind == HostingEvent::Kind::kStart) continue;
+    if (!cur.valid() && !e.server.valid()) continue;
+    const CallRecord& rec = records[e.record];
+    const CallConfig& config = m.registry.get(rec.config);
+    // The packer's unit: the static frozen footprint, quantized through the
+    // same to_millicores the packer uses — comparisons are exact integers.
+    const std::int64_t fp = pack::to_millicores(
+        config.total_participants() *
+        m.loads.cores_per_participant(config.media()));
+    switch (e.kind) {
+      case HostingEvent::Kind::kPack:
+      case HostingEvent::Kind::kMove:
+        if (e.server == cur) break;
+        if (cur.valid()) totals[cur.value()].released_mc += fp;
+        if (e.server.valid()) {
+          require(e.server.value() < totals.size(),
+                  "recount_server_totals: hosting event references unknown "
+                  "server");
+          totals[e.server.value()].admitted_mc += fp;
+        }
+        cur = e.server;
+        break;
+      case HostingEvent::Kind::kDrop:
+      case HostingEvent::Kind::kEnd:
+        if (cur.valid()) totals[cur.value()].released_mc += fp;
+        cur = ServerId();
+        break;
+      case HostingEvent::Kind::kStart:
+        break;  // handled above
+    }
+  }
+  return totals;
 }
 
 std::string CheckResult::summary() const {
@@ -698,6 +817,7 @@ CheckResult run_case(const FuzzCase& c, const CheckOptions& opts) {
     exactly_once_oracle(m, c, log, res.failures);
     conservation_oracle(ref, rep, m.db.size(), res.failures);
     recount_oracle(m, c, rep, log, "recount", res.failures);
+    server_conservation_oracle(ref, m, log, res.failures);
     down_dc_oracle(m, c, log, res.failures);
 
     // Determinism: a fresh sequential run must be bit-identical.
@@ -733,10 +853,18 @@ CheckResult run_case(const FuzzCase& c, const CheckOptions& opts) {
              "concurrent run replayed " + std::to_string(crep.calls) +
                  " calls, sequential " + std::to_string(rep.calls));
       }
-      if (!c.options.use_plan) {
+      bool server_outage = false;
+      for (const fault::FaultEvent& e : c.faults) {
+        server_outage |= e.kind == fault::FaultEvent::Kind::kServerDown;
+      }
+      if (!c.options.use_plan &&
+          !(server_outage && m.world.server_count() > 0)) {
         // Plan-less decisions are per-call pure functions of health state,
         // so the two drivers must agree exactly on outcomes (buckets only
-        // up to summation order).
+        // up to summation order). A server outage breaks this: which server
+        // hosts a call depends on packer CAS interleaving, so a server
+        // drain's spill/drop choices legitimately differ across drivers —
+        // those cases are still covered by the per-run oracles below.
         if (crep.frozen != rep.frozen || crep.migrations != rep.migrations ||
             crep.dropped_calls != rep.dropped_calls ||
             crep.failover_migrations != rep.failover_migrations) {
@@ -757,6 +885,7 @@ CheckResult run_case(const FuzzCase& c, const CheckOptions& opts) {
       exactly_once_oracle(m, c, clog, res.failures);
       conservation_oracle(conc, crep, m.db.size(), res.failures);
       recount_oracle(m, c, crep, clog, "recount-concurrent", res.failures);
+      server_conservation_oracle(conc, m, clog, res.failures);
       down_dc_oracle(m, c, clog, res.failures);
     }
 

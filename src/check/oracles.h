@@ -8,6 +8,11 @@
 //   - conservation: at quiescence the selector holds zero calls and zero
 //     plan slots and slot debits == credits (this is the oracle the
 //     chaos_skip_drain_credit knob provably trips);
+//   - server-conservation (fleet cases): a single-threaded recount of
+//     per-server admitted/released millicores from the hosting log equals
+//     the packer's cumulative atomic counters exactly, every server's
+//     occupancy is zero at quiescence, and per-DC totals equal the sum
+//     over the DC's servers (the oracle chaos_skip_server_credit trips);
 //   - recount: the report's per-DC bucket series equals an independent
 //     single-threaded recount from the hosting log;
 //   - down-dc: no hosting decision lands on a failed DC while another is up;
@@ -86,5 +91,20 @@ struct CheckOptions {
 [[nodiscard]] std::vector<std::vector<double>> recount_dc_buckets(
     const Materialized& m, const HostingLog& log, double bucket_s,
     std::size_t bucket_count);
+
+/// Cumulative admitted/released millicores one server should have seen.
+struct ServerTotals {
+  std::int64_t admitted_mc = 0;
+  std::int64_t released_mc = 0;
+};
+
+/// Independent single-threaded recount of per-server packer totals from a
+/// hosting log: each record's static frozen footprint (config participants
+/// x per-participant cores, quantized through pack::to_millicores — the
+/// packer's own unit) is admitted at its kPack/kMove events and released at
+/// server changes and kDrop/kEnd. Indexed by global ServerId; exposed so
+/// check_test can tamper with a log and watch the oracle trip.
+[[nodiscard]] std::vector<ServerTotals> recount_server_totals(
+    const Materialized& m, const HostingLog& log);
 
 }  // namespace sb::check

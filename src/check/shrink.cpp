@@ -1,6 +1,7 @@
 #include "check/shrink.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/error.h"
 
@@ -83,10 +84,36 @@ class Shrinker {
     return progress;
   }
 
+  /// Drops the servers whose index in `c.world.servers` is marked in
+  /// `remove`, renumbering the global ServerId space and rewriting server
+  /// fault events (events on a removed server are dropped).
+  static void erase_servers(FuzzCase& c, const std::vector<bool>& remove) {
+    std::vector<std::size_t> remap(c.world.servers.size(), 0);
+    std::vector<FuzzServer> kept_servers;
+    kept_servers.reserve(c.world.servers.size());
+    for (std::size_t s = 0; s < c.world.servers.size(); ++s) {
+      remap[s] = remove[s] ? SIZE_MAX : kept_servers.size();
+      if (!remove[s]) kept_servers.push_back(c.world.servers[s]);
+    }
+    c.world.servers = std::move(kept_servers);
+    std::vector<fault::FaultEvent> kept;
+    kept.reserve(c.faults.size());
+    for (fault::FaultEvent e : c.faults) {
+      if (e.is_server()) {
+        if (remap[e.server.value()] == SIZE_MAX) continue;
+        e.server = ServerId(static_cast<std::uint32_t>(remap[e.server.value()]));
+      }
+      kept.push_back(e);
+    }
+    c.faults = std::move(kept);
+  }
+
   /// Pass 3: remove whole DCs (keeping at least one), renumbering every
-  /// DcId above the removed index and dropping that DC's fault events.
-  /// Worlds whose provisioning becomes infeasible are rejected by the
-  /// predicate (run_case reports a skip, not the target oracle).
+  /// DcId above the removed index and dropping that DC's fault events plus
+  /// its fleet (server indices are global, so the whole server space is
+  /// renumbered too). Worlds whose provisioning becomes infeasible are
+  /// rejected by the predicate (run_case reports a skip, not the target
+  /// oracle).
   bool shrink_dcs() {
     bool progress = false;
     for (std::size_t d = 0; best_.world.dcs.size() > 1 &&
@@ -104,10 +131,45 @@ class Shrinker {
         kept.push_back(e);
       }
       candidate.faults = std::move(kept);
+      std::vector<bool> remove(candidate.world.servers.size(), false);
+      for (std::size_t s = 0; s < candidate.world.servers.size(); ++s) {
+        remove[s] = candidate.world.servers[s].dc == d;
+      }
+      erase_servers(candidate, remove);
+      for (FuzzServer& srv : candidate.world.servers) {
+        if (srv.dc > d) --srv.dc;
+      }
       if (accept(candidate)) {
         progress = true;
       } else {
         ++d;
+      }
+    }
+    return progress;
+  }
+
+  /// Pass 3b: remove individual media servers, keeping at least one per DC
+  /// (a fleet world must cover every DC). Shrinks straggler repros down to
+  /// the one server that matters.
+  bool shrink_servers() {
+    bool progress = false;
+    for (std::size_t s = 0; s < best_.world.servers.size();) {
+      std::size_t siblings = 0;
+      for (const FuzzServer& other : best_.world.servers) {
+        siblings += other.dc == best_.world.servers[s].dc ? 1 : 0;
+      }
+      if (siblings <= 1) {
+        ++s;
+        continue;
+      }
+      FuzzCase candidate = best_;
+      std::vector<bool> remove(candidate.world.servers.size(), false);
+      remove[s] = true;
+      erase_servers(candidate, remove);
+      if (accept(candidate)) {
+        progress = true;
+      } else {
+        ++s;
       }
     }
     return progress;
@@ -149,6 +211,7 @@ ShrinkResult shrink_case(const FuzzCase& failing,
     progress |= s.shrink_calls();
     progress |= s.shrink_faults();
     progress |= s.shrink_dcs();
+    progress |= s.shrink_servers();
     progress |= s.shrink_window();
     if (!progress) break;
   }

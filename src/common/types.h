@@ -45,9 +45,12 @@ struct LocationTag {};
 struct LinkTag {};
 struct ConfigTag {};
 struct CallTag {};
+struct ServerTag {};
 
 /// Datacenter index within a World.
 using DcId = StrongId<DcTag>;
+/// Media-server index within a World's fleet (global, not per-DC).
+using ServerId = StrongId<ServerTag>;
 /// Participant location (country) index within a World.
 using LocationId = StrongId<LocationTag>;
 /// WAN link index within a Topology.

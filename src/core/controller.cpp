@@ -42,8 +42,13 @@ Switchboard::Metrics::Metrics()
       // Outage durations span seconds to days; the default 100 s ceiling
       // would shove every realistic outage into the overflow bucket.
       recovery_s(obs::MetricsRegistry::global().histogram(
-          "sb.fault.recovery_s", {.min = 1.0, .max = 1e6, .bucket_count = 60})) {
-}
+          "sb.fault.recovery_s", {.min = 1.0, .max = 1e6, .bucket_count = 60})),
+      server_failures(
+          obs::MetricsRegistry::global().counter("sb.pack.server_failures")),
+      server_recoveries(
+          obs::MetricsRegistry::global().counter("sb.pack.server_recoveries")),
+      defrag_moves(
+          obs::MetricsRegistry::global().counter("sb.pack.defrag_moves")) {}
 
 Switchboard::Switchboard(EvalContext ctx, ControllerOptions options)
     : ctx_(ctx), options_(options) {
@@ -51,7 +56,8 @@ Switchboard::Switchboard(EvalContext ctx, ControllerOptions options)
               ctx_.loads,
           "Switchboard: incomplete context");
   health_ = std::make_unique<fault::HealthTable>(ctx_.world->dc_count(),
-                                                 ctx_.topology->link_count());
+                                                 ctx_.topology->link_count(),
+                                                 ctx_.world->server_count());
   dc_fail_time_.assign(ctx_.world->dc_count(), -1.0);
   // Realtime service is available before any plan exists: the selector then
   // runs pure closest-DC assignment.
@@ -233,6 +239,77 @@ void Switchboard::link_recovered(LinkId link, SimTime /*now*/) {
           "link_recovered: bad link");
   health_->set_link(link, true);
   metrics_.link_recoveries.inc();
+}
+
+fault::FailoverOutcome Switchboard::server_failed(ServerId server,
+                                                  SimTime now) {
+  require(server.valid() && server.value() < ctx_.world->server_count(),
+          "server_failed: bad server");
+  obs::Span span("ctl.server_failed", obs::Subsystem::kController, now);
+  span.attr(obs::AttrKey::kServer,
+            static_cast<std::int64_t>(server.value()));
+  obs::ScopedTimer timer(metrics_.drain_s);
+  metrics_.server_failures.inc();
+  // Down before draining, mirroring dc_failed: the packer's best-fit scan
+  // consults the same health table, so no new admit lands on this server
+  // behind the drain.
+  health_->set_server(server, false);
+  std::vector<double> budget;
+  fault::FailoverOutcome outcome;
+  {
+    std::shared_lock lock(swap_mutex_);
+    if (provision_result_.has_value()) {
+      const CapacityPlan& cap = provision_result_->capacity;
+      budget.reserve(ctx_.world->dc_count());
+      for (std::size_t x = 0; x < ctx_.world->dc_count(); ++x) {
+        budget.push_back(
+            cap.dc_total_cores(DcId(static_cast<std::uint32_t>(x))));
+      }
+    }
+    outcome = selector_->drain_server(server, now, budget,
+                                      options_.failover.drain_batch);
+  }
+  if (store_) {
+    for (const fault::FailoverMove& m : outcome.moved) {
+      store_->set("call:" + std::to_string(m.call.value()) + ":dc",
+                  std::to_string(m.to.value()));
+    }
+    for (CallId c : outcome.dropped) {
+      store_->erase("call:" + std::to_string(c.value()) + ":dc");
+    }
+  }
+  metrics_.failover_migrations.inc(outcome.moved.size());
+  metrics_.dropped_calls.inc(outcome.dropped.size());
+  span.attr(obs::AttrKey::kMoved,
+            static_cast<std::int64_t>(outcome.moved.size()));
+  span.attr(obs::AttrKey::kDropped,
+            static_cast<std::int64_t>(outcome.dropped.size()));
+  return outcome;
+}
+
+void Switchboard::server_recovered(ServerId server, SimTime now) {
+  require(server.valid() && server.value() < ctx_.world->server_count(),
+          "server_recovered: bad server");
+  obs::Span span("ctl.server_recovered", obs::Subsystem::kController, now);
+  span.attr(obs::AttrKey::kServer,
+            static_cast<std::int64_t>(server.value()));
+  health_->set_server(server, true);
+  metrics_.server_recoveries.inc();
+}
+
+pack::DefragResult Switchboard::defragment_dc(DcId dc,
+                                              std::size_t max_moves) {
+  pack::DefragResult result;
+  {
+    std::shared_lock lock(swap_mutex_);
+    result = selector_->defragment_dc(dc, max_moves);
+  }
+  if (store_) {
+    // Defrag never changes a call's DC, so call:*:dc entries are already
+    // correct; nothing to rewrite.
+  }
+  metrics_.defrag_moves.inc(result.moves.size());
+  return result;
 }
 
 RealtimeSelector::Stats Switchboard::realtime_stats() const {

@@ -86,6 +86,20 @@ class Switchboard {
   /// path from the first joiner crosses a down link); no drain.
   void link_failed(LinkId link, SimTime now);
   void link_recovered(LinkId link, SimTime now);
+  /// Media-server faults (DESIGN.md "Server packing layer"): server_failed
+  /// marks the server down, then drains its calls tier by tier — bounded
+  /// re-pack onto up siblings first (DC quota untouched), then the cross-DC
+  /// quota/backup tiers a DC drain uses, then overcommit onto the least
+  /// loaded up sibling, dropping only when every tier is exhausted. Only
+  /// valid when the World has a fleet.
+  fault::FailoverOutcome server_failed(ServerId server, SimTime now);
+  /// Marks the server healthy; calls drift back on future admits (sticky,
+  /// like dc_recovered). Runs no migration.
+  void server_recovered(ServerId server, SimTime now);
+  /// Intra-DC defragmentation pass (offline best-fit-decreasing re-pack of
+  /// `dc`'s calls, applied move by move under the shard locks). No-op
+  /// without a fleet.
+  pack::DefragResult defragment_dc(DcId dc, std::size_t max_moves = 1024);
   /// Lock-free availability table consulted by the realtime hot path; the
   /// simulator's fault weaving reads it too.
   [[nodiscard]] const fault::HealthTable& health() const { return *health_; }
@@ -102,6 +116,13 @@ class Switchboard {
   }
   [[nodiscard]] double freeze_delay_s() const {
     return options_.realtime.freeze_delay_s;
+  }
+  /// Live packer of the current selector, or null without a fleet. The
+  /// pointer is invalidated by the next plan rebuild — snapshot stats, do
+  /// not hold it across build_allocation_plan().
+  [[nodiscard]] const pack::ServerPacker* packer() const {
+    std::shared_lock lock(swap_mutex_);
+    return selector_->packer();
   }
 
   /// Attaches a state store; subsequent realtime events persist call state
@@ -130,6 +151,9 @@ class Switchboard {
     obs::Counter& dropped_calls;
     obs::Histogram& drain_s;
     obs::Histogram& recovery_s;
+    obs::Counter& server_failures;
+    obs::Counter& server_recoveries;
+    obs::Counter& defrag_moves;
     Metrics();
   };
 

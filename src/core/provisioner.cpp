@@ -66,6 +66,31 @@ std::vector<ConfigPlan> build_config_plans(const DemandMatrix& demand,
   return plans;
 }
 
+/// Splits each DC's provisioned serving+backup cores across its fleet
+/// proportional to server capacity (ProvisionResult::server_budget_cores).
+/// Empty when the World has no fleet.
+std::vector<double> split_server_budgets(const World& world,
+                                         const CapacityPlan& capacity) {
+  std::vector<double> budgets;
+  if (world.server_count() == 0) return budgets;
+  budgets.assign(world.server_count(), 0.0);
+  for (std::size_t x = 0; x < world.dc_count(); ++x) {
+    const DcId dc(static_cast<std::uint32_t>(x));
+    const std::vector<ServerId>& fleet = world.servers_in_dc(dc);
+    if (fleet.empty()) continue;
+    double fleet_cores = 0.0;
+    for (ServerId sid : fleet) fleet_cores += world.server(sid).cores;
+    const double total = capacity.dc_total_cores(dc);
+    for (ServerId sid : fleet) {
+      budgets[sid.value()] =
+          fleet_cores > 0.0
+              ? total * world.server(sid).cores / fleet_cores
+              : total / static_cast<double>(fleet.size());
+    }
+  }
+  return budgets;
+}
+
 }  // namespace
 
 SwitchboardProvisioner::SwitchboardProvisioner(EvalContext ctx,
@@ -419,6 +444,7 @@ ProvisionResult SwitchboardProvisioner::provision_joint(
   ProvisionResult result{CapacityPlan::zeros(world, topo),
                          PlacementMatrix(slots, config_count, world.dc_count()),
                          0.0,
+                         {},
                          {}};
   CapacityPlan combined = CapacityPlan::zeros(world, topo);
   for (std::size_t x = 0; x < world.dc_count(); ++x) {
@@ -474,6 +500,7 @@ ProvisionResult SwitchboardProvisioner::provision_joint(
   }
   result.capacity.link_gbps = combined.link_gbps;
   result.mean_acl_ms = mean_acl_ms(result.base_placement, demand, ctx_);
+  result.server_budget_cores = split_server_budgets(world, result.capacity);
   return result;
 }
 
@@ -504,6 +531,7 @@ ProvisionResult SwitchboardProvisioner::provision(
                                          demand.config_count(),
                                          world.dc_count()),
                          0.0,
+                         {},
                          {}};
   CapacityPlan combined = CapacityPlan::zeros(world, topo);
   CapacityPlan serving = combined;
@@ -627,6 +655,7 @@ ProvisionResult SwitchboardProvisioner::provision(
   }
 
   result.mean_acl_ms = mean_acl_ms(result.base_placement, demand, ctx_);
+  result.server_budget_cores = split_server_budgets(world, result.capacity);
   return result;
 }
 

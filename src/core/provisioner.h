@@ -109,6 +109,12 @@ struct ProvisionResult {
   /// Call-weighted mean ACL of the no-failure placement.
   double mean_acl_ms = 0.0;
   std::vector<ScenarioOutcome> scenarios;
+  /// Per-media-server core budget, indexed by global ServerId: each DC's
+  /// provisioned serving+backup cores split across its fleet proportional
+  /// to server capacity. Empty when the World has no fleet. The intra-DC
+  /// packer enforces physical capacity itself; these budgets are the
+  /// offline sizing signal (benches and capacity reports consume them).
+  std::vector<double> server_budget_cores;
 };
 
 /// Builds and solves the provisioning LPs. The EvalContext members must

@@ -35,6 +35,21 @@ RealtimeSelector::RealtimeSelector(EvalContext ctx, const AllocationPlan* plan,
   for (std::size_t x = 0; x < all_dcs_.size(); ++x) {
     dc_cores_[x].store(0.0, std::memory_order_relaxed);
   }
+  if (ctx_.world->server_count() > 0) {
+    for (DcId dc : all_dcs_) {
+      require(!ctx_.world->servers_in_dc(dc).empty(),
+              "RealtimeSelector: fleet must cover every DC");
+    }
+    // The health table only covers servers when its owner sized it for this
+    // world; a mismatched table (e.g. a pre-fleet controller) is ignored.
+    const fault::HealthTable* server_health =
+        health_ != nullptr &&
+                health_->server_count() == ctx_.world->server_count()
+            ? health_
+            : nullptr;
+    packer_ = std::make_unique<pack::ServerPacker>(*ctx_.world, options_.pack,
+                                                   server_health);
+  }
 }
 
 bool RealtimeSelector::try_debit(std::size_t col, DcId dc,
@@ -56,6 +71,12 @@ void RealtimeSelector::add_cores(DcId dc, double cores) {
   if (cores != 0.0) {
     dc_cores_[dc.value()].fetch_add(cores, std::memory_order_relaxed);
   }
+}
+
+ServerId RealtimeSelector::pack_admit(DcId dc, double cores,
+                                      std::uint32_t* retries) {
+  if (!packer_) return ServerId();
+  return packer_->admit(dc, cores, ServerId(), retries);
 }
 
 double RealtimeSelector::dc_cores_used(DcId dc) const {
@@ -120,7 +141,9 @@ DcId RealtimeSelector::on_call_start(CallId call, LocationId first_joiner,
   {
     std::lock_guard lock(s.mutex);
     const auto [it, inserted] =
-        s.calls.emplace(call, ActiveCall{dc, first_joiner});
+        s.calls.emplace(call,
+                        ActiveCall{dc, first_joiner, AllocationPlan::npos,
+                                   false, DcId(), 0.0, ServerId()});
     require(inserted, "on_call_start: duplicate call id");
   }
   shard_stats(call).calls_started.fetch_add(1, std::memory_order_relaxed);
@@ -154,7 +177,8 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
                 ctx_.loads->cores_per_participant(config.media());
   const bool faulted = degraded();
 
-  FreezeResult result{state.dc, false, col != AllocationPlan::npos};
+  FreezeResult result{state.dc, false, col != AllocationPlan::npos,
+                      ServerId()};
   if (!result.planned) {
     // §5.4: unanticipated config -> its closest (min ACL) DC, restricted to
     // surviving DCs while a fault is active.
@@ -178,7 +202,13 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
     state.cores = call_cores;
     add_cores(target, call_cores);
     result.dc = target;
+    state.server = pack_admit(target, call_cores, &cas_retries);
+    result.server = state.server;
     span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(target.value()));
+    if (state.server.valid()) {
+      span.attr(obs::AttrKey::kServer,
+                static_cast<std::int64_t>(state.server.value()));
+    }
     return result;
   }
 
@@ -193,6 +223,8 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
     state.slot_dc = state.dc;
     state.cores = call_cores;
     add_cores(state.dc, call_cores);
+    state.server = pack_admit(state.dc, call_cores, &cas_retries);
+    result.server = state.server;
     span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(state.dc.value()));
     span.attr(obs::AttrKey::kCasRetries, cas_retries);
     return result;
@@ -235,6 +267,8 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
       }
       state.cores = call_cores;
       add_cores(state.dc, call_cores);
+      state.server = pack_admit(state.dc, call_cores, &cas_retries);
+      result.server = state.server;
       span.attr(obs::AttrKey::kDc,
                 static_cast<std::int64_t>(state.dc.value()));
       span.attr(obs::AttrKey::kCasRetries, cas_retries);
@@ -258,6 +292,8 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
   }
   state.cores = call_cores;
   add_cores(state.dc, call_cores);
+  state.server = pack_admit(state.dc, call_cores, &cas_retries);
+  result.server = state.server;
   span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(state.dc.value()));
   span.attr(obs::AttrKey::kCasRetries, cas_retries);
   return result;
@@ -282,17 +318,48 @@ void RealtimeSelector::on_call_end(CallId call, SimTime now) {
   }
   span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(state.dc.value()));
   add_cores(state.dc, -state.cores);
+  if (packer_ && state.server.valid()) {
+    packer_->release(state.server, state.cores);
+  }
   s.calls.erase(it);
 }
 
-bool RealtimeSelector::rehome(CallId call, ActiveCall& state, DcId failed,
-                              SimTime now, const std::vector<double>& budget,
-                              fault::FailoverOutcome& out) {
+void RealtimeSelector::drop_call(CallId call, ActiveCall& state,
+                                 fault::FailoverOutcome& out) {
+  if (state.holds_slot) {
+    // Credit the slot so the quota table stays conserved; the caller erases
+    // the call state.
+    usage(state.plan_col, state.slot_dc)
+        .fetch_sub(1, std::memory_order_acq_rel);
+    shard_stats(call).slot_credits.fetch_add(1, std::memory_order_relaxed);
+  }
+  add_cores(state.dc, -state.cores);
+  if (packer_ && state.server.valid()) {
+    packer_->release(state.server, state.cores);
+  }
+  out.dropped.push_back(call);
+}
+
+bool RealtimeSelector::rehome_move(CallId call, ActiveCall& state,
+                                   DcId failed, SimTime now,
+                                   const std::vector<double>& budget,
+                                   fault::FailoverOutcome& out) {
   obs::Span span("sel.rehome", obs::Subsystem::kDrain, now);
   span.attr(obs::AttrKey::kCallId,
             static_cast<std::int64_t>(call.value()));
   span.attr(obs::AttrKey::kFromDc,
             static_cast<std::int64_t>(state.dc.value()));
+  // Moving a packed call re-packs it at the destination DC and releases the
+  // vacated server (the chaos knob leaks that release on purpose — see
+  // RealtimeOptions::chaos_skip_server_credit).
+  const auto repack_at = [&](DcId to) -> ServerId {
+    if (!packer_ || !state.server.valid()) return ServerId();
+    const ServerId to_server = packer_->admit(to, state.cores);
+    if (!options_.chaos_skip_server_credit) {
+      packer_->release(state.server, state.cores);
+    }
+    return to_server;
+  };
   if (state.holds_slot) {
     // Tier 1: another planned DC with spare quota, min ACL — the same scan
     // the freeze path runs, minus the failed/down DCs.
@@ -324,11 +391,13 @@ bool RealtimeSelector::rehome(CallId call, ActiveCall& state, DcId failed,
         usage(state.plan_col, state.slot_dc)
             .fetch_sub(1, std::memory_order_acq_rel);
       }
-      out.moved.push_back({call, state.dc, best});
+      const ServerId to_server = repack_at(best);
+      out.moved.push_back({call, state.dc, best, to_server});
       add_cores(state.dc, -state.cores);
       add_cores(best, state.cores);
       state.slot_dc = best;
       state.dc = best;
+      state.server = to_server;
       span.attr(obs::AttrKey::kDrainTier, 1);
       span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(best.value()));
       return true;
@@ -349,21 +418,18 @@ bool RealtimeSelector::rehome(CallId call, ActiveCall& state, DcId failed,
       }
     }
     if (backup.valid()) {
-      out.moved.push_back({call, state.dc, backup});
+      const ServerId to_server = repack_at(backup);
+      out.moved.push_back({call, state.dc, backup, to_server});
       add_cores(state.dc, -state.cores);
       add_cores(backup, state.cores);
       state.dc = backup;
+      state.server = to_server;
       span.attr(obs::AttrKey::kDrainTier, 2);
       span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(backup.value()));
       return true;
     }
-    // Tier 3: backup truly exhausted — drop. Credit the slot so the quota
-    // table stays conserved; the caller erases the call state.
-    usage(state.plan_col, state.slot_dc)
-        .fetch_sub(1, std::memory_order_acq_rel);
-    shard_stats(call).slot_credits.fetch_add(1, std::memory_order_relaxed);
-    add_cores(state.dc, -state.cores);
-    out.dropped.push_back(call);
+    // Backup truly exhausted: the caller picks the next tier (server
+    // overflow for a server drain, drop_call for a DC drain).
     span.attr(obs::AttrKey::kDrainTier, 3);
     return false;
   }
@@ -382,21 +448,20 @@ bool RealtimeSelector::rehome(CallId call, ActiveCall& state, DcId failed,
       target_ms = ms;
     }
   }
-  if (!target.valid() && state.cores == 0.0) {
-    // Unfrozen and every DC down: nothing can host it.
-  }
   if (target.valid()) {
-    out.moved.push_back({call, state.dc, target});
+    const ServerId to_server = repack_at(target);
+    out.moved.push_back({call, state.dc, target, to_server});
     add_cores(state.dc, -state.cores);
     add_cores(target, state.cores);
     state.dc = target;
+    state.server = to_server;
     // Tier 0: slotless call re-ran the closest-DC heuristic (no quota moved).
     span.attr(obs::AttrKey::kDrainTier, 0);
     span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(target.value()));
     return true;
   }
-  add_cores(state.dc, -state.cores);
-  out.dropped.push_back(call);
+  // Unfrozen and every DC down, or a frozen slotless call over every budget:
+  // nothing can host it.
   span.attr(obs::AttrKey::kDrainTier, 3);
   return false;
 }
@@ -433,10 +498,11 @@ fault::FailoverOutcome RealtimeSelector::drain_dc(
         // The call may have ended (or re-frozen elsewhere) between the scan
         // and this batch; skip anything no longer hosted on the failed DC.
         if (it == s.calls.end() || it->second.dc != failed) continue;
-        if (rehome(pending[next], it->second, failed, now, budget_cores,
-                   out)) {
+        if (rehome_move(pending[next], it->second, failed, now, budget_cores,
+                        out)) {
           stats_[i].failover_moves.fetch_add(1, std::memory_order_relaxed);
         } else {
+          drop_call(pending[next], it->second, out);
           stats_[i].failover_drops.fetch_add(1, std::memory_order_relaxed);
           s.calls.erase(it);
         }
@@ -447,6 +513,213 @@ fault::FailoverOutcome RealtimeSelector::drain_dc(
             static_cast<std::int64_t>(out.moved.size()));
   span.attr(obs::AttrKey::kDropped,
             static_cast<std::int64_t>(out.dropped.size()));
+  return out;
+}
+
+fault::FailoverOutcome RealtimeSelector::drain_server(
+    ServerId failed, SimTime now, const std::vector<double>& budget_cores,
+    std::size_t batch_size) {
+  require(packer_ != nullptr, "drain_server: world has no fleet");
+  require(failed.valid() && failed.value() < ctx_.world->server_count(),
+          "drain_server: bad server id");
+  require(budget_cores.empty() || budget_cores.size() == all_dcs_.size(),
+          "drain_server: budget shape");
+  const std::size_t batch = std::max<std::size_t>(batch_size, 1);
+  obs::Span span("sel.drain_server", obs::Subsystem::kDrain, now);
+  span.attr(obs::AttrKey::kServer,
+            static_cast<std::int64_t>(failed.value()));
+  fault::FailoverOutcome out;
+  std::vector<CallId> pending;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    CallShard& s = shards_[i];
+    pending.clear();
+    {
+      std::lock_guard lock(s.mutex);
+      for (const auto& [id, state] : s.calls) {
+        if (state.server == failed) pending.push_back(id);
+      }
+    }
+    std::size_t next = 0;
+    while (next < pending.size()) {
+      std::lock_guard lock(s.mutex);
+      const std::size_t stop = std::min(pending.size(), next + batch);
+      for (; next < stop; ++next) {
+        const CallId call = pending[next];
+        const auto it = s.calls.find(call);
+        // Ended or re-packed elsewhere between the scan and this batch.
+        if (it == s.calls.end() || it->second.server != failed) continue;
+        ActiveCall& state = it->second;
+        const DcId dc = state.dc;
+        // Tier S1: bounded re-pack onto an up sibling — the DC is healthy,
+        // so quota accounting is untouched; the move keeps from == to.
+        const ServerId sibling =
+            packer_->admit_bounded(dc, state.cores, failed);
+        if (sibling.valid()) {
+          if (!options_.chaos_skip_server_credit) {
+            packer_->release(failed, state.cores);
+          }
+          state.server = sibling;
+          out.moved.push_back({call, dc, dc, sibling});
+          stats_[i].failover_moves.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Tiers S2/S3: the fleet cannot absorb it within bounds — spill
+        // cross-DC through the quota-then-backup tiers a DC drain uses.
+        if (rehome_move(call, state, dc, now, budget_cores, out)) {
+          stats_[i].failover_moves.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Tier S4: before dropping in an otherwise healthy DC, overflow
+        // onto the least-loaded up sibling (overcommit admit).
+        const ServerId overflow =
+            packer_->admit_overflow(dc, state.cores, failed, /*up_only=*/true);
+        if (overflow.valid()) {
+          if (!options_.chaos_skip_server_credit) {
+            packer_->release(failed, state.cores);
+          }
+          state.server = overflow;
+          out.moved.push_back({call, dc, dc, overflow});
+          stats_[i].failover_moves.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Tier S5: no up sibling and every cross-DC tier exhausted.
+        drop_call(call, state, out);
+        stats_[i].failover_drops.fetch_add(1, std::memory_order_relaxed);
+        s.calls.erase(it);
+      }
+    }
+  }
+  span.attr(obs::AttrKey::kMoved,
+            static_cast<std::int64_t>(out.moved.size()));
+  span.attr(obs::AttrKey::kDropped,
+            static_cast<std::int64_t>(out.dropped.size()));
+  return out;
+}
+
+pack::DefragResult RealtimeSelector::defragment_dc(DcId dc,
+                                                   std::size_t max_moves) {
+  pack::DefragResult out;
+  if (!packer_) return out;
+  obs::Span span("sel.defrag", obs::Subsystem::kPack);
+  span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(dc.value()));
+  out.fragmentation_before = packer_->fragmentation(dc);
+  out.fragmentation_after = out.fragmentation_before;
+  const std::vector<ServerId>& fleet = packer_->fleet(dc);
+  if (fleet.size() < 2) return out;
+
+  // Snapshot the DC's packed calls (shard by shard, no global freeze).
+  struct Cand {
+    CallId call;
+    ServerId from;
+    double cores = 0.0;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard lock(shards_[i].mutex);
+    for (const auto& [id, state] : shards_[i].calls) {
+      if (state.dc == dc && state.server.valid() && state.cores > 0.0) {
+        cands.push_back({id, state.server, state.cores});
+      }
+    }
+  }
+  if (cands.empty()) return out;
+
+  // Offline best-fit-decreasing target assignment. `pinned` is the load we
+  // cannot move (occupancy minus the candidates' own footprints).
+  std::vector<double> pinned(fleet.size());
+  std::vector<double> capacity(fleet.size());
+  const auto pos_of = [&](ServerId sid) -> std::size_t {
+    for (std::size_t p = 0; p < fleet.size(); ++p) {
+      if (fleet[p] == sid) return p;
+    }
+    return fleet.size();
+  };
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    pinned[p] = packer_->server_cores_used(fleet[p]);
+    capacity[p] = packer_->server_capacity(fleet[p]);
+  }
+  for (const Cand& cand : cands) {
+    const std::size_t p = pos_of(cand.from);
+    if (p < fleet.size()) pinned[p] = std::max(0.0, pinned[p] - cand.cores);
+  }
+  std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    if (a.cores != b.cores) return a.cores > b.cores;
+    return a.call < b.call;
+  });
+  const auto server_up = [&](std::size_t p) {
+    return health_ == nullptr || health_->server_count() == 0 ||
+           health_->server_up(fleet[p]);
+  };
+  std::vector<std::size_t> target(cands.size());
+  for (std::size_t c = 0; c < cands.size(); ++c) {
+    std::size_t best = fleet.size();
+    double best_residual = 0.0;
+    for (std::size_t p = 0; p < fleet.size(); ++p) {
+      if (!server_up(p)) continue;
+      const double residual = capacity[p] - pinned[p] - cands[c].cores;
+      if (residual < -1e-9) continue;
+      if (best == fleet.size() || residual < best_residual) {
+        best = p;
+        best_residual = residual;
+      }
+    }
+    if (best == fleet.size()) best = pos_of(cands[c].from);  // keep in place
+    target[c] = best;
+    if (best < fleet.size()) pinned[best] += cands[c].cores;
+  }
+
+  // Improvement guard: BFD minimizes per-placement residual, which on a
+  // heterogeneous fleet can SHRED the free block it was meant to grow.
+  // `pinned` now holds the full target occupancy, so score the target
+  // offline with the same metric fragmentation() uses and bail (zero
+  // moves) unless it strictly concentrates free space.
+  double total_free = 0.0;
+  double max_free = 0.0;
+  std::size_t up_servers = 0;
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    if (!server_up(p)) continue;
+    ++up_servers;
+    const double free_cores = std::max(0.0, capacity[p] - pinned[p]);
+    total_free += free_cores;
+    max_free = std::max(max_free, free_cores);
+  }
+  const double target_frag = (up_servers > 1 && total_free > 0.0)
+                                 ? 1.0 - max_free / total_free
+                                 : 0.0;
+  if (target_frag >= out.fragmentation_before - 1e-12) return out;
+
+  // Apply, re-verifying each call against its live state under the shard
+  // lock: a call that ended, moved, or re-froze since the snapshot is
+  // skipped, as is a target whose capacity a concurrent admit raced away.
+  for (std::size_t c = 0; c < cands.size(); ++c) {
+    if (out.moves.size() >= max_moves) break;
+    if (target[c] >= fleet.size() || fleet[target[c]] == cands[c].from) {
+      continue;
+    }
+    const ServerId to = fleet[target[c]];
+    CallShard& s = shard(cands[c].call);
+    std::lock_guard lock(s.mutex);
+    const auto it = s.calls.find(cands[c].call);
+    if (it == s.calls.end() || it->second.dc != dc ||
+        it->second.server != cands[c].from ||
+        it->second.cores != cands[c].cores) {
+      continue;
+    }
+    if (!packer_->try_admit_to(to, cands[c].cores)) continue;
+    packer_->release(cands[c].from, cands[c].cores);
+    it->second.server = to;
+    out.moves.push_back({cands[c].call, cands[c].from, to});
+    obs::Span move_span("pack.repack", obs::Subsystem::kPack);
+    move_span.attr(obs::AttrKey::kCallId,
+                   static_cast<std::int64_t>(cands[c].call.value()));
+    move_span.attr(obs::AttrKey::kFromServer,
+                   static_cast<std::int64_t>(cands[c].from.value()));
+    move_span.attr(obs::AttrKey::kServer,
+                   static_cast<std::int64_t>(to.value()));
+  }
+  out.fragmentation_after = packer_->fragmentation(dc);
+  span.attr(obs::AttrKey::kMoved,
+            static_cast<std::int64_t>(out.moves.size()));
   return out;
 }
 

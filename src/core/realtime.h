@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -31,6 +32,7 @@
 #include "core/allocation_plan.h"
 #include "fault/failover.h"
 #include "fault/health_table.h"
+#include "pack/packer.h"
 
 namespace sb {
 
@@ -49,6 +51,15 @@ struct RealtimeOptions {
   /// bug they claim to (quota accounting drift); nothing in production code
   /// sets it. See tools/sb_fuzz --chaos.
   bool chaos_skip_drain_credit = false;
+  /// TEST-ONLY mutation knob, the server-level twin of
+  /// chaos_skip_drain_credit: when set, a drain-time re-pack/re-home does
+  /// NOT release the vacated server's cores, deliberately leaking
+  /// per-server occupancy. Proves the per-server conservation oracle
+  /// detects core-accounting drift; nothing in production code sets it.
+  /// See tools/sb_fuzz --chaos skip-server-credit.
+  bool chaos_skip_server_credit = false;
+  /// Packing knobs; consulted only when the world registers a server fleet.
+  pack::PackOptions pack = {};
 };
 
 /// Outcome of freezing one call's config.
@@ -56,6 +67,7 @@ struct FreezeResult {
   DcId dc;                ///< final hosting DC
   bool migrated = false;  ///< true if the call moved to a different DC
   bool planned = false;   ///< true if the config had plan slots
+  ServerId server;        ///< hosting media server (invalid without a fleet)
 };
 
 /// Thread-safe selector state machine: any number of call-signaling threads
@@ -106,6 +118,37 @@ class RealtimeSelector {
                                   const std::vector<double>& budget_cores,
                                   std::size_t batch_size = 64);
 
+  /// The server-level drain (fleet worlds only): evacuates every packed
+  /// call hosted on `failed` (already marked down in the health table), in
+  /// the same bounded shard batches as drain_dc. Re-homing policy per call:
+  ///   S1. bounded re-pack onto an up sibling server of the same DC (quota
+  ///       accounting untouched — the DC itself is healthy; the move is
+  ///       recorded with from == to and the new to_server);
+  ///   S2/S3. with the fleet full, spill cross-DC through drain_dc's
+  ///       quota-then-backup tiers (the call leaves the DC);
+  ///   S4. before dropping in an otherwise healthy DC, overflow onto the
+  ///       least-loaded up sibling (overcommit admit, counted);
+  ///   S5. only with no up sibling and every cross-DC tier exhausted is the
+  ///       call dropped.
+  /// Calls not yet frozen have no server and are never touched.
+  fault::FailoverOutcome drain_server(ServerId failed, SimTime now,
+                                      const std::vector<double>& budget_cores,
+                                      std::size_t batch_size = 64);
+
+  /// Intra-DC defragmentation pass (fleet worlds only): snapshots the DC's
+  /// packed calls, computes a best-fit-decreasing target assignment offline,
+  /// and applies up to `max_moves` migrations — each re-verified against the
+  /// live call state under its shard lock, so the pass is safe (if not
+  /// optimal) under concurrent events. Never invoked by the simulator
+  /// drivers; benches and operators call it at known-quiescent points.
+  pack::DefragResult defragment_dc(
+      DcId dc, std::size_t max_moves = std::numeric_limits<std::size_t>::max());
+
+  /// The fleet packer; null when the world registers no servers.
+  [[nodiscard]] const pack::ServerPacker* packer() const {
+    return packer_.get();
+  }
+
   struct Stats {
     std::uint64_t calls_started = 0;
     std::uint64_t calls_frozen = 0;
@@ -147,6 +190,8 @@ class RealtimeSelector {
     DcId slot_dc;        ///< the DC of the debited quota cell (== dc except
                          ///< for calls hosted on backup capacity)
     double cores = 0.0;  ///< core footprint once frozen (0 before freeze)
+    ServerId server;     ///< packed media server (invalid without a fleet,
+                         ///< or before freeze)
   };
 
   /// One lock stripe: its own mutex and call table, padded so neighbouring
@@ -201,11 +246,18 @@ class RealtimeSelector {
   [[nodiscard]] bool within_budget(DcId dc, double cores,
                                    const std::vector<double>& budget) const;
   void add_cores(DcId dc, double cores);
-  /// Re-homes one drained call (shard lock held). Returns false when the
-  /// call had to be dropped; the caller then erases it.
-  bool rehome(CallId call, ActiveCall& state, DcId failed, SimTime now,
-              const std::vector<double>& budget,
-              fault::FailoverOutcome& out);
+  /// Tiers 0-2 of a drain (shard lock held): tries to move the call off
+  /// `failed` without dropping it, re-packing at the destination when a
+  /// fleet exists. Returns false when no surviving DC has room; the caller
+  /// decides between server-overflow (drain_server) and drop_call.
+  bool rehome_move(CallId call, ActiveCall& state, DcId failed, SimTime now,
+                   const std::vector<double>& budget,
+                   fault::FailoverOutcome& out);
+  /// Tier 3 (shard lock held): credits the slot, returns the cores and the
+  /// packed server, records the drop. The caller erases the call state.
+  void drop_call(CallId call, ActiveCall& state, fault::FailoverOutcome& out);
+  /// Packs a freshly frozen call; invalid when no fleet exists.
+  ServerId pack_admit(DcId dc, double cores, std::uint32_t* retries);
 
   EvalContext ctx_;
   const AllocationPlan* plan_;
@@ -221,6 +273,11 @@ class RealtimeSelector {
   /// Per-DC tracked core load of frozen calls (relaxed fetch_add; consulted
   /// only by drain_dc's backup-budget check, never by planning decisions).
   std::unique_ptr<std::atomic<double>[]> dc_cores_;
+  /// Intra-DC fleet packer; null when the world registers no servers, which
+  /// keeps every no-fleet code path (and its decisions) bit-identical to the
+  /// pre-packing selector. Owned per selector so a plan rebuild resets
+  /// packing state exactly like the quota table.
+  std::unique_ptr<pack::ServerPacker> packer_;
 };
 
 }  // namespace sb

@@ -10,11 +10,15 @@
 
 namespace sb::fault {
 
-/// One live call re-homed by a DC drain.
+/// One live call re-homed by a DC or server drain. `to_server` is the media
+/// server the call was packed onto at its destination — invalid when the
+/// world has no fleet (or the call was never packed). A server drain that
+/// re-packs onto a sibling keeps from == to with a new to_server.
 struct FailoverMove {
   CallId call;
   DcId from;
   DcId to;
+  ServerId to_server;
 };
 
 /// Result of draining a failed DC: every live call it hosted was either

@@ -8,25 +8,39 @@ namespace sb::fault {
 
 FaultSchedule& FaultSchedule::dc_down(DcId dc, SimTime at) {
   require(dc.valid(), "FaultSchedule: invalid DC");
-  events_.push_back({at, FaultEvent::Kind::kDcDown, dc, LinkId()});
+  events_.push_back({at, FaultEvent::Kind::kDcDown, dc, LinkId(), ServerId()});
   return *this;
 }
 
 FaultSchedule& FaultSchedule::dc_up(DcId dc, SimTime at) {
   require(dc.valid(), "FaultSchedule: invalid DC");
-  events_.push_back({at, FaultEvent::Kind::kDcUp, dc, LinkId()});
+  events_.push_back({at, FaultEvent::Kind::kDcUp, dc, LinkId(), ServerId()});
   return *this;
 }
 
 FaultSchedule& FaultSchedule::link_down(LinkId link, SimTime at) {
   require(link.valid(), "FaultSchedule: invalid link");
-  events_.push_back({at, FaultEvent::Kind::kLinkDown, DcId(), link});
+  events_.push_back({at, FaultEvent::Kind::kLinkDown, DcId(), link, ServerId()});
   return *this;
 }
 
 FaultSchedule& FaultSchedule::link_up(LinkId link, SimTime at) {
   require(link.valid(), "FaultSchedule: invalid link");
-  events_.push_back({at, FaultEvent::Kind::kLinkUp, DcId(), link});
+  events_.push_back({at, FaultEvent::Kind::kLinkUp, DcId(), link, ServerId()});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::server_down(ServerId server, SimTime at) {
+  require(server.valid(), "FaultSchedule: invalid server");
+  events_.push_back(
+      {at, FaultEvent::Kind::kServerDown, DcId(), LinkId(), server});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::server_up(ServerId server, SimTime at) {
+  require(server.valid(), "FaultSchedule: invalid server");
+  events_.push_back(
+      {at, FaultEvent::Kind::kServerUp, DcId(), LinkId(), server});
   return *this;
 }
 
@@ -39,6 +53,12 @@ FaultSchedule& FaultSchedule::fail_link(LinkId link, SimTime at,
                                         double duration_s) {
   require(duration_s > 0.0, "FaultSchedule: outage duration");
   return link_down(link, at).link_up(link, at + duration_s);
+}
+
+FaultSchedule& FaultSchedule::fail_server(ServerId server, SimTime at,
+                                          double duration_s) {
+  require(duration_s > 0.0, "FaultSchedule: outage duration");
+  return server_down(server, at).server_up(server, at + duration_s);
 }
 
 std::vector<FaultEvent> FaultSchedule::events() const {
@@ -75,14 +95,22 @@ FaultSchedule FaultSchedule::random(Rng& rng, std::size_t dc_count,
                                     std::size_t link_count,
                                     std::size_t outages, double t0, double t1,
                                     double mean_outage_s,
-                                    double link_fraction) {
+                                    double link_fraction,
+                                    std::size_t server_count,
+                                    double server_fraction) {
   require(dc_count > 0, "FaultSchedule::random: no DCs");
   require(t1 > t0 && mean_outage_s > 0.0, "FaultSchedule::random: bounds");
   FaultSchedule schedule;
   for (std::size_t i = 0; i < outages; ++i) {
     const SimTime at = rng.uniform(t0, t1);
     const double duration = rng.exponential(1.0 / mean_outage_s);
-    if (link_count > 0 && rng.chance(link_fraction)) {
+    // Server draw first, but only when a fleet exists: with server_count == 0
+    // the per-outage draw sequence is exactly the pre-fleet one.
+    if (server_count > 0 && rng.chance(server_fraction)) {
+      schedule.fail_server(
+          ServerId(static_cast<std::uint32_t>(rng.uniform_index(server_count))),
+          at, duration);
+    } else if (link_count > 0 && rng.chance(link_fraction)) {
       schedule.fail_link(
           LinkId(static_cast<std::uint32_t>(rng.uniform_index(link_count))),
           at, duration);
@@ -99,6 +127,8 @@ FaultSchedule FaultSchedule::from_events(std::vector<FaultEvent> events) {
   for (const FaultEvent& e : events) {
     if (e.is_dc()) {
       require(e.dc.valid(), "FaultSchedule::from_events: invalid DC");
+    } else if (e.is_server()) {
+      require(e.server.valid(), "FaultSchedule::from_events: invalid server");
     } else {
       require(e.link.valid(), "FaultSchedule::from_events: invalid link");
     }

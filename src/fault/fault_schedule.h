@@ -16,18 +16,30 @@
 namespace sb::fault {
 
 struct FaultEvent {
-  enum class Kind : std::uint8_t { kDcDown, kDcUp, kLinkDown, kLinkUp };
+  enum class Kind : std::uint8_t {
+    kDcDown,
+    kDcUp,
+    kLinkDown,
+    kLinkUp,
+    kServerDown,
+    kServerUp,
+  };
 
   SimTime time = 0.0;
   Kind kind = Kind::kDcDown;
-  DcId dc;      ///< valid iff kind is kDcDown/kDcUp
-  LinkId link;  ///< valid iff kind is kLinkDown/kLinkUp
+  DcId dc;          ///< valid iff kind is kDcDown/kDcUp
+  LinkId link;      ///< valid iff kind is kLinkDown/kLinkUp
+  ServerId server;  ///< valid iff kind is kServerDown/kServerUp
 
   [[nodiscard]] bool is_dc() const {
     return kind == Kind::kDcDown || kind == Kind::kDcUp;
   }
+  [[nodiscard]] bool is_server() const {
+    return kind == Kind::kServerDown || kind == Kind::kServerUp;
+  }
   [[nodiscard]] bool is_down() const {
-    return kind == Kind::kDcDown || kind == Kind::kLinkDown;
+    return kind == Kind::kDcDown || kind == Kind::kLinkDown ||
+           kind == Kind::kServerDown;
   }
 };
 
@@ -40,9 +52,12 @@ class FaultSchedule {
   FaultSchedule& dc_up(DcId dc, SimTime at);
   FaultSchedule& link_down(LinkId link, SimTime at);
   FaultSchedule& link_up(LinkId link, SimTime at);
+  FaultSchedule& server_down(ServerId server, SimTime at);
+  FaultSchedule& server_up(ServerId server, SimTime at);
   /// Outage pair: down at `at`, back up `duration_s` later.
   FaultSchedule& fail_dc(DcId dc, SimTime at, double duration_s);
   FaultSchedule& fail_link(LinkId link, SimTime at, double duration_s);
+  FaultSchedule& fail_server(ServerId server, SimTime at, double duration_s);
 
   [[nodiscard]] bool empty() const { return events_.empty(); }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
@@ -65,13 +80,18 @@ class FaultSchedule {
 
   /// Seedable random storm: `outages` outage pairs over [t0, t1), each
   /// picking a uniform DC (or, with probability `link_fraction` when
-  /// link_count > 0, a uniform link) and an exponential outage length with
-  /// mean `mean_outage_s`. Deterministic for a given Rng state.
+  /// link_count > 0, a uniform link; or, with probability `server_fraction`
+  /// when server_count > 0, a uniform media server). Outage lengths are
+  /// exponential with mean `mean_outage_s`. Deterministic for a given Rng
+  /// state; with server_count == 0 the random stream is identical to the
+  /// pre-fleet signature, so existing callers replay unchanged.
   [[nodiscard]] static FaultSchedule random(Rng& rng, std::size_t dc_count,
                                             std::size_t link_count,
                                             std::size_t outages, double t0,
                                             double t1, double mean_outage_s,
-                                            double link_fraction = 0.25);
+                                            double link_fraction = 0.25,
+                                            std::size_t server_count = 0,
+                                            double server_fraction = 0.25);
 
   /// Rebuilds a schedule from an explicit event list (repro replay and the
   /// sb_check shrinker). Events keep their relative order at equal times —

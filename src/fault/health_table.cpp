@@ -4,11 +4,14 @@
 
 namespace sb::fault {
 
-HealthTable::HealthTable(std::size_t dc_count, std::size_t link_count)
-    : dc_count_(dc_count), link_count_(link_count) {
+HealthTable::HealthTable(std::size_t dc_count, std::size_t link_count,
+                         std::size_t server_count)
+    : dc_count_(dc_count), link_count_(link_count),
+      server_count_(server_count) {
   require(dc_count_ > 0, "HealthTable: no DCs");
   dcs_ = std::make_unique<Entry[]>(dc_count_);
   if (link_count_ > 0) links_ = std::make_unique<Entry[]>(link_count_);
+  if (server_count_ > 0) servers_ = std::make_unique<Entry[]>(server_count_);
 }
 
 HealthState HealthTable::flip(Entry& entry, bool up) {
@@ -42,6 +45,12 @@ HealthState HealthTable::set_link(LinkId link, bool up) {
   return flip(links_[link.value()], up);
 }
 
+HealthState HealthTable::set_server(ServerId server, bool up) {
+  require(server.valid() && server.value() < server_count_,
+          "HealthTable: bad server id");
+  return flip(servers_[server.value()], up);
+}
+
 bool HealthTable::dc_up(DcId dc) const {
   return (dcs_[dc.value()].word.load(std::memory_order_acquire) & 1u) == 0;
 }
@@ -50,12 +59,21 @@ bool HealthTable::link_up(LinkId link) const {
   return (links_[link.value()].word.load(std::memory_order_acquire) & 1u) == 0;
 }
 
+bool HealthTable::server_up(ServerId server) const {
+  return (servers_[server.value()].word.load(std::memory_order_acquire) &
+          1u) == 0;
+}
+
 HealthState HealthTable::dc_state(DcId dc) const {
   return unpack(dcs_[dc.value()].word.load(std::memory_order_acquire));
 }
 
 HealthState HealthTable::link_state(LinkId link) const {
   return unpack(links_[link.value()].word.load(std::memory_order_acquire));
+}
+
+HealthState HealthTable::server_state(ServerId server) const {
+  return unpack(servers_[server.value()].word.load(std::memory_order_acquire));
 }
 
 std::size_t HealthTable::down_dcs() const {
@@ -70,6 +88,14 @@ std::size_t HealthTable::down_links() const {
   std::size_t n = 0;
   for (std::size_t l = 0; l < link_count_; ++l) {
     if (!link_up(LinkId(static_cast<std::uint32_t>(l)))) ++n;
+  }
+  return n;
+}
+
+std::size_t HealthTable::down_servers() const {
+  std::size_t n = 0;
+  for (std::size_t s = 0; s < server_count_; ++s) {
+    if (!server_up(ServerId(static_cast<std::uint32_t>(s)))) ++n;
   }
   return n;
 }

@@ -29,29 +29,35 @@ struct HealthState {
 /// single atomic word access (no mutex anywhere).
 class HealthTable {
  public:
-  HealthTable(std::size_t dc_count, std::size_t link_count);
+  HealthTable(std::size_t dc_count, std::size_t link_count,
+              std::size_t server_count = 0);
 
   /// Flips the entry's state; a redundant set (already up/down) is a no-op
   /// and does not advance the epoch. Returns the entry's state after the
   /// call.
   HealthState set_dc(DcId dc, bool up);
   HealthState set_link(LinkId link, bool up);
+  HealthState set_server(ServerId server, bool up);
 
   [[nodiscard]] bool dc_up(DcId dc) const;
   [[nodiscard]] bool link_up(LinkId link) const;
+  [[nodiscard]] bool server_up(ServerId server) const;
   [[nodiscard]] HealthState dc_state(DcId dc) const;
   [[nodiscard]] HealthState link_state(LinkId link) const;
+  [[nodiscard]] HealthState server_state(ServerId server) const;
 
-  /// Fast path for the realtime selector: true iff no DC and no link is
-  /// currently down (one relaxed load of a shared counter).
+  /// Fast path for the realtime selector: true iff no DC, link, or media
+  /// server is currently down (one relaxed load of a shared counter).
   [[nodiscard]] bool all_up() const {
     return down_total_.load(std::memory_order_acquire) == 0;
   }
   [[nodiscard]] std::size_t down_dcs() const;
   [[nodiscard]] std::size_t down_links() const;
+  [[nodiscard]] std::size_t down_servers() const;
 
   [[nodiscard]] std::size_t dc_count() const { return dc_count_; }
   [[nodiscard]] std::size_t link_count() const { return link_count_; }
+  [[nodiscard]] std::size_t server_count() const { return server_count_; }
 
  private:
   /// Bit 0: 1 = down; bits 1..63: flip epoch. One word so state + epoch
@@ -68,9 +74,12 @@ class HealthTable {
 
   std::size_t dc_count_;
   std::size_t link_count_;
+  std::size_t server_count_;
   std::unique_ptr<Entry[]> dcs_;
   std::unique_ptr<Entry[]> links_;
-  /// Total entries (DCs + links) currently down; maintained by flip().
+  std::unique_ptr<Entry[]> servers_;
+  /// Total entries (DCs + links + servers) currently down; maintained by
+  /// flip().
   std::atomic<std::uint32_t> down_total_{0};
 };
 

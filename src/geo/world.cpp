@@ -25,6 +25,20 @@ DcId World::add_datacenter(Datacenter dc) {
   return DcId(static_cast<std::uint32_t>(dcs_.size() - 1));
 }
 
+ServerId World::add_server(MediaServer server) {
+  require(!server.name.empty(), "add_server: name required");
+  require(!find_server(server.name),
+          "add_server: duplicate name " + server.name);
+  require(server.dc.valid() && server.dc.value() < dcs_.size(),
+          "add_server: unknown datacenter");
+  require(server.cores > 0.0, "add_server: cores must be positive");
+  if (servers_by_dc_.size() < dcs_.size()) servers_by_dc_.resize(dcs_.size());
+  const ServerId id(static_cast<std::uint32_t>(servers_.size()));
+  servers_by_dc_[server.dc.value()].push_back(id);
+  servers_.push_back(std::move(server));
+  return id;
+}
+
 const Location& World::location(LocationId id) const {
   require(id.valid() && id.value() < locations_.size(),
           "location: id out of range");
@@ -34,6 +48,20 @@ const Location& World::location(LocationId id) const {
 const Datacenter& World::datacenter(DcId id) const {
   require(id.valid() && id.value() < dcs_.size(), "datacenter: id out of range");
   return dcs_[id.value()];
+}
+
+const MediaServer& World::server(ServerId id) const {
+  require(id.valid() && id.value() < servers_.size(),
+          "server: id out of range");
+  return servers_[id.value()];
+}
+
+const std::vector<ServerId>& World::servers_in_dc(DcId dc) const {
+  require(dc.valid() && dc.value() < dcs_.size(),
+          "servers_in_dc: id out of range");
+  static const std::vector<ServerId> kEmpty;
+  if (dc.value() >= servers_by_dc_.size()) return kEmpty;
+  return servers_by_dc_[dc.value()];
 }
 
 std::optional<LocationId> World::find_location(const std::string& name) const {
@@ -48,6 +76,15 @@ std::optional<LocationId> World::find_location(const std::string& name) const {
 std::optional<DcId> World::find_datacenter(const std::string& name) const {
   for (std::size_t i = 0; i < dcs_.size(); ++i) {
     if (dcs_[i].name == name) return DcId(static_cast<std::uint32_t>(i));
+  }
+  return std::nullopt;
+}
+
+std::optional<ServerId> World::find_server(const std::string& name) const {
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (servers_[i].name == name) {
+      return ServerId(static_cast<std::uint32_t>(i));
+    }
   }
   return std::nullopt;
 }
@@ -80,6 +117,15 @@ std::vector<DcId> World::dc_ids() const {
   ids.reserve(dcs_.size());
   for (std::size_t i = 0; i < dcs_.size(); ++i) {
     ids.push_back(DcId(static_cast<std::uint32_t>(i)));
+  }
+  return ids;
+}
+
+std::vector<ServerId> World::server_ids() const {
+  std::vector<ServerId> ids;
+  ids.reserve(servers_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    ids.push_back(ServerId(static_cast<std::uint32_t>(i)));
   }
   return ids;
 }

@@ -138,4 +138,17 @@ GeoModel make_random_world(Rng& rng, const RandomWorldParams& params) {
   return finish(std::move(world), params.knn);
 }
 
+void add_uniform_fleet(World& world, std::size_t servers_per_dc,
+                       double cores_per_server) {
+  require(servers_per_dc >= 1, "add_uniform_fleet: need at least one server");
+  require(cores_per_server > 0.0,
+          "add_uniform_fleet: cores_per_server must be positive");
+  for (DcId dc : world.dc_ids()) {
+    for (std::size_t s = 0; s < servers_per_dc; ++s) {
+      world.add_server({world.datacenter(dc).name + "-ms" + std::to_string(s),
+                        dc, cores_per_server});
+    }
+  }
+}
+
 }  // namespace sb

@@ -40,4 +40,12 @@ struct RandomWorldParams {
 /// longitude (15 degrees per hour), so diurnal peaks shift realistically.
 GeoModel make_random_world(Rng& rng, const RandomWorldParams& params = {});
 
+/// Splits every DC of an existing world into a uniform media-server fleet:
+/// `servers_per_dc` servers named "<DC>-ms<i>", each with
+/// `cores_per_server` physical cores. Registering servers flips the world
+/// into packed mode (World::has_fleets()), so call this before building
+/// selectors or health tables — they size themselves from the registry.
+void add_uniform_fleet(World& world, std::size_t servers_per_dc,
+                       double cores_per_server);
+
 }  // namespace sb

@@ -21,6 +21,8 @@ const char* to_string(Subsystem subsystem) {
       return "sim";
     case Subsystem::kCheck:
       return "check";
+    case Subsystem::kPack:
+      return "pack";
     case Subsystem::kOther:
       break;
   }
@@ -67,6 +69,10 @@ const char* to_string(AttrKey key) {
       return "cols";
     case AttrKey::kStatus:
       return "status";
+    case AttrKey::kServer:
+      return "server";
+    case AttrKey::kFromServer:
+      return "from_server";
     case AttrKey::kNone:
       break;
   }

@@ -48,6 +48,7 @@ enum class Subsystem : std::uint8_t {
   kProvisioner,
   kSim,
   kCheck,
+  kPack,
   kOther,
 };
 [[nodiscard]] const char* to_string(Subsystem subsystem);
@@ -74,6 +75,8 @@ enum class AttrKey : std::uint8_t {
   kRows,
   kCols,
   kStatus,
+  kServer,
+  kFromServer,
 };
 [[nodiscard]] const char* to_string(AttrKey key);
 

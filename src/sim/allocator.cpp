@@ -42,7 +42,7 @@ FreezeResult RoundRobinAllocator::on_config_frozen(CallId call,
                                                    SimTime /*now*/) {
   const auto it = active_.find(call);
   require(it != active_.end(), "RoundRobinAllocator: unknown call");
-  return FreezeResult{it->second, false, false};
+  return FreezeResult{it->second, false, false, ServerId()};
 }
 
 void RoundRobinAllocator::on_call_end(CallId call, SimTime /*now*/) {
@@ -83,7 +83,8 @@ FreezeResult LocalityFirstAllocator::on_config_frozen(CallId call,
   std::erase_if(candidates, [&](DcId dc) { return !dc_up(dc); });
   if (candidates.empty()) candidates = up_dcs();
   const DcId target = min_acl_dc(config, candidates, *ctx_.latency);
-  FreezeResult result{target, target != it->second.dc, false};
+  FreezeResult result{target, target != it->second.dc, false,
+                      ServerId()};
   if (result.migrated) {
     ++migrations_;
     it->second.dc = target;
@@ -106,7 +107,7 @@ fault::FailoverOutcome LocalityFirstAllocator::on_dc_failed(DcId dc,
   for (auto& [id, state] : active_) {
     if (state.dc != dc) continue;
     const DcId target = ctx_.latency->closest_dc(state.first_joiner, up_dcs());
-    outcome.moved.push_back({id, state.dc, target});
+    outcome.moved.push_back({id, state.dc, target, ServerId()});
     state.dc = target;
   }
   return outcome;

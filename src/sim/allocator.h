@@ -50,6 +50,13 @@ class CallAllocator {
   virtual void on_dc_recovered(DcId /*dc*/, SimTime /*now*/) {}
   virtual void on_link_failed(LinkId /*link*/, SimTime /*now*/) {}
   virtual void on_link_recovered(LinkId /*link*/, SimTime /*now*/) {}
+  /// Media-server faults (fleet-aware schemes only; baselines have no
+  /// server notion and ignore them).
+  virtual fault::FailoverOutcome on_server_failed(ServerId /*server*/,
+                                                  SimTime /*now*/) {
+    return {};
+  }
+  virtual void on_server_recovered(ServerId /*server*/, SimTime /*now*/) {}
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -93,6 +100,17 @@ class SwitchboardAllocator : public CallAllocator {
   void on_link_recovered(LinkId link, SimTime /*now*/) override {
     if (health_ != nullptr) health_->set_link(link, true);
   }
+  fault::FailoverOutcome on_server_failed(ServerId server,
+                                          SimTime now) override {
+    if (selector_->packer() == nullptr) return {};
+    if (health_ != nullptr) health_->set_server(server, false);
+    return selector_->drain_server(server, now, budget_cores_);
+  }
+  void on_server_recovered(ServerId server, SimTime /*now*/) override {
+    if (health_ != nullptr && health_->server_count() > 0) {
+      health_->set_server(server, true);
+    }
+  }
   [[nodiscard]] std::string name() const override { return "switchboard"; }
 
  private:
@@ -133,6 +151,13 @@ class ControllerAllocator : public CallAllocator {
   }
   void on_link_recovered(LinkId link, SimTime now) override {
     controller_->link_recovered(link, now);
+  }
+  fault::FailoverOutcome on_server_failed(ServerId server,
+                                          SimTime now) override {
+    return controller_->server_failed(server, now);
+  }
+  void on_server_recovered(ServerId server, SimTime now) override {
+    controller_->server_recovered(server, now);
   }
   [[nodiscard]] std::string name() const override { return "switchboard"; }
 

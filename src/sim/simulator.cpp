@@ -65,6 +65,7 @@ struct LiveCall {
   MediaType media = MediaType::kAudio;
   std::vector<CallLeg> joined;
   bool active = false;
+  ServerId server;  ///< packed media server (invalid until freeze / no fleet)
 };
 
 /// Mutable usage counters with peak tracking, plus sample-and-hold bucket
@@ -80,6 +81,8 @@ class UsageTracker {
         dc_peaks_(ctx.world->dc_count(), 0.0),
         link_gbps_(ctx.topology->link_count(), 0.0),
         link_peaks_(ctx.topology->link_count(), 0.0),
+        server_cores_(ctx.world->server_count(), 0.0),
+        server_peaks_(ctx.world->server_count(), 0.0),
         dc_buckets_(ctx.world->dc_count()),
         bucket_s_(bucket_s),
         next_bucket_end_(bucket_s) {}
@@ -120,11 +123,25 @@ class UsageTracker {
     }
   }
 
+  /// Packer-footprint accounting (static frozen footprint, not joined
+  /// legs — the packer's own unit). No-op for an invalid server.
+  void add_server(ServerId server, double cores) {
+    if (!server.valid() || server.value() >= server_cores_.size()) return;
+    server_cores_[server.value()] += cores;
+    if (cores > 0.0) {
+      server_peaks_[server.value()] = std::max(
+          server_peaks_[server.value()], server_cores_[server.value()]);
+    }
+  }
+
   [[nodiscard]] const std::vector<double>& dc_peaks() const {
     return dc_peaks_;
   }
   [[nodiscard]] const std::vector<double>& link_peaks() const {
     return link_peaks_;
+  }
+  [[nodiscard]] const std::vector<double>& server_peaks() const {
+    return server_peaks_;
   }
   [[nodiscard]] std::vector<std::vector<double>>&& take_dc_buckets() {
     return std::move(dc_buckets_);
@@ -136,6 +153,8 @@ class UsageTracker {
   std::vector<double> dc_peaks_;
   std::vector<double> link_gbps_;
   std::vector<double> link_peaks_;
+  std::vector<double> server_cores_;
+  std::vector<double> server_peaks_;
   std::vector<std::vector<double>> dc_buckets_;
   double bucket_s_;
   SimTime next_bucket_end_;
@@ -155,6 +174,7 @@ struct Simulator::Partial {
   std::uint64_t dropped = 0;
   std::vector<double> dc_peaks;
   std::vector<double> link_peaks;
+  std::vector<double> server_peaks;
   std::vector<std::vector<double>> dc_buckets;
   std::vector<HostingEvent> hosting;  ///< filled only when a log was requested
 
@@ -176,6 +196,12 @@ struct Simulator::Partial {
     if (link_peaks.empty()) link_peaks.assign(other.link_peaks.size(), 0.0);
     for (std::size_t i = 0; i < other.link_peaks.size(); ++i) {
       link_peaks[i] += other.link_peaks[i];
+    }
+    if (server_peaks.empty()) {
+      server_peaks.assign(other.server_peaks.size(), 0.0);
+    }
+    for (std::size_t i = 0; i < other.server_peaks.size(); ++i) {
+      server_peaks[i] += other.server_peaks[i];
     }
     // Bucket samples sum exactly: every partition samples the same grid. A
     // partition whose stream ended early contributes zero to later buckets
@@ -234,6 +260,12 @@ struct Simulator::FaultRuntime {
         break;
       case fault::FaultEvent::Kind::kLinkUp:
         allocator.on_link_recovered(fe.link, fe.time);
+        break;
+      case fault::FaultEvent::Kind::kServerDown:
+        slot = allocator.on_server_failed(fe.server, fe.time);
+        break;
+      case fault::FaultEvent::Kind::kServerUp:
+        allocator.on_server_recovered(fe.server, fe.time);
         break;
     }
   }
@@ -296,6 +328,14 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
   span.attr(obs::AttrKey::kPartition, static_cast<std::int64_t>(partition));
   std::uint64_t event_count = 0;
   const auto& records = db.records();
+  // The packer's per-call unit: the static frozen footprint (config
+  // participants x per-participant cores), NOT the joined-leg load — the
+  // same quantity the selector admits to the packer at freeze time.
+  const auto packed_footprint = [this](const CallRecord& r) {
+    const CallConfig& cfg = ctx_.registry->get(r.config);
+    return cfg.total_participants() *
+           ctx_.loads->cores_per_participant(cfg.media());
+  };
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
   std::uint64_t seq = 0;
@@ -353,10 +393,17 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
         usage.add_call(call, -1.0);
         call.dc = m.to;
         usage.add_call(call, +1.0);
+        if (call.server != m.to_server) {
+          const double fp = packed_footprint(records[it->second]);
+          usage.add_server(call.server, -fp);
+          call.server = m.to_server;
+          usage.add_server(call.server, +fp);
+        }
         ++out.failover_migrations;
         if (log_hosting) {
           out.hosting.push_back({it->second, ev.time,
-                                 HostingEvent::Kind::kMove, m.to});
+                                 HostingEvent::Kind::kMove, m.to,
+                                 m.to_server});
         }
       }
       for (CallId dropped : outcome.dropped) {
@@ -365,12 +412,18 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
         LiveCall& call = live[it->second];
         if (!call.active) continue;
         usage.add_call(call, -1.0);
+        if (call.server.valid()) {
+          usage.add_server(call.server,
+                           -packed_footprint(records[it->second]));
+          call.server = ServerId();
+        }
         call.active = false;
         --concurrent;
         ++out.dropped;
         if (log_hosting) {
           out.hosting.push_back({it->second, ev.time,
-                                 HostingEvent::Kind::kDrop, DcId()});
+                                 HostingEvent::Kind::kDrop, DcId(),
+                                 ServerId()});
         }
       }
       continue;
@@ -394,7 +447,8 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
         ++out.calls;
         if (log_hosting) {
           out.hosting.push_back({ev.record, ev.time,
-                                 HostingEvent::Kind::kStart, call.dc});
+                                 HostingEvent::Kind::kStart, call.dc,
+                                 ServerId()});
         }
         if (first == config.majority_location()) ++out.majority_first;
         ++concurrent;
@@ -419,6 +473,12 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
         ++out.frozen;
         const FreezeResult result =
             allocator.on_config_frozen(rec.id, config, ev.time);
+        if (result.server.valid()) {
+          // First packing of this call (the selector packs at freeze); a
+          // call freezes once, so there is no old footprint to release.
+          call.server = result.server;
+          usage.add_server(call.server, +packed_footprint(rec));
+        }
         if (result.migrated) {
           ++out.migrations;
           usage.add_call(call, -1.0);
@@ -426,18 +486,30 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
           usage.add_call(call, +1.0);
           if (log_hosting) {
             out.hosting.push_back({ev.record, ev.time,
-                                   HostingEvent::Kind::kMove, call.dc});
+                                   HostingEvent::Kind::kMove, call.dc,
+                                   call.server});
           }
+        } else if (result.server.valid() && log_hosting) {
+          // Fleet runs log the packing decision even without a DC change;
+          // without a fleet this event never appears, keeping no-fleet
+          // logs byte-identical to the pre-fleet format.
+          out.hosting.push_back({ev.record, ev.time,
+                                 HostingEvent::Kind::kPack, call.dc,
+                                 call.server});
         }
         break;
       }
       case EventType::kEnd: {
         if (!call.active) break;  // dropped by a failover before its end
         usage.add_call(call, -1.0);
+        if (call.server.valid()) {
+          usage.add_server(call.server, -packed_footprint(rec));
+        }
         call.active = false;
         if (log_hosting) {
           out.hosting.push_back({ev.record, ev.time,
-                                 HostingEvent::Kind::kEnd, DcId()});
+                                 HostingEvent::Kind::kEnd, DcId(),
+                                 ServerId()});
         }
         allocator.on_call_end(rec.id, ev.time);
         const double final_acl_ms = acl_ms(config, call.dc, *ctx_.latency);
@@ -453,6 +525,7 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
 
   out.dc_peaks = usage.dc_peaks();
   out.link_peaks = usage.link_peaks();
+  out.server_peaks = usage.server_peaks();
   out.dc_buckets = usage.take_dc_buckets();
   span.attr(obs::AttrKey::kEvents, static_cast<std::int64_t>(event_count));
 }
@@ -505,6 +578,7 @@ SimReport Simulator::finalize(const CallRecordDatabase& /*db*/,
     metrics_.dc_peak_cores[x]->max_of(report.dc_peak_cores[x]);
   }
   report.link_peak_gbps = total.link_peaks;
+  report.server_peak_cores = total.server_peaks;
   metrics_.peak_concurrent_calls.max_of(
       static_cast<double>(report.peak_concurrent_calls));
   return report;

@@ -54,6 +54,11 @@ struct SimReport {
   /// Fault outcomes (0 when no schedule was passed).
   std::uint64_t failover_migrations = 0;  ///< calls moved off failed DCs
   std::uint64_t dropped_calls = 0;        ///< calls lost to exhausted backup
+  /// Realized per-media-server core peaks (packer footprint units), indexed
+  /// by global ServerId. Empty when the World has no fleet. In the
+  /// concurrent driver these are summed per-partition peaks (upper bounds),
+  /// like link_peak_gbps.
+  std::vector<double> server_peak_cores;
   /// Realized per-DC core usage sampled at bucket boundaries:
   /// dc_cores_buckets[x][b] is DC x's load at time (b+1)*bucket_s (buckets
   /// anchored at t = 0). Sample-and-hold at bucket ends, so the series is
@@ -79,11 +84,17 @@ struct HostingEvent {
     kMove,   ///< freeze migration or failover move; `dc` is the new DC
     kDrop,   ///< dropped by failover (usage released; no kEnd follows)
     kEnd,    ///< normal end (usage released)
+    kPack,   ///< packed onto `server` at freeze without changing DC (fleet
+             ///< runs only — a no-fleet run's log is byte-identical to the
+             ///< pre-fleet format)
   };
   std::size_t record = 0;  ///< index into the replayed CallRecordDatabase
   SimTime time = 0.0;
   Kind kind = Kind::kStart;
-  DcId dc;  ///< hosting DC after the event (kStart/kMove only)
+  DcId dc;  ///< hosting DC after the event (kStart/kMove/kPack only)
+  /// Hosting media server after the event (kMove/kPack; invalid without a
+  /// fleet or before the call's freeze).
+  ServerId server;
 };
 
 /// Opt-in capture of every hosting decision a run made. The sb_check oracle

@@ -1,0 +1,340 @@
+// Unit + integration tests for the intra-DC server packing layer (label:
+// pack): deterministic best-fit admits with exact millicore accounting,
+// the anti-fragmentation empty-server penalty, fail-open overflow, the
+// drain_server tier ordering (sibling re-pack -> cross-DC spill ->
+// overflow -> drop), defragmentation, and an 8-thread start/freeze/end
+// stress that must leave every server's occupancy exactly zero.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/realtime.h"
+#include "fault/health_table.h"
+#include "pack/packer.h"
+
+namespace sb {
+namespace {
+
+/// Two single-location regions, two DCs, three media servers (two under
+/// DC-A, one under DC-B). Audio costs 1.0 core/participant, so a
+/// two-participant audio config has a 2.0-core footprint.
+struct PackedWorld {
+  World world;
+  Topology topology;
+  LatencyMatrix latency;
+  CallConfigRegistry registry;
+  LoadModel loads{{1.0, 1.5, 3.0}, {1.0, 15.0, 35.0}};
+
+  explicit PackedWorld(double a0 = 4.0, double a1 = 4.0, double b0 = 4.0)
+      : world(make_world(a0, a1, b0)), topology(world), latency(2, 2) {
+    topology.add_link(LocationId(0), LocationId(1), 15.0, 10.0);
+    topology.compute_paths();
+    latency = LatencyMatrix::from_topology(world, topology, 8.0);
+  }
+
+  static World make_world(double a0, double a1, double b0) {
+    World w;
+    w.add_location({"A", 0.0, 0.0, 0.0, 1.0, "R"});
+    w.add_location({"B", 0.0, 8.0, 1.0, 1.0, "R"});
+    w.add_datacenter({"DC-A", LocationId(0), 1.0});
+    w.add_datacenter({"DC-B", LocationId(1), 1.0});
+    w.add_server({"A-ms0", DcId(0), a0});
+    w.add_server({"A-ms1", DcId(0), a1});
+    w.add_server({"B-ms0", DcId(1), b0});
+    return w;
+  }
+
+  [[nodiscard]] EvalContext ctx() {
+    return EvalContext{&world, &topology, &latency, &registry, &loads};
+  }
+};
+
+TEST(PackerTest, BestFitBeatsFirstFitOnThePlantedShape) {
+  // Servers of 10 cores each, preloaded 3 and 8. Best-fit sends the next
+  // 2-core item to the fuller server (residual 0 beats residual 5), which
+  // leaves exactly 7 on the other — both items place bounded. First-fit
+  // would put the 2 on server 0 and then have no room for the 7 anywhere.
+  World w = PackedWorld::make_world(10.0, 10.0, 10.0);
+  pack::ServerPacker packer(w);
+  ASSERT_TRUE(packer.try_admit_to(ServerId(0), 3.0));
+  ASSERT_TRUE(packer.try_admit_to(ServerId(1), 8.0));
+
+  EXPECT_EQ(packer.admit(DcId(0), 2.0), ServerId(1));
+  EXPECT_EQ(packer.admit(DcId(0), 7.0), ServerId(0));
+  EXPECT_EQ(packer.overcommit_admits(), 0u);
+  EXPECT_DOUBLE_EQ(packer.server_cores_used(ServerId(0)), 10.0);
+  EXPECT_DOUBLE_EQ(packer.server_cores_used(ServerId(1)), 10.0);
+}
+
+TEST(PackerTest, EmptyServerPenaltyConsolidatesOntoWarmServers) {
+  // Raw best-fit favors the empty 9.4-core server (residual 9.2 vs 9.3);
+  // the 0.25-core empty penalty tips the choice to the warm server.
+  World w = PackedWorld::make_world(10.0, 9.4, 10.0);
+  {
+    pack::ServerPacker packer(w);
+    ASSERT_TRUE(packer.try_admit_to(ServerId(0), 0.5));
+    EXPECT_EQ(packer.admit(DcId(0), 0.2), ServerId(0));
+  }
+  {
+    pack::PackOptions no_penalty;
+    no_penalty.anti_frag_empty_penalty_cores = 0.0;
+    pack::ServerPacker packer(w, no_penalty);
+    ASSERT_TRUE(packer.try_admit_to(ServerId(0), 0.5));
+    EXPECT_EQ(packer.admit(DcId(0), 0.2), ServerId(1));
+  }
+}
+
+TEST(PackerTest, AdmitFailsOpenWithOvercommitWhenFleetIsFull) {
+  World w = PackedWorld::make_world(1.0, 1.0, 1.0);
+  pack::ServerPacker packer(w);
+  const ServerId first = packer.admit(DcId(0), 0.8);
+  EXPECT_TRUE(first.valid());
+  const ServerId second = packer.admit(DcId(0), 0.8);
+  EXPECT_TRUE(second.valid());          // bounded fit on the other server
+  EXPECT_NE(first, second);
+  const ServerId third = packer.admit(DcId(0), 0.8);
+  EXPECT_TRUE(third.valid());           // fail-open: overcommitted
+  EXPECT_EQ(packer.overcommit_admits(), 1u);
+
+  packer.release(first, 0.8);
+  packer.release(second, 0.8);
+  packer.release(third, 0.8);
+  for (const pack::ServerStats& s : packer.stats()) {
+    EXPECT_DOUBLE_EQ(s.used_cores, 0.0);
+    EXPECT_EQ(s.admitted_mc, s.released_mc);
+  }
+}
+
+TEST(PackerTest, ExactMillicoreConservation) {
+  World w = PackedWorld::make_world(4.0, 4.0, 4.0);
+  pack::ServerPacker packer(w);
+  // 0.0333.. cores does not round-trip through doubles; the millicore
+  // quantization must make admit and release agree bit-exactly anyway.
+  const double odd = 1.0 / 30.0;
+  std::vector<ServerId> placed;
+  for (int i = 0; i < 50; ++i) placed.push_back(packer.admit(DcId(0), odd));
+  for (const ServerId s : placed) packer.release(s, odd);
+  for (const pack::ServerStats& s : packer.stats()) {
+    EXPECT_EQ(pack::to_millicores(s.used_cores), 0);
+    EXPECT_EQ(s.admitted_mc, s.released_mc);
+  }
+}
+
+TEST(PackerTest, SingleThreadedAdmitSequenceIsDeterministic) {
+  World w = PackedWorld::make_world(3.0, 2.0, 4.0);
+  const double sizes[] = {0.7, 1.3, 0.2, 2.0, 0.5, 0.9, 1.1, 0.4};
+  std::vector<ServerId> first_run;
+  for (int run = 0; run < 2; ++run) {
+    pack::ServerPacker packer(w);
+    std::vector<ServerId> got;
+    for (const double s : sizes) got.push_back(packer.admit(DcId(0), s));
+    if (run == 0) {
+      first_run = got;
+    } else {
+      EXPECT_EQ(got, first_run);
+    }
+  }
+}
+
+class PackSelectorTest : public ::testing::Test {
+ protected:
+  PackSelectorTest() {
+    config_ = CallConfig::make({{LocationId(0), 2}}, MediaType::kAudio);
+  }
+
+  /// Starts and freezes `n` calls at location A (they stay on DC-A).
+  void freeze_calls(RealtimeSelector& selector, std::uint32_t n,
+                    std::vector<ServerId>* servers = nullptr) {
+    for (std::uint32_t c = 1; c <= n; ++c) {
+      selector.on_call_start(CallId(c), LocationId(0), 0.0);
+      const FreezeResult r =
+          selector.on_config_frozen(CallId(c), config_, 300.0);
+      ASSERT_EQ(r.dc, DcId(0));
+      if (servers != nullptr) servers->push_back(r.server);
+    }
+  }
+
+  PackedWorld world_;
+  CallConfig config_ = CallConfig::make({{LocationId(0), 1}},
+                                        MediaType::kAudio);
+  std::vector<double> budget_ = {100.0, 100.0};
+};
+
+TEST_F(PackSelectorTest, FreezePacksOntoAServerAndEndReleasesIt) {
+  fault::HealthTable health(2, 1, 3);
+  RealtimeSelector selector(world_.ctx(), nullptr, {}, 0.0, &health);
+  ASSERT_NE(selector.packer(), nullptr);
+  std::vector<ServerId> servers;
+  freeze_calls(selector, 2, &servers);
+  // Both empty at first freeze: tie breaks to the lowest id; the second
+  // call best-fits onto the now-fuller same server (2 + 2 = 4 = capacity).
+  EXPECT_EQ(servers[0], ServerId(0));
+  EXPECT_EQ(servers[1], ServerId(0));
+  EXPECT_DOUBLE_EQ(selector.packer()->server_cores_used(ServerId(0)), 4.0);
+  selector.on_call_end(CallId(1), 400.0);
+  selector.on_call_end(CallId(2), 400.0);
+  EXPECT_DOUBLE_EQ(selector.packer()->dc_cores_used(DcId(0)), 0.0);
+}
+
+TEST_F(PackSelectorTest, DrainRepacksOntoSiblingThenSpillsCrossDc) {
+  fault::HealthTable health(2, 1, 3);
+  RealtimeSelector selector(world_.ctx(), nullptr, {}, 0.0, &health);
+  freeze_calls(selector, 3);  // c1, c2 fill A-ms0; c3 lands on A-ms1
+
+  health.set_server(ServerId(0), false);
+  const fault::FailoverOutcome out =
+      selector.drain_server(ServerId(0), 400.0, budget_);
+  ASSERT_EQ(out.moved.size(), 2u);
+  EXPECT_TRUE(out.dropped.empty());
+  // Tier S1: one call re-packs bounded onto the sibling (from == to, quota
+  // untouched); tier S2/S3: the second spills cross-DC onto DC-B's fleet.
+  std::size_t sibling = 0;
+  std::size_t cross = 0;
+  for (const fault::FailoverMove& m : out.moved) {
+    if (m.from == m.to) {
+      ++sibling;
+      EXPECT_EQ(m.to_server, ServerId(1));
+    } else {
+      ++cross;
+      EXPECT_EQ(m.to, DcId(1));
+      EXPECT_EQ(m.to_server, ServerId(2));
+    }
+  }
+  EXPECT_EQ(sibling, 1u);
+  EXPECT_EQ(cross, 1u);
+  EXPECT_DOUBLE_EQ(selector.packer()->server_cores_used(ServerId(0)), 0.0);
+  EXPECT_DOUBLE_EQ(selector.packer()->server_cores_used(ServerId(1)), 4.0);
+  EXPECT_DOUBLE_EQ(selector.packer()->server_cores_used(ServerId(2)), 2.0);
+}
+
+TEST_F(PackSelectorTest, DrainOverflowsOntoSiblingBeforeDropping) {
+  fault::HealthTable health(2, 1, 3);
+  RealtimeSelector selector(world_.ctx(), nullptr, {}, 0.0, &health);
+  freeze_calls(selector, 3);
+
+  // DC-B down: the cross-DC tiers are unavailable, so the call that does
+  // not fit bounded on the sibling overflows onto it (tier S4) instead of
+  // dropping — the DC itself is healthy.
+  health.set_dc(DcId(1), false);
+  health.set_server(ServerId(0), false);
+  const fault::FailoverOutcome out =
+      selector.drain_server(ServerId(0), 400.0, budget_);
+  ASSERT_EQ(out.moved.size(), 2u);
+  EXPECT_TRUE(out.dropped.empty());
+  for (const fault::FailoverMove& m : out.moved) {
+    EXPECT_EQ(m.from, DcId(0));
+    EXPECT_EQ(m.to, DcId(0));
+    EXPECT_EQ(m.to_server, ServerId(1));
+  }
+  EXPECT_EQ(selector.packer()->overcommit_admits(), 1u);
+  EXPECT_DOUBLE_EQ(selector.packer()->server_cores_used(ServerId(1)), 6.0);
+}
+
+TEST_F(PackSelectorTest, DrainDropsOnlyWhenEveryTierIsExhausted) {
+  fault::HealthTable health(2, 1, 3);
+  RealtimeSelector selector(world_.ctx(), nullptr, {}, 0.0, &health);
+  freeze_calls(selector, 1);
+
+  // No up sibling (A-ms1 down too), no up cross-DC target: tier S5.
+  health.set_dc(DcId(1), false);
+  health.set_server(ServerId(0), false);
+  health.set_server(ServerId(1), false);
+  const fault::FailoverOutcome out =
+      selector.drain_server(ServerId(0), 400.0, budget_);
+  EXPECT_TRUE(out.moved.empty());
+  ASSERT_EQ(out.dropped.size(), 1u);
+  EXPECT_EQ(out.dropped[0], CallId(1));
+  EXPECT_DOUBLE_EQ(selector.packer()->dc_cores_used(DcId(0)), 0.0);
+}
+
+TEST_F(PackSelectorTest, DefragmentConsolidatesFreeSpace) {
+  // Eight 1-participant calls fill both DC-A servers; ending alternating
+  // calls shreds the free space across the fleet.
+  fault::HealthTable health(2, 1, 3);
+  RealtimeSelector selector(world_.ctx(), nullptr, {}, 0.0, &health);
+  const CallConfig small =
+      CallConfig::make({{LocationId(0), 1}}, MediaType::kAudio);
+  for (std::uint32_t c = 1; c <= 8; ++c) {
+    selector.on_call_start(CallId(c), LocationId(0), 0.0);
+    ASSERT_EQ(selector.on_config_frozen(CallId(c), small, 300.0).dc, DcId(0));
+  }
+  for (std::uint32_t c = 1; c <= 8; c += 2) {
+    selector.on_call_end(CallId(c), 400.0);
+  }
+  const double used_before = selector.packer()->dc_cores_used(DcId(0));
+  const double frag_before = selector.packer()->fragmentation(DcId(0));
+  EXPECT_GT(frag_before, 0.0);
+
+  const pack::DefragResult r = selector.defragment_dc(DcId(0));
+  EXPECT_FALSE(r.moves.empty());
+  EXPECT_LT(r.fragmentation_after, frag_before);
+  EXPECT_DOUBLE_EQ(selector.packer()->dc_cores_used(DcId(0)), used_before);
+  for (const pack::ServerStats& s : selector.packer()->stats()) {
+    EXPECT_EQ(s.admitted_mc - s.released_mc,
+              pack::to_millicores(s.used_cores));
+  }
+}
+
+TEST_F(PackSelectorTest, EightThreadChurnLeavesZeroOccupancy) {
+  fault::HealthTable health(2, 1, 3);
+  RealtimeSelector selector(world_.ctx(), nullptr, {}, 0.0, &health);
+  constexpr std::uint32_t kThreads = 8;
+  constexpr std::uint32_t kCallsPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([this, &selector, t] {
+      const CallConfig one =
+          CallConfig::make({{LocationId(t % 2), 1}}, MediaType::kAudio);
+      for (std::uint32_t i = 0; i < kCallsPerThread; ++i) {
+        const CallId id(1 + t * kCallsPerThread + i);
+        selector.on_call_start(id, LocationId(t % 2), 0.0);
+        selector.on_config_frozen(id, i % 3 == 0 ? config_ : one, 300.0);
+        selector.on_call_end(id, 400.0);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  std::int64_t admitted = 0;
+  std::int64_t released = 0;
+  for (const pack::ServerStats& s : selector.packer()->stats()) {
+    EXPECT_EQ(pack::to_millicores(s.used_cores), 0)
+        << "server " << s.server.value() << " leaked occupancy";
+    EXPECT_EQ(s.admits, s.releases);
+    admitted += s.admitted_mc;
+    released += s.released_mc;
+  }
+  EXPECT_EQ(admitted, released);
+  EXPECT_GT(admitted, 0);
+  EXPECT_DOUBLE_EQ(selector.packer()->dc_cores_used(DcId(0)), 0.0);
+  EXPECT_DOUBLE_EQ(selector.packer()->dc_cores_used(DcId(1)), 0.0);
+}
+
+TEST(PackNoFleetTest, SelectorWithoutServersHasNoPacker) {
+  World w;
+  w.add_location({"A", 0.0, 0.0, 0.0, 1.0, "R"});
+  w.add_location({"B", 0.0, 8.0, 1.0, 1.0, "R"});
+  w.add_datacenter({"DC-A", LocationId(0), 1.0});
+  w.add_datacenter({"DC-B", LocationId(1), 1.0});
+  Topology topology(w);
+  topology.add_link(LocationId(0), LocationId(1), 15.0, 10.0);
+  topology.compute_paths();
+  const LatencyMatrix latency = LatencyMatrix::from_topology(w, topology, 8.0);
+  CallConfigRegistry registry;
+  LoadModel loads{{1.0, 1.5, 3.0}, {1.0, 15.0, 35.0}};
+  EvalContext ctx{&w, &topology, &latency, &registry, &loads};
+
+  RealtimeSelector selector(ctx, nullptr, {});
+  EXPECT_EQ(selector.packer(), nullptr);
+  const CallConfig config =
+      CallConfig::make({{LocationId(0), 2}}, MediaType::kAudio);
+  selector.on_call_start(CallId(1), LocationId(0), 0.0);
+  const FreezeResult r = selector.on_config_frozen(CallId(1), config, 300.0);
+  EXPECT_FALSE(r.server.valid());
+  selector.on_call_end(CallId(1), 400.0);
+}
+
+}  // namespace
+}  // namespace sb

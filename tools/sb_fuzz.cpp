@@ -5,6 +5,9 @@
 //   sb_fuzz --chaos skip-drain-credit  # mutation mode: MUST fail (oracle
 //                                      # self-test; exit 0 iff a failure was
 //                                      # found and shrunk)
+//   sb_fuzz --chaos skip-server-credit # same, for the per-server packer
+//                                      # conservation oracle (forces fleets
+//                                      # plus at least one server outage)
 //   sb_fuzz --replay repro.json        # re-run one repro file; exit 1 if it
 //                                      # (still) fails
 //   sb_fuzz --replay-dir tests/repros  # regression-run a repro corpus:
@@ -51,7 +54,8 @@ struct Args {
   std::string dump_file;
   std::uint64_t dump_seed = 0;
   bool dump = false;
-  bool chaos = false;
+  bool chaos_drain = false;
+  bool chaos_server = false;
   bool keep_going = false;
   bool no_shrink = false;
   std::uint64_t flight_capacity = 8192;  ///< per-thread span ring slots
@@ -63,7 +67,8 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: sb_fuzz [--seeds N] [--seed-base S] [--budget-s T]\n"
-      "               [--out DIR] [--chaos skip-drain-credit]\n"
+      "               [--out DIR]\n"
+      "               [--chaos skip-drain-credit|skip-server-credit]\n"
       "               [--keep-going] [--no-shrink]\n"
       "               [--flight-capacity N] [--trace-out FILE]\n"
       "               [--metrics-out FILE]\n"
@@ -111,11 +116,14 @@ bool parse_args(int argc, char** argv, Args& a) {
       a.dump_file = f;
     } else if (arg == "--chaos") {
       const char* v = next();
-      if (v == nullptr || std::strcmp(v, "skip-drain-credit") != 0) {
+      if (v != nullptr && std::strcmp(v, "skip-drain-credit") == 0) {
+        a.chaos_drain = true;
+      } else if (v != nullptr && std::strcmp(v, "skip-server-credit") == 0) {
+        a.chaos_server = true;
+      } else {
         std::fprintf(stderr, "sb_fuzz: unknown chaos mode\n");
         return false;
       }
-      a.chaos = true;
     } else if (arg == "--keep-going") {
       a.keep_going = true;
     } else if (arg == "--no-shrink") {
@@ -203,7 +211,9 @@ std::string write_failure(const sb::check::FuzzCase& c, bool no_shrink,
 
 int fuzz(const Args& a) {
   sb::check::FuzzerParams params;
-  params.chaos_skip_drain_credit = a.chaos;
+  params.chaos_skip_drain_credit = a.chaos_drain;
+  params.chaos_skip_server_credit = a.chaos_server;
+  const bool chaos = a.chaos_drain || a.chaos_server;
   const sb::check::ScenarioFuzzer fuzzer(params);
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t run = 0;
@@ -233,7 +243,7 @@ int fuzz(const Args& a) {
                   static_cast<unsigned long long>(seed), c.describe().c_str(),
                   r.summary().c_str());
       write_failure(c, a.no_shrink, a.out_dir);
-      if (a.chaos || !a.keep_going) break;
+      if (chaos || !a.keep_going) break;
     }
   }
   std::printf("fuzzed %llu seed(s): %llu failed, %llu skipped "
@@ -241,7 +251,7 @@ int fuzz(const Args& a) {
               static_cast<unsigned long long>(run),
               static_cast<unsigned long long>(failed),
               static_cast<unsigned long long>(skipped));
-  if (a.chaos) {
+  if (chaos) {
     // Mutation mode inverts the exit code: the planted bug MUST be caught.
     if (failed == 0) {
       std::fprintf(stderr,
