@@ -17,16 +17,31 @@
 // --fail-at/--recover-after) and the drain_server tier ladder re-homes the
 // server's calls onto siblings before spilling cross-DC.
 //
+// With --workers=N the realtime path runs under the sb_cluster control
+// plane: N controller workers each own a contiguous range of call shards,
+// mirror every lifecycle event into the KV write-ahead log, and advertise
+// liveness through TTL leases. --kill-worker=W crashes one worker
+// mid-window (--kill-at, --restart-after, in hours like --fail-at): its
+// shards are re-adopted by survivors via WAL replay at a bumped epoch, and
+// the report grows a per-worker shard-ownership table plus the cluster's
+// takeover/replay counters. A worker crash never drops or moves a call —
+// the headline metrics must match the single-process run exactly.
+//
 // Flags: --hours=4 --configs=30
 //        --fail-dc=Tokyo --fail-at=1.5 --recover-after=1
 //        (fail-at/recover-after in hours from the replay window start)
 //        --servers-per-dc=4 --server-cores=2 --fail-server=DC-India-ms0
+//        --workers=4 --kill-worker=0 --kill-at=1.5 --restart-after=1
+//        --lease-ttl=120           worker lease TTL in sim seconds
 //        --trace-out=trace.json    Chrome trace-event span dump (Perfetto)
 //        --metrics-out=metrics.json  final MetricsRegistry snapshot
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
+#include "cluster/allocator.h"
+#include "cluster/controller.h"
 #include "common/table.h"
 #include "core/controller.h"
 #include "fault/fault_schedule.h"
@@ -74,6 +89,11 @@ int main(int argc, char** argv) {
   const double server_cores = flag(argc, argv, "server-cores", 2.0);
   const std::string fail_server_name =
       string_flag(argc, argv, "fail-server", "");
+  const auto workers = static_cast<std::size_t>(flag(argc, argv, "workers", 0));
+  const int kill_worker = static_cast<int>(flag(argc, argv, "kill-worker", -1));
+  const double kill_at_h = flag(argc, argv, "kill-at", 1.0);
+  const double restart_after_h = flag(argc, argv, "restart-after", 0.5);
+  const double lease_ttl_s = flag(argc, argv, "lease-ttl", 120.0);
   const std::string trace_out = string_flag(argc, argv, "trace-out", "");
   const std::string metrics_out = string_flag(argc, argv, "metrics-out", "");
   // No trace requested -> don't pay for span recording at all.
@@ -131,9 +151,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (kill_worker >= 0 &&
+      (workers == 0 || static_cast<std::size_t>(kill_worker) >= workers)) {
+    std::cerr << "--kill-worker=" << kill_worker
+              << " needs --workers=N with N > " << kill_worker << "\n";
+    return 1;
+  }
+
   ControllerOptions options;
   options.provision.include_link_failures = false;  // keep the demo quick
   options.slot_s = 3600.0;
+  options.worker_rows = workers;  // health rows for the cluster layer
   Switchboard controller(ctx, options);
   std::cout << "provisioning (" << world.dc_count() << " DCs)...\n";
   const ProvisionResult& provision = controller.provision(demand);
@@ -163,12 +191,33 @@ int main(int argc, char** argv) {
               << format_double(fail_at_h, 1) << " h for "
               << format_double(recover_after_h, 1) << " h)";
   }
+  if (kill_worker >= 0) {
+    const SimTime kill_at = start + kill_at_h * kSecondsPerHour;
+    faults.fail_worker(WorkerId(static_cast<std::uint32_t>(kill_worker)),
+                       kill_at, restart_after_h * kSecondsPerHour);
+    std::cout << " (killing worker " << kill_worker << " at +"
+              << format_double(kill_at_h, 1) << " h, restart after "
+              << format_double(restart_after_h, 1) << " h)";
+  }
   std::cout << "...\n\n";
 
-  ControllerAllocator allocator(controller);
+  // With --workers the realtime events flow through the sb_cluster facade
+  // (shard routing + leases + WAL) instead of the Switchboard directly.
+  std::unique_ptr<cluster::ClusterController> cl;
+  std::unique_ptr<cluster::ClusterAllocator> cluster_allocator;
+  ControllerAllocator direct_allocator(controller);
+  CallAllocator* allocator = &direct_allocator;
+  if (workers > 0) {
+    cl = std::make_unique<cluster::ClusterController>(
+        controller,
+        cluster::ClusterOptions{.workers = workers, .lease_ttl_s = lease_ttl_s});
+    cluster_allocator = std::make_unique<cluster::ClusterAllocator>(*cl);
+    allocator = cluster_allocator.get();
+  }
+
   Simulator sim(ctx);
   const SimReport report =
-      sim.run(db, allocator, 300.0, faults.empty() ? nullptr : &faults);
+      sim.run(db, *allocator, 300.0, faults.empty() ? nullptr : &faults);
 
   TextTable table({"metric", "value"});
   table.row().cell("calls served").cell(static_cast<std::uint64_t>(report.calls));
@@ -226,6 +275,32 @@ int main(int argc, char** argv) {
                 2);
     }
     std::cout << fleet;
+  }
+
+  if (cl != nullptr) {
+    print_banner(std::cout, "cluster control plane (per-worker shard "
+                            "ownership after the run)");
+    TextTable wtab({"worker", "state", "initial shards", "owns now",
+                    "events", "adopted", "kills/restarts"});
+    for (const cluster::WorkerStatus& w : cl->worker_table()) {
+      wtab.row()
+          .cell("worker-" + std::to_string(w.id.value()))
+          .cell(w.alive ? "alive" : "down")
+          .cell("[" + std::to_string(w.initial_begin) + ", " +
+                std::to_string(w.initial_end) + ")")
+          .cell(w.shards_owned)
+          .cell(w.events_applied)
+          .cell(w.takeovers)
+          .cell(std::to_string(w.kills) + "/" + std::to_string(w.restarts));
+    }
+    std::cout << wtab;
+    const cluster::ClusterStats cs = cl->stats();
+    std::cout << "epoch " << cl->epoch() << ", WAL records live "
+              << cl->wal_size() << ", takeovers "
+              << cs.takeovers_expedited << " expedited / " << cs.takeovers_ttl
+              << " lease-expiry, WAL records replayed " << cs.replayed_records
+              << ", lease renewals " << cs.lease_renewals
+              << ", stale events fenced " << cs.stale_events_fenced << "\n";
   }
 
   std::cout << "\n(headroom is expected: capacity also covers the day's "

@@ -126,6 +126,7 @@ Json fault_to_json(const fault::FaultEvent& e) {
   o["kind"] = static_cast<std::uint64_t>(e.kind);
   o["index"] = static_cast<std::uint64_t>(e.is_dc()       ? e.dc.value()
                                           : e.is_server() ? e.server.value()
+                                          : e.is_worker() ? e.worker.value()
                                                           : e.link.value());
   return Json(std::move(o));
 }
@@ -134,13 +135,15 @@ fault::FaultEvent fault_from_json(const Json& j) {
   fault::FaultEvent e;
   e.time = j.get("time").as_number();
   const std::uint64_t kind = j.get("kind").as_u64();
-  require(kind <= 5, "FaultEvent: bad kind");
+  require(kind <= 7, "FaultEvent: bad kind");
   e.kind = static_cast<fault::FaultEvent::Kind>(kind);
   const auto index = static_cast<std::uint32_t>(j.get("index").as_u64());
   if (e.is_dc()) {
     e.dc = DcId(index);
   } else if (e.is_server()) {
     e.server = ServerId(index);
+  } else if (e.is_worker()) {
+    e.worker = WorkerId(index);
   } else {
     e.link = LinkId(index);
   }
@@ -163,6 +166,9 @@ Json options_to_json(const FuzzOptions& o) {
   j["rebuild_storm"] = o.rebuild_storm;
   j["chaos_skip_drain_credit"] = o.chaos_skip_drain_credit;
   j["chaos_skip_server_credit"] = o.chaos_skip_server_credit;
+  j["workers"] = o.workers;
+  j["lease_ttl_s"] = o.lease_ttl_s;
+  j["chaos_skip_wal_freeze"] = o.chaos_skip_wal_freeze;
   return Json(std::move(j));
 }
 
@@ -183,6 +189,9 @@ FuzzOptions options_from_json(const Json& j) {
   o.rebuild_storm = j.get_or("rebuild_storm", false);
   o.chaos_skip_drain_credit = j.get_or("chaos_skip_drain_credit", false);
   o.chaos_skip_server_credit = j.get_or("chaos_skip_server_credit", false);
+  o.workers = static_cast<std::size_t>(j.get_or("workers", 0.0));
+  o.lease_ttl_s = j.get_or("lease_ttl_s", 30.0);
+  o.chaos_skip_wal_freeze = j.get_or("chaos_skip_wal_freeze", false);
   return o;
 }
 
@@ -263,6 +272,9 @@ fault::FaultSchedule build_faults(const FuzzCase& c) {
     } else if (e.is_server()) {
       require(e.server.valid() && e.server.value() < c.world.servers.size(),
               "FuzzCase: fault references unknown server");
+    } else if (e.is_worker()) {
+      require(e.worker.valid() && e.worker.value() < c.options.workers,
+              "FuzzCase: fault references unknown worker");
     } else {
       require(e.link.valid() && e.link.value() < c.world.links.size(),
               "FuzzCase: fault references unknown link");
@@ -365,7 +377,9 @@ std::string FuzzCase::describe() const {
      << (options.use_plan ? " plan" : " no-plan")
      << (options.rebuild_storm ? " storm" : "")
      << (options.chaos_skip_drain_credit ? " chaos" : "")
-     << (options.chaos_skip_server_credit ? " chaos-server" : "");
+     << (options.chaos_skip_server_credit ? " chaos-server" : "")
+     << (options.chaos_skip_wal_freeze ? " chaos-wal" : "");
+  if (options.workers > 0) os << " workers=" << options.workers;
   return os.str();
 }
 

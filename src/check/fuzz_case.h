@@ -70,6 +70,16 @@ struct FuzzOptions {
   /// server, leaking per-server occupancy the per-server conservation
   /// oracle must catch. Requires a fleet.
   bool chaos_skip_server_credit = false;
+  /// Cluster mode (sb_cluster): controller-worker count over the selector
+  /// shards; 0 runs the plain single-process path. Requires use_plan; the
+  /// fuzzer clamps it to shard_count.
+  std::size_t workers = 0;
+  double lease_ttl_s = 30.0;  ///< worker lease TTL (cluster mode only)
+  /// Mutation knob: the WAL record is not rewritten at config freeze, so a
+  /// worker kill + replay resurrects the pre-freeze row and the end event
+  /// credits no slot — planted drift the conservation oracle must catch.
+  /// Requires cluster mode and at least one worker kill.
+  bool chaos_skip_wal_freeze = false;
 };
 
 /// A materialized case: the live objects a case deserializes into. Owned

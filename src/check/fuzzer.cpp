@@ -124,9 +124,17 @@ FuzzCase ScenarioFuzzer::generate(std::uint64_t seed) const {
   const double mean_outage_s = rng.uniform(180.0, 1200.0);
   const double server_fraction =
       params_.chaos_skip_server_credit ? 1.0 : params_.server_outage_fraction;
+  // The drain-credit leak only fires on DC drains, so that chaos knob
+  // concentrates every outage on DCs (the same way the server-credit knob
+  // forces server_fraction to 1); detection then lands within the smoke
+  // tests' 16-seed budget.
+  const double link_fraction = params_.chaos_skip_drain_credit ? 0.0 : 0.25;
+  const std::size_t faultable_servers =
+      params_.chaos_skip_drain_credit ? 0 : c.world.servers.size();
   const fault::FaultSchedule storm = fault::FaultSchedule::random(
       rng, c.world.dcs.size(), c.world.links.size(), outages, c.window_start_s,
-      c.window_end_s, mean_outage_s, c.world.servers.size(), server_fraction);
+      c.window_end_s, mean_outage_s, link_fraction, faultable_servers,
+      server_fraction);
   c.faults = storm.events();
 
   // Trace: materialize the call records and carry them as plain calls (the
@@ -156,6 +164,44 @@ FuzzCase ScenarioFuzzer::generate(std::uint64_t seed) const {
     o.rebuild_storm = false;
   }
   if (!o.use_plan) o.rebuild_storm = false;
+
+  // Cluster draws come LAST so every earlier draw keeps its stream
+  // position: a non-cluster case is byte-identical to the pre-cluster
+  // generator's output for the same seed.
+  const bool cluster =
+      o.use_plan && (params_.worker_kill_storm || params_.chaos_skip_wal_freeze ||
+                     rng.chance(params_.cluster_prob));
+  if (cluster) {
+    const std::size_t worker_choices[] = {1, 2, 4};
+    o.workers = std::min(worker_choices[rng.uniform_index(3)], o.shard_count);
+    o.lease_ttl_s = rng.uniform(20.0, 120.0);
+    o.chaos_skip_wal_freeze = params_.chaos_skip_wal_freeze;
+    auto kills = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    if (params_.worker_kill_storm) {
+      kills = static_cast<std::size_t>(rng.uniform_int(3, 6));
+    }
+    // The planted WAL bug only manifests across a crash, so chaos mode
+    // guarantees at least one kill.
+    if (params_.chaos_skip_wal_freeze && kills == 0) kills = 1;
+    if (kills > 0) {
+      fault::FaultSchedule wstorm;
+      for (std::size_t k = 0; k < kills; ++k) {
+        const auto w =
+            static_cast<std::uint32_t>(rng.uniform_index(o.workers));
+        const SimTime at = rng.uniform(c.window_start_s, c.window_end_s);
+        const double down_s = rng.uniform(30.0, 900.0);
+        wstorm.fail_worker(WorkerId(w), at, down_s);
+      }
+      for (const fault::FaultEvent& e : wstorm.events()) {
+        c.faults.push_back(e);
+      }
+      // Keep c.faults time-sorted: the oracles' down-at scans early-exit on
+      // the first event past t.
+      std::stable_sort(c.faults.begin(), c.faults.end(),
+                       [](const fault::FaultEvent& a,
+                          const fault::FaultEvent& b) { return a.time < b.time; });
+    }
+  }
   return c;
 }
 

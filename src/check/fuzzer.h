@@ -47,6 +47,16 @@ struct FuzzerParams {
   /// Of the fault-storm outages, the fraction drawn as single-server
   /// failures instead of DC/link outages (fleet cases only).
   double server_outage_fraction = 0.35;
+  /// Probability a plan case runs the sb_cluster path: N controller workers
+  /// over the selector shards with epoch/lease HA and WAL replay on kill.
+  double cluster_prob = 0.35;
+  /// Forces every generated case into cluster mode with a 3..6-kill worker
+  /// storm (sb_fuzz --storm worker-kill) — the failover soak shape.
+  bool worker_kill_storm = false;
+  /// Forces the WAL-freeze chaos knob (plus cluster mode and at least one
+  /// worker kill) on every generated case — proves the conservation oracle
+  /// catches a lost freeze across crash-recovery (sb_fuzz --chaos).
+  bool chaos_skip_wal_freeze = false;
 };
 
 class ScenarioFuzzer {

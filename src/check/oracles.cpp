@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "calls/demand.h"
+#include "cluster/allocator.h"
+#include "cluster/controller.h"
 #include "common/error.h"
 #include "core/controller.h"
 #include "core/failure.h"
@@ -70,6 +72,7 @@ ControllerOptions controller_options(const FuzzOptions& o) {
   copts.realtime.shard_count = o.shard_count;
   copts.realtime.chaos_skip_drain_credit = o.chaos_skip_drain_credit;
   copts.realtime.chaos_skip_server_credit = o.chaos_skip_server_credit;
+  copts.worker_rows = o.workers;
   return copts;
 }
 
@@ -97,7 +100,19 @@ class Exec {
                                           controller_options(c.options));
       sb_->provision(*demand);
       sb_->build_allocation_plan(*demand, c.window_start_s);
-      controller_alloc_ = std::make_unique<ControllerAllocator>(*sb_);
+      if (c.options.workers > 0) {
+        // Cluster mode: the same Switchboard becomes the media plane under
+        // N controller workers. With workers == 1 and no kills this path is
+        // bit-identical to ControllerAllocator (asserted by cluster_test).
+        cluster::ClusterOptions clopts;
+        clopts.workers = c.options.workers;
+        clopts.lease_ttl_s = c.options.lease_ttl_s;
+        clopts.chaos_skip_wal_freeze = c.options.chaos_skip_wal_freeze;
+        cluster_ = std::make_unique<cluster::ClusterController>(*sb_, clopts);
+        cluster_alloc_ = std::make_unique<cluster::ClusterAllocator>(*cluster_);
+      } else {
+        controller_alloc_ = std::make_unique<ControllerAllocator>(*sb_);
+      }
     } else {
       health_ = std::make_unique<fault::HealthTable>(m.world.dc_count(),
                                                      m.topology.link_count(),
@@ -110,6 +125,7 @@ class Exec {
   }
 
   [[nodiscard]] CallAllocator& allocator() {
+    if (cluster_alloc_) return *cluster_alloc_;
     return sb_ ? static_cast<CallAllocator&>(*controller_alloc_)
                : static_cast<CallAllocator&>(*selector_alloc_);
   }
@@ -123,6 +139,8 @@ class Exec {
     return sb_ ? sb_->active_calls() : selector_->active_calls();
   }
   [[nodiscard]] Switchboard* controller() { return sb_.get(); }
+  /// Cluster facade (null outside cluster mode).
+  [[nodiscard]] cluster::ClusterController* cluster() { return cluster_.get(); }
   /// Live packer (null without a fleet). Only meaningful at quiescence.
   [[nodiscard]] const pack::ServerPacker* packer() const {
     return sb_ ? sb_->packer() : selector_->packer();
@@ -131,6 +149,8 @@ class Exec {
  private:
   std::unique_ptr<Switchboard> sb_;
   std::unique_ptr<ControllerAllocator> controller_alloc_;
+  std::unique_ptr<cluster::ClusterController> cluster_;
+  std::unique_ptr<cluster::ClusterAllocator> cluster_alloc_;
   std::unique_ptr<fault::HealthTable> health_;
   std::unique_ptr<RealtimeSelector> selector_;
   std::unique_ptr<SwitchboardAllocator> selector_alloc_;
@@ -340,6 +360,53 @@ void conservation_oracle(const Exec& exec, const SimReport& rep,
   check(s.failover_moves == rep.failover_migrations,
         "selector re-homed " + std::to_string(s.failover_moves) +
             ", simulator reports " + std::to_string(rep.failover_migrations));
+}
+
+/// Cluster conservation (cluster cases only): at quiescence the WAL must be
+/// empty (every started call's record was erased by exactly one terminal
+/// event, across any number of crash/replay cycles), no shard may still be
+/// marked dirty, the epoch must have stayed monotone from its birth value,
+/// and every scheduled kill/restart must have been observed. A duplicated
+/// or lost call-lifecycle transition strands a WAL record forever.
+void cluster_conservation_oracle(Exec& exec, const FuzzCase& c,
+                                 std::vector<OracleFailure>& out) {
+  cluster::ClusterController* cl = exec.cluster();
+  if (cl == nullptr) return;
+  const auto check = [&](bool ok, const std::string& detail) {
+    if (!ok) fail(out, "cluster-conservation", detail);
+  };
+  check(cl->wal_size() == 0,
+        "WAL still holds " + std::to_string(cl->wal_size()) +
+            " call records at quiescence");
+  check(!cl->shard_map().any_dirty(), "dirty shards at quiescence");
+  check(cl->epoch() >= 1, "cluster epoch regressed below its birth value");
+  const cluster::ClusterStats cs = cl->stats();
+  // Effective transitions only: overlapping outage pairs for one worker
+  // deliver redundant edges the controller ignores. c.faults is in replay
+  // order (time-sorted, stable), so this recount is exact.
+  std::vector<std::uint8_t> alive(c.options.workers, 1);
+  std::uint64_t kills = 0;
+  std::uint64_t restarts = 0;
+  for (const fault::FaultEvent& e : c.faults) {
+    if (!e.is_worker() || e.worker.value() >= alive.size()) continue;
+    std::uint8_t& a = alive[e.worker.value()];
+    if (e.kind == fault::FaultEvent::Kind::kWorkerDown && a == 1) {
+      a = 0;
+      ++kills;
+    } else if (e.kind == fault::FaultEvent::Kind::kWorkerUp && a == 0) {
+      a = 1;
+      ++restarts;
+    }
+  }
+  check(cs.worker_kills == kills,
+        "observed " + std::to_string(cs.worker_kills) + " worker kills, " +
+            "schedule carries " + std::to_string(kills));
+  check(cs.worker_restarts == restarts,
+        "observed " + std::to_string(cs.worker_restarts) +
+            " worker restarts, schedule carries " + std::to_string(restarts));
+  check(cs.stale_events_fenced == 0,
+        "in-process dispatch fenced " +
+            std::to_string(cs.stale_events_fenced) + " events as stale");
 }
 
 /// Per-server conservation (fleet cases only): the packer's cumulative
@@ -816,6 +883,7 @@ CheckResult run_case(const FuzzCase& c, const CheckOptions& opts) {
     }
     exactly_once_oracle(m, c, log, res.failures);
     conservation_oracle(ref, rep, m.db.size(), res.failures);
+    cluster_conservation_oracle(ref, c, res.failures);
     recount_oracle(m, c, rep, log, "recount", res.failures);
     server_conservation_oracle(ref, m, log, res.failures);
     down_dc_oracle(m, c, log, res.failures);
@@ -884,6 +952,7 @@ CheckResult run_case(const FuzzCase& c, const CheckOptions& opts) {
       }
       exactly_once_oracle(m, c, clog, res.failures);
       conservation_oracle(conc, crep, m.db.size(), res.failures);
+      cluster_conservation_oracle(conc, c, res.failures);
       recount_oracle(m, c, crep, clog, "recount-concurrent", res.failures);
       server_conservation_oracle(conc, m, clog, res.failures);
       down_dc_oracle(m, c, clog, res.failures);

@@ -84,6 +84,43 @@ class Shrinker {
     return progress;
   }
 
+  /// Removes controller worker `w` from a cluster case: decrements the
+  /// worker count, drops the removed worker's fault events, and renumbers
+  /// worker ids above it (mirroring erase_servers). Shrinking to zero
+  /// workers turns the case back into the single-process path, so every
+  /// worker event goes.
+  static void erase_worker(FuzzCase& c, std::uint32_t w) {
+    --c.options.workers;
+    std::vector<fault::FaultEvent> kept;
+    kept.reserve(c.faults.size());
+    for (fault::FaultEvent e : c.faults) {
+      if (e.is_worker()) {
+        if (c.options.workers == 0 || e.worker.value() == w) continue;
+        if (e.worker.value() > w) e.worker = WorkerId(e.worker.value() - 1);
+      }
+      kept.push_back(e);
+    }
+    c.faults = std::move(kept);
+  }
+
+  /// Pass 2b: remove controller workers one at a time (cluster cases only;
+  /// kill schedules shrink with them). A candidate that reaches zero
+  /// workers reverts to the single-process controller path.
+  bool shrink_workers() {
+    bool progress = false;
+    for (std::uint32_t w = 0;
+         best_.options.workers > 0 && w < best_.options.workers;) {
+      FuzzCase candidate = best_;
+      erase_worker(candidate, w);
+      if (accept(candidate)) {
+        progress = true;
+      } else {
+        ++w;
+      }
+    }
+    return progress;
+  }
+
   /// Drops the servers whose index in `c.world.servers` is marked in
   /// `remove`, renumbering the global ServerId space and rewriting server
   /// fault events (events on a removed server are dropped).
@@ -210,6 +247,7 @@ ShrinkResult shrink_case(const FuzzCase& failing,
     bool progress = false;
     progress |= s.shrink_calls();
     progress |= s.shrink_faults();
+    progress |= s.shrink_workers();
     progress |= s.shrink_dcs();
     progress |= s.shrink_servers();
     progress |= s.shrink_window();

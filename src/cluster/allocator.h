@@ -1,0 +1,62 @@
+// Simulator adapter over the sb_cluster controller: the Switchboard event
+// surface plus the worker crash/restart hooks the fault runtime invokes for
+// kWorkerDown/kWorkerUp schedule events. Lives here (not in sim/) because
+// sb_sim must not depend on sb_cluster.
+#pragma once
+
+#include "cluster/controller.h"
+#include "sim/allocator.h"
+
+namespace sb::cluster {
+
+/// Borrows the cluster controller; it must outlive the allocator. Keeps
+/// name() == "switchboard" so SimReports compare field-for-field with the
+/// single-process ControllerAllocator path.
+class ClusterAllocator final : public CallAllocator {
+ public:
+  explicit ClusterAllocator(ClusterController& cluster) : cluster_(&cluster) {}
+
+  DcId on_call_start(CallId call, LocationId first_joiner,
+                     SimTime now) override {
+    return cluster_->call_started(call, first_joiner, now);
+  }
+  FreezeResult on_config_frozen(CallId call, const CallConfig& config,
+                                SimTime now) override {
+    return cluster_->config_frozen(call, config, now);
+  }
+  void on_call_end(CallId call, SimTime now) override {
+    cluster_->call_ended(call, now);
+  }
+  fault::FailoverOutcome on_dc_failed(DcId dc, SimTime now) override {
+    return cluster_->dc_failed(dc, now);
+  }
+  void on_dc_recovered(DcId dc, SimTime now) override {
+    cluster_->dc_recovered(dc, now);
+  }
+  void on_link_failed(LinkId link, SimTime now) override {
+    cluster_->link_failed(link, now);
+  }
+  void on_link_recovered(LinkId link, SimTime now) override {
+    cluster_->link_recovered(link, now);
+  }
+  fault::FailoverOutcome on_server_failed(ServerId server,
+                                          SimTime now) override {
+    return cluster_->server_failed(server, now);
+  }
+  void on_server_recovered(ServerId server, SimTime now) override {
+    cluster_->server_recovered(server, now);
+  }
+  fault::FailoverOutcome on_worker_failed(WorkerId worker,
+                                          SimTime now) override {
+    return cluster_->worker_failed(worker, now);
+  }
+  void on_worker_recovered(WorkerId worker, SimTime now) override {
+    cluster_->worker_restarted(worker, now);
+  }
+  [[nodiscard]] std::string name() const override { return "switchboard"; }
+
+ private:
+  ClusterController* cluster_;
+};
+
+}  // namespace sb::cluster

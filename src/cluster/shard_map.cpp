@@ -1,0 +1,80 @@
+#include "cluster/shard_map.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sb::cluster {
+
+ShardMap::ShardMap(std::size_t shard_count, std::size_t worker_count,
+                   std::uint64_t initial_epoch)
+    : shards_(shard_count), worker_count_(worker_count) {
+  require(worker_count >= 1, "ShardMap: need at least one worker");
+  require(worker_count <= shard_count,
+          "ShardMap: more workers than shards");
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    const auto [begin, end] =
+        initial_range(WorkerId(static_cast<std::uint32_t>(w)));
+    for (std::size_t s = begin; s < end; ++s) {
+      shards_[s] = ShardOwnership{WorkerId(static_cast<std::uint32_t>(w)),
+                                  initial_epoch, false};
+    }
+  }
+}
+
+const ShardOwnership& ShardMap::shard(std::size_t s) const {
+  require(s < shards_.size(), "ShardMap: shard out of range");
+  return shards_[s];
+}
+
+ShardOwnership& ShardMap::shard_mut(std::size_t s) {
+  require(s < shards_.size(), "ShardMap: shard out of range");
+  return shards_[s];
+}
+
+std::pair<std::size_t, std::size_t> ShardMap::initial_range(
+    WorkerId w) const {
+  require(w.valid() && w.value() < worker_count_, "ShardMap: bad worker id");
+  // First (shard_count % worker_count) workers get one extra shard, so the
+  // partition is contiguous and balanced to within one shard.
+  const std::size_t n = shards_.size();
+  const std::size_t base = n / worker_count_;
+  const std::size_t extra = n % worker_count_;
+  const std::size_t i = w.value();
+  const std::size_t begin = i * base + std::min<std::size_t>(i, extra);
+  const std::size_t end = begin + base + (i < extra ? 1 : 0);
+  return {begin, end};
+}
+
+std::vector<std::size_t> ShardMap::owned_by(WorkerId w) const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].owner == w) out.push_back(s);
+  }
+  return out;
+}
+
+std::size_t ShardMap::shards_owned(WorkerId w) const {
+  std::size_t n = 0;
+  for (const ShardOwnership& o : shards_) {
+    if (o.owner == w) ++n;
+  }
+  return n;
+}
+
+std::size_t ShardMap::orphaned_shards() const {
+  std::size_t n = 0;
+  for (const ShardOwnership& o : shards_) {
+    if (!o.owner.valid()) ++n;
+  }
+  return n;
+}
+
+bool ShardMap::any_dirty() const {
+  for (const ShardOwnership& o : shards_) {
+    if (o.dirty) return true;
+  }
+  return false;
+}
+
+}  // namespace sb::cluster

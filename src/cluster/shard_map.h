@@ -1,0 +1,70 @@
+// Shard-ownership table for the sb_cluster control plane: which worker owns
+// each of the realtime selector's call shards, at which fencing epoch, and
+// whether the shard's controller rows still need a WAL replay ("dirty" —
+// set when the owning worker is killed, cleared when a survivor or the
+// restarted worker re-adopts the shard).
+//
+// The map itself is plain data with no locking; ClusterController guards it
+// with its bookkeeping mutex. Initial assignment gives every worker a
+// contiguous range of shards (worker w of W owns roughly shard_count/W
+// consecutive shards), matching the ISSUE's "contiguous range of call
+// shards" deployment shape; re-adoption may fragment ownership over time
+// (shards move, calls never do — the greedy-with-switching-costs framing:
+// re-homing controller state is cheap, re-homing media is not).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sb::cluster {
+
+struct ShardOwnership {
+  /// Owning worker; invalid means no live worker holds the shard (degraded
+  /// direct mode — the coordinator applies events itself).
+  WorkerId owner;
+  /// Fencing epoch: bumped (monotone, cluster-wide) every time ownership
+  /// changes. Events stamped with an older epoch are fenced.
+  std::uint64_t epoch = 0;
+  /// Controller rows for this shard were dropped by a worker kill and have
+  /// not been replayed from the WAL yet.
+  bool dirty = false;
+};
+
+class ShardMap {
+ public:
+  /// Partitions `shard_count` shards into `worker_count` contiguous ranges
+  /// (all at epoch `initial_epoch`). Requires 1 <= worker_count <=
+  /// shard_count.
+  ShardMap(std::size_t shard_count, std::size_t worker_count,
+           std::uint64_t initial_epoch);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t worker_count() const { return worker_count_; }
+
+  [[nodiscard]] const ShardOwnership& shard(std::size_t s) const;
+  [[nodiscard]] ShardOwnership& shard_mut(std::size_t s);
+
+  /// The initial contiguous range [begin, end) assigned to `w`.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> initial_range(
+      WorkerId w) const;
+
+  /// Shards currently owned by `w` (ascending).
+  [[nodiscard]] std::vector<std::size_t> owned_by(WorkerId w) const;
+  [[nodiscard]] std::size_t shards_owned(WorkerId w) const;
+  /// Shards with no valid owner (degraded / awaiting adoption).
+  [[nodiscard]] std::size_t orphaned_shards() const;
+
+  /// Partition invariant for the cluster conservation oracle: every shard
+  /// has exactly one ownership row (trivially true by construction) and no
+  /// shard is both owned and dirty-with-a-live-owner after quiescence.
+  [[nodiscard]] bool any_dirty() const;
+
+ private:
+  std::vector<ShardOwnership> shards_;
+  std::size_t worker_count_;
+};
+
+}  // namespace sb::cluster

@@ -1,0 +1,60 @@
+#include "cluster/wal.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace sb::cluster {
+
+std::string wal_shard_prefix(std::size_t shard) {
+  return "wal:" + std::to_string(shard) + ":";
+}
+
+std::string wal_key(std::size_t shard, CallId call) {
+  return wal_shard_prefix(shard) + std::to_string(call.value());
+}
+
+CallId call_from_wal_key(const std::string& key) {
+  const std::size_t colon = key.rfind(':');
+  require(colon != std::string::npos && colon + 1 < key.size(),
+          "call_from_wal_key: malformed key");
+  return CallId(
+      static_cast<std::uint32_t>(std::strtoul(key.c_str() + colon + 1,
+                                              nullptr, 10)));
+}
+
+std::string encode_wal_record(const RealtimeSelector::CallSnapshot& snap) {
+  // %a keeps `cores` exact across the round trip; ids are stored raw so the
+  // kInvalid sentinel survives too.
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "dc=%" PRIu32 " fj=%" PRIu32 " col=%zu slot=%d sdc=%" PRIu32
+                " cores=%a srv=%" PRIu32,
+                snap.dc.value(), snap.first_joiner.value(), snap.plan_col,
+                snap.holds_slot ? 1 : 0, snap.slot_dc.value(), snap.cores,
+                snap.server.value());
+  return buf;
+}
+
+RealtimeSelector::CallSnapshot decode_wal_record(const std::string& record) {
+  std::uint32_t dc = 0;
+  std::uint32_t fj = 0;
+  std::size_t col = 0;
+  int slot = 0;
+  std::uint32_t sdc = 0;
+  double cores = 0.0;
+  std::uint32_t srv = 0;
+  const int fields = std::sscanf(
+      record.c_str(),
+      "dc=%" SCNu32 " fj=%" SCNu32 " col=%zu slot=%d sdc=%" SCNu32
+      " cores=%la srv=%" SCNu32,
+      &dc, &fj, &col, &slot, &sdc, &cores, &srv);
+  require(fields == 7, "decode_wal_record: malformed record");
+  return RealtimeSelector::CallSnapshot{
+      DcId(dc),   LocationId(fj), col,         slot != 0,
+      DcId(sdc),  cores,          ServerId(srv)};
+}
+
+}  // namespace sb::cluster

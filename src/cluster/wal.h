@@ -1,0 +1,43 @@
+// Write-ahead call-lifecycle records for the sb_cluster control plane.
+//
+// Every event a worker applies is mirrored into the KV system of record as
+// a full image of the call's controller-side row (RealtimeSelector::
+// CallSnapshot), keyed by the call's lock-stripe shard:
+//
+//   wal:<shard>:<call>  ->  "dc=.. fj=.. col=.. slot=.. sdc=.. cores=.. srv=.."
+//
+// Records are written after start and freeze, rewritten when a drain moves
+// the call, and erased at end/drop — so at quiescence the WAL is empty
+// (the cluster conservation oracle asserts exactly that). Replay after a
+// worker crash scans one shard's prefix and re-inserts each row verbatim
+// (RealtimeSelector::adopt_call), reconstructing controller state without
+// re-debiting quota, cores, or packer occupancy.
+//
+// `cores` round-trips through C99 hexfloat (%a) so a replayed row is
+// bit-identical to the one the crashed worker held — the conservation
+// oracles compare doubles exactly.
+//
+// Torn records cannot occur: worker kills only happen at simulator fault
+// barriers, where every event (and its trailing WAL write) has completed.
+#pragma once
+
+#include <string>
+
+#include "core/realtime.h"
+
+namespace sb::cluster {
+
+/// "wal:<shard>:" — scan this prefix to replay one shard.
+[[nodiscard]] std::string wal_shard_prefix(std::size_t shard);
+/// Key for one call's record within its shard.
+[[nodiscard]] std::string wal_key(std::size_t shard, CallId call);
+/// The call id encoded in a WAL key (throws on malformed keys).
+[[nodiscard]] CallId call_from_wal_key(const std::string& key);
+
+[[nodiscard]] std::string encode_wal_record(
+    const RealtimeSelector::CallSnapshot& snap);
+/// Inverse of encode_wal_record (throws on malformed records).
+[[nodiscard]] RealtimeSelector::CallSnapshot decode_wal_record(
+    const std::string& record);
+
+}  // namespace sb::cluster

@@ -46,11 +46,14 @@ struct LinkTag {};
 struct ConfigTag {};
 struct CallTag {};
 struct ServerTag {};
+struct WorkerTag {};
 
 /// Datacenter index within a World.
 using DcId = StrongId<DcTag>;
 /// Media-server index within a World's fleet (global, not per-DC).
 using ServerId = StrongId<ServerTag>;
+/// Controller-worker index within an sb_cluster deployment.
+using WorkerId = StrongId<WorkerTag>;
 /// Participant location (country) index within a World.
 using LocationId = StrongId<LocationTag>;
 /// WAN link index within a Topology.

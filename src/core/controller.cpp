@@ -55,9 +55,9 @@ Switchboard::Switchboard(EvalContext ctx, ControllerOptions options)
   require(ctx_.world && ctx_.topology && ctx_.latency && ctx_.registry &&
               ctx_.loads,
           "Switchboard: incomplete context");
-  health_ = std::make_unique<fault::HealthTable>(ctx_.world->dc_count(),
-                                                 ctx_.topology->link_count(),
-                                                 ctx_.world->server_count());
+  health_ = std::make_unique<fault::HealthTable>(
+      ctx_.world->dc_count(), ctx_.topology->link_count(),
+      ctx_.world->server_count(), options_.worker_rows);
   dc_fail_time_.assign(ctx_.world->dc_count(), -1.0);
   // Realtime service is available before any plan exists: the selector then
   // runs pure closest-DC assignment.
@@ -315,6 +315,29 @@ pack::DefragResult Switchboard::defragment_dc(DcId dc,
 RealtimeSelector::Stats Switchboard::realtime_stats() const {
   std::shared_lock lock(swap_mutex_);
   return selector_->stats();
+}
+
+std::optional<RealtimeSelector::CallSnapshot> Switchboard::snapshot_call(
+    CallId call) const {
+  std::shared_lock lock(swap_mutex_);
+  return selector_->snapshot_call(call);
+}
+
+std::size_t Switchboard::drop_shards(std::size_t shard_begin,
+                                     std::size_t shard_end) {
+  std::shared_lock lock(swap_mutex_);
+  return selector_->drop_shards(shard_begin, shard_end);
+}
+
+void Switchboard::adopt_call(CallId call,
+                             const RealtimeSelector::CallSnapshot& snap) {
+  std::shared_lock lock(swap_mutex_);
+  selector_->adopt_call(call, snap);
+}
+
+std::size_t Switchboard::realtime_shard_count() const {
+  std::shared_lock lock(swap_mutex_);
+  return selector_->shard_count();
 }
 
 std::uint64_t Switchboard::held_slots() const {

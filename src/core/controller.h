@@ -34,6 +34,10 @@ struct ControllerOptions {
   FailoverOptions failover;
   /// Provisioning/allocation slot width in seconds (§5.2: 30 minutes).
   double slot_s = 1800.0;
+  /// Number of sb_cluster controller-worker rows to track in the health
+  /// table (0 = single-process deployment, the default). Worker rows never
+  /// affect placement: they live outside the table's all_up() fast path.
+  std::size_t worker_rows = 0;
 };
 
 /// One controller instance per deployment. Offline methods (provision,
@@ -103,6 +107,22 @@ class Switchboard {
   /// Lock-free availability table consulted by the realtime hot path; the
   /// simulator's fault weaving reads it too.
   [[nodiscard]] const fault::HealthTable& health() const { return *health_; }
+  /// Mutable view for the sb_cluster layer, which flips the worker rows
+  /// sized by ControllerOptions::worker_rows. Media-plane rows (DCs, links,
+  /// servers) must only be flipped through the fault event methods above.
+  [[nodiscard]] fault::HealthTable& health_mut() { return *health_; }
+
+  // --- Crash-recovery passthroughs (sb_cluster; see RealtimeSelector) ---
+  // Shared-lock wrappers so the cluster layer can snapshot, drop, and
+  // replay controller-side call rows against the live selector without
+  // racing a plan swap.
+  [[nodiscard]] std::optional<RealtimeSelector::CallSnapshot> snapshot_call(
+      CallId call) const;
+  std::size_t drop_shards(std::size_t shard_begin, std::size_t shard_end);
+  void adopt_call(CallId call, const RealtimeSelector::CallSnapshot& snap);
+  /// Shard count of the live selector (the cluster layer partitions these
+  /// shards into contiguous per-worker ranges).
+  [[nodiscard]] std::size_t realtime_shard_count() const;
 
   [[nodiscard]] RealtimeSelector::Stats realtime_stats() const;
   /// Plan slots currently held by the live selector (sum of the atomic

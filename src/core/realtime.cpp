@@ -749,6 +749,45 @@ std::size_t RealtimeSelector::active_calls() const {
   return total;
 }
 
+std::optional<RealtimeSelector::CallSnapshot> RealtimeSelector::snapshot_call(
+    CallId call) const {
+  const CallShard& s = shards_[shard_of(call, shard_count_)];
+  std::lock_guard lock(s.mutex);
+  const auto it = s.calls.find(call);
+  if (it == s.calls.end()) return std::nullopt;
+  const ActiveCall& state = it->second;
+  return CallSnapshot{state.dc,        state.first_joiner, state.plan_col,
+                      state.holds_slot, state.slot_dc,     state.cores,
+                      state.server};
+}
+
+std::size_t RealtimeSelector::drop_shards(std::size_t shard_begin,
+                                          std::size_t shard_end) {
+  require(shard_begin <= shard_end && shard_end <= shard_count_,
+          "drop_shards: bad shard range");
+  std::size_t dropped = 0;
+  for (std::size_t i = shard_begin; i < shard_end; ++i) {
+    std::lock_guard lock(shards_[i].mutex);
+    dropped += shards_[i].calls.size();
+    // No credits, no core subtraction, no packer release: the media plane
+    // still hosts these calls; only the controller's view is lost.
+    shards_[i].calls.clear();
+  }
+  return dropped;
+}
+
+void RealtimeSelector::adopt_call(CallId call, const CallSnapshot& snap) {
+  CallShard& s = shards_[shard_of(call, shard_count_)];
+  std::lock_guard lock(s.mutex);
+  const auto [it, inserted] = s.calls.emplace(
+      call, ActiveCall{snap.dc, snap.first_joiner, snap.plan_col,
+                       snap.holds_slot, snap.slot_dc, snap.cores,
+                       snap.server});
+  (void)it;
+  require(inserted, "adopt_call: duplicate call id (replay must be "
+                    "exactly-once)");
+}
+
 std::uint64_t RealtimeSelector::held_slots() const {
   if (!plan_) return 0;
   std::uint64_t total = 0;

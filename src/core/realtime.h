@@ -27,6 +27,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "core/allocation_plan.h"
@@ -176,6 +177,38 @@ class RealtimeSelector {
   [[nodiscard]] double freeze_delay_s() const {
     return options_.freeze_delay_s;
   }
+
+  // --- Crash-recovery hooks (sb_cluster) ---
+  //
+  // These three methods move call-table rows without touching the quota
+  // table, dc_cores, the packer, or any stats counter. They model a
+  // controller worker losing (and later reconstructing, from the KV
+  // write-ahead log) its in-memory view of calls that keep running on the
+  // media plane — lifecycle accounting must happen exactly once regardless
+  // of how many crash/replay cycles the row survives.
+
+  /// Verbatim image of one call's controller-side row, as persisted in the
+  /// cluster WAL and replayed by adopt_call().
+  struct CallSnapshot {
+    DcId dc;
+    LocationId first_joiner;
+    std::size_t plan_col = AllocationPlan::npos;
+    bool holds_slot = false;
+    DcId slot_dc;
+    double cores = 0.0;
+    ServerId server;
+  };
+  /// The call's current row, or nullopt when unknown (never throws — the
+  /// cluster layer probes liberally).
+  [[nodiscard]] std::optional<CallSnapshot> snapshot_call(CallId call) const;
+  /// Erases every row whose shard index is in [shard_begin, shard_end)
+  /// WITHOUT crediting quota, cores, or packer occupancy (the media plane
+  /// still hosts those calls). Returns the number of rows erased.
+  std::size_t drop_shards(std::size_t shard_begin, std::size_t shard_end);
+  /// Re-inserts a row dropped by drop_shards() exactly as snapshotted,
+  /// WITHOUT re-debiting anything. Throws on a duplicate call id — replay
+  /// must be exactly-once.
+  void adopt_call(CallId call, const CallSnapshot& snap);
   /// Tracked core load of frozen calls hosted at `dc` (weakly consistent
   /// under concurrent events). This is what drain_dc checks provisioned
   /// backup budgets against.

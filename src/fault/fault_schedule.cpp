@@ -44,6 +44,20 @@ FaultSchedule& FaultSchedule::server_up(ServerId server, SimTime at) {
   return *this;
 }
 
+FaultSchedule& FaultSchedule::worker_down(WorkerId worker, SimTime at) {
+  require(worker.valid(), "FaultSchedule: invalid worker");
+  events_.push_back({at, FaultEvent::Kind::kWorkerDown, DcId(), LinkId(),
+                     ServerId(), worker});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::worker_up(WorkerId worker, SimTime at) {
+  require(worker.valid(), "FaultSchedule: invalid worker");
+  events_.push_back({at, FaultEvent::Kind::kWorkerUp, DcId(), LinkId(),
+                     ServerId(), worker});
+  return *this;
+}
+
 FaultSchedule& FaultSchedule::fail_dc(DcId dc, SimTime at, double duration_s) {
   require(duration_s > 0.0, "FaultSchedule: outage duration");
   return dc_down(dc, at).dc_up(dc, at + duration_s);
@@ -59,6 +73,12 @@ FaultSchedule& FaultSchedule::fail_server(ServerId server, SimTime at,
                                           double duration_s) {
   require(duration_s > 0.0, "FaultSchedule: outage duration");
   return server_down(server, at).server_up(server, at + duration_s);
+}
+
+FaultSchedule& FaultSchedule::fail_worker(WorkerId worker, SimTime at,
+                                          double duration_s) {
+  require(duration_s > 0.0, "FaultSchedule: outage duration");
+  return worker_down(worker, at).worker_up(worker, at + duration_s);
 }
 
 std::vector<FaultEvent> FaultSchedule::events() const {
@@ -129,6 +149,8 @@ FaultSchedule FaultSchedule::from_events(std::vector<FaultEvent> events) {
       require(e.dc.valid(), "FaultSchedule::from_events: invalid DC");
     } else if (e.is_server()) {
       require(e.server.valid(), "FaultSchedule::from_events: invalid server");
+    } else if (e.is_worker()) {
+      require(e.worker.valid(), "FaultSchedule::from_events: invalid worker");
     } else {
       require(e.link.valid(), "FaultSchedule::from_events: invalid link");
     }

@@ -23,6 +23,8 @@ struct FaultEvent {
     kLinkUp,
     kServerDown,
     kServerUp,
+    kWorkerDown,
+    kWorkerUp,
   };
 
   SimTime time = 0.0;
@@ -30,6 +32,7 @@ struct FaultEvent {
   DcId dc;          ///< valid iff kind is kDcDown/kDcUp
   LinkId link;      ///< valid iff kind is kLinkDown/kLinkUp
   ServerId server;  ///< valid iff kind is kServerDown/kServerUp
+  WorkerId worker;  ///< valid iff kind is kWorkerDown/kWorkerUp
 
   [[nodiscard]] bool is_dc() const {
     return kind == Kind::kDcDown || kind == Kind::kDcUp;
@@ -37,9 +40,12 @@ struct FaultEvent {
   [[nodiscard]] bool is_server() const {
     return kind == Kind::kServerDown || kind == Kind::kServerUp;
   }
+  [[nodiscard]] bool is_worker() const {
+    return kind == Kind::kWorkerDown || kind == Kind::kWorkerUp;
+  }
   [[nodiscard]] bool is_down() const {
     return kind == Kind::kDcDown || kind == Kind::kLinkDown ||
-           kind == Kind::kServerDown;
+           kind == Kind::kServerDown || kind == Kind::kWorkerDown;
   }
 };
 
@@ -54,10 +60,16 @@ class FaultSchedule {
   FaultSchedule& link_up(LinkId link, SimTime at);
   FaultSchedule& server_down(ServerId server, SimTime at);
   FaultSchedule& server_up(ServerId server, SimTime at);
+  FaultSchedule& worker_down(WorkerId worker, SimTime at);
+  FaultSchedule& worker_up(WorkerId worker, SimTime at);
   /// Outage pair: down at `at`, back up `duration_s` later.
   FaultSchedule& fail_dc(DcId dc, SimTime at, double duration_s);
   FaultSchedule& fail_link(LinkId link, SimTime at, double duration_s);
   FaultSchedule& fail_server(ServerId server, SimTime at, double duration_s);
+  /// Controller-worker crash/restart pair (sb_cluster HA). A worker kill
+  /// never drops calls — the media plane keeps serving — so these events
+  /// only exercise the control-plane re-adoption path.
+  FaultSchedule& fail_worker(WorkerId worker, SimTime at, double duration_s);
 
   [[nodiscard]] bool empty() const { return events_.empty(); }
   [[nodiscard]] std::size_t size() const { return events_.size(); }

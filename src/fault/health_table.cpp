@@ -5,16 +5,18 @@
 namespace sb::fault {
 
 HealthTable::HealthTable(std::size_t dc_count, std::size_t link_count,
-                         std::size_t server_count)
+                         std::size_t server_count, std::size_t worker_count)
     : dc_count_(dc_count), link_count_(link_count),
-      server_count_(server_count) {
+      server_count_(server_count), worker_count_(worker_count) {
   require(dc_count_ > 0, "HealthTable: no DCs");
   dcs_ = std::make_unique<Entry[]>(dc_count_);
   if (link_count_ > 0) links_ = std::make_unique<Entry[]>(link_count_);
   if (server_count_ > 0) servers_ = std::make_unique<Entry[]>(server_count_);
+  if (worker_count_ > 0) workers_ = std::make_unique<Entry[]>(worker_count_);
 }
 
-HealthState HealthTable::flip(Entry& entry, bool up) {
+HealthState HealthTable::flip(Entry& entry, bool up,
+                              std::atomic<std::uint32_t>& counter) {
   const std::uint64_t want_down = up ? 0 : 1;
   std::uint64_t cur = entry.word.load(std::memory_order_relaxed);
   for (;;) {
@@ -25,9 +27,9 @@ HealthState HealthTable::flip(Entry& entry, bool up) {
       // Exactly one thread wins each flip, so the down counter moves once
       // per transition and all_up() stays exact.
       if (up) {
-        down_total_.fetch_sub(1, std::memory_order_acq_rel);
+        counter.fetch_sub(1, std::memory_order_acq_rel);
       } else {
-        down_total_.fetch_add(1, std::memory_order_acq_rel);
+        counter.fetch_add(1, std::memory_order_acq_rel);
       }
       return unpack(next);
     }
@@ -36,19 +38,25 @@ HealthState HealthTable::flip(Entry& entry, bool up) {
 
 HealthState HealthTable::set_dc(DcId dc, bool up) {
   require(dc.valid() && dc.value() < dc_count_, "HealthTable: bad DC id");
-  return flip(dcs_[dc.value()], up);
+  return flip(dcs_[dc.value()], up, down_total_);
 }
 
 HealthState HealthTable::set_link(LinkId link, bool up) {
   require(link.valid() && link.value() < link_count_,
           "HealthTable: bad link id");
-  return flip(links_[link.value()], up);
+  return flip(links_[link.value()], up, down_total_);
 }
 
 HealthState HealthTable::set_server(ServerId server, bool up) {
   require(server.valid() && server.value() < server_count_,
           "HealthTable: bad server id");
-  return flip(servers_[server.value()], up);
+  return flip(servers_[server.value()], up, down_total_);
+}
+
+HealthState HealthTable::set_worker(WorkerId worker, bool up) {
+  require(worker.valid() && worker.value() < worker_count_,
+          "HealthTable: bad worker id");
+  return flip(workers_[worker.value()], up, down_workers_);
 }
 
 bool HealthTable::dc_up(DcId dc) const {
@@ -74,6 +82,15 @@ HealthState HealthTable::link_state(LinkId link) const {
 
 HealthState HealthTable::server_state(ServerId server) const {
   return unpack(servers_[server.value()].word.load(std::memory_order_acquire));
+}
+
+bool HealthTable::worker_up(WorkerId worker) const {
+  return (workers_[worker.value()].word.load(std::memory_order_acquire) &
+          1u) == 0;
+}
+
+HealthState HealthTable::worker_state(WorkerId worker) const {
+  return unpack(workers_[worker.value()].word.load(std::memory_order_acquire));
 }
 
 std::size_t HealthTable::down_dcs() const {

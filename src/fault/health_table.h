@@ -30,7 +30,7 @@ struct HealthState {
 class HealthTable {
  public:
   HealthTable(std::size_t dc_count, std::size_t link_count,
-              std::size_t server_count = 0);
+              std::size_t server_count = 0, std::size_t worker_count = 0);
 
   /// Flips the entry's state; a redundant set (already up/down) is a no-op
   /// and does not advance the epoch. Returns the entry's state after the
@@ -38,13 +38,19 @@ class HealthTable {
   HealthState set_dc(DcId dc, bool up);
   HealthState set_link(LinkId link, bool up);
   HealthState set_server(ServerId server, bool up);
+  /// Controller-worker rows are tracked separately from the media plane:
+  /// a dead worker does NOT flip all_up() (placement must stay bit-identical
+  /// while the cluster layer re-adopts the worker's shards).
+  HealthState set_worker(WorkerId worker, bool up);
 
   [[nodiscard]] bool dc_up(DcId dc) const;
   [[nodiscard]] bool link_up(LinkId link) const;
   [[nodiscard]] bool server_up(ServerId server) const;
+  [[nodiscard]] bool worker_up(WorkerId worker) const;
   [[nodiscard]] HealthState dc_state(DcId dc) const;
   [[nodiscard]] HealthState link_state(LinkId link) const;
   [[nodiscard]] HealthState server_state(ServerId server) const;
+  [[nodiscard]] HealthState worker_state(WorkerId worker) const;
 
   /// Fast path for the realtime selector: true iff no DC, link, or media
   /// server is currently down (one relaxed load of a shared counter).
@@ -54,10 +60,15 @@ class HealthTable {
   [[nodiscard]] std::size_t down_dcs() const;
   [[nodiscard]] std::size_t down_links() const;
   [[nodiscard]] std::size_t down_servers() const;
+  /// Down controller workers (own counter, never part of all_up()).
+  [[nodiscard]] std::size_t down_workers() const {
+    return down_workers_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] std::size_t dc_count() const { return dc_count_; }
   [[nodiscard]] std::size_t link_count() const { return link_count_; }
   [[nodiscard]] std::size_t server_count() const { return server_count_; }
+  [[nodiscard]] std::size_t worker_count() const { return worker_count_; }
 
  private:
   /// Bit 0: 1 = down; bits 1..63: flip epoch. One word so state + epoch
@@ -70,17 +81,21 @@ class HealthTable {
   static HealthState unpack(std::uint64_t word) {
     return {.up = (word & 1u) == 0, .epoch = word >> 1};
   }
-  HealthState flip(Entry& entry, bool up);
+  HealthState flip(Entry& entry, bool up, std::atomic<std::uint32_t>& counter);
 
   std::size_t dc_count_;
   std::size_t link_count_;
   std::size_t server_count_;
+  std::size_t worker_count_;
   std::unique_ptr<Entry[]> dcs_;
   std::unique_ptr<Entry[]> links_;
   std::unique_ptr<Entry[]> servers_;
-  /// Total entries (DCs + links + servers) currently down; maintained by
-  /// flip().
+  std::unique_ptr<Entry[]> workers_;
+  /// Total media-plane entries (DCs + links + servers) currently down;
+  /// maintained by flip(). Worker rows deliberately use their own counter
+  /// so controller crashes never perturb all_up().
   std::atomic<std::uint32_t> down_total_{0};
+  std::atomic<std::uint32_t> down_workers_{0};
 };
 
 }  // namespace sb::fault

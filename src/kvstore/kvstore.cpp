@@ -1,5 +1,6 @@
 #include "kvstore/kvstore.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <thread>
@@ -57,7 +58,9 @@ void KvStore::set(const std::string& key, std::string value) {
   simulate_network();
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mutex);
-  shard.map[key] = std::move(value);
+  Entry& entry = shard.map[key];
+  entry.value = std::move(value);
+  ++entry.version;
 }
 
 std::optional<std::string> KvStore::get(const std::string& key) const {
@@ -66,7 +69,7 @@ std::optional<std::string> KvStore::get(const std::string& key) const {
   std::lock_guard lock(shard.mutex);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) return std::nullopt;
-  return it->second;
+  return it->second.value;
 }
 
 std::int64_t KvStore::incr(const std::string& key, std::int64_t delta) {
@@ -74,11 +77,113 @@ std::int64_t KvStore::incr(const std::string& key, std::int64_t delta) {
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mutex);
   std::int64_t current = 0;
-  const auto it = shard.map.find(key);
-  if (it != shard.map.end()) current = std::stoll(it->second);
+  Entry& entry = shard.map[key];
+  if (!entry.value.empty()) current = std::stoll(entry.value);
   current += delta;
-  shard.map[key] = std::to_string(current);
+  entry.value = std::to_string(current);
+  ++entry.version;
   return current;
+}
+
+std::optional<KvStore::Versioned> KvStore::get_versioned(
+    const std::string& key) const {
+  simulate_network();
+  const Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  return Versioned{it->second.value, it->second.version};
+}
+
+std::optional<std::uint64_t> KvStore::put_if(const std::string& key,
+                                             std::string value,
+                                             std::uint64_t expected_version) {
+  simulate_network();
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  const std::uint64_t current = it == shard.map.end() ? 0 : it->second.version;
+  if (current != expected_version) return std::nullopt;
+  Entry& entry = it == shard.map.end() ? shard.map[key] : it->second;
+  entry.value = std::move(value);
+  ++entry.version;
+  return entry.version;
+}
+
+std::vector<std::pair<std::string, std::string>> KvStore::scan_prefix(
+    const std::string& prefix) const {
+  simulate_network();
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [key, entry] : shard.map) {
+      if (key.rfind(prefix, 0) == 0) out.emplace_back(key, entry.value);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool KvStore::acquire_lease(const std::string& key, const std::string& owner,
+                            double ttl_s, double now) {
+  simulate_network();
+  std::lock_guard lock(lease_mutex_);
+  auto it = leases_.find(key);
+  if (it != leases_.end() && it->second.owner != owner &&
+      it->second.expires_at > now) {
+    return false;  // live and held by someone else
+  }
+  LeaseInfo& info = leases_[key];
+  const std::uint64_t version = info.version;
+  info = LeaseInfo{owner, now + ttl_s, version + 1};
+  return true;
+}
+
+bool KvStore::renew_lease(const std::string& key, const std::string& owner,
+                          double ttl_s, double now) {
+  simulate_network();
+  std::lock_guard lock(lease_mutex_);
+  const auto it = leases_.find(key);
+  if (it == leases_.end() || it->second.owner != owner ||
+      it->second.expires_at <= now) {
+    return false;
+  }
+  it->second.expires_at = now + ttl_s;
+  ++it->second.version;
+  return true;
+}
+
+bool KvStore::release_lease(const std::string& key, const std::string& owner) {
+  simulate_network();
+  std::lock_guard lock(lease_mutex_);
+  const auto it = leases_.find(key);
+  if (it == leases_.end() || it->second.owner != owner) return false;
+  leases_.erase(it);
+  return true;
+}
+
+std::optional<KvStore::LeaseInfo> KvStore::lease(
+    const std::string& key) const {
+  std::lock_guard lock(lease_mutex_);
+  const auto it = leases_.find(key);
+  if (it == leases_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> KvStore::expire_leases(double now) {
+  simulate_network();
+  std::lock_guard lock(lease_mutex_);
+  std::vector<std::string> expired;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.expires_at <= now) {
+      expired.push_back(it->first);
+      it = leases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(expired.begin(), expired.end());
+  return expired;
 }
 
 bool KvStore::erase(const std::string& key) {

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -44,6 +45,56 @@ class KvStore {
 
   [[nodiscard]] std::size_t size() const;
 
+  // --- Versioned CAS (the cluster coordinator's fencing primitive) ---
+
+  /// A value plus its monotone per-key version. Every plain `set` bumps the
+  /// version too, so CAS users and blind writers can share a key.
+  struct Versioned {
+    std::string value;
+    std::uint64_t version = 0;
+  };
+  [[nodiscard]] std::optional<Versioned> get_versioned(
+      const std::string& key) const;
+  /// Compare-and-swap on the key's version. `expected_version == 0` means
+  /// "create only if absent". On success stores `value` and returns the new
+  /// version; on version mismatch (or create-on-existing) returns nullopt
+  /// and leaves the entry untouched.
+  std::optional<std::uint64_t> put_if(const std::string& key,
+                                      std::string value,
+                                      std::uint64_t expected_version);
+
+  /// All keys starting with `prefix`, sorted by key for deterministic
+  /// replay. Snapshot semantics per shard (not cross-shard atomic), which
+  /// is fine for the cluster WAL: replay only runs on quiesced shards.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> scan_prefix(
+      const std::string& prefix) const;
+
+  // --- TTL leases (cluster worker liveness) ---
+  //
+  // Leases live in their own table keyed by name; expiry is driven by a
+  // caller-supplied clock (sim time in tests and in the cluster layer) so
+  // behaviour stays deterministic. `version` bumps on every acquire/renew,
+  // giving lease holders a fencing token.
+
+  struct LeaseInfo {
+    std::string owner;
+    double expires_at = 0.0;
+    std::uint64_t version = 0;
+  };
+  /// Grants (or re-grants to the same owner) when the lease is absent,
+  /// expired at `now`, or already held by `owner`; refuses otherwise.
+  bool acquire_lease(const std::string& key, const std::string& owner,
+                     double ttl_s, double now);
+  /// Extends only an unexpired lease held by `owner`.
+  bool renew_lease(const std::string& key, const std::string& owner,
+                   double ttl_s, double now);
+  /// Drops the lease if held by `owner`; returns whether it was.
+  bool release_lease(const std::string& key, const std::string& owner);
+  [[nodiscard]] std::optional<LeaseInfo> lease(const std::string& key) const;
+  /// Sweeps out every lease expired at `now`; returns the expired keys
+  /// (sorted) so the caller can react to each lapse.
+  std::vector<std::string> expire_leases(double now);
+
   /// Snapshot view over the per-instance latency histogram (kept for
   /// backward compatibility with the pre-sb::obs API). With SB_METRICS=OFF
   /// all fields are zero.
@@ -67,9 +118,13 @@ class KvStore {
   }
 
  private:
+  struct Entry {
+    std::string value;
+    std::uint64_t version = 0;
+  };
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<std::string, std::string> map;
+    std::unordered_map<std::string, Entry> map;
   };
 
   [[nodiscard]] Shard& shard_for(const std::string& key) const;
@@ -79,6 +134,8 @@ class KvStore {
 
   KvStoreOptions options_;
   mutable std::vector<Shard> shards_;
+  mutable std::mutex lease_mutex_;
+  std::unordered_map<std::string, LeaseInfo> leases_;
   /// Sharded-atomic latency histogram: the realtime write path records one
   /// sample with no lock (the old OpStats took a mutex per op for min/max).
   mutable obs::Histogram latency_;

@@ -23,6 +23,8 @@ const char* to_string(Subsystem subsystem) {
       return "check";
     case Subsystem::kPack:
       return "pack";
+    case Subsystem::kCluster:
+      return "cluster";
     case Subsystem::kOther:
       break;
   }
@@ -73,6 +75,12 @@ const char* to_string(AttrKey key) {
       return "server";
     case AttrKey::kFromServer:
       return "from_server";
+    case AttrKey::kWorker:
+      return "worker";
+    case AttrKey::kEpoch:
+      return "epoch";
+    case AttrKey::kReplayed:
+      return "replayed";
     case AttrKey::kNone:
       break;
   }

@@ -49,6 +49,7 @@ enum class Subsystem : std::uint8_t {
   kSim,
   kCheck,
   kPack,
+  kCluster,
   kOther,
 };
 [[nodiscard]] const char* to_string(Subsystem subsystem);
@@ -77,6 +78,9 @@ enum class AttrKey : std::uint8_t {
   kStatus,
   kServer,
   kFromServer,
+  kWorker,
+  kEpoch,
+  kReplayed,
 };
 [[nodiscard]] const char* to_string(AttrKey key);
 

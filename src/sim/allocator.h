@@ -57,6 +57,15 @@ class CallAllocator {
     return {};
   }
   virtual void on_server_recovered(ServerId /*server*/, SimTime /*now*/) {}
+  /// Controller-worker crash/restart (sb_cluster HA only). A worker kill is
+  /// invisible to the media plane — calls keep running, nothing moves or
+  /// drops — so the default (and the returned outcome) is empty; the
+  /// cluster allocator overrides these to drop and re-adopt shard state.
+  virtual fault::FailoverOutcome on_worker_failed(WorkerId /*worker*/,
+                                                  SimTime /*now*/) {
+    return {};
+  }
+  virtual void on_worker_recovered(WorkerId /*worker*/, SimTime /*now*/) {}
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -267,6 +267,12 @@ struct Simulator::FaultRuntime {
       case fault::FaultEvent::Kind::kServerUp:
         allocator.on_server_recovered(fe.server, fe.time);
         break;
+      case fault::FaultEvent::Kind::kWorkerDown:
+        slot = allocator.on_worker_failed(fe.worker, fe.time);
+        break;
+      case fault::FaultEvent::Kind::kWorkerUp:
+        allocator.on_worker_recovered(fe.worker, fe.time);
+        break;
     }
   }
 

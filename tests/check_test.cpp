@@ -135,6 +135,114 @@ TEST(ChaosTest, PlantedDrainCreditLeakIsCaughtShrunkAndReplayable) {
   std::remove(path.c_str());
 }
 
+TEST(FuzzerTest, WorkerKillStormForcesClusterCasesThatRoundTrip) {
+  FuzzerParams params;
+  params.worker_kill_storm = true;
+  const ScenarioFuzzer fuzzer(params);
+  bool saw_cluster = false;
+  for (std::uint64_t seed = 0; seed < 12 && !saw_cluster; ++seed) {
+    const FuzzCase c = fuzzer.generate(seed);
+    if (c.options.workers == 0) continue;  // storms only apply to plan cases
+    saw_cluster = true;
+    EXPECT_TRUE(c.options.use_plan);
+    EXPECT_GE(c.options.lease_ttl_s, 20.0);
+    std::size_t kills = 0;
+    double last_t = -1.0;
+    for (const auto& e : c.faults) {
+      EXPECT_GE(e.time, last_t);  // oracles require time-sorted schedules
+      last_t = e.time;
+      if (e.kind == fault::FaultEvent::Kind::kWorkerDown) {
+        ++kills;
+        EXPECT_TRUE(e.worker.valid());
+        EXPECT_LT(e.worker.value(), c.options.workers);
+      }
+    }
+    EXPECT_GE(kills, 3u);  // storm mode draws 3-6 kill/restart pairs
+
+    // Worker fault events (kinds 6/7 with a worker index) survive the JSON
+    // repro round trip byte-for-byte.
+    const FuzzCase back = FuzzCase::from_json(Json::parse(c.to_json().dump()));
+    EXPECT_EQ(c.to_json().dump(), back.to_json().dump());
+    EXPECT_EQ(back.options.workers, c.options.workers);
+  }
+  EXPECT_TRUE(saw_cluster) << "no cluster case generated within 12 seeds";
+}
+
+// Satellite acceptance for the cluster fuzzing integration: the planted
+// WAL bug (freeze not re-imaged, so crash replay resurrects the pre-freeze
+// row and the end event credits nothing) must be caught by the
+// conservation oracle, and ddmin must shrink the WORKER-KILL schedule too
+// — dropping kill/restart events and workers (with renumbering) the same
+// way it drops servers — while keeping the failure alive.
+TEST(ChaosTest, PlantedWalFreezeSkipIsCaughtAndWorkerScheduleShrinks) {
+  FuzzerParams params;
+  params.chaos_skip_wal_freeze = true;
+  const ScenarioFuzzer fuzzer(params);
+  FuzzCase failing;
+  bool found = false;
+  for (std::uint64_t seed = 0; seed < 64 && !found; ++seed) {
+    const FuzzCase c = fuzzer.generate(seed);
+    if (c.options.workers == 0) continue;
+    const CheckResult r = run_case(c);
+    if (r.provision_infeasible || r.ok()) continue;
+    EXPECT_EQ(r.first_oracle(), "conservation") << r.summary();
+    failing = c;
+    found = true;
+  }
+  ASSERT_TRUE(found) << "planted WAL bug not detected within 64 seeds";
+
+  const ShrinkResult s = shrink_case(failing);
+  EXPECT_EQ(s.oracle, "conservation");
+  EXPECT_GT(s.successes, 0u);
+
+  // The bug needs a cluster and at least one kill to fire, so the shrinker
+  // cannot remove them — but it must have squeezed the schedule down to
+  // (near) that minimum, with every surviving worker index in range.
+  EXPECT_GE(s.best.options.workers, 1u);
+  EXPECT_LE(s.best.options.workers, failing.options.workers);
+  std::size_t kills = 0;
+  std::size_t worker_events = 0;
+  for (const auto& e : s.best.faults) {
+    if (!e.is_worker()) continue;
+    ++worker_events;
+    EXPECT_TRUE(e.worker.valid());
+    EXPECT_LT(e.worker.value(), s.best.options.workers);
+    if (e.kind == fault::FaultEvent::Kind::kWorkerDown) ++kills;
+  }
+  EXPECT_GE(kills, 1u);
+  EXPECT_LE(worker_events, 4u) << "worker schedule not minimized";
+  EXPECT_LE(s.best.calls.size(), 20u);
+
+  // The shrunk repro still replays the failure after a file round trip.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sb_check_wal_repro.json")
+          .string();
+  write_repro(s.best, path);
+  const CheckResult replay = run_case(load_repro(path));
+  EXPECT_FALSE(replay.ok());
+  EXPECT_EQ(replay.first_oracle(), "conservation") << replay.summary();
+  std::remove(path.c_str());
+}
+
+// Healthy cluster cases (kills but no planted bug) must sail through every
+// oracle, including the cluster-conservation oracle's effective-transition
+// recount and WAL-quiescence checks.
+TEST(RunCaseTest, WorkerKillStormSeedsPassAllOracles) {
+  FuzzerParams params;
+  params.worker_kill_storm = true;
+  const ScenarioFuzzer fuzzer(params);
+  std::size_t cluster_runs = 0;
+  for (std::uint64_t seed = 0; seed < 10 && cluster_runs < 3; ++seed) {
+    const FuzzCase c = fuzzer.generate(seed);
+    if (c.options.workers == 0) continue;
+    const CheckResult r = run_case(c);
+    if (r.provision_infeasible) continue;
+    ++cluster_runs;
+    EXPECT_TRUE(r.ok()) << "seed " << seed << ": " << r.summary();
+  }
+  EXPECT_GT(cluster_runs, 0u) << "no feasible cluster case within 10 seeds";
+}
+
 TEST(ShrinkTest, RejectsPassingCase) {
   const ScenarioFuzzer fuzzer;
   for (std::uint64_t seed = 0; seed < 16; ++seed) {

@@ -2,7 +2,9 @@
 // injection bounds.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/error.h"
 #include "kvstore/kvstore.h"
@@ -93,6 +95,109 @@ TEST(KvStoreTest, InjectedLatencyWithinPaperRange) {
   EXPECT_EQ(store.stats().ops, 0u);
   EXPECT_EQ(store.latency_histogram().count, 0u);
 #endif
+}
+
+TEST(KvStoreTest, VersionedPutIfSemantics) {
+  KvStore store(fast_options());
+  // Create-if-absent: expected version 0 on a missing key.
+  const auto v1 = store.put_if("k", "a", 0);
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(*v1, 1u);
+  // Create-if-absent on an existing key must fail.
+  EXPECT_FALSE(store.put_if("k", "clobber", 0).has_value());
+  EXPECT_EQ(store.get("k"), "a");
+  // CAS with the right version succeeds and bumps it.
+  const auto v2 = store.put_if("k", "b", *v1);
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(*v2, 2u);
+  // Stale CAS (old version) must fail and leave the value alone.
+  EXPECT_FALSE(store.put_if("k", "stale", *v1).has_value());
+  EXPECT_EQ(store.get("k"), "b");
+  // Plain set() bumps the version too, so a CAS racing a set loses.
+  store.set("k", "c");
+  const auto ver = store.get_versioned("k");
+  ASSERT_TRUE(ver.has_value());
+  EXPECT_EQ(ver->value, "c");
+  EXPECT_EQ(ver->version, 3u);
+  EXPECT_FALSE(store.put_if("k", "stale", *v2).has_value());
+}
+
+TEST(KvStoreTest, PutIfContentionEightThreads) {
+  // Eight threads CAS-loop the same key; every successful CAS appends one
+  // token. Success count and final version must equal the token total —
+  // no lost or duplicated CAS under contention.
+  KvStore store(fast_options());
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kWinsPerThread = 100;
+  ASSERT_TRUE(store.put_if("ctr", "0", 0).has_value());
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&store] {
+      for (std::size_t w = 0; w < kWinsPerThread;) {
+        const auto cur = store.get_versioned("ctr");
+        if (!cur.has_value()) continue;  // never happens; keep gtest
+                                         // asserts off worker threads
+        const auto next = std::to_string(std::stoull(cur->value) + 1);
+        if (store.put_if("ctr", next, cur->version).has_value()) ++w;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const auto settled = store.get_versioned("ctr");
+  ASSERT_TRUE(settled.has_value());
+  EXPECT_EQ(settled->value, std::to_string(kThreads * kWinsPerThread));
+  EXPECT_EQ(settled->version, 1u + kThreads * kWinsPerThread);
+}
+
+TEST(KvStoreTest, ScanPrefixIsSortedAndScoped) {
+  KvStore store(fast_options());
+  store.set("wal:3:10", "c");
+  store.set("wal:3:2", "b");
+  store.set("wal:12:1", "x");
+  store.set("lease:w0", "y");
+  const auto rows = store.scan_prefix("wal:3:");
+  ASSERT_EQ(rows.size(), 2u);
+  // Lexicographic over the full key, deterministic across shard layouts.
+  EXPECT_EQ(rows[0].first, "wal:3:10");
+  EXPECT_EQ(rows[1].first, "wal:3:2");
+  EXPECT_EQ(rows[0].second, "c");
+  EXPECT_TRUE(store.scan_prefix("wal:7:").empty());
+}
+
+TEST(KvStoreTest, LeaseLifecycle) {
+  KvStore store(fast_options());
+  // Grant, then a competing owner is refused until expiry.
+  EXPECT_TRUE(store.acquire_lease("L", "w0", 10.0, 0.0));
+  EXPECT_FALSE(store.acquire_lease("L", "w1", 10.0, 5.0));
+  // Re-acquire by the same owner refreshes rather than conflicts.
+  EXPECT_TRUE(store.acquire_lease("L", "w0", 10.0, 5.0));
+  const auto info = store.lease("L");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->owner, "w0");
+  EXPECT_DOUBLE_EQ(info->expires_at, 15.0);
+  // Renewal works while live, fails once lapsed.
+  EXPECT_TRUE(store.renew_lease("L", "w0", 10.0, 14.0));
+  EXPECT_FALSE(store.renew_lease("L", "w1", 10.0, 14.0));  // wrong owner
+  EXPECT_FALSE(store.renew_lease("L", "w0", 10.0, 99.0));  // lapsed
+  // A lapsed lease is up for grabs.
+  EXPECT_TRUE(store.acquire_lease("L", "w1", 10.0, 99.0));
+  EXPECT_TRUE(store.release_lease("L", "w1"));
+  EXPECT_FALSE(store.release_lease("L", "w1"));
+  EXPECT_FALSE(store.lease("L").has_value());
+}
+
+TEST(KvStoreTest, ExpireLeasesSweepsOnlyLapsed) {
+  KvStore store(fast_options());
+  EXPECT_TRUE(store.acquire_lease("a", "w0", 5.0, 0.0));
+  EXPECT_TRUE(store.acquire_lease("b", "w1", 50.0, 0.0));
+  EXPECT_TRUE(store.acquire_lease("c", "w2", 5.0, 0.0));
+  const auto expired = store.expire_leases(10.0);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0], "a");  // sorted sweep: deterministic adoption order
+  EXPECT_EQ(expired[1], "c");
+  EXPECT_FALSE(store.lease("a").has_value());
+  ASSERT_TRUE(store.lease("b").has_value());
+  EXPECT_TRUE(store.expire_leases(10.0).empty());  // idempotent
 }
 
 TEST(KvStoreTest, ValidatesOptions) {

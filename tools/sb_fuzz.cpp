@@ -8,6 +8,12 @@
 //   sb_fuzz --chaos skip-server-credit # same, for the per-server packer
 //                                      # conservation oracle (forces fleets
 //                                      # plus at least one server outage)
+//   sb_fuzz --chaos skip-wal-freeze    # same, for the cluster WAL: a lost
+//                                      # freeze record must trip conservation
+//                                      # across a worker crash + replay
+//   sb_fuzz --storm worker-kill        # every case runs the sb_cluster path
+//                                      # under a multi-kill worker storm
+//                                      # (failures here are real bugs)
 //   sb_fuzz --replay repro.json        # re-run one repro file; exit 1 if it
 //                                      # (still) fails
 //   sb_fuzz --replay-dir tests/repros  # regression-run a repro corpus:
@@ -56,6 +62,8 @@ struct Args {
   bool dump = false;
   bool chaos_drain = false;
   bool chaos_server = false;
+  bool chaos_wal = false;
+  bool storm_workers = false;
   bool keep_going = false;
   bool no_shrink = false;
   std::uint64_t flight_capacity = 8192;  ///< per-thread span ring slots
@@ -68,7 +76,9 @@ void usage() {
       stderr,
       "usage: sb_fuzz [--seeds N] [--seed-base S] [--budget-s T]\n"
       "               [--out DIR]\n"
-      "               [--chaos skip-drain-credit|skip-server-credit]\n"
+      "               [--chaos skip-drain-credit|skip-server-credit|"
+      "skip-wal-freeze]\n"
+      "               [--storm worker-kill]\n"
       "               [--keep-going] [--no-shrink]\n"
       "               [--flight-capacity N] [--trace-out FILE]\n"
       "               [--metrics-out FILE]\n"
@@ -120,8 +130,18 @@ bool parse_args(int argc, char** argv, Args& a) {
         a.chaos_drain = true;
       } else if (v != nullptr && std::strcmp(v, "skip-server-credit") == 0) {
         a.chaos_server = true;
+      } else if (v != nullptr && std::strcmp(v, "skip-wal-freeze") == 0) {
+        a.chaos_wal = true;
       } else {
         std::fprintf(stderr, "sb_fuzz: unknown chaos mode\n");
+        return false;
+      }
+    } else if (arg == "--storm") {
+      const char* v = next();
+      if (v != nullptr && std::strcmp(v, "worker-kill") == 0) {
+        a.storm_workers = true;
+      } else {
+        std::fprintf(stderr, "sb_fuzz: unknown storm mode\n");
         return false;
       }
     } else if (arg == "--keep-going") {
@@ -213,7 +233,9 @@ int fuzz(const Args& a) {
   sb::check::FuzzerParams params;
   params.chaos_skip_drain_credit = a.chaos_drain;
   params.chaos_skip_server_credit = a.chaos_server;
-  const bool chaos = a.chaos_drain || a.chaos_server;
+  params.chaos_skip_wal_freeze = a.chaos_wal;
+  params.worker_kill_storm = a.storm_workers;
+  const bool chaos = a.chaos_drain || a.chaos_server || a.chaos_wal;
   const sb::check::ScenarioFuzzer fuzzer(params);
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t run = 0;
