@@ -1,8 +1,11 @@
 // google-benchmark microbenchmarks for the LP solvers: dense tableau vs
-// legacy dense-inverse revised simplex vs the sparse LU/eta engine, across
-// random instances and provisioning-LP-shaped instances (sparse columns,
-// capacity peaks) up to the real Switchboard scale of 168 half-hour slots x
-// 40 configs x 12 DCs.
+// legacy dense-inverse revised simplex vs the sparse LU/eta engine vs the
+// block-angular decomposition, across random instances and
+// provisioning-LP-shaped instances (sparse columns, capacity peaks) from
+// the real Switchboard scale of 168 half-hour slots x 40 configs x 12 DCs
+// up to the planet-scale 720 x 100 x 50 cold solve. Decomposed variants
+// additionally report per-phase timings (detect / subproblems / clean-up)
+// from the sb.lp.decompose_*_s registry histograms.
 //
 // Besides google-benchmark's own wall-time mean, each benchmark reports
 // p50/p99 solve latency and iterations-per-solve sourced from the sb::obs
@@ -95,12 +98,22 @@ Model make_provisioning_lp(std::size_t slots, std::size_t configs,
   return m;
 }
 
-const char* method_name(Method method) {
-  switch (method) {
-    case Method::kDense:
+/// Provisioning-bench variant ids (4th Args element).
+enum ProvVariant : int {
+  kVarDense = 0,
+  kVarRevised = 1,
+  kVarSparse = 2,     ///< monolithic sparse engine (decomposition off)
+  kVarDecompose = 3,  ///< sparse engine, DecomposePolicy::kForce
+};
+
+const char* variant_name(int variant) {
+  switch (variant) {
+    case kVarDense:
       return "dense";
-    case Method::kRevised:
+    case kVarRevised:
       return "revised";
+    case kVarDecompose:
+      return "decomposed";
     default:
       return "sparse";
   }
@@ -157,16 +170,35 @@ BENCHMARK(BM_SparseSimplexRandom)
     ->Args({60, 40})
     ->Args({120, 80});
 
-/// Args: {slots, configs, dcs, method (0 dense, 1 revised, 2 sparse)}. The
-/// dense engines are registered only at the shapes their quadratic memory
-/// can stomach; the sparse engine goes up to the paper-scale 168x40x12.
+/// Args: {slots, configs, dcs, ProvVariant}. The dense engines are
+/// registered only at the shapes their quadratic memory can stomach; the
+/// monolithic sparse engine goes up to the paper-scale 168x40x12 and the
+/// decomposed variant to the planet-scale 720x100x50.
 void BM_ProvisioningShapedLp(benchmark::State& state) {
   const Model m = make_provisioning_lp(
       static_cast<std::size_t>(state.range(0)),
       static_cast<std::size_t>(state.range(1)),
       static_cast<std::size_t>(state.range(2)), 11);
+  const int variant = static_cast<int>(state.range(3));
   SolveOptions options;
-  options.method = static_cast<Method>(state.range(3) + 1);  // skip kAuto
+  switch (variant) {
+    case kVarDense:
+      options.method = Method::kDense;
+      break;
+    case kVarRevised:
+      options.method = Method::kRevised;
+      break;
+    case kVarDecompose:
+      options.method = Method::kSparse;
+      options.decompose = DecomposePolicy::kForce;
+      break;
+    default:
+      options.method = Method::kSparse;
+      // Keep the monolithic rows monolithic even at shapes kAuto would
+      // decompose, so the before/after trajectory stays comparable.
+      options.decompose = DecomposePolicy::kOff;
+      break;
+  }
   const obs::MetricsSnapshot before = obs::MetricsRegistry::global().snapshot();
   double objective = 0.0;
   double total_s = 0.0;
@@ -187,8 +219,10 @@ void BM_ProvisioningShapedLp(benchmark::State& state) {
   report_registry_latencies(state, before);
   state.counters["objective"] = objective;
   if (solves > 0) {
-    const std::string name =
-        prov_bench_name(state, method_name(options.method));
+    const std::string name = prov_bench_name(state, variant_name(variant));
+    const auto per_solve = [&](std::uint64_t total) {
+      return static_cast<double>(total) / static_cast<double>(solves);
+    };
     bench::emit_json(name, "mean_ms", total_s / solves * 1e3);
     bench::emit_json(name, "objective", objective);
     bench::emit_json(name, "iters_per_solve",
@@ -196,26 +230,52 @@ void BM_ProvisioningShapedLp(benchmark::State& state) {
     const obs::MetricsSnapshot delta = obs::snapshot_diff(
         before, obs::MetricsRegistry::global().snapshot());
     bench::emit_json(name, "factorizations_per_solve",
-                     static_cast<double>(
-                         delta.counter_value("sb.lp.factorizations")) /
-                         static_cast<double>(solves));
+                     per_solve(delta.counter_value("sb.lp.factorizations")));
     bench::emit_json(name, "pricing_passes_per_solve",
-                     static_cast<double>(
-                         delta.counter_value("sb.lp.pricing_passes")) /
-                         static_cast<double>(solves));
+                     per_solve(delta.counter_value("sb.lp.pricing_passes")));
+    bench::emit_json(name, "bound_flips_per_solve",
+                     per_solve(delta.counter_value("sb.lp.bound_flips")));
+    bench::emit_json(name, "devex_resets_per_solve",
+                     per_solve(delta.counter_value("sb.lp.devex_resets")));
+    if (variant == kVarDecompose) {
+      // Per-phase wall time and iteration split for the decomposition.
+      const auto phase_ms = [&](const char* histogram) {
+        const obs::HistogramSample* h = delta.find_histogram(histogram);
+        return h == nullptr
+                   ? 0.0
+                   : h->data.sum / static_cast<double>(solves) * 1e3;
+      };
+      bench::emit_json(name, "detect_ms_per_solve",
+                       phase_ms("sb.lp.decompose_detect_s"));
+      bench::emit_json(name, "subproblems_ms_per_solve",
+                       phase_ms("sb.lp.decompose_sub_s"));
+      bench::emit_json(name, "cleanup_ms_per_solve",
+                       phase_ms("sb.lp.decompose_cleanup_s"));
+      bench::emit_json(
+          name, "sub_iters_per_solve",
+          per_solve(delta.counter_value("sb.lp.decompose_sub_iterations")));
+      bench::emit_json(
+          name, "cleanup_iters_per_solve",
+          per_solve(
+              delta.counter_value("sb.lp.decompose_cleanup_iterations")));
+    }
   }
 }
 BENCHMARK(BM_ProvisioningShapedLp)
-    ->Args({6, 10, 5, 0})
-    ->Args({12, 16, 5, 0})
-    ->Args({6, 10, 5, 1})
-    ->Args({12, 16, 5, 1})
-    ->Args({42, 24, 8, 1})
-    ->Args({6, 10, 5, 2})
-    ->Args({12, 16, 5, 2})
-    ->Args({42, 24, 8, 2})
-    ->Args({84, 32, 10, 2})
-    ->Args({168, 40, 12, 2})
+    ->Args({6, 10, 5, kVarDense})
+    ->Args({12, 16, 5, kVarDense})
+    ->Args({6, 10, 5, kVarRevised})
+    ->Args({12, 16, 5, kVarRevised})
+    ->Args({42, 24, 8, kVarRevised})
+    ->Args({6, 10, 5, kVarSparse})
+    ->Args({12, 16, 5, kVarSparse})
+    ->Args({42, 24, 8, kVarSparse})
+    ->Args({84, 32, 10, kVarSparse})
+    ->Args({168, 40, 12, kVarSparse})
+    ->Args({42, 24, 8, kVarDecompose})
+    ->Args({84, 32, 10, kVarDecompose})
+    ->Args({168, 40, 12, kVarDecompose})
+    ->Args({720, 100, 50, kVarDecompose})
     ->Unit(benchmark::kMillisecond);
 
 /// Warm-started re-solve of a provisioning shape: the cold solve's column

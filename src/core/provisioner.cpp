@@ -237,7 +237,23 @@ ScenarioOutcome SwitchboardProvisioner::solve_scenario(
   }
 
   lp::SolveOptions lp_options = options_.lp_options;
+  if (!warm || warm->empty()) {
+    // Cold solve (the F0 base scenario): the scenario fan-out pool is idle
+    // while it runs, so the block decomposition may use those threads for
+    // its subproblem solves instead.
+    if (lp_options.decompose_threads <= 1) {
+      lp_options.decompose_threads = options_.scenario_threads;
+    }
+  }
   if (warm && !warm->empty()) {
+    // NOTE: dual_resolve is deliberately NOT set here. The dual simplex
+    // pays off when a re-solve perturbs bounds or rhs under an unchanged
+    // column set (lp_warm_start_test measures it beating the primal
+    // there), but a failure scenario REMOVES the failed DC's placement
+    // columns: the mapped hint is primal-near-feasible and dual-far, and
+    // routing it to the dual simplex measured ~2.4x the warm primal's
+    // iterations on the provisioner_parallel_test fixture.
+    //
     // Translate the semantic hint into this model's column order. Columns
     // the hint doesn't know (or an undersized hint vector) default to
     // at-lower, which is also the cold-start state.

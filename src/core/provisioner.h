@@ -66,8 +66,14 @@ struct ProvisionOptions {
   /// Failure-scenario solve parallelism. >1 fans the per-scenario LPs over
   /// a ThreadPool when the scenarios are independent (floor_mode ==
   /// kFromBase, or capacity_reuse off); chained floors are inherently
-  /// sequential and ignore this. 0 means hardware concurrency.
+  /// sequential and ignore this. 0 means hardware concurrency. The cold F0
+  /// solve also borrows this as its lp::SolveOptions::decompose_threads
+  /// (unless one was set explicitly) — the fan-out pool is idle while F0
+  /// runs, so the block decomposition can use the same budget.
   std::size_t scenario_threads = 1;
+  /// Base LP engine knobs. Warm scenario re-solves additionally set
+  /// dual_resolve: they start primal infeasible but nearly dual feasible,
+  /// the dual simplex's preferred start.
   lp::SolveOptions lp_options;
 };
 

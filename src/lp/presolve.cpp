@@ -107,6 +107,43 @@ PresolveResult presolve(const Model& model, double tolerance) {
     }
   }
 
+  // Implied upper bounds: for a kLe row Σ a_k x_k <= b with a_j > 0, every
+  // solution has x_j <= (b - Σ_{k≠j} min(a_k x_k)) / a_j. When that value
+  // is finite and x_j's upper is +inf, install it. The feasible set over
+  // the row's variables is unchanged (the bound is implied), but the column
+  // becomes BOXED, which the simplex engines exploit: boxed nonbasic
+  // columns can bound-FLIP in the long-step ratio tests (primal and dual)
+  // instead of paying a basis change each. One pass, not to fixpoint —
+  // implied bounds feed the ratio test, not further reductions.
+  for (std::size_t r = 0; r < model.constraint_count(); ++r) {
+    if (!row_alive[r]) continue;
+    const Constraint& row = model.constraint(static_cast<int>(r));
+    if (row.sense != Sense::kLe || row.terms.size() < 2) continue;
+    double min_activity = 0.0;
+    bool bounded = true;
+    for (const Term& t : row.terms) {
+      const Bounds& b = bounds[static_cast<std::size_t>(t.var)];
+      const double lo = t.coeff > 0.0 ? t.coeff * b.lower : t.coeff * b.upper;
+      if (!std::isfinite(lo)) {
+        bounded = false;
+        break;
+      }
+      min_activity += lo;
+    }
+    if (!bounded) continue;
+    for (const Term& t : row.terms) {
+      if (t.coeff <= 0.0) continue;
+      Bounds& b = bounds[static_cast<std::size_t>(t.var)];
+      if (std::isfinite(b.upper)) continue;
+      const double without = min_activity - t.coeff * b.lower;
+      const double implied = (row.rhs - without) / t.coeff;
+      if (std::isfinite(implied)) {
+        b.upper = std::max(implied, b.lower);
+        ++result.uppers_implied;
+      }
+    }
+  }
+
   // Rebuild the reduced model with the tightened bounds and surviving rows.
   for (std::size_t i = 0; i < model.variable_count(); ++i) {
     const Variable& v = model.variable(static_cast<int>(i));

@@ -10,7 +10,9 @@
 //  - singleton rows: a*x {<=,>=,=} b tightens x's bounds and drops the row;
 //  - crossed bounds (lower > upper) after tightening: infeasible;
 //  - variables whose bounds meet become fixed (the standard-form conversion
-//    substitutes them out).
+//    substitutes them out);
+//  - implied upper bounds from kLe row activity: boxes +inf columns so the
+//    simplex engines' long-step ratio tests can bound-flip them.
 #pragma once
 
 #include <optional>
@@ -36,6 +38,10 @@ struct PresolveResult {
   std::size_t rows_removed = 0;
   std::size_t bounds_tightened = 0;
   std::size_t variables_fixed = 0;
+  /// +inf uppers replaced by finite row-activity implied bounds. Changes no
+  /// solution, but boxes the column so the long-step ratio tests can
+  /// bound-flip it instead of pivoting.
+  std::size_t uppers_implied = 0;
 };
 
 /// Runs the reductions. `tolerance` guards bound comparisons.

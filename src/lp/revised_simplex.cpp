@@ -23,6 +23,11 @@ constexpr int kMaxRepairRounds = 5;
 /// Devex reference-framework reset: when the entering column's own weight
 /// exceeds this, accumulated weight growth has outlived its reference basis.
 constexpr double kDevexResetThreshold = 1e6;
+/// Devex drift: when the tracked weight of the entering column disagrees
+/// with its exact reference-framework weight (computable from the FTRAN
+/// image) by more than this factor, the recurrence has gone stale — the
+/// framework is restarted at the next refactorization.
+constexpr double kDevexDriftLimit = 16.0;
 
 class SparseSimplex {
  public:
@@ -92,6 +97,8 @@ class SparseSimplex {
       stats->factorizations = basis_state_.factorizations();
       stats->eta_nnz = basis_state_.eta_nnz();
       stats->pricing_passes = pricing_passes_;
+      stats->bound_flips = bound_flips_;
+      stats->devex_resets = devex_resets_;
     }
     return out;
   }
@@ -134,6 +141,7 @@ class SparseSimplex {
     status_.assign(total_, VarStatus::kAtLower);
     pos_of_.assign(total_, -1);
     devex_.assign(total_, 1.0);
+    in_ref_.assign(total_, 1);
     w_.resize(m_);
     cb_.resize(m_);
     bwork_.resize(m_);
@@ -382,7 +390,41 @@ class SparseSimplex {
   bool refactorize() {
     if (!load_with_repair()) return false;
     compute_basic_values();
+    // The eta file the weight recurrence ran against is gone; if the
+    // tracked weights had visibly drifted from their exact framework
+    // values, restart the framework here rather than carrying stale
+    // weights into the fresh factorization.
+    if (devex_drift_pending_) reset_devex_framework(/*count=*/true);
     return true;
+  }
+
+  /// Starts a new Devex reference framework: the reference set becomes the
+  /// current nonbasic columns and every weight returns to 1.
+  void reset_devex_framework(bool count) {
+    for (std::size_t j = 0; j < total_; ++j) {
+      in_ref_[j] = status_[j] != VarStatus::kBasic ? 1 : 0;
+    }
+    std::fill(devex_.begin(), devex_.end(), 1.0);
+    devex_drift_pending_ = false;
+    if (count) ++devex_resets_;
+  }
+
+  /// Exact Devex weight of the entering column in the CURRENT reference
+  /// framework, from its FTRAN image: reference columns now basic
+  /// contribute alpha^2, plus 1 when the column itself is a reference
+  /// member. The tracked weight is only a lower-bound estimate of this;
+  /// the exact value both sharpens the weight recurrence and exposes
+  /// drift.
+  [[nodiscard]] double devex_exact_weight(int entering) const {
+    double sum = in_ref_[static_cast<std::size_t>(entering)] ? 1.0 : 0.0;
+    for (int p : w_.nz) {
+      const auto col = static_cast<std::size_t>(
+          basis_[static_cast<std::size_t>(p)]);
+      if (!in_ref_[col]) continue;
+      const double v = w_.values[static_cast<std::size_t>(p)];
+      sum += v * v;
+    }
+    return std::max(sum, 1.0);
   }
 
   [[nodiscard]] double infeasibility() const {
@@ -477,10 +519,29 @@ class SparseSimplex {
   /// row-wise matrix copy, and every nonbasic column's reference weight is
   /// raised to max(w_j, (alpha_rj/alpha_rq)^2 w_q). One extra btran plus an
   /// O(nnz) pass per pivot buys a steepest-edge-quality pricing signal.
-  void update_devex(int entering, int leaving, int r) {
+  ///
+  /// `wq` is the entering column's EXACT reference-framework weight (from
+  /// devex_exact_weight), not the tracked estimate: seeding the recurrence
+  /// with the exact value is what keeps the framework honest between
+  /// restarts (Forrest & Goldfarb's "exact recurrence" refinement).
+  void update_devex(int entering, int leaving, int r, double wq) {
     const double alpha_q = w_.values[static_cast<std::size_t>(r)];
     if (alpha_q == 0.0) return;
-    const double wq = devex_[static_cast<std::size_t>(entering)];
+    // Drift check: the tracked weight should track the exact one from
+    // below. A large disagreement either way means the recurrence has
+    // outlived its reference basis.
+    const double tracked = devex_[static_cast<std::size_t>(entering)];
+    if (tracked > wq * kDevexDriftLimit || wq > tracked * kDevexDriftLimit) {
+      devex_drift_pending_ = true;
+    }
+    if (wq > kDevexResetThreshold) {
+      // Weight growth has outlived the framework: restart it around the
+      // post-pivot basis instead of propagating the blown-up weights.
+      // (status_ still shows the pre-pivot state; the entering column
+      // joining the reference set is by-design Devex behavior.)
+      reset_devex_framework(/*count=*/true);
+      return;
+    }
     // rho = row r of B^-1 (btran of the r-th unit vector), in row space.
     rho_.clear();
     rho_.set(r, 1.0);
@@ -514,9 +575,6 @@ class SparseSimplex {
     alpha_.clear();
     devex_[static_cast<std::size_t>(leaving)] =
         std::max(wq / (alpha_q * alpha_q), 1.0);
-    if (wq > kDevexResetThreshold) {
-      std::fill(devex_.begin(), devex_.end(), 1.0);
-    }
   }
 
   struct Ratio {
@@ -692,10 +750,14 @@ class SparseSimplex {
   SolveStatus run_phase(bool phase1, std::size_t& iterations) {
     bland_ = false;
     candidates_.clear();
-    std::fill(devex_.begin(), devex_.end(), 1.0);  // new reference framework
+    reset_devex_framework(/*count=*/false);  // new reference framework
     std::size_t stalled = 0;
     double last_obj = phase1 ? infeasibility() : objective_value();
     const double ftol = options_.feasibility_tol;
+    // The duals (cb_) stay valid across bound flips — a flip changes no
+    // basis column — so consecutive flips skip the BTRAN and share one
+    // pricing state. Pivots and refactorizations invalidate them.
+    bool duals_fresh = false;
     while (true) {
       if (iterations >= options_.max_iterations) {
         return SolveStatus::kIterationLimit;
@@ -704,24 +766,28 @@ class SparseSimplex {
         if (!refactorize()) {
           throw InternalError("sparse simplex: basis repair failed");
         }
+        duals_fresh = false;
       }
 
-      // BTRAN the phase objective's basic costs into row space (cb_ doubles
-      // as the y workspace used by reduced_cost()).
-      cb_.clear();
-      for (std::size_t p = 0; p < m_; ++p) {
-        double c;
-        if (phase1) {
-          const auto col = static_cast<std::size_t>(basis_[p]);
-          const double x = x_basic_[p];
-          c = x < lower_[col] - ftol ? -1.0
-                                     : (x > upper_[col] + ftol ? 1.0 : 0.0);
-        } else {
-          c = cost_[static_cast<std::size_t>(basis_[p])];
+      if (!duals_fresh) {
+        // BTRAN the phase objective's basic costs into row space (cb_
+        // doubles as the y workspace used by reduced_cost()).
+        cb_.clear();
+        for (std::size_t p = 0; p < m_; ++p) {
+          double c;
+          if (phase1) {
+            const auto col = static_cast<std::size_t>(basis_[p]);
+            const double x = x_basic_[p];
+            c = x < lower_[col] - ftol ? -1.0
+                                       : (x > upper_[col] + ftol ? 1.0 : 0.0);
+          } else {
+            c = cost_[static_cast<std::size_t>(basis_[p])];
+          }
+          if (c != 0.0) cb_.set(static_cast<int>(p), c);
         }
-        if (c != 0.0) cb_.set(static_cast<int>(p), c);
+        basis_state_.btran(cb_);
+        duals_fresh = true;
       }
-      basis_state_.btran(cb_);
 
       const int entering = price(phase1);
       if (entering < 0) {
@@ -733,6 +799,7 @@ class SparseSimplex {
             throw InternalError("sparse simplex: basis repair failed");
           }
           candidates_.clear();
+          duals_fresh = false;
           continue;
         }
         return SolveStatus::kOptimal;
@@ -760,6 +827,7 @@ class SparseSimplex {
             throw InternalError("sparse simplex: basis repair failed");
           }
           candidates_.clear();
+          duals_fresh = false;
           continue;
         }
         if (phase1) {
@@ -781,7 +849,9 @@ class SparseSimplex {
 
       if (ratio.pos < 0) {
         // Bound flip: the entering variable crosses its whole range without
-        // any basic variable blocking; no basis change.
+        // any basic variable blocking; no basis change — and therefore no
+        // dual change in phase 2, so the next iteration reuses cb_ and the
+        // candidate list instead of paying a BTRAN + pricing pass per flip.
         const auto ent = static_cast<std::size_t>(entering);
         for (int p : w_.nz) {
           x_basic_[static_cast<std::size_t>(p)] -=
@@ -792,11 +862,16 @@ class SparseSimplex {
                            ? VarStatus::kAtUpper
                            : VarStatus::kAtLower;
         nb_cost_ += cost_[ent] * (nonbasic_value(entering) - old_v);
+        ++bound_flips_;
+        // Phase-1 costs depend on which basics are violated, and the flip
+        // just moved every basic in the entering column's pattern — only
+        // phase 2's duals survive.
+        if (phase1) duals_fresh = false;
       } else {
         // Devex needs the pre-pivot basis for the pivot-row btran, so the
         // weights are updated before the eta is appended.
         update_devex(entering, basis_[static_cast<std::size_t>(ratio.pos)],
-                     ratio.pos);
+                     ratio.pos, devex_exact_weight(entering));
         // Pivot: append the update eta first — on a numerically unsafe
         // pivot, refactorize and retry the iteration with fresh factors.
         if (!basis_state_.update(ratio.pos, w_)) {
@@ -804,6 +879,7 @@ class SparseSimplex {
             throw InternalError("sparse simplex: basis repair failed");
           }
           candidates_.clear();
+          duals_fresh = false;
           continue;
         }
         const auto ent = static_cast<std::size_t>(entering);
@@ -824,6 +900,7 @@ class SparseSimplex {
         status_[ent] = VarStatus::kBasic;
         x_basic_[lpos] = dir > 0.0 ? lower_[ent] + ratio.t
                                    : upper_[ent] - ratio.t;
+        duals_fresh = false;
       }
       ++iterations;
 
@@ -867,8 +944,12 @@ class SparseSimplex {
 
   std::vector<int> candidates_;  ///< partial-pricing list
   std::vector<double> devex_;    ///< Devex reference weights per column
+  std::vector<unsigned char> in_ref_;  ///< Devex reference-set membership
   std::size_t cursor_ = 0;
   std::size_t pricing_passes_ = 0;
+  std::size_t bound_flips_ = 0;
+  std::size_t devex_resets_ = 0;
+  bool devex_drift_pending_ = false;
   bool bland_ = false;
 
   mutable std::vector<Breakpoint> breakpoints_;  ///< phase-1 workspace

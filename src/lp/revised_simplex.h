@@ -14,8 +14,13 @@
 //    the basic set to zero, which is also what makes warm starts work —
 //    any crash basis is a valid phase-1 start;
 //  - pricing keeps a rotating candidate list (partial pricing) instead of
-//    scanning every column per iteration, with Bland's rule as the
-//    anti-cycling fallback.
+//    scanning every column per iteration, scored by a true Devex reference
+//    framework (tracked reference set, exact entering-column weights, drift-
+//    triggered framework restarts), with Bland's rule as the anti-cycling
+//    fallback;
+//  - bound flips are batched: a phase-2 bound flip leaves the basis — and
+//    therefore the duals — unchanged, so consecutive flips skip the BTRAN
+//    and re-pricing pass entirely instead of paying a full iteration each.
 #pragma once
 
 #include <vector>
@@ -30,6 +35,8 @@ struct SparseSolveStats {
   std::size_t factorizations = 0;  ///< basis (re)factorizations
   std::size_t eta_nnz = 0;         ///< LU + update-eta nonzeros at the end
   std::size_t pricing_passes = 0;  ///< candidate-list refresh scans
+  std::size_t bound_flips = 0;     ///< nonbasic bound-to-bound moves
+  std::size_t devex_resets = 0;    ///< Devex reference-framework restarts
 };
 
 /// Solves a standard-form LP built with BoundPolicy::kInline. `warm`, when

@@ -3,7 +3,9 @@
 #include <string>
 
 #include "common/error.h"
+#include "lp/block_decompose.h"
 #include "lp/dense_inverse_simplex.h"
+#include "lp/dual_simplex.h"
 #include "lp/presolve.h"
 #include "lp/revised_simplex.h"
 #include "lp/standard_form.h"
@@ -26,14 +28,26 @@ struct SolveMetrics {
   obs::Counter& warm_starts;
   obs::Counter& factorizations;
   obs::Counter& pricing_passes;
+  obs::Counter& bound_flips;
+  obs::Counter& devex_resets;
+  obs::Counter& dual_fallbacks;
+  obs::Counter& decompose_solves;
+  obs::Counter& decompose_blocks;
+  obs::Counter& decompose_sub_iterations;
+  obs::Counter& decompose_cleanup_iterations;
   obs::Counter& presolve_rows_removed;
   obs::Counter& presolve_bounds_tightened;
   obs::Counter& presolve_variables_fixed;
+  obs::Counter& presolve_uppers_implied;
   obs::Histogram& eta_nnz;
   obs::Histogram& solve_s;
   obs::Histogram& solve_dense_s;
   obs::Histogram& solve_revised_s;
   obs::Histogram& solve_sparse_s;
+  obs::Histogram& solve_dual_s;
+  obs::Histogram& decompose_detect_s;
+  obs::Histogram& decompose_sub_s;
+  obs::Histogram& decompose_cleanup_s;
 
   static SolveMetrics& get() {
     static SolveMetrics metrics = [] {
@@ -47,14 +61,26 @@ struct SolveMetrics {
           r.counter("sb.lp.warm_starts"),
           r.counter("sb.lp.factorizations"),
           r.counter("sb.lp.pricing_passes"),
+          r.counter("sb.lp.bound_flips"),
+          r.counter("sb.lp.devex_resets"),
+          r.counter("sb.lp.dual_fallbacks"),
+          r.counter("sb.lp.decompose_solves"),
+          r.counter("sb.lp.decompose_blocks"),
+          r.counter("sb.lp.decompose_sub_iterations"),
+          r.counter("sb.lp.decompose_cleanup_iterations"),
           r.counter("sb.lp.presolve_rows_removed"),
           r.counter("sb.lp.presolve_bounds_tightened"),
           r.counter("sb.lp.presolve_variables_fixed"),
+          r.counter("sb.lp.presolve_uppers_implied"),
           r.histogram("sb.lp.eta_nnz"),
           r.histogram("sb.lp.solve_s"),
           r.histogram("sb.lp.solve_dense_s"),
           r.histogram("sb.lp.solve_revised_s"),
           r.histogram("sb.lp.solve_sparse_s"),
+          r.histogram("sb.lp.solve_dual_s"),
+          r.histogram("sb.lp.decompose_detect_s"),
+          r.histogram("sb.lp.decompose_sub_s"),
+          r.histogram("sb.lp.decompose_cleanup_s"),
       };
     }();
     return metrics;
@@ -67,9 +93,18 @@ obs::Histogram& method_timer_for(SolveMetrics& metrics, Method method) {
       return metrics.solve_dense_s;
     case Method::kRevised:
       return metrics.solve_revised_s;
+    case Method::kDual:
+      return metrics.solve_dual_s;
     default:
       return metrics.solve_sparse_s;
   }
+}
+
+/// The dual / sparse / decomposed engines share the bounded-variable
+/// standard form (BoundPolicy::kInline), the warm-start contract, and the
+/// status-vector layout.
+[[nodiscard]] bool sparse_family(Method method) {
+  return method == Method::kSparse || method == Method::kDual;
 }
 
 }  // namespace
@@ -92,6 +127,7 @@ Solution solve(const Model& model, const SolveOptions& options) {
     metrics.presolve_rows_removed.inc(pre.rows_removed);
     metrics.presolve_bounds_tightened.inc(pre.bounds_tightened);
     metrics.presolve_variables_fixed.inc(pre.variables_fixed);
+    metrics.presolve_uppers_implied.inc(pre.uppers_implied);
     presolve_span.attr(obs::AttrKey::kRows,
                        static_cast<std::int64_t>(pre.rows_removed));
     if (pre.infeasible) {
@@ -105,15 +141,26 @@ Solution solve(const Model& model, const SolveOptions& options) {
     target = &pre.reduced;
   }
 
+  // kAuto routing table (documented in DESIGN.md): tiny models take the
+  // dense tableau; warm re-solves flagged as bound/rhs perturbations take
+  // the dual simplex; everything else takes the primal sparse engine, with
+  // large cold solves additionally eligible for block decomposition below.
+  const bool has_warm_hint = !options.warm_start.empty() &&
+                             options.warm_start.size() ==
+                                 model.variable_count();
   Method method = options.method;
   if (method == Method::kAuto) {
-    method = target->constraint_count() >= kAutoSparseRowCutoff
-                 ? Method::kSparse
-                 : Method::kDense;
+    if (target->constraint_count() < kAutoSparseRowCutoff) {
+      method = Method::kDense;
+    } else if (options.dual_resolve && has_warm_hint) {
+      method = Method::kDual;
+    } else {
+      method = Method::kSparse;
+    }
   }
   const StandardForm sf = to_standard_form(
-      *target, method == Method::kSparse ? BoundPolicy::kInline
-                                         : BoundPolicy::kUpperRows);
+      *target, sparse_family(method) ? BoundPolicy::kInline
+                                     : BoundPolicy::kUpperRows);
   if (method == Method::kDense && sf.rows.size() > kDenseRowLimit) {
     throw InvalidArgument(
         "lp: dense tableau is limited to " + std::to_string(kDenseRowLimit) +
@@ -131,8 +178,7 @@ Solution solve(const Model& model, const SolveOptions& options) {
   // model's structural variables. Variables presolve fixed simply drop out.
   std::vector<VarStatus> sf_warm;
   const std::vector<VarStatus>* warm_ptr = nullptr;
-  if (method == Method::kSparse && !options.warm_start.empty() &&
-      options.warm_start.size() == model.variable_count()) {
+  if (sparse_family(method) && has_warm_hint) {
     sf_warm.assign(sf.var_count(), VarStatus::kAtLower);
     for (std::size_t i = 0; i < options.warm_start.size(); ++i) {
       const int sv = sf.var_map[i];
@@ -159,8 +205,26 @@ Solution solve(const Model& model, const SolveOptions& options) {
     metrics.warm_starts.inc();
   }
 
+  // Cold large sparse solves can go through the block-angular
+  // decomposition. A warm hint always wins — the decomposition's stitched
+  // crash basis would throw the caller's (better) basis away.
+  bool decomposed = false;
+  BlockPlan plan;
+  if (method == Method::kSparse && warm_ptr == nullptr &&
+      options.decompose != DecomposePolicy::kOff &&
+      (options.decompose == DecomposePolicy::kForce ||
+       sf.rows.size() >= options.decompose_min_rows)) {
+    plan = detect_blocks(sf);
+    const std::size_t min_blocks =
+        options.decompose == DecomposePolicy::kForce
+            ? 2
+            : options.decompose_min_blocks;
+    decomposed = plan.usable(min_blocks);
+  }
+
   SfSolution raw;
   SparseSolveStats stats;
+  bool have_sparse_stats = false;
   {
     obs::ScopedTimer method_timer(method_timer_for(metrics, method));
     switch (method) {
@@ -170,17 +234,56 @@ Solution solve(const Model& model, const SolveOptions& options) {
       case Method::kRevised:
         raw = solve_dense_inverse(sf, options);
         break;
-      default:
-        raw = solve_sparse(sf, options, warm_ptr, &stats);
+      case Method::kDual: {
+        DualSolveStats dual_stats;
+        raw = solve_dual(sf, options, warm_ptr, &dual_stats);
+        metrics.factorizations.inc(dual_stats.factorizations);
+        metrics.bound_flips.inc(dual_stats.bound_flips);
+        metrics.eta_nnz.record(static_cast<double>(dual_stats.eta_nnz));
+        if (dual_stats.needs_primal_cleanup ||
+            (raw.status != SolveStatus::kOptimal &&
+             raw.status != SolveStatus::kInfeasible)) {
+          // Fallback contract: the dual's statuses are a valid basis; let
+          // the primal engine finish from there.
+          metrics.dual_fallbacks.inc();
+          const std::size_t dual_iterations = raw.iterations;
+          const std::vector<VarStatus> resume = raw.statuses;
+          raw = solve_sparse(sf, options,
+                             resume.empty() ? warm_ptr : &resume, &stats);
+          raw.iterations += dual_iterations;
+          have_sparse_stats = true;
+        }
         break;
+      }
+      default: {
+        if (decomposed) {
+          DecomposeStats dstats;
+          raw = solve_decomposed(sf, options, plan,
+                                 options.decompose_threads, &dstats);
+          metrics.decompose_solves.inc();
+          metrics.decompose_blocks.inc(dstats.blocks);
+          metrics.decompose_sub_iterations.inc(dstats.sub_iterations);
+          metrics.decompose_cleanup_iterations.inc(
+              dstats.cleanup_iterations);
+          metrics.decompose_detect_s.record(dstats.detect_seconds);
+          metrics.decompose_sub_s.record(dstats.sub_seconds);
+          metrics.decompose_cleanup_s.record(dstats.cleanup_seconds);
+        } else {
+          raw = solve_sparse(sf, options, warm_ptr, &stats);
+          have_sparse_stats = true;
+        }
+        break;
+      }
     }
   }
   metrics.iterations.inc(raw.iterations);
   (warm_ptr != nullptr ? metrics.iterations_warm : metrics.iterations_cold)
       .inc(raw.iterations);
-  if (method == Method::kSparse) {
+  if (have_sparse_stats) {
     metrics.factorizations.inc(stats.factorizations);
     metrics.pricing_passes.inc(stats.pricing_passes);
+    metrics.bound_flips.inc(stats.bound_flips);
+    metrics.devex_resets.inc(stats.devex_resets);
     metrics.eta_nnz.record(static_cast<double>(stats.eta_nnz));
   }
   if (raw.status == SolveStatus::kInfeasible) metrics.infeasible.inc();
@@ -197,7 +300,7 @@ Solution solve(const Model& model, const SolveOptions& options) {
     // reduced model's standard form lands in the original variable space.
     solution.values = map_back(sf, raw.values, model.variable_count());
     solution.objective = model.objective_value(solution.values);
-    if (method == Method::kSparse) {
+    if (sparse_family(method)) {
       // Variables presolve (or upper == lower) substituted out have no
       // standard-form column; they report kFixed. When presolve fixes
       // EVERYTHING the engine sees an empty model and returns no statuses —

@@ -12,10 +12,21 @@
 namespace sb::lp {
 
 enum class Method {
-  kAuto,     ///< sparse LU/eta engine at scale, dense tableau for tiny LPs
+  kAuto,     ///< routing table below: dense / sparse / dual / decomposed
   kDense,    ///< force the dense tableau (reference implementation)
   kRevised,  ///< force the legacy dense-inverse revised simplex
   kSparse,   ///< force the sparse LU/eta bounded-variable engine
+  kDual,     ///< force the dual simplex (lp/dual_simplex.h); falls back to
+             ///< the primal sparse engine when it cannot finish
+};
+
+/// Whether kAuto may route a cold large solve through the block-angular
+/// decomposition (lp/block_decompose.h).
+enum class DecomposePolicy {
+  kAuto,   ///< decompose when cold, >= decompose_min_rows rows, and
+           ///< detect_blocks finds >= decompose_min_blocks blocks
+  kOff,    ///< never decompose
+  kForce,  ///< decompose whenever detection finds >= 2 blocks (testing)
 };
 
 /// kAuto cutoff: models with at least this many constraints go to the sparse
@@ -50,6 +61,24 @@ struct SolveOptions : SimplexOptions {
   /// pivots a variables-only warm start needs. Ignored unless `warm_start`
   /// is also set and both sizes match their model dimensions.
   std::vector<VarStatus> warm_start_rows;
+  /// Route warm-started solves through the dual simplex under kAuto. The
+  /// dual engine repairs primal bound violations without touching dual
+  /// feasibility, which is exactly what a re-solve after bound tightening
+  /// (capacity floors, failure scenarios) perturbs — set this on re-solve
+  /// call-sites where the model changed by bounds/rhs rather than costs.
+  bool dual_resolve = false;
+  /// Cold-solve decomposition policy; see DecomposePolicy.
+  DecomposePolicy decompose = DecomposePolicy::kAuto;
+  /// kAuto decomposition requires at least this many standard-form rows —
+  /// below it the monolithic sparse solve wins outright.
+  std::size_t decompose_min_rows = 512;
+  /// ... and at least this many detected blocks, so the clean-up solve has
+  /// meaningfully smaller work than the original LP.
+  std::size_t decompose_min_blocks = 4;
+  /// Thread-pool size for parallel subproblem solves; <= 1 solves them
+  /// sequentially. Subproblems are independent and stitched in block order,
+  /// so the result is bit-identical at any thread count.
+  std::size_t decompose_threads = 1;
 };
 
 /// Solves `model` (minimization). The returned Solution's `values` cover all

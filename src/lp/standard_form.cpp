@@ -68,4 +68,30 @@ std::vector<double> map_back(const StandardForm& sf,
   return out;
 }
 
+StandardForm extract_row_subform(const StandardForm& sf,
+                                 const std::vector<int>& row_ids,
+                                 std::vector<int>& col_map) {
+  StandardForm sub;
+  col_map.assign(sf.var_count(), -1);
+  sub.rows.reserve(row_ids.size());
+  for (int r : row_ids) {
+    const StandardRow& row = sf.rows[static_cast<std::size_t>(r)];
+    StandardRow out;
+    out.sense = row.sense;
+    out.rhs = row.rhs;
+    out.terms.reserve(row.terms.size());
+    for (const Term& t : row.terms) {
+      const auto v = static_cast<std::size_t>(t.var);
+      if (col_map[v] < 0) {
+        col_map[v] = static_cast<int>(sub.cost.size());
+        sub.cost.push_back(sf.cost[v]);
+        sub.upper.push_back(sf.upper[v]);
+      }
+      out.terms.push_back(Term{col_map[v], t.coeff});
+    }
+    sub.rows.push_back(std::move(out));
+  }
+  return sub;
+}
+
 }  // namespace sb::lp

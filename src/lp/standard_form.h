@@ -53,4 +53,15 @@ std::vector<double> map_back(const StandardForm& sf,
                              const std::vector<double>& sf_values,
                              std::size_t model_var_count);
 
+/// Extracts the sub-LP induced by a row subset: the returned form contains
+/// exactly `row_ids` (in the given order) and every variable appearing in
+/// them, with costs and bounds carried over. `col_map` (sized var_count())
+/// is filled with parent-column -> sub-column indices, -1 for columns
+/// outside the subset. Used by the block-angular decomposition
+/// (lp/block_decompose.h); the sub-form's var_map/var_base are left empty —
+/// it maps to the PARENT standard form via `col_map`, not to a model.
+StandardForm extract_row_subform(const StandardForm& sf,
+                                 const std::vector<int>& row_ids,
+                                 std::vector<int>& col_map);
+
 }  // namespace sb::lp

@@ -1,9 +1,12 @@
-// Differential property tests for the sparse LU/eta simplex: on ~200 seeded
-// instances — random bounded-variable LPs and provisioning-shaped LPs — the
-// sparse engine must match the dense tableau's optimal objective, and both
-// answers must pass the independent feasibility validator. A third sweep
-// forces the sparse engine onto Bland's anti-cycling rule almost immediately
-// (stall_limit = 1) on degenerate instances to exercise that fallback path.
+// Differential property tests for the sparse LU/eta simplex family: on
+// hundreds of seeded instances — random bounded-variable LPs, bound-flip-
+// heavy LPs, provisioning-shaped LPs, and degenerate transportation LPs —
+// the sparse primal engine, the dual simplex (Method::kDual), and the
+// block-angular decomposition (DecomposePolicy::kForce) must all match the
+// dense tableau's optimal objective, and every answer must pass the
+// independent feasibility validator. Additional sweeps force Bland's
+// anti-cycling rule almost immediately (stall_limit = 1) and check that
+// parallel decomposition is bit-identical to its sequential run.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -94,6 +97,43 @@ Model make_provisioning_lp(std::size_t slots, std::size_t configs,
   return m;
 }
 
+/// Bound-flip-heavy LP: EVERY variable is boxed (often narrowly) with a
+/// signed cost, and rows are sparse, so most of the optimum rests on bounds
+/// and a cold solve is dominated by bound-to-bound moves — the primal
+/// engine's batched flips and the dual engine's bound-flipping ratio test.
+/// Feasible by construction via an in-box witness; bounded because every
+/// variable is boxed.
+Model make_flip_heavy_lp(const DiffSpec& spec) {
+  Rng rng(spec.seed);
+  Model m;
+  std::vector<double> witness(spec.vars);
+  for (std::size_t i = 0; i < spec.vars; ++i) {
+    const double lo = rng.uniform(0.0, 1.0);
+    const double hi = lo + rng.uniform(0.1, 2.0);
+    witness[i] = rng.uniform(lo, hi);
+    m.add_variable(lo, hi, rng.uniform(-5.0, 5.0));
+  }
+  for (std::size_t r = 0; r < spec.rows; ++r) {
+    std::vector<Term> terms;
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < spec.vars; ++i) {
+      if (!rng.chance(0.25)) continue;
+      const double coeff = rng.uniform(-2.0, 2.0);
+      terms.push_back({static_cast<int>(i), coeff});
+      lhs += coeff * witness[i];
+    }
+    if (terms.empty()) continue;
+    if (rng.chance(0.5)) {
+      m.add_constraint(std::move(terms), Sense::kLe,
+                       lhs + rng.uniform(0.0, 2.0));
+    } else {
+      m.add_constraint(std::move(terms), Sense::kGe,
+                       lhs - rng.uniform(0.0, 2.0));
+    }
+  }
+  return m;
+}
+
 /// Degenerate transportation LP: equal costs on many arcs and zero-slack
 /// supplies create heavy reduced-cost and ratio-test ties.
 Model make_degenerate_lp(std::uint64_t seed) {
@@ -158,6 +198,16 @@ TEST_P(BoundedRandomDifferentialTest, SparseMatchesDense) {
   expect_sparse_matches_dense(m, sparse_opt, GetParam().seed);
 }
 
+TEST_P(BoundedRandomDifferentialTest, DualMatchesDense) {
+  // Cold dual starts on these instances are mostly dual-feasible (unboxed
+  // variables carry non-negative costs); where they are not, the facade's
+  // primal fallback must still land on the dense optimum.
+  const Model m = make_bounded_random_lp(GetParam());
+  SolveOptions dual_opt;
+  dual_opt.method = Method::kDual;
+  expect_sparse_matches_dense(m, dual_opt, GetParam().seed);
+}
+
 std::vector<DiffSpec> make_bounded_specs() {
   std::vector<DiffSpec> specs;
   std::uint64_t seed = 20000;
@@ -173,6 +223,44 @@ std::vector<DiffSpec> make_bounded_specs() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, BoundedRandomDifferentialTest,
                          ::testing::ValuesIn(make_bounded_specs()),
+                         [](const auto& info) {
+                           const DiffSpec& s = info.param;
+                           return "seed" + std::to_string(s.seed) + "_v" +
+                                  std::to_string(s.vars) + "_r" +
+                                  std::to_string(s.rows);
+                         });
+
+class FlipHeavyDifferentialTest : public ::testing::TestWithParam<DiffSpec> {};
+
+TEST_P(FlipHeavyDifferentialTest, SparseMatchesDense) {
+  const Model m = make_flip_heavy_lp(GetParam());
+  SolveOptions sparse_opt;
+  sparse_opt.method = Method::kSparse;
+  expect_sparse_matches_dense(m, sparse_opt, GetParam().seed);
+}
+
+TEST_P(FlipHeavyDifferentialTest, DualMatchesDense) {
+  const Model m = make_flip_heavy_lp(GetParam());
+  SolveOptions dual_opt;
+  dual_opt.method = Method::kDual;
+  expect_sparse_matches_dense(m, dual_opt, GetParam().seed);
+}
+
+std::vector<DiffSpec> make_flip_heavy_specs() {
+  std::vector<DiffSpec> specs;
+  std::uint64_t seed = 50000;
+  for (std::size_t vars : {8u, 20u, 40u}) {
+    for (std::size_t rows : {4u, 10u, 20u}) {
+      for (int rep = 0; rep < 8; ++rep) {
+        specs.push_back({seed++, vars, rows});
+      }
+    }
+  }
+  return specs;  // 3 * 3 * 8 = 72 cases
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FlipHeavyDifferentialTest,
+                         ::testing::ValuesIn(make_flip_heavy_specs()),
                          [](const auto& info) {
                            const DiffSpec& s = info.param;
                            return "seed" + std::to_string(s.seed) + "_v" +
@@ -196,6 +284,14 @@ TEST_P(ProvisioningShapedDifferentialTest, SparseMatchesDense) {
   SolveOptions sparse_opt;
   sparse_opt.method = Method::kSparse;
   expect_sparse_matches_dense(m, sparse_opt, p.seed);
+}
+
+TEST_P(ProvisioningShapedDifferentialTest, DualMatchesDense) {
+  const ProvShape& p = GetParam();
+  const Model m = make_provisioning_lp(p.slots, p.configs, p.dcs, p.seed);
+  SolveOptions dual_opt;
+  dual_opt.method = Method::kDual;
+  expect_sparse_matches_dense(m, dual_opt, p.seed);
 }
 
 std::vector<ProvShape> make_prov_shapes() {
@@ -236,8 +332,77 @@ TEST_P(BlandFallbackTest, DegenerateInstancesSolveUnderBland) {
   expect_sparse_matches_dense(m, sparse_opt, GetParam());
 }
 
+TEST_P(BlandFallbackTest, DegenerateInstancesSolveUnderDualBland) {
+  // Same degenerate instances through the dual engine: its stall detector
+  // must engage lowest-index selection (flips disabled) and still finish —
+  // directly or via the primal fallback.
+  const Model m = make_degenerate_lp(GetParam());
+  SolveOptions dual_opt;
+  dual_opt.method = Method::kDual;
+  dual_opt.stall_limit = 1;
+  expect_sparse_matches_dense(m, dual_opt, GetParam());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BlandFallbackTest,
                          ::testing::Range<std::uint64_t>(700, 712));
+
+/// Shapes large enough (slots > 6) that the per-DC peak columns clear the
+/// degree cutoff and detect_blocks finds one block per slot.
+class DecomposeDifferentialTest : public ::testing::TestWithParam<ProvShape> {};
+
+TEST_P(DecomposeDifferentialTest, DecomposedMatchesDense) {
+  const ProvShape& p = GetParam();
+  const Model m = make_provisioning_lp(p.slots, p.configs, p.dcs, p.seed);
+  SolveOptions opt;
+  opt.method = Method::kSparse;
+  opt.decompose = DecomposePolicy::kForce;
+  expect_sparse_matches_dense(m, opt, p.seed);
+}
+
+TEST_P(DecomposeDifferentialTest, ParallelDecompositionIsBitIdentical) {
+  const ProvShape& p = GetParam();
+  const Model m = make_provisioning_lp(p.slots, p.configs, p.dcs, p.seed);
+  SolveOptions opt;
+  opt.method = Method::kSparse;
+  opt.decompose = DecomposePolicy::kForce;
+  opt.decompose_threads = 1;
+  const Solution sequential = solve(m, opt);
+  opt.decompose_threads = 4;
+  const Solution parallel = solve(m, opt);
+  ASSERT_EQ(sequential.status, parallel.status) << "seed=" << p.seed;
+  ASSERT_EQ(sequential.values.size(), parallel.values.size());
+  for (std::size_t i = 0; i < sequential.values.size(); ++i) {
+    // Bit-identical, not merely close: subproblems are independent and the
+    // stitch walks blocks in index order regardless of thread count.
+    EXPECT_EQ(sequential.values[i], parallel.values[i])
+        << "seed=" << p.seed << " var=" << i;
+  }
+  ASSERT_EQ(sequential.basis, parallel.basis) << "seed=" << p.seed;
+  EXPECT_EQ(sequential.iterations, parallel.iterations);
+}
+
+std::vector<ProvShape> make_decompose_shapes() {
+  std::vector<ProvShape> shapes;
+  std::uint64_t seed = 40000;
+  for (std::size_t slots : {8u, 12u}) {
+    for (std::size_t configs : {3u, 6u}) {
+      for (std::size_t dcs : {3u, 4u}) {
+        shapes.push_back({seed++, slots, configs, dcs});
+      }
+    }
+  }
+  return shapes;  // 2 * 2 * 2 = 8 cases
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DecomposeDifferentialTest,
+                         ::testing::ValuesIn(make_decompose_shapes()),
+                         [](const auto& info) {
+                           const ProvShape& p = info.param;
+                           return "seed" + std::to_string(p.seed) + "_t" +
+                                  std::to_string(p.slots) + "_c" +
+                                  std::to_string(p.configs) + "_d" +
+                                  std::to_string(p.dcs);
+                         });
 
 }  // namespace
 }  // namespace sb::lp

@@ -27,6 +27,38 @@ TEST(PresolveTest, SingletonRowsBecomeBounds) {
   EXPECT_DOUBLE_EQ(r.reduced.variable(y).lower, 2.0);
 }
 
+TEST(PresolveTest, ImpliedUpperBoundsBoxFreeColumns) {
+  Model m;
+  const int x = m.add_variable(0.0, kInf, -1.0, "x");
+  const int y = m.add_variable(1.0, kInf, -1.0, "y");
+  const int z = m.add_variable(0.0, 5.0, -1.0, "z");
+  // x + 2y + z <= 10 with y >= 1, z >= 0 implies x <= 8, y <= 5.
+  m.add_constraint({{x, 1.0}, {y, 2.0}, {z, 1.0}}, Sense::kLe, 10.0);
+
+  const PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_EQ(r.uppers_implied, 2u);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(x).upper, 8.0);
+  EXPECT_DOUBLE_EQ(r.reduced.variable(y).upper, 5.0);
+  // z's finite upper is left alone even though the row would imply a
+  // tighter one — only +inf uppers are boxed (the goal is flippable
+  // columns, not aggressive tightening).
+  EXPECT_DOUBLE_EQ(r.reduced.variable(z).upper, 5.0);
+}
+
+TEST(PresolveTest, ImpliedBoundsSkipRowsWithFreeNegativeTerms) {
+  Model m;
+  const int x = m.add_variable(0.0, kInf, -1.0, "x");
+  const int y = m.add_variable(0.0, kInf, 1.0, "y");
+  // x - y <= 4 implies nothing for x (y's term has no finite minimum).
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Sense::kLe, 4.0);
+
+  const PresolveResult r = presolve(m);
+  ASSERT_FALSE(r.infeasible);
+  EXPECT_EQ(r.uppers_implied, 0u);
+  EXPECT_EQ(r.reduced.variable(x).upper, kInf);
+}
+
 TEST(PresolveTest, SingletonEqualityFixesVariable) {
   Model m;
   const int x = m.add_variable(0.0, kInf, 1.0, "x");

@@ -146,6 +146,80 @@ TEST(WarmStartTest, MismatchedHintSizeFallsBackToColdStart) {
   EXPECT_NEAR(s.objective, cold.objective, 1e-9);
 }
 
+/// Copy of `base` with DC 0's peak capped below its unconstrained optimum:
+/// the classic bound-tightening re-solve (capacity floors, maintenance
+/// derates) that dual_resolve is for. Structure and variable count are
+/// unchanged, so the warm basis carries over.
+Model tighten_first_peak(const Model& base, double cap) {
+  Model m;
+  for (std::size_t i = 0; i < base.variable_count(); ++i) {
+    const Variable& v = base.variable(static_cast<int>(i));
+    const double upper = i == 0 ? cap : v.upper;
+    m.add_variable(v.lower, upper, v.cost, v.name);
+  }
+  for (std::size_t r = 0; r < base.constraint_count(); ++r) {
+    const Constraint& c = base.constraint(static_cast<int>(r));
+    m.add_constraint(c.terms, c.sense, c.rhs, c.name);
+  }
+  return m;
+}
+
+TEST(WarmStartTest, DualResolveMatchesPrimalAfterBoundTightening) {
+  const Model base = make_provisioning_lp(8, 10, 5, 17);
+  SolveOptions options;
+  options.method = Method::kSparse;
+  const Solution base_sol = solve(base, options);
+  ASSERT_TRUE(base_sol.optimal());
+  ASSERT_GT(base_sol.values[0], 0.0);
+
+  // Cap DC 0's peak at 60% of its optimum. The old basis keeps its duals
+  // but the capped column violates its new bound — the dual engine's
+  // starting condition.
+  const Model tight = tighten_first_peak(base, 0.6 * base_sol.values[0]);
+
+  SolveOptions primal_opt = options;
+  primal_opt.warm_start = base_sol.basis;
+  primal_opt.warm_start_rows = base_sol.row_basis;
+  const Solution primal = solve(tight, primal_opt);
+  ASSERT_TRUE(primal.optimal());
+
+  SolveOptions dual_opt = primal_opt;
+  dual_opt.method = Method::kDual;
+  const Solution dual = solve(tight, dual_opt);
+  ASSERT_TRUE(dual.optimal());
+  EXPECT_NEAR(dual.objective, primal.objective,
+              1e-7 * std::max(1.0, std::abs(primal.objective)));
+  const ValidationReport report = validate_solution(tight, dual.values, 1e-6);
+  EXPECT_TRUE(report.feasible) << report.worst;
+  // Tightening one bound must not cost anything like a cold solve.
+  const Solution cold = solve(tight, options);
+  ASSERT_TRUE(cold.optimal());
+  EXPECT_LT(dual.iterations, cold.iterations);
+}
+
+TEST(WarmStartTest, DualResolveRoutesUnderAutoWithHint) {
+  const Model base = make_provisioning_lp(8, 10, 5, 17);
+  SolveOptions options;
+  options.method = Method::kSparse;
+  const Solution base_sol = solve(base, options);
+  ASSERT_TRUE(base_sol.optimal());
+  const Model tight = tighten_first_peak(base, 0.6 * base_sol.values[0]);
+
+  // kAuto + dual_resolve + a warm hint must take the dual path and still
+  // land on the primal optimum.
+  SolveOptions auto_opt;
+  auto_opt.method = Method::kAuto;
+  auto_opt.dual_resolve = true;
+  auto_opt.warm_start = base_sol.basis;
+  auto_opt.warm_start_rows = base_sol.row_basis;
+  const Solution via_auto = solve(tight, auto_opt);
+  ASSERT_TRUE(via_auto.optimal());
+  const Solution cold = solve(tight, options);
+  ASSERT_TRUE(cold.optimal());
+  EXPECT_NEAR(via_auto.objective, cold.objective,
+              1e-7 * std::max(1.0, std::abs(cold.objective)));
+}
+
 TEST(BoundedVariableTest, FixedVariablesReportKFixedAndExactValue) {
   Model m;
   const int fixed = m.add_variable(4.5, 4.5, 3.0, "fixed");
