@@ -169,6 +169,12 @@ Json options_to_json(const FuzzOptions& o) {
   j["workers"] = o.workers;
   j["lease_ttl_s"] = o.lease_ttl_s;
   j["chaos_skip_wal_freeze"] = o.chaos_skip_wal_freeze;
+  j["use_loop"] = o.use_loop;
+  j["loop_cadence_s"] = o.loop_cadence_s;
+  j["loop_band"] = o.loop_band;
+  j["loop_forecast_scale"] = o.loop_forecast_scale;
+  j["loop_flash"] = o.loop_flash;
+  j["chaos_skip_replan"] = o.chaos_skip_replan;
   return Json(std::move(j));
 }
 
@@ -192,6 +198,12 @@ FuzzOptions options_from_json(const Json& j) {
   o.workers = static_cast<std::size_t>(j.get_or("workers", 0.0));
   o.lease_ttl_s = j.get_or("lease_ttl_s", 30.0);
   o.chaos_skip_wal_freeze = j.get_or("chaos_skip_wal_freeze", false);
+  o.use_loop = j.get_or("use_loop", false);
+  o.loop_cadence_s = j.get_or("loop_cadence_s", 300.0);
+  o.loop_band = j.get_or("loop_band", 0.25);
+  o.loop_forecast_scale = j.get_or("loop_forecast_scale", 1.0);
+  o.loop_flash = static_cast<int>(j.get_or("loop_flash", 0.0));
+  o.chaos_skip_replan = j.get_or("chaos_skip_replan", false);
   return o;
 }
 
@@ -378,8 +390,17 @@ std::string FuzzCase::describe() const {
      << (options.rebuild_storm ? " storm" : "")
      << (options.chaos_skip_drain_credit ? " chaos" : "")
      << (options.chaos_skip_server_credit ? " chaos-server" : "")
-     << (options.chaos_skip_wal_freeze ? " chaos-wal" : "");
+     << (options.chaos_skip_wal_freeze ? " chaos-wal" : "")
+     << (options.chaos_skip_replan ? " chaos-replan" : "");
   if (options.workers > 0) os << " workers=" << options.workers;
+  if (options.use_loop) {
+    os << " loop(cadence=" << options.loop_cadence_s
+       << " band=" << options.loop_band
+       << " fc=" << options.loop_forecast_scale;
+    if (options.loop_flash == 1) os << " spike";
+    if (options.loop_flash == 2) os << " rebound";
+    os << ")";
+  }
   return os.str();
 }
 

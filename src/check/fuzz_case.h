@@ -80,6 +80,25 @@ struct FuzzOptions {
   /// credits no slot — planted drift the conservation oracle must catch.
   /// Requires cluster mode and at least one worker kill.
   bool chaos_skip_wal_freeze = false;
+  /// Closed-loop mode (sb_loop): wrap the controller in an
+  /// AdaptiveController that re-forecasts from observed demand and installs
+  /// corrected plans mid-run. Requires use_plan and workers == 0 (the
+  /// cluster path owns its own allocator wiring).
+  bool use_loop = false;
+  double loop_cadence_s = 300.0;    ///< control-tick spacing (sim time)
+  double loop_band = 0.25;          ///< deviation band before a replan
+  /// The forecast the loop provisions/plans from is the true demand scaled
+  /// by this factor; < 1 under-forecasts so the replayed trace drives the
+  /// observation out of the band and the loop must correct.
+  double loop_forecast_scale = 1.0;
+  /// Flash-crowd shape stamped onto the trace at generation time:
+  /// 0 = none, 1 = viral spike (global stair-step ramp), 2 = regional
+  /// rebound after the first DC recovery in the fault schedule.
+  int loop_flash = 0;
+  /// Mutation knob: the control tick counts the out-of-band trigger but
+  /// silently drops the re-provision — the loop-replan oracle must catch
+  /// the stats imbalance. Requires use_loop.
+  bool chaos_skip_replan = false;
 };
 
 /// A materialized case: the live objects a case deserializes into. Owned

@@ -4,11 +4,49 @@
 
 #include "common/rng.h"
 #include "geo/world_presets.h"
+#include "loop/demand_schedule.h"
 #include "lp/solver.h"
 #include "trace/diurnal.h"
 #include "trace/trace_gen.h"
 
 namespace sb::check {
+
+namespace {
+
+/// Stamps a flash-crowd DemandSchedule onto the serialized trace: each call
+/// takes its multiplier at (start, first-joiner location) and is thinned
+/// (m < 1) or duplicated (m >= 1, fresh ids above the existing range) —
+/// the FuzzCall twin of loop::DemandSchedule::scale_trace, kept in sync
+/// with its semantics so shrunk repros describe the same transformation.
+void apply_flash(std::vector<FuzzCall>& calls, const loop::DemandSchedule& sched,
+                 Rng& rng, std::size_t max_calls) {
+  std::uint64_t next_id = 0;
+  for (const FuzzCall& fc : calls) next_id = std::max(next_id, fc.id + 1);
+  std::vector<FuzzCall> scaled;
+  scaled.reserve(calls.size());
+  for (const FuzzCall& fc : calls) {
+    const LocationId first =
+        fc.legs.empty() ? LocationId() : fc.legs.front().location;
+    const double m = sched.multiplier_at(fc.start_s, first);
+    if (m < 1.0) {
+      if (rng.chance(m)) scaled.push_back(fc);
+      continue;
+    }
+    scaled.push_back(fc);
+    const double extra = m - 1.0;
+    auto copies = static_cast<std::size_t>(extra);
+    if (rng.chance(extra - static_cast<double>(copies))) ++copies;
+    for (std::size_t k = 0; k < copies; ++k) {
+      FuzzCall dup = fc;
+      dup.id = next_id++;
+      scaled.push_back(std::move(dup));
+    }
+  }
+  if (scaled.size() > max_calls) scaled.resize(max_calls);
+  calls = std::move(scaled);
+}
+
+}  // namespace
 
 FuzzCase ScenarioFuzzer::generate(std::uint64_t seed) const {
   // Mix the raw seed so consecutive --seed-base runs do not feed xoshiro
@@ -200,6 +238,66 @@ FuzzCase ScenarioFuzzer::generate(std::uint64_t seed) const {
       std::stable_sort(c.faults.begin(), c.faults.end(),
                        [](const fault::FaultEvent& a,
                           const fault::FaultEvent& b) { return a.time < b.time; });
+    }
+  }
+
+  // Closed-loop draws come after the cluster block (same stream-position
+  // rule): a non-loop case is byte-identical to the pre-loop generator's
+  // output for the same seed. The loop wraps the single-process controller,
+  // so cluster cases keep their own wiring.
+  const bool loop_candidate = o.use_plan && o.workers == 0;
+  if (loop_candidate &&
+      (params_.chaos_skip_replan || rng.chance(params_.loop_prob))) {
+    o.use_loop = true;
+    const double cadences[] = {120.0, 300.0, 600.0};
+    o.loop_cadence_s = cadences[rng.uniform_index(3)];
+    o.loop_band = rng.uniform(0.15, 0.5);
+    // Under-forecast: the loop provisions from truth * scale, the simulator
+    // replays the truth, so the observation leaves the band and the loop
+    // must correct mid-run.
+    o.loop_forecast_scale = rng.uniform(0.3, 0.7);
+    o.loop_flash = static_cast<int>(rng.uniform_index(3));
+    if (params_.chaos_skip_replan) {
+      o.chaos_skip_replan = true;
+      // The planted bug only fires on a trigger; make one certain within
+      // the smoke tests' seed budget: hard under-forecast, tight band,
+      // early first tick, and a freeze delay short enough that calls are
+      // observed (the config is unknown before the freeze).
+      o.loop_band = std::min(o.loop_band, 0.2);
+      o.loop_forecast_scale = std::min(o.loop_forecast_scale, 0.35);
+      o.loop_cadence_s = 120.0;
+      o.freeze_delay_s = std::min(o.freeze_delay_s, 90.0);
+    }
+    if (o.loop_flash != 0 && !c.calls.empty()) {
+      const double window = c.window_end_s - c.window_start_s;
+      loop::DemandSchedule sched;
+      // The rebound shape wants a DC outage to echo; without one in the
+      // storm it degrades to the global spike.
+      const fault::FaultEvent* dc_down = nullptr;
+      const fault::FaultEvent* dc_up = nullptr;
+      if (o.loop_flash == 2) {
+        for (const fault::FaultEvent& e : c.faults) {
+          if (e.kind == fault::FaultEvent::Kind::kDcDown && dc_down == nullptr) {
+            dc_down = &e;
+          } else if (dc_down != nullptr && dc_up == nullptr &&
+                     e.kind == fault::FaultEvent::Kind::kDcUp &&
+                     e.dc == dc_down->dc) {
+            dc_up = &e;
+          }
+        }
+      }
+      if (dc_down != nullptr && dc_up != nullptr) {
+        const LocationId region = c.world.dcs[dc_down->dc.value()].location;
+        sched = loop::DemandSchedule::regional_rebound(
+            region, dc_down->time, dc_up->time, rng.uniform(0.1, 0.5),
+            rng.uniform(1.5, 3.0), rng.uniform(300.0, 900.0));
+      } else {
+        const SimTime spike_at = c.window_start_s + window * rng.uniform(0.2, 0.5);
+        sched = loop::DemandSchedule::viral_spike(
+            spike_at, window * 0.1, rng.uniform(1.5, 3.0), window * 0.2,
+            window * 0.1);
+      }
+      apply_flash(c.calls, sched, rng, params_.max_calls);
     }
   }
   return c;

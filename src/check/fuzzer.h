@@ -57,6 +57,16 @@ struct FuzzerParams {
   /// worker kill) on every generated case — proves the conservation oracle
   /// catches a lost freeze across crash-recovery (sb_fuzz --chaos).
   bool chaos_skip_wal_freeze = false;
+  /// Probability a single-process plan case runs closed-loop (sb_loop): the
+  /// controller is wrapped in an AdaptiveController ticking on a sim-time
+  /// cadence with an under-scaled forecast and an optional flash-crowd
+  /// shape stamped onto the trace.
+  double loop_prob = 0.35;
+  /// Forces the skip-replan chaos knob (plus closed-loop mode with an
+  /// aggressive under-forecast so a trigger is certain) on every generated
+  /// case — proves the loop-replan oracle catches a dropped re-provision
+  /// (sb_fuzz --chaos skip-replan).
+  bool chaos_skip_replan = false;
 };
 
 class ScenarioFuzzer {

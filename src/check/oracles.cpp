@@ -17,6 +17,7 @@
 #include "core/failure.h"
 #include "core/provisioner.h"
 #include "fault/failover.h"
+#include "loop/adaptive.h"
 #include "lp/solver.h"
 #include "pack/packer.h"
 #include "sim/allocator.h"
@@ -55,6 +56,19 @@ DemandMatrix build_demand(const Materialized& m, const FuzzCase& c) {
   const double horizon = c.window_start_s + static_cast<double>(slots) * slot_s;
   return DemandMatrix::from_records(m.db, m.registry.ids(), slot_s,
                                     c.window_start_s, horizon);
+}
+
+/// The under-forecast a closed-loop case plans from: every cell of the true
+/// demand scaled by one factor. The simulator replays the truth, so the
+/// observation leaves the loop's deviation band and the tick must correct.
+DemandMatrix scaled_demand(const DemandMatrix& d, double scale) {
+  DemandMatrix out = d;
+  for (TimeSlot t = 0; t < d.slot_count(); ++t) {
+    for (std::size_t col = 0; col < d.config_count(); ++col) {
+      out.set_demand(t, col, d.demand(t, col) * scale);
+    }
+  }
+  return out;
 }
 
 ControllerOptions controller_options(const FuzzOptions& o) {
@@ -110,6 +124,17 @@ class Exec {
         clopts.chaos_skip_wal_freeze = c.options.chaos_skip_wal_freeze;
         cluster_ = std::make_unique<cluster::ClusterController>(*sb_, clopts);
         cluster_alloc_ = std::make_unique<cluster::ClusterAllocator>(*cluster_);
+      } else if (c.options.use_loop) {
+        // Closed-loop mode: the AdaptiveController wraps the controller,
+        // observes the replayed demand, and installs corrected plans
+        // mid-run. `demand` here is the (possibly under-scaled) forecast.
+        loop::LoopOptions lopts;
+        lopts.cadence_s = c.options.loop_cadence_s;
+        lopts.deviation_band = c.options.loop_band;
+        lopts.chaos_skip_replan = c.options.chaos_skip_replan;
+        loop_alloc_ = std::make_unique<loop::AdaptiveController>(
+            *sb_, m.ctx(), *demand, c.window_start_s, c.options.slot_s,
+            lopts);
       } else {
         controller_alloc_ = std::make_unique<ControllerAllocator>(*sb_);
       }
@@ -126,6 +151,7 @@ class Exec {
 
   [[nodiscard]] CallAllocator& allocator() {
     if (cluster_alloc_) return *cluster_alloc_;
+    if (loop_alloc_) return *loop_alloc_;
     return sb_ ? static_cast<CallAllocator&>(*controller_alloc_)
                : static_cast<CallAllocator&>(*selector_alloc_);
   }
@@ -141,6 +167,8 @@ class Exec {
   [[nodiscard]] Switchboard* controller() { return sb_.get(); }
   /// Cluster facade (null outside cluster mode).
   [[nodiscard]] cluster::ClusterController* cluster() { return cluster_.get(); }
+  /// Closed-loop controller (null outside loop mode).
+  [[nodiscard]] loop::AdaptiveController* loop() { return loop_alloc_.get(); }
   /// Live packer (null without a fleet). Only meaningful at quiescence.
   [[nodiscard]] const pack::ServerPacker* packer() const {
     return sb_ ? sb_->packer() : selector_->packer();
@@ -151,6 +179,7 @@ class Exec {
   std::unique_ptr<ControllerAllocator> controller_alloc_;
   std::unique_ptr<cluster::ClusterController> cluster_;
   std::unique_ptr<cluster::ClusterAllocator> cluster_alloc_;
+  std::unique_ptr<loop::AdaptiveController> loop_alloc_;
   std::unique_ptr<fault::HealthTable> health_;
   std::unique_ptr<RealtimeSelector> selector_;
   std::unique_ptr<SwitchboardAllocator> selector_alloc_;
@@ -407,6 +436,24 @@ void cluster_conservation_oracle(Exec& exec, const FuzzCase& c,
   check(cs.stale_events_fenced == 0,
         "in-process dispatch fenced " +
             std::to_string(cs.stale_events_fenced) + " events as stale");
+}
+
+/// Closed-loop accounting (loop cases only): every out-of-band trigger
+/// must be answered — by an executed replan or an explicitly-counted solve
+/// failure. This is the oracle the chaos_skip_replan knob provably trips
+/// (the planted bug counts the trigger, then silently drops the
+/// re-provision, so triggers run ahead of replans + solve_errors forever).
+void loop_replan_oracle(Exec& exec, std::vector<OracleFailure>& out) {
+  loop::AdaptiveController* lc = exec.loop();
+  if (lc == nullptr) return;
+  const loop::LoopStats s = lc->stats();
+  if (s.triggers != s.replans + s.solve_errors) {
+    std::ostringstream os;
+    os << "loop counted " << s.triggers << " out-of-band triggers but only "
+       << s.replans << " replans + " << s.solve_errors
+       << " solve errors (a re-provision was silently dropped)";
+    fail(out, "loop-replan", os.str());
+  }
 }
 
 /// Per-server conservation (fleet cases only): the packer's cumulative
@@ -848,18 +895,26 @@ CheckResult run_case(const FuzzCase& c, const CheckOptions& opts) {
         m.faults.empty() ? nullptr : &m.faults;
 
     std::optional<DemandMatrix> demand;
+    std::optional<DemandMatrix> forecast;
     if (c.options.use_plan) {
       demand.emplace(build_demand(m, c));
+      if (c.options.use_loop && c.options.loop_forecast_scale != 1.0) {
+        // Loop cases plan from the under-scaled forecast; the simulator
+        // replays the true trace, so the loop must correct mid-run.
+        forecast.emplace(
+            scaled_demand(*demand, c.options.loop_forecast_scale));
+      }
       try {
         // Provision once, throw-away: discovers infeasibility before any
         // oracle machinery runs so it can be reported as a skip.
-        Exec probe(m, c, &*demand);
+        Exec probe(m, c, forecast ? &*forecast : &*demand);
       } catch (const SolveError&) {
         res.provision_infeasible = true;
         return res;
       }
     }
-    const DemandMatrix* dp = demand ? &*demand : nullptr;
+    const DemandMatrix* dp =
+        forecast ? &*forecast : (demand ? &*demand : nullptr);
 
     // Reference run: sequential, bit-exact, hosting log captured.
     Exec ref(m, c, dp);
@@ -873,7 +928,15 @@ CheckResult run_case(const FuzzCase& c, const CheckOptions& opts) {
 
     if (c.options.use_plan) {
       const ProvisionResult& pr = *ref.controller()->provision_result();
-      lp_feasibility_oracle(m, *demand, pr, res.failures);
+      if (ref.loop() == nullptr) {
+        lp_feasibility_oracle(m, *dp, pr, res.failures);
+      } else if (ref.loop()->stats().solve_errors == 0) {
+        // After replans the live provision result corresponds to the loop's
+        // current forecast (updated only on a fully-successful replan). A
+        // solve error leaves the two out of step, so skip the check then.
+        lp_feasibility_oracle(m, ref.loop()->current_forecast(), pr,
+                              res.failures);
+      }
       std::vector<double> cap(m.world.dc_count(), 0.0);
       for (std::uint32_t x = 0; x < cap.size(); ++x) {
         cap[x] = pr.capacity.dc_total_cores(DcId(x));
@@ -884,6 +947,7 @@ CheckResult run_case(const FuzzCase& c, const CheckOptions& opts) {
     exactly_once_oracle(m, c, log, res.failures);
     conservation_oracle(ref, rep, m.db.size(), res.failures);
     cluster_conservation_oracle(ref, c, res.failures);
+    loop_replan_oracle(ref, res.failures);
     recount_oracle(m, c, rep, log, "recount", res.failures);
     server_conservation_oracle(ref, m, log, res.failures);
     down_dc_oracle(m, c, log, res.failures);
@@ -953,6 +1017,7 @@ CheckResult run_case(const FuzzCase& c, const CheckOptions& opts) {
       exactly_once_oracle(m, c, clog, res.failures);
       conservation_oracle(conc, crep, m.db.size(), res.failures);
       cluster_conservation_oracle(conc, c, res.failures);
+      loop_replan_oracle(conc, res.failures);
       recount_oracle(m, c, crep, clog, "recount-concurrent", res.failures);
       server_conservation_oracle(conc, m, clog, res.failures);
       down_dc_oracle(m, c, clog, res.failures);
@@ -964,7 +1029,9 @@ CheckResult run_case(const FuzzCase& c, const CheckOptions& opts) {
     }
 
     if (opts.run_rebuild_storm && c.options.rebuild_storm &&
-        res.failures.empty()) {
+        ref.loop() == nullptr && res.failures.empty()) {
+      // Loop cases skip the storm: the loop's last corrected capacities
+      // need not cover the pre-loop demand matrix the storm rebuilds from.
       rebuild_storm_oracle(ref, m, c, *demand, res.failures);
     }
   } catch (const Error& e) {

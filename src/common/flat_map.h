@@ -1,0 +1,180 @@
+// Open-addressing hash table keyed by a StrongId, used on the selector's
+// per-shard hot path. std::unordered_map costs one node allocation per
+// insert and a pointer chase per lookup; at simulator replay rates (three
+// map operations per call) that is the dominant shard cost. FlatIdMap keeps
+// entries inline in one slot array with linear probing and backward-shift
+// deletion — no tombstones, no per-entry allocation, and lookups touch one
+// cache line at typical load.
+//
+// API is the std::unordered_map subset the selector uses: emplace / find /
+// erase(iterator) / range-for / size / clear. Iterators are invalidated by
+// emplace (rehash) and by erase of ANY key (backward shift moves entries);
+// callers must re-find after either, which the selector already does.
+// Not internally synchronized — callers hold the owning shard's lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sb {
+
+template <typename Key, typename Value>
+class FlatIdMap {
+ public:
+  using Entry = std::pair<Key, Value>;
+
+  FlatIdMap() { rehash(kMinCapacity); }
+
+  class iterator {
+   public:
+    iterator(FlatIdMap* map, std::size_t index, bool skip)
+        : map_(map), index_(index) {
+      if (skip) advance();
+    }
+    Entry& operator*() const { return map_->slots_[index_]; }
+    Entry* operator->() const { return &map_->slots_[index_]; }
+    iterator& operator++() {
+      ++index_;
+      advance();
+      return *this;
+    }
+    friend bool operator==(const iterator&, const iterator&) = default;
+    [[nodiscard]] std::size_t index() const { return index_; }
+
+   private:
+    void advance() {
+      while (index_ < map_->slots_.size() && !map_->full_[index_]) ++index_;
+    }
+    FlatIdMap* map_;
+    std::size_t index_;
+  };
+
+  class const_iterator {
+   public:
+    const_iterator(const FlatIdMap* map, std::size_t index, bool skip)
+        : map_(map), index_(index) {
+      if (skip) advance();
+    }
+    const Entry& operator*() const { return map_->slots_[index_]; }
+    const Entry* operator->() const { return &map_->slots_[index_]; }
+    const_iterator& operator++() {
+      ++index_;
+      advance();
+      return *this;
+    }
+    friend bool operator==(const const_iterator&, const const_iterator&) =
+        default;
+
+   private:
+    void advance() {
+      while (index_ < map_->slots_.size() && !map_->full_[index_]) ++index_;
+    }
+    const FlatIdMap* map_;
+    std::size_t index_;
+  };
+
+  [[nodiscard]] iterator begin() { return {this, 0, true}; }
+  [[nodiscard]] iterator end() { return {this, slots_.size(), false}; }
+  [[nodiscard]] const_iterator begin() const { return {this, 0, true}; }
+  [[nodiscard]] const_iterator end() const {
+    return {this, slots_.size(), false};
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Inserts unless the key is present; {slot, inserted} like the std map.
+  std::pair<iterator, bool> emplace(Key key, Value value) {
+    if ((size_ + 1) * 10 >= slots_.size() * 7) rehash(slots_.size() * 2);
+    std::size_t i = home_of(key);
+    while (full_[i]) {
+      if (slots_[i].first == key) return {iterator(this, i, false), false};
+      i = (i + 1) & mask_;
+    }
+    full_[i] = 1;
+    slots_[i] = Entry{key, std::move(value)};
+    ++size_;
+    return {iterator(this, i, false), true};
+  }
+
+  [[nodiscard]] iterator find(Key key) {
+    std::size_t i = home_of(key);
+    while (full_[i]) {
+      if (slots_[i].first == key) return {this, i, false};
+      i = (i + 1) & mask_;
+    }
+    return end();
+  }
+  [[nodiscard]] const_iterator find(Key key) const {
+    std::size_t i = home_of(key);
+    while (full_[i]) {
+      if (slots_[i].first == key) return {this, i, false};
+      i = (i + 1) & mask_;
+    }
+    return end();
+  }
+
+  /// Backward-shift deletion: every displaced entry between the hole and
+  /// the next empty slot that may legally move up does, so probe chains
+  /// stay unbroken without tombstones.
+  void erase(iterator it) {
+    std::size_t hole = it.index();
+    std::size_t probe = hole;
+    for (;;) {
+      probe = (probe + 1) & mask_;
+      if (!full_[probe]) break;
+      const std::size_t home = home_of(slots_[probe].first);
+      // The entry at `probe` may fill `hole` iff its home precedes or
+      // equals the hole along the cyclic probe path ending at `probe`.
+      if (((probe - home) & mask_) >= ((probe - hole) & mask_)) {
+        slots_[hole] = std::move(slots_[probe]);
+        hole = probe;
+      }
+    }
+    slots_[hole] = Entry{};
+    full_[hole] = 0;
+    --size_;
+  }
+
+  void clear() {
+    slots_.assign(slots_.size(), Entry{});
+    full_.assign(full_.size(), 0);
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  [[nodiscard]] std::size_t home_of(Key key) const {
+    // Fibonacci hashing spreads the dense id range across the table.
+    const auto h =
+        static_cast<std::uint64_t>(key.value()) * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h >> 32) & mask_;
+  }
+
+  void rehash(std::size_t capacity) {
+    std::vector<Entry> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_full = std::move(full_);
+    slots_.assign(capacity, Entry{});
+    full_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    size_ = 0;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_full[i]) continue;
+      std::size_t j = home_of(old_slots[i].first);
+      while (full_[j]) j = (j + 1) & mask_;
+      full_[j] = 1;
+      slots_[j] = std::move(old_slots[i]);
+      ++size_;
+    }
+  }
+
+  std::vector<Entry> slots_;
+  std::vector<std::uint8_t> full_;  ///< 1 = slot occupied
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sb

@@ -41,10 +41,26 @@ TimeSlot AllocationPlan::slot_at(SimTime offset_s) const {
 }
 
 std::size_t AllocationPlan::column_of(ConfigId config) const {
+  if (!col_index_.empty()) {
+    return config.valid() && config.value() < col_index_.size()
+               ? col_index_[config.value()]
+               : npos;
+  }
   for (std::size_t i = 0; i < config_columns.size(); ++i) {
     if (config_columns[i] == config) return i;
   }
   return npos;
+}
+
+void AllocationPlan::build_column_index() {
+  std::uint32_t max_id = 0;
+  for (ConfigId id : config_columns) {
+    if (id.valid()) max_id = std::max(max_id, id.value());
+  }
+  col_index_.assign(static_cast<std::size_t>(max_id) + 1, npos);
+  for (std::size_t i = 0; i < config_columns.size(); ++i) {
+    if (config_columns[i].valid()) col_index_[config_columns[i].value()] = i;
+  }
 }
 
 AllocationPlanner::AllocationPlanner(EvalContext ctx, AllocationOptions options)
@@ -137,6 +153,7 @@ AllocationPlan AllocationPlanner::plan(const DemandMatrix& demand,
 
   AllocationPlan plan(slots, config_count, world.dc_count(), slot_s);
   plan.config_columns = demand.configs();
+  plan.build_column_index();
   for (TimeSlot t = 0; t < slots; ++t) {
     for (std::size_t c = 0; c < config_count; ++c) {
       const auto& vars = s_var[static_cast<std::size_t>(t) * config_count + c];

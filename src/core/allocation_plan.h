@@ -53,12 +53,20 @@ class AllocationPlan {
   [[nodiscard]] std::size_t column_of(ConfigId config) const;
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
+  /// Builds the dense ConfigId -> column index behind column_of(). Call
+  /// after filling config_columns; column_of falls back to a linear scan
+  /// when the index was never built (hand-assembled plans in tests).
+  void build_column_index();
+
  private:
   std::size_t slots_;
   std::size_t configs_;
   std::size_t dcs_;
   double slot_s_;
   std::vector<std::uint32_t> quotas_;
+  /// Dense ConfigId.value() -> column, npos-filled; empty until
+  /// build_column_index() runs.
+  std::vector<std::size_t> col_index_;
 };
 
 /// Builds allocation plans. Context members must outlive the planner.

@@ -65,11 +65,13 @@ Switchboard::Switchboard(EvalContext ctx, ControllerOptions options)
       ctx_, nullptr, options_.realtime, 0.0, health_.get());
 }
 
-const ProvisionResult& Switchboard::provision(const DemandMatrix& demand) {
+const ProvisionResult& Switchboard::provision(const DemandMatrix& demand,
+                                              const ScenarioBasisHint* f0_warm,
+                                              ScenarioBasisHint* f0_basis_out) {
   obs::Span span("ctl.provision", obs::Subsystem::kController);
   obs::ScopedTimer timer(metrics_.provision_s);
   SwitchboardProvisioner provisioner(ctx_, options_.provision);
-  ProvisionResult result = provisioner.provision(demand);
+  ProvisionResult result = provisioner.provision(demand, f0_warm, f0_basis_out);
   // Publish under the exclusive lock so a caller overlapping realtime
   // events never mutates state a reader could be observing.
   std::unique_lock lock(swap_mutex_);
@@ -98,6 +100,31 @@ const AllocationPlan& Switchboard::build_allocation_plan(
   plan_ = std::move(new_plan);
   selector_ = std::make_unique<RealtimeSelector>(
       ctx_, &*plan_, options_.realtime, plan_start_s, health_.get());
+  plan_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return *plan_;
+}
+
+const AllocationPlan& Switchboard::install_plan(const DemandMatrix& demand,
+                                                SimTime plan_start_s,
+                                                SimTime now) {
+  require(provision_result_.has_value(),
+          "install_plan: call provision() first");
+  require(plan_.has_value(),
+          "install_plan: call build_allocation_plan() first");
+  obs::ScopedTimer timer(metrics_.allocation_plan_s);
+  obs::Span span("ctl.plan_install", obs::Subsystem::kController, now);
+  AllocationPlanner planner(ctx_, options_.allocation);
+  AllocationPlan new_plan =
+      planner.plan(demand, provision_result_->capacity, options_.slot_s);
+  obs::Span publish("ctl.plan_publish", obs::Subsystem::kController, now);
+  std::unique_lock lock(swap_mutex_);
+  // Swap the plan in place: the optional's storage (and so the selector's
+  // plan pointer) keeps its address, and the old plan stays alive locally
+  // so rebind_plan can map old columns to configs.
+  AllocationPlan old_plan = std::move(*plan_);
+  *plan_ = std::move(new_plan);
+  selector_->rebind_plan(old_plan, &*plan_, plan_start_s, now);
+  plan_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return *plan_;
 }
 
@@ -125,7 +152,7 @@ DcId Switchboard::call_started(CallId call, LocationId first_joiner,
 }
 
 FreezeResult Switchboard::config_frozen(CallId call, const CallConfig& config,
-                                        SimTime now) {
+                                        SimTime now, ConfigId id_hint) {
   obs::Span span("ctl.config_frozen", obs::Subsystem::kController, now);
   span.attr(obs::AttrKey::kCallId,
             static_cast<std::int64_t>(call.value()));
@@ -133,7 +160,7 @@ FreezeResult Switchboard::config_frozen(CallId call, const CallConfig& config,
   FreezeResult result;
   {
     std::shared_lock lock(swap_mutex_);
-    result = selector_->on_config_frozen(call, config, now);
+    result = selector_->on_config_frozen(call, config, now, id_hint);
   }
   if (store_) {
     store_->set("call:" + std::to_string(call.value()) + ":dc",
@@ -154,6 +181,44 @@ void Switchboard::call_ended(CallId call, SimTime now) {
     std::shared_lock lock(swap_mutex_);
     selector_->on_call_end(call, now);
   }
+  if (store_) {
+    store_->erase("call:" + std::to_string(call.value()) + ":dc");
+  }
+  metrics_.calls_ended.inc();
+}
+
+// Batched variants: the caller already holds swap_mutex_ shared (via
+// lock_events_shared), so these go straight to the selector. Counters stay
+// identical to the unlocked path; the per-event span + latency histogram are
+// the only instrumentation skipped (batched drivers time whole batches).
+DcId Switchboard::call_started_locked(CallId call, LocationId first_joiner,
+                                      SimTime now) {
+  const DcId dc = selector_->on_call_start(call, first_joiner, now);
+  if (store_) {
+    store_->set("call:" + std::to_string(call.value()) + ":dc",
+                std::to_string(dc.value()));
+  }
+  metrics_.calls_started.inc();
+  return dc;
+}
+
+FreezeResult Switchboard::config_frozen_locked(CallId call,
+                                               const CallConfig& config,
+                                               SimTime now, ConfigId id_hint) {
+  const FreezeResult result =
+      selector_->on_config_frozen(call, config, now, id_hint);
+  if (store_) {
+    store_->set("call:" + std::to_string(call.value()) + ":dc",
+                std::to_string(result.dc.value()));
+  }
+  metrics_.configs_frozen.inc();
+  if (result.migrated) metrics_.migrations.inc();
+  if (!result.planned) metrics_.unplanned.inc();
+  return result;
+}
+
+void Switchboard::call_ended_locked(CallId call, SimTime now) {
+  selector_->on_call_end(call, now);
   if (store_) {
     store_->erase("call:" + std::to_string(call.value()) + ":dc");
   }

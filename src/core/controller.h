@@ -6,6 +6,7 @@
 // This is the primary public API of the library; see examples/quickstart.cpp.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -57,7 +58,12 @@ class Switchboard {
   Switchboard(EvalContext ctx, ControllerOptions options);
 
   /// Runs MP capacity provisioning (§5.3); stores and returns the result.
-  const ProvisionResult& provision(const DemandMatrix& demand);
+  /// `f0_warm` / `f0_basis_out` (optional) thread a ScenarioBasisHint
+  /// through the F0 solve so the closed-loop re-provision path warm-starts
+  /// from the previous round (see SwitchboardProvisioner::provision).
+  const ProvisionResult& provision(const DemandMatrix& demand,
+                                   const ScenarioBasisHint* f0_warm = nullptr,
+                                   ScenarioBasisHint* f0_basis_out = nullptr);
 
   /// Builds the daily allocation plan (Eq 10) from the last provision()
   /// capacities, and resets the realtime selector to consume it.
@@ -65,11 +71,57 @@ class Switchboard {
   const AllocationPlan& build_allocation_plan(const DemandMatrix& demand,
                                               SimTime plan_start_s);
 
+  /// Rebuilds the allocation plan from `demand` and installs it into the
+  /// LIVE selector without dropping call state — the closed-loop re-plan
+  /// path. Where build_allocation_plan replaces the selector (orphaning
+  /// in-flight calls by design, a day-boundary operation), install_plan
+  /// re-binds every live call's slot accounting to the new plan under the
+  /// exclusive swap lock: calls never move (MP selection stays sticky), but
+  /// each frozen call re-debits its config's quota cell in the new plan at
+  /// its current accounting DC; calls whose config lost its column — or
+  /// whose cell is already full — fall back to unplanned/overflow
+  /// accounting, and overflow calls may gain a slot the old plan denied
+  /// them. `plan_start_s` must be the anchor of the plan being replaced so
+  /// slot indices stay aligned across the install. Requires a prior
+  /// build_allocation_plan. Thread-safe against concurrent realtime events
+  /// (they drain before the install and resume after).
+  const AllocationPlan& install_plan(const DemandMatrix& demand,
+                                     SimTime plan_start_s, SimTime now);
+
+  /// Monotone epoch bumped by every plan publication (build_allocation_plan
+  /// and install_plan). Readers use it to detect that a re-plan landed
+  /// without taking the swap lock.
+  [[nodiscard]] std::uint64_t plan_epoch() const {
+    return plan_epoch_.load(std::memory_order_acquire);
+  }
+
   /// Realtime events (§5.4). call_started returns the initial DC.
   DcId call_started(CallId call, LocationId first_joiner, SimTime now);
+  /// `id_hint`, when valid, must be the registry id for `config`; drivers
+  /// that already hold the interned id (the simulator's replay engines)
+  /// pass it so the selector skips the full-config hash lookup.
   FreezeResult config_frozen(CallId call, const CallConfig& config,
-                             SimTime now);
+                             SimTime now, ConfigId id_hint = ConfigId());
   void call_ended(CallId call, SimTime now);
+
+  // --- Batched event API (high-throughput drivers) ---
+  //
+  // The per-event methods above take swap_mutex_ shared once per event; at
+  // simulator replay rates that RMW pair on one contended cache line is the
+  // dominant per-event cost. A batched driver brackets a run of events with
+  // lock_events_shared()/unlock_events_shared() and issues the *_locked
+  // variants in between — same selector calls, same KV writes, same
+  // counters, but one shared-lock acquisition per batch and no per-event
+  // controller span/latency-histogram instrumentation (the driver records
+  // batch-granular timing instead). Rules: the caller must not invoke
+  // fault/plan methods (or the unlocked event methods) while it holds the
+  // batch lock, and must release it before parking at any barrier.
+  void lock_events_shared() const { swap_mutex_.lock_shared(); }
+  void unlock_events_shared() const { swap_mutex_.unlock_shared(); }
+  DcId call_started_locked(CallId call, LocationId first_joiner, SimTime now);
+  FreezeResult config_frozen_locked(CallId call, const CallConfig& config,
+                                    SimTime now, ConfigId id_hint = ConfigId());
+  void call_ended_locked(CallId call, SimTime now);
 
   /// Fault events (DESIGN.md "Failure model & runtime failover"). dc_failed
   /// marks the DC down in the health table (so no new call lands there) and
@@ -198,6 +250,7 @@ class Switchboard {
   /// Guards the fail-time bookkeeping below (cold path only).
   std::mutex fault_mutex_;
   std::vector<SimTime> dc_fail_time_;
+  std::atomic<std::uint64_t> plan_epoch_{0};
   KvStore* store_ = nullptr;
 };
 

@@ -521,7 +521,8 @@ ProvisionResult SwitchboardProvisioner::provision_joint(
 }
 
 ProvisionResult SwitchboardProvisioner::provision(
-    const DemandMatrix& demand) const {
+    const DemandMatrix& demand, const ScenarioBasisHint* f0_warm,
+    ScenarioBasisHint* f0_basis_out) const {
   obs::Span span("prov.provision", obs::Subsystem::kProvisioner);
   const World& world = *ctx_.world;
   const Topology& topo = *ctx_.topology;
@@ -563,7 +564,7 @@ ProvisionResult SwitchboardProvisioner::provision(
     obs::Span f0_span("prov.scenario", obs::Subsystem::kProvisioner);
     f0_span.attr(obs::AttrKey::kScenario, 0);
     ScenarioOutcome outcome = solve_scenario(demand, scenarios.front(),
-                                             &placement, nullptr, nullptr,
+                                             &placement, nullptr, f0_warm,
                                              &f0_basis);
     f0_span.finish();
     serving = outcome.required;
@@ -571,6 +572,7 @@ ProvisionResult SwitchboardProvisioner::provision(
     result.base_placement = std::move(placement);
     result.scenarios.push_back(std::move(outcome));
   }
+  if (f0_basis_out != nullptr) *f0_basis_out = f0_basis;
 
   const bool chained =
       options_.capacity_reuse &&

@@ -130,8 +130,15 @@ class SwitchboardProvisioner {
   SwitchboardProvisioner(EvalContext ctx, ProvisionOptions options);
 
   /// Provisions capacity for the given demand. Throws SolveError if any
-  /// scenario LP fails.
-  [[nodiscard]] ProvisionResult provision(const DemandMatrix& demand) const;
+  /// scenario LP fails. `f0_warm` (optional) seeds the F0 solve from a
+  /// previous provision's final basis — the closed-loop re-provision path,
+  /// where successive demand matrices differ only in magnitude, re-solves in
+  /// ~0 iterations from it. `f0_basis_out` (optional) receives this
+  /// provision's F0 basis for the next warm round. Both are ignored by the
+  /// joint_scenarios path (one fused LP, no per-scenario basis).
+  [[nodiscard]] ProvisionResult provision(
+      const DemandMatrix& demand, const ScenarioBasisHint* f0_warm = nullptr,
+      ScenarioBasisHint* f0_basis_out = nullptr) const;
 
   /// Solves a single scenario's LP; exposed for tests and the Fig 4 bench.
   /// With `floors` set, capacity up to the floor is free and the LP prices

@@ -22,6 +22,11 @@ RealtimeSelector::RealtimeSelector(EvalContext ctx, const AllocationPlan* plan,
           "RealtimeSelector: incomplete context");
   all_dcs_ = ctx_.world->dc_ids();
   require(!all_dcs_.empty(), "RealtimeSelector: world has no DCs");
+  closest_dc_.reserve(ctx_.world->location_count());
+  for (std::size_t loc = 0; loc < ctx_.world->location_count(); ++loc) {
+    closest_dc_.push_back(ctx_.latency->closest_dc(
+        LocationId(static_cast<std::uint32_t>(loc)), all_dcs_));
+  }
   shards_ = std::make_unique<CallShard[]>(shard_count_);
   stats_ = std::make_unique<ShardStats[]>(shard_count_);
   if (plan_) {
@@ -135,7 +140,10 @@ DcId RealtimeSelector::on_call_start(CallId call, LocationId first_joiner,
   // closest_dc only reads the immutable latency matrix (and, when degraded,
   // the lock-free health table), so it runs before the stripe lock is taken.
   const DcId dc = degraded() ? closest_available_dc(first_joiner)
-                             : ctx_.latency->closest_dc(first_joiner, all_dcs_);
+                  : first_joiner.valid() &&
+                          first_joiner.value() < closest_dc_.size()
+                      ? closest_dc_[first_joiner.value()]
+                      : ctx_.latency->closest_dc(first_joiner, all_dcs_);
   span.attr(obs::AttrKey::kDc, static_cast<std::int64_t>(dc.value()));
   CallShard& s = shard(call);
   {
@@ -152,7 +160,7 @@ DcId RealtimeSelector::on_call_start(CallId call, LocationId first_joiner,
 
 FreezeResult RealtimeSelector::on_config_frozen(CallId call,
                                                 const CallConfig& config,
-                                                SimTime now) {
+                                                SimTime now, ConfigId id_hint) {
   obs::Span span("sel.freeze", obs::Subsystem::kRealtime, now);
   span.attr(obs::AttrKey::kCallId,
             static_cast<std::int64_t>(call.value()));
@@ -167,7 +175,7 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
   ActiveCall& state = it->second;
   stat.calls_frozen.fetch_add(1, std::memory_order_relaxed);
 
-  const ConfigId id = ctx_.registry->find(config);
+  const ConfigId id = id_hint.valid() ? id_hint : ctx_.registry->find(config);
   const std::size_t col =
       plan_ && id.valid() ? plan_->column_of(id) : AllocationPlan::npos;
   const double call_cores =
@@ -265,6 +273,10 @@ FreezeResult RealtimeSelector::on_config_frozen(CallId call,
           result.dc = target;
         }
       }
+      // Remember the column even without a slot: every decision path gates
+      // on holds_slot, and rebind_plan() uses it to upgrade overflow calls
+      // when a re-plan raises this config's quota.
+      state.plan_col = col;
       state.cores = call_cores;
       add_cores(state.dc, call_cores);
       state.server = pack_admit(state.dc, call_cores, &cas_retries);
@@ -786,6 +798,81 @@ void RealtimeSelector::adopt_call(CallId call, const CallSnapshot& snap) {
   (void)it;
   require(inserted, "adopt_call: duplicate call id (replay must be "
                     "exactly-once)");
+}
+
+void RealtimeSelector::rebind_plan(const AllocationPlan& old_plan,
+                                   const AllocationPlan* new_plan,
+                                   SimTime plan_start_s, SimTime now) {
+  require(new_plan != nullptr, "rebind_plan: null plan");
+  require(plan_ != nullptr, "rebind_plan: selector has no plan to replace");
+  obs::Span span("sel.rebind", obs::Subsystem::kRealtime, now);
+  plan_ = new_plan;
+  plan_start_s_ = plan_start_s;
+  // Fresh zeroed quota table for the new plan's (config, dc) shape; live
+  // calls re-debit it below, so the table never mixes the two plans' cells.
+  const std::size_t cells = new_plan->config_count() * new_plan->dc_count();
+  usage_ = std::make_unique<std::atomic<std::uint32_t>[]>(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    usage_[i].store(0, std::memory_order_relaxed);
+  }
+  const TimeSlot slot = new_plan->slot_at(now - plan_start_s_);
+  std::int64_t carried = 0;
+  std::int64_t demoted = 0;
+  std::int64_t upgraded = 0;
+  // The caller holds the controller's swap lock exclusively, so no event is
+  // in flight; the shard locks are taken anyway (uncontended) to keep the
+  // call tables' locking discipline uniform.
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    CallShard& s = shards_[i];
+    std::lock_guard lock(s.mutex);
+    for (auto& [id, state] : s.calls) {
+      if (state.plan_col == AllocationPlan::npos) continue;  // unfrozen/unplanned
+      const ConfigId cfg = old_plan.config_columns[state.plan_col];
+      const std::size_t col = new_plan->column_of(cfg);
+      if (col == AllocationPlan::npos) {
+        // Config lost its column: the call becomes unplanned. A held slot is
+        // credited in the stats (the new table never held it), keeping
+        // held_slots() == slot_debits - slot_credits exact.
+        if (state.holds_slot) {
+          stats_[i].slot_credits.fetch_add(1, std::memory_order_relaxed);
+          state.holds_slot = false;
+          state.slot_dc = DcId();
+          ++demoted;
+        }
+        state.plan_col = AllocationPlan::npos;
+        continue;
+      }
+      if (state.holds_slot) {
+        // Carry the slot into the new plan at the same accounting DC when
+        // its quota has room; otherwise the call drops to overflow
+        // accounting (stays hosted where it is — calls never move here).
+        if (try_debit(col, state.slot_dc,
+                      new_plan->quota(slot, col, state.slot_dc))) {
+          state.plan_col = col;
+          ++carried;
+        } else {
+          stats_[i].slot_credits.fetch_add(1, std::memory_order_relaxed);
+          state.holds_slot = false;
+          state.slot_dc = DcId();
+          state.plan_col = col;
+          ++demoted;
+        }
+      } else {
+        // Overflow call under the old plan: the re-plan may have raised its
+        // config's quota at the hosting DC — acquire the slot it was denied.
+        state.plan_col = col;
+        if (try_debit(col, state.dc, new_plan->quota(slot, col, state.dc))) {
+          state.holds_slot = true;
+          state.slot_dc = state.dc;
+          stats_[i].slot_debits.fetch_add(1, std::memory_order_relaxed);
+          ++upgraded;
+        }
+      }
+    }
+  }
+  span.attr(obs::AttrKey::kMoved, carried);
+  span.attr(obs::AttrKey::kDropped, demoted);
+  span.attr(obs::AttrKey::kEvents, upgraded);
 }
 
 std::uint64_t RealtimeSelector::held_slots() const {

@@ -28,8 +28,8 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "core/allocation_plan.h"
 #include "fault/failover.h"
 #include "fault/health_table.h"
@@ -91,8 +91,11 @@ class RealtimeSelector {
   /// (b)/(c) of §5.4: the call's config is now known. Debits a plan slot at
   /// the current DC if available, otherwise migrates to the planned DC with
   /// spare quota and the lowest ACL. Unplanned configs go to the min-ACL DC.
+  /// `id_hint`, when valid, must be the registry's id for `config`; it
+  /// spares the hot path a full-config hash lookup (the simulator already
+  /// holds the interned id for every replayed record).
   FreezeResult on_config_frozen(CallId call, const CallConfig& config,
-                                SimTime now);
+                                SimTime now, ConfigId id_hint = ConfigId());
 
   /// Releases the call's slot (if it held one).
   void on_call_end(CallId call, SimTime now);
@@ -149,6 +152,23 @@ class RealtimeSelector {
   [[nodiscard]] const pack::ServerPacker* packer() const {
     return packer_.get();
   }
+
+  /// Re-binds every live call's slot accounting to `new_plan` WITHOUT
+  /// moving any call — the closed-loop plan-install path (see
+  /// Switchboard::install_plan). Caller contract: exclusive access (the
+  /// controller holds its swap lock; no event may be in flight). For each
+  /// frozen call of a planned config, the old plan column is mapped through
+  /// `old_plan.config_columns` to its ConfigId and then to the new plan's
+  /// column; a call that held a slot re-debits the new cell at its
+  /// accounting DC (falling back to overflow accounting — credit recorded,
+  /// no cell held — when the new quota is already full), and an overflow
+  /// call may acquire a slot the old plan denied it (debit recorded). The
+  /// quota-conservation invariant `held_slots() == slot_debits -
+  /// slot_credits` survives exactly. dc_cores_, the packer, and every
+  /// hosting decision are untouched.
+  void rebind_plan(const AllocationPlan& old_plan,
+                   const AllocationPlan* new_plan, SimTime plan_start_s,
+                   SimTime now);
 
   struct Stats {
     std::uint64_t calls_started = 0;
@@ -218,6 +238,9 @@ class RealtimeSelector {
   struct ActiveCall {
     DcId dc;
     LocationId first_joiner;  ///< for re-running the start heuristic on drain
+    /// The config's plan column, recorded for every frozen planned call —
+    /// including overflow calls that hold no slot — so a later
+    /// rebind_plan() can re-attach them to the new plan's quotas.
     std::size_t plan_col = AllocationPlan::npos;
     bool holds_slot = false;
     DcId slot_dc;        ///< the DC of the debited quota cell (== dc except
@@ -231,7 +254,7 @@ class RealtimeSelector {
   /// shards' locks never share a cache line.
   struct alignas(64) CallShard {
     mutable std::mutex mutex;
-    std::unordered_map<CallId, ActiveCall> calls;
+    FlatIdMap<CallId, ActiveCall> calls;
   };
 
   /// Per-shard event counters; incremented with relaxed atomics from inside
@@ -299,6 +322,10 @@ class RealtimeSelector {
   std::size_t shard_count_;
   const fault::HealthTable* health_;
   std::vector<DcId> all_dcs_;
+  /// LocationId -> closest DC over the immutable latency matrix, resolved
+  /// once at construction; call starts index it instead of re-scanning the
+  /// matrix (the degraded path still scans, health filters the candidates).
+  std::vector<DcId> closest_dc_;
   std::unique_ptr<CallShard[]> shards_;
   std::unique_ptr<ShardStats[]> stats_;
   /// [plan col][dc] active frozen calls, shared across shards.

@@ -1,0 +1,82 @@
+// Demand schedules: piecewise-constant multipliers over a call trace, the
+// closed-loop counterpart of fault::FaultSchedule. Where a fault schedule
+// perturbs the SUPPLY side (DCs/links/servers going down), a demand
+// schedule perturbs the LOAD side — flash crowds the forecast never saw.
+// Two first-class shapes back the flash-crowd benchmarks and fuzz draws:
+//   - viral_spike: a stepped global ramp to a peak multiplier, a hold, and
+//     a stepped decay (a link going viral);
+//   - regional_rebound: one region's demand collapses during an outage
+//     window and rebounds ABOVE baseline right after recovery (everyone
+//     redials at once) — the demand-side echo of a DC fault.
+// scale_trace() applies a schedule to a CallRecordDatabase by thinning
+// (multiplier < 1) or duplicating (multiplier >= 1) records, deterministic
+// in the seed, so the scaled trace replays through the unmodified
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "calls/call_record.h"
+#include "common/types.h"
+
+namespace sb::loop {
+
+/// One multiplicative phase. Phases covering the same instant compose by
+/// multiplication; an instant covered by no phase has multiplier 1.
+struct DemandPhase {
+  SimTime start_s = 0.0;
+  SimTime end_s = 0.0;   ///< half-open: [start_s, end_s)
+  double multiplier = 1.0;
+  /// When valid, the phase applies only to calls whose first joiner is at
+  /// this location (regional shapes); invalid = global.
+  LocationId location;
+};
+
+class DemandSchedule {
+ public:
+  DemandSchedule() = default;
+  explicit DemandSchedule(std::vector<DemandPhase> phases)
+      : phases_(std::move(phases)) {}
+
+  void add_phase(DemandPhase phase) { phases_.push_back(phase); }
+  [[nodiscard]] const std::vector<DemandPhase>& phases() const {
+    return phases_;
+  }
+  [[nodiscard]] bool empty() const { return phases_.empty(); }
+
+  /// Product of all phases covering `t` whose location matches `first`
+  /// (global phases always match). 1.0 outside every phase.
+  [[nodiscard]] double multiplier_at(SimTime t, LocationId first) const;
+
+  /// A global flash crowd: multiplier ramps 1 -> `peak` in `steps` equal
+  /// stair steps over [start_s, start_s + ramp_s), holds at `peak` for
+  /// `hold_s`, then steps back down to 1 over `decay_s`.
+  [[nodiscard]] static DemandSchedule viral_spike(SimTime start_s,
+                                                  double ramp_s, double peak,
+                                                  double hold_s,
+                                                  double decay_s,
+                                                  std::size_t steps = 4);
+
+  /// A regional outage echo: `location`'s demand drops to `outage_mult`
+  /// (users can't connect) over [fail_s, recover_s), then rebounds to
+  /// `rebound_mult` (> 1: everyone redials) for `rebound_s` after recovery.
+  [[nodiscard]] static DemandSchedule regional_rebound(
+      LocationId location, SimTime fail_s, SimTime recover_s,
+      double outage_mult, double rebound_mult, double rebound_s);
+
+  /// Applies the schedule to a trace. Each record's multiplier m is taken
+  /// at its start time and first-joiner location: m < 1 keeps the record
+  /// with probability m (thinning); m >= 1 keeps it and adds floor(m - 1)
+  /// copies plus one more with probability frac(m - 1), each copy under a
+  /// fresh unique CallId (ids above the input's maximum) and its start
+  /// jittered uniformly in [0, jitter_s). Deterministic in `seed`.
+  [[nodiscard]] CallRecordDatabase scale_trace(const CallRecordDatabase& db,
+                                               std::uint64_t seed,
+                                               double jitter_s = 0.0) const;
+
+ private:
+  std::vector<DemandPhase> phases_;
+};
+
+}  // namespace sb::loop

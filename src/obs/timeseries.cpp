@@ -112,6 +112,14 @@ std::uint64_t TimeSeriesRecorder::counter_delta_total(
   return static_cast<std::uint64_t>(s.back() - s.front());
 }
 
+double TimeSeriesRecorder::last(std::string_view column) const {
+  std::lock_guard lock(mutex_);
+  const auto it = column_of_.find(column);
+  if (it == column_of_.end() || samples_.empty()) return 0.0;
+  const Sample& s = samples_.back();
+  return it->second < s.values.size() ? s.values[it->second] : 0.0;
+}
+
 std::vector<double> TimeSeriesRecorder::series(std::string_view column) const {
   std::lock_guard lock(mutex_);
   const auto it = column_of_.find(column);

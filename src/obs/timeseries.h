@@ -56,6 +56,11 @@ class TimeSeriesRecorder {
   /// before the column first appeared read 0.
   [[nodiscard]] std::vector<double> series(std::string_view column) const;
 
+  /// The most recent sample of `column`, or 0 when the column is absent or
+  /// nothing was sampled yet. The closed-loop controller's tick reads the
+  /// feed through this instead of copying whole series.
+  [[nodiscard]] double last(std::string_view column) const;
+
   /// Wide CSV: header `t_s,<column>...`, one row per sample; columns that
   /// appeared mid-run backfill 0 for earlier rows. Counter columns are
   /// cumulative values named `counter:<name>`; gauges `gauge:<name>`;

@@ -30,6 +30,18 @@ class CallAllocator {
  public:
   virtual ~CallAllocator() = default;
 
+  /// Batch brackets from the batched simulator engine: a replay thread
+  /// surrounds each run of call events with batch_begin()/batch_end(now),
+  /// where `now` is the time of the batch's last event. Defaults are no-ops
+  /// (baselines, bare selector). The Switchboard adapters use them to
+  /// amortize the controller's plan-swap shared lock over the whole batch,
+  /// and the closed-loop AdaptiveController runs its re-plan tick in
+  /// batch_end — after the shared lock is released, so the install's
+  /// exclusive acquisition cannot deadlock against the caller. The
+  /// simulator guarantees a batch never spans a fault barrier.
+  virtual void batch_begin() {}
+  virtual void batch_end(SimTime /*now*/) {}
+
   /// A call starts with its first joiner; returns the initial DC.
   virtual DcId on_call_start(CallId call, LocationId first_joiner,
                              SimTime now) = 0;
@@ -37,6 +49,18 @@ class CallAllocator {
   /// The config freezes A seconds in; may migrate the call.
   virtual FreezeResult on_config_frozen(CallId call, const CallConfig& config,
                                         SimTime now) = 0;
+
+  /// Freeze overload for drivers that already hold the config's interned
+  /// id (the simulator resolves every record's ConfigId up front). `id`,
+  /// when valid, must be the registry's id for `config`; the default
+  /// ignores it, plan-aware schemes forward it so the selector skips the
+  /// full-config hash lookup on its hot path.
+  virtual FreezeResult on_config_frozen(CallId call, ConfigId id,
+                                        const CallConfig& config,
+                                        SimTime now) {
+    (void)id;
+    return on_config_frozen(call, config, now);
+  }
 
   virtual void on_call_end(CallId call, SimTime now) = 0;
 
@@ -93,6 +117,11 @@ class SwitchboardAllocator : public CallAllocator {
                                 SimTime now) override {
     return selector_->on_config_frozen(call, config, now);
   }
+  FreezeResult on_config_frozen(CallId call, ConfigId id,
+                                const CallConfig& config,
+                                SimTime now) override {
+    return selector_->on_config_frozen(call, config, now, id);
+  }
   void on_call_end(CallId call, SimTime now) override {
     selector_->on_call_end(call, now);
   }
@@ -138,15 +167,47 @@ class ControllerAllocator : public CallAllocator {
   explicit ControllerAllocator(Switchboard& controller)
       : controller_(&controller) {}
 
+  /// Batch amortization: holds the controller's plan-swap shared lock for
+  /// the whole batch and routes events through the *_locked variants —
+  /// one lock RMW pair per batch instead of per event. The in-batch flag is
+  /// thread-local (each replay thread brackets its own batches; the lock
+  /// itself is shared-mode, so threads overlap freely).
+  void batch_begin() override {
+    controller_->lock_events_shared();
+    ++batch_depth();
+  }
+  void batch_end(SimTime /*now*/) override {
+    --batch_depth();
+    controller_->unlock_events_shared();
+  }
+
   DcId on_call_start(CallId call, LocationId first_joiner,
                      SimTime now) override {
+    if (batch_depth() > 0) {
+      return controller_->call_started_locked(call, first_joiner, now);
+    }
     return controller_->call_started(call, first_joiner, now);
   }
   FreezeResult on_config_frozen(CallId call, const CallConfig& config,
                                 SimTime now) override {
+    if (batch_depth() > 0) {
+      return controller_->config_frozen_locked(call, config, now);
+    }
     return controller_->config_frozen(call, config, now);
   }
+  FreezeResult on_config_frozen(CallId call, ConfigId id,
+                                const CallConfig& config,
+                                SimTime now) override {
+    if (batch_depth() > 0) {
+      return controller_->config_frozen_locked(call, config, now, id);
+    }
+    return controller_->config_frozen(call, config, now, id);
+  }
   void on_call_end(CallId call, SimTime now) override {
+    if (batch_depth() > 0) {
+      controller_->call_ended_locked(call, now);
+      return;
+    }
     controller_->call_ended(call, now);
   }
   fault::FailoverOutcome on_dc_failed(DcId dc, SimTime now) override {
@@ -171,6 +232,14 @@ class ControllerAllocator : public CallAllocator {
   [[nodiscard]] std::string name() const override { return "switchboard"; }
 
  private:
+  /// Per-thread batch nesting depth. Function-local so the header stays
+  /// ODR-clean; one replay thread never interleaves two allocators' batches
+  /// (the simulator brackets each batch on the thread that replays it).
+  static int& batch_depth() {
+    thread_local int depth = 0;
+    return depth;
+  }
+
   Switchboard* controller_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <string>
@@ -68,6 +69,85 @@ struct LiveCall {
   ServerId server;  ///< packed media server (invalid until freeze / no fleet)
 };
 
+/// Batched-engine live call state: trivially small, the joined legs stored
+/// as a run in a shared LocationId arena (legs_base/legs_count) instead of
+/// a per-call heap vector — no allocation on the replay path.
+struct BatchedLive {
+  DcId dc;
+  ServerId server;  ///< packed media server (invalid until freeze / no fleet)
+  std::uint32_t legs_base = 0;
+  std::uint32_t legs_count = 0;
+  MediaType media = MediaType::kAudio;
+  bool active = false;
+};
+
+/// Batched-engine event: a self-contained 32-byte record. The call id and
+/// every per-event payload (joiner location, starting media, media-change
+/// target, majority-first flag) are per-record constants, so they are
+/// resolved once at event-construction time; the hot loop then never
+/// dereferences a CallRecord — one sequential array scan instead of a
+/// random cache-missing read per event.
+struct BEvent {
+  SimTime time;
+  std::uint32_t seq;     ///< tie-break matching the reference heap pop order
+  std::uint32_t record;  ///< record index; fault-event index for kFault
+  CallId call;           ///< the record's id (unused for kFault)
+  LocationId loc;        ///< kStart: first joiner; kLegJoin: the joining leg
+  EventType type = EventType::kFault;
+  MediaType media = MediaType::kAudio;  ///< kStart: start; kMediaChange: target
+  bool majority_first = false;  ///< kStart: first joiner is the majority loc
+
+  friend bool operator>(const BEvent& a, const BEvent& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// Sorts the batched engine's event array into ascending (time, seq) order
+/// — the exact sequence the reference heap pops. Events are distributed
+/// into monotonic time buckets (one counting pass + one scatter), then each
+/// small bucket is sorted; equal timestamps always share a bucket, so the
+/// result is identical to a full comparison sort of this strict total
+/// order, at a fraction of the compare/move traffic.
+template <typename E>
+void sort_events(std::vector<E>& events) {
+  constexpr std::size_t kSmall = 1 << 12;
+  const auto ascending = [](const E& a, const E& b) { return b > a; };
+  if (events.size() < kSmall) {
+    std::sort(events.begin(), events.end(), ascending);
+    return;
+  }
+  double lo = events.front().time;
+  double hi = lo;
+  for (const E& e : events) {
+    lo = std::min(lo, e.time);
+    hi = std::max(hi, e.time);
+  }
+  if (!(hi > lo)) {
+    std::sort(events.begin(), events.end(), ascending);
+    return;
+  }
+  const std::size_t buckets = events.size() / 16;
+  const double scale = static_cast<double>(buckets) / (hi - lo);
+  const auto bucket_of = [&](double t) {
+    const auto b = static_cast<std::size_t>((t - lo) * scale);
+    return std::min(b, buckets - 1);
+  };
+  std::vector<std::uint32_t> bounds(buckets + 1, 0);
+  for (const E& e : events) ++bounds[bucket_of(e.time) + 1];
+  for (std::size_t b = 1; b <= buckets; ++b) bounds[b] += bounds[b - 1];
+  std::vector<E> sorted(events.size());
+  {
+    std::vector<std::uint32_t> cursor(bounds.begin(), bounds.end() - 1);
+    for (const E& e : events) sorted[cursor[bucket_of(e.time)]++] = e;
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    std::sort(sorted.begin() + bounds[b], sorted.begin() + bounds[b + 1],
+              ascending);
+  }
+  events.swap(sorted);
+}
+
 /// Mutable usage counters with peak tracking, plus sample-and-hold bucket
 /// sampling of per-DC cores on a grid anchored at t = 0: advance(t) records
 /// the current load into every bucket whose end is <= t, so bucket b holds
@@ -84,8 +164,32 @@ class UsageTracker {
         server_cores_(ctx.world->server_count(), 0.0),
         server_peaks_(ctx.world->server_count(), 0.0),
         dc_buckets_(ctx.world->dc_count()),
+        loc_count_(ctx.world->location_count()),
         bucket_s_(bucket_s),
-        next_bucket_end_(bucket_s) {}
+        next_bucket_end_(bucket_s) {
+    // add_leg runs once per joined leg per event — the most-executed code
+    // in a replay. Flatten everything it would otherwise chase through
+    // World / LoadModel / Topology (all immutable for the run) into dense
+    // tables: per-media load rates and a (dc, location) -> WAN-links CSR so
+    // the per-leg work is pure arithmetic on this object's own arrays.
+    for (int m = 0; m < 3; ++m) {
+      const auto media = static_cast<MediaType>(m);
+      cores_media_[m] = ctx.loads->cores_per_participant(media);
+      gbps_media_[m] = ctx.loads->mbps_per_participant(media) / kMbpsPerGbps;
+    }
+    const std::size_t dcs = ctx.world->dc_count();
+    path_off_.reserve(dcs * loc_count_ + 1);
+    path_off_.push_back(0);
+    for (std::size_t dc = 0; dc < dcs; ++dc) {
+      const LocationId dc_loc = ctx.world->datacenter(DcId(dc)).location;
+      for (std::size_t loc = 0; loc < loc_count_; ++loc) {
+        for (LinkId l : ctx.topology->path(dc_loc, LocationId(loc))) {
+          path_flat_.push_back(l);
+        }
+        path_off_.push_back(static_cast<std::uint32_t>(path_flat_.size()));
+      }
+    }
+  }
 
   /// Call before applying any event at time `t` (events AT a bucket
   /// boundary land in the bucket that starts there, not the one ending).
@@ -99,20 +203,22 @@ class UsageTracker {
   }
 
   void add_leg(DcId dc, MediaType media, LocationId loc, double sign) {
-    const double cores = ctx_.loads->cores_per_participant(media) * sign;
+    // Same arithmetic as the direct model lookups (the tables hold the
+    // exact same doubles), so every accumulation is bit-identical.
+    const double cores = cores_media_[static_cast<int>(media)] * sign;
     dc_cores_[dc.value()] += cores;
     if (sign > 0) {
       dc_peaks_[dc.value()] =
           std::max(dc_peaks_[dc.value()], dc_cores_[dc.value()]);
     }
-    const double gbps =
-        ctx_.loads->mbps_per_participant(media) / kMbpsPerGbps * sign;
-    const LocationId dc_loc = ctx_.world->datacenter(dc).location;
-    for (LinkId l : ctx_.topology->path(dc_loc, loc)) {
-      link_gbps_[l.value()] += gbps;
+    const double gbps = gbps_media_[static_cast<int>(media)] * sign;
+    const std::size_t pair = dc.value() * loc_count_ + loc.value();
+    const std::uint32_t end = path_off_[pair + 1];
+    for (std::uint32_t i = path_off_[pair]; i < end; ++i) {
+      const std::size_t l = path_flat_[i].value();
+      link_gbps_[l] += gbps;
       if (sign > 0) {
-        link_peaks_[l.value()] =
-            std::max(link_peaks_[l.value()], link_gbps_[l.value()]);
+        link_peaks_[l] = std::max(link_peaks_[l], link_gbps_[l]);
       }
     }
   }
@@ -120,6 +226,17 @@ class UsageTracker {
   void add_call(const LiveCall& call, double sign) {
     for (const CallLeg& leg : call.joined) {
       add_leg(call.dc, call.media, leg.location, sign);
+    }
+  }
+
+  /// Arena form used by the batched engine: the joined legs live as a
+  /// LocationId run in a shared arena instead of a per-call vector. Same
+  /// updates in the same order as add_call, so every accumulator (and its
+  /// floating-point rounding) is bit-identical.
+  void add_legs(DcId dc, MediaType media, const LocationId* locs,
+                std::size_t count, double sign) {
+    for (std::size_t i = 0; i < count; ++i) {
+      add_leg(dc, media, locs[i], sign);
     }
   }
 
@@ -156,6 +273,12 @@ class UsageTracker {
   std::vector<double> server_cores_;
   std::vector<double> server_peaks_;
   std::vector<std::vector<double>> dc_buckets_;
+  std::size_t loc_count_;
+  double cores_media_[3] = {0.0, 0.0, 0.0};
+  double gbps_media_[3] = {0.0, 0.0, 0.0};
+  /// CSR over (dc, location): links on the WAN path, in path order.
+  std::vector<std::uint32_t> path_off_;
+  std::vector<LinkId> path_flat_;
   double bucket_s_;
   SimTime next_bucket_end_;
 };
@@ -478,7 +601,7 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
         if (!call.active) break;
         ++out.frozen;
         const FreezeResult result =
-            allocator.on_config_frozen(rec.id, config, ev.time);
+            allocator.on_config_frozen(rec.id, rec.config, config, ev.time);
         if (result.server.valid()) {
           // First packing of this call (the selector packs at freeze); a
           // call freezes once, so there is no old footprint to release.
@@ -529,6 +652,273 @@ void Simulator::replay_partition(const CallRecordDatabase& db,
     }
   }
 
+  out.dc_peaks = usage.dc_peaks();
+  out.link_peaks = usage.link_peaks();
+  out.server_peaks = usage.server_peaks();
+  out.dc_buckets = usage.take_dc_buckets();
+  span.attr(obs::AttrKey::kEvents, static_cast<std::int64_t>(event_count));
+}
+
+void Simulator::replay_partition_batched(
+    const CallRecordDatabase& db, CallAllocator& allocator,
+    double freeze_delay_s, const std::vector<std::uint8_t>& mine, Partial& out,
+    FaultRuntime* faults, double bucket_s, bool log_hosting,
+    std::size_t partition, std::uint64_t parent_span) const {
+  obs::Span span("sim.partition", obs::Subsystem::kSim, obs::kNoSimTime,
+                 parent_span);
+  span.attr(obs::AttrKey::kPartition, static_cast<std::int64_t>(partition));
+  std::uint64_t event_count = 0;
+  const auto& records = db.records();
+
+  // SoA precompute: one pass resolves every owned record's config and its
+  // packer footprint, so the hot loop never touches the registry. Slots for
+  // records of other partitions stay null/zero and are never read.
+  std::vector<const CallConfig*> configs(records.size(), nullptr);
+  std::vector<ConfigId> config_ids(records.size());
+  std::vector<double> footprints(records.size(), 0.0);
+  std::vector<BatchedLive> live(records.size());
+  std::uint32_t arena_size = 0;
+
+  // Event construction mirrors the reference heap build exactly — same
+  // insertion order, same seq assignment (faults first, so at an equal
+  // timestamp a fault orders before any call event). Sorting by (time, seq)
+  // replays the identical total order the heap pops, without per-event heap
+  // churn. Every per-record constant an event needs (the call id, the first
+  // joiner, the starting media, the majority-first flag, the media-change
+  // target) is folded into the event here, where the record is already hot.
+  std::vector<BEvent> events;
+  {
+    // Upper bound: start + freeze + end + media change + joins per record.
+    std::size_t cap = faults != nullptr ? faults->events.size() : 0;
+    for (std::size_t r = 0; r < records.size(); ++r) {
+      if (mine[r]) cap += records[r].legs.size() + 3;
+    }
+    events.reserve(cap);
+  }
+  std::uint32_t seq = 0;
+  std::unordered_map<CallId, std::size_t> id_to_record;
+  if (faults != nullptr) {
+    for (std::size_t f = 0; f < faults->events.size(); ++f) {
+      events.push_back({faults->events[f].time, seq++,
+                        static_cast<std::uint32_t>(f), CallId(), LocationId(),
+                        EventType::kFault});
+    }
+  }
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    if (!mine[r]) continue;
+    const CallRecord& rec = records[r];
+    if (faults != nullptr) id_to_record.emplace(rec.id, r);
+    const CallConfig& config = ctx_.registry->get(rec.config);
+    configs[r] = &config;
+    config_ids[r] = rec.config;
+    footprints[r] = config.total_participants() *
+                    ctx_.loads->cores_per_participant(config.media());
+    live[r].legs_base = arena_size;
+    arena_size += static_cast<std::uint32_t>(rec.legs.size());
+    const auto r32 = static_cast<std::uint32_t>(r);
+    const LocationId first = rec.legs.front().location;
+    const MediaType start_media = rec.media_change_offset_s > 0.0
+                                      ? MediaType::kAudio
+                                      : config.media();
+    events.push_back({rec.start_s, seq++, r32, rec.id, first,
+                      EventType::kStart, start_media,
+                      first == config.majority_location()});
+    for (std::size_t leg = 1; leg < rec.legs.size(); ++leg) {
+      events.push_back({rec.start_s + rec.legs[leg].join_offset_s, seq++, r32,
+                        rec.id, rec.legs[leg].location, EventType::kLegJoin});
+    }
+    if (config.media() != MediaType::kAudio && rec.media_change_offset_s > 0.0) {
+      events.push_back({rec.start_s + rec.media_change_offset_s, seq++, r32,
+                        rec.id, LocationId(), EventType::kMediaChange,
+                        config.media()});
+    }
+    if (rec.duration_s > freeze_delay_s) {
+      events.push_back({rec.start_s + freeze_delay_s, seq++, r32, rec.id,
+                        LocationId(), EventType::kFreeze});
+    }
+    events.push_back({rec.start_s + rec.duration_s, seq++, r32, rec.id,
+                      LocationId(), EventType::kEnd});
+  }
+  sort_events(events);
+
+  UsageTracker usage(ctx_, bucket_s);
+  // The joined-leg arena: each owned record's legs occupy the contiguous
+  // run [legs_base, legs_base + legs_count) in insertion order.
+  std::vector<LocationId> arena(arena_size);
+  std::uint64_t concurrent = 0;
+  // ACL histogram records are deferred and flushed once per partition: the
+  // values (and so the final histogram state) are identical to the
+  // reference engine's inline records, minus one atomic RMW per call end on
+  // the hot path.
+  std::vector<double> acl_deferred;
+
+  const std::size_t n = events.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (events[i].type == EventType::kFault) {
+      // Faults run outside any batch: the allocator's batch lock (if any)
+      // has been released, so the barrier hook (drain) and the peers parked
+      // at the rendezvous never hold the controller's shared lock.
+      const BEvent ev = events[i];
+      usage.advance(ev.time);
+      if (telemetry_ != nullptr) telemetry_->sample(ev.time);
+      ++event_count;
+      faults->arrive(allocator, ev.record);
+      const fault::FailoverOutcome& outcome = faults->outcomes[ev.record];
+      for (const fault::FailoverMove& m : outcome.moved) {
+        const auto it = id_to_record.find(m.call);
+        if (it == id_to_record.end()) continue;
+        BatchedLive& call = live[it->second];
+        if (!call.active) continue;
+        const LocationId* legs = arena.data() + call.legs_base;
+        usage.add_legs(call.dc, call.media, legs, call.legs_count, -1.0);
+        call.dc = m.to;
+        usage.add_legs(call.dc, call.media, legs, call.legs_count, +1.0);
+        if (call.server != m.to_server) {
+          const double fp = footprints[it->second];
+          usage.add_server(call.server, -fp);
+          call.server = m.to_server;
+          usage.add_server(call.server, +fp);
+        }
+        ++out.failover_migrations;
+        if (log_hosting) {
+          out.hosting.push_back({it->second, ev.time,
+                                 HostingEvent::Kind::kMove, m.to,
+                                 m.to_server});
+        }
+      }
+      for (CallId dropped : outcome.dropped) {
+        const auto it = id_to_record.find(dropped);
+        if (it == id_to_record.end()) continue;
+        BatchedLive& call = live[it->second];
+        if (!call.active) continue;
+        usage.add_legs(call.dc, call.media, arena.data() + call.legs_base,
+                       call.legs_count, -1.0);
+        if (call.server.valid()) {
+          usage.add_server(call.server, -footprints[it->second]);
+          call.server = ServerId();
+        }
+        call.active = false;
+        --concurrent;
+        ++out.dropped;
+        if (log_hosting) {
+          out.hosting.push_back({it->second, ev.time,
+                                 HostingEvent::Kind::kDrop, DcId(),
+                                 ServerId()});
+        }
+      }
+      ++i;
+      continue;
+    }
+
+    // One batch: up to batch_events_ call events, capped at the next fault.
+    std::size_t end = std::min(n, i + batch_events_);
+    for (std::size_t j = i; j < end; ++j) {
+      if (events[j].type == EventType::kFault) {
+        end = j;
+        break;
+      }
+    }
+    allocator.batch_begin();
+    const SimTime batch_last = events[end - 1].time;
+    for (; i < end; ++i) {
+      const BEvent& ev = events[i];
+      usage.advance(ev.time);
+      if (telemetry_ != nullptr) telemetry_->sample(ev.time);
+      ++event_count;
+      BatchedLive& call = live[ev.record];
+
+      // The switch below must stay in lockstep with replay_partition's: the
+      // sim differential test compares the two engines event for event.
+      switch (ev.type) {
+        case EventType::kStart: {
+          call.dc = allocator.on_call_start(ev.call, ev.loc, ev.time);
+          call.media = ev.media;
+          arena[call.legs_base] = ev.loc;
+          call.legs_count = 1;
+          call.active = true;
+          usage.add_leg(call.dc, call.media, ev.loc, +1.0);
+          ++out.calls;
+          if (log_hosting) {
+            out.hosting.push_back({ev.record, ev.time,
+                                   HostingEvent::Kind::kStart, call.dc,
+                                   ServerId()});
+          }
+          if (ev.majority_first) ++out.majority_first;
+          ++concurrent;
+          out.peak_concurrent = std::max(out.peak_concurrent, concurrent);
+          break;
+        }
+        case EventType::kLegJoin: {
+          if (!call.active) break;  // leg joined after the call ended
+          arena[call.legs_base + call.legs_count] = ev.loc;
+          ++call.legs_count;
+          usage.add_leg(call.dc, call.media, ev.loc, +1.0);
+          break;
+        }
+        case EventType::kMediaChange: {
+          if (!call.active) break;
+          const LocationId* legs = arena.data() + call.legs_base;
+          usage.add_legs(call.dc, call.media, legs, call.legs_count, -1.0);
+          call.media = ev.media;
+          usage.add_legs(call.dc, call.media, legs, call.legs_count, +1.0);
+          break;
+        }
+        case EventType::kFreeze: {
+          if (!call.active) break;
+          ++out.frozen;
+          const FreezeResult result = allocator.on_config_frozen(
+              ev.call, config_ids[ev.record], *configs[ev.record], ev.time);
+          if (result.server.valid()) {
+            call.server = result.server;
+            usage.add_server(call.server, +footprints[ev.record]);
+          }
+          if (result.migrated) {
+            ++out.migrations;
+            const LocationId* legs = arena.data() + call.legs_base;
+            usage.add_legs(call.dc, call.media, legs, call.legs_count, -1.0);
+            call.dc = result.dc;
+            usage.add_legs(call.dc, call.media, legs, call.legs_count, +1.0);
+            if (log_hosting) {
+              out.hosting.push_back({ev.record, ev.time,
+                                     HostingEvent::Kind::kMove, call.dc,
+                                     call.server});
+            }
+          } else if (result.server.valid() && log_hosting) {
+            out.hosting.push_back({ev.record, ev.time,
+                                   HostingEvent::Kind::kPack, call.dc,
+                                   call.server});
+          }
+          break;
+        }
+        case EventType::kEnd: {
+          if (!call.active) break;  // dropped by a failover before its end
+          usage.add_legs(call.dc, call.media, arena.data() + call.legs_base,
+                         call.legs_count, -1.0);
+          if (call.server.valid()) {
+            usage.add_server(call.server, -footprints[ev.record]);
+          }
+          call.active = false;
+          if (log_hosting) {
+            out.hosting.push_back({ev.record, ev.time,
+                                   HostingEvent::Kind::kEnd, DcId(),
+                                   ServerId()});
+          }
+          allocator.on_call_end(ev.call, ev.time);
+          const double final_acl_ms =
+              acl_ms(*configs[ev.record], call.dc, *ctx_.latency);
+          out.acl_sum += final_acl_ms;
+          acl_deferred.push_back(final_acl_ms);
+          --concurrent;
+          break;
+        }
+        case EventType::kFault:
+          break;  // unreachable: batches never span a fault
+      }
+    }
+    allocator.batch_end(batch_last);
+  }
+  for (double v : acl_deferred) metrics_.acl_ms.record(v);
   out.dc_peaks = usage.dc_peaks();
   out.link_peaks = usage.link_peaks();
   out.server_peaks = usage.server_peaks();
@@ -601,13 +991,17 @@ SimReport Simulator::run(const CallRecordDatabase& db, CallAllocator& allocator,
   Partial total;
   const std::vector<std::uint8_t> all(db.records().size(), 1);
   const bool log_hosting = hosting_log != nullptr;
+  std::unique_ptr<FaultRuntime> runtime;
   if (faults != nullptr && !faults->empty()) {
-    FaultRuntime runtime(*faults, 1);
-    replay_partition(db, allocator, freeze_delay_s, all, total, &runtime,
+    runtime = std::make_unique<FaultRuntime>(*faults, 1);
+  }
+  if (engine_ == Engine::kReference) {
+    replay_partition(db, allocator, freeze_delay_s, all, total, runtime.get(),
                      bucket_s, log_hosting, 0, span.id());
   } else {
-    replay_partition(db, allocator, freeze_delay_s, all, total, nullptr,
-                     bucket_s, log_hosting, 0, span.id());
+    replay_partition_batched(db, allocator, freeze_delay_s, all, total,
+                             runtime.get(), bucket_s, log_hosting, 0,
+                             span.id());
   }
   if (hosting_log != nullptr) hosting_log->events = std::move(total.hosting);
   return finalize(db, allocator, total, bucket_s, /*bucket_peaks=*/false);
@@ -655,8 +1049,13 @@ SimReport Simulator::run_concurrent(const CallRecordDatabase& db,
                                    part = &mine[p], rt = runtime.get(),
                                    bucket_s, log_hosting, p, root_span] {
       Partial out;
-      replay_partition(db, allocator, freeze_delay_s, *part, out, rt,
-                       bucket_s, log_hosting, p, root_span);
+      if (engine_ == Engine::kReference) {
+        replay_partition(db, allocator, freeze_delay_s, *part, out, rt,
+                         bucket_s, log_hosting, p, root_span);
+      } else {
+        replay_partition_batched(db, allocator, freeze_delay_s, *part, out, rt,
+                                 bucket_s, log_hosting, p, root_span);
+      }
       return out;
     }));
   }

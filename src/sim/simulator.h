@@ -108,6 +108,28 @@ class Simulator {
  public:
   explicit Simulator(EvalContext ctx);
 
+  /// Replay engine selection. Both engines replay the same total event
+  /// order — (time, seq) with unique seqs — and make identical per-event
+  /// decisions; the sim differential test (ctest -L sim) enforces
+  /// bit-identical hosting logs, bucket series, reports, and metric deltas
+  /// between them.
+  ///  - kBatched (default): events pre-sorted into a flat vector (no
+  ///    per-event heap churn), per-record derived values precomputed SoA,
+  ///    ACL histogram records flushed once per partition, and the allocator
+  ///    bracketed with batch_begin()/batch_end() so the Switchboard adapter
+  ///    amortizes its plan-swap shared lock over a whole batch of events.
+  ///  - kReference: the pre-rework heap-driven loop, kept verbatim as the
+  ///    bit-exact baseline the differential test and the throughput bench
+  ///    compare against.
+  enum class Engine { kBatched, kReference };
+  void set_engine(Engine engine) { engine_ = engine; }
+  [[nodiscard]] Engine engine() const { return engine_; }
+
+  /// Max call events per allocator batch in the batched engine (bounds how
+  /// long one partition holds the controller's shared plan lock, and so the
+  /// latency of a closed-loop plan install racing the replay).
+  void set_batch_events(std::size_t n) { batch_events_ = n == 0 ? 1 : n; }
+
   /// Optional telemetry hook: when set, every partition offers its event
   /// clock to the recorder (TimeSeriesRecorder::sample is thread-safe and
   /// cheap off-cadence), so registry time series advance on SIM time in both
@@ -186,6 +208,20 @@ class Simulator {
                         FaultRuntime* faults, double bucket_s,
                         bool log_hosting, std::size_t partition,
                         std::uint64_t parent_span) const;
+  /// The batched twin of replay_partition: same events, same decisions, same
+  /// accumulator contents (the per-event switch bodies must stay in
+  /// lockstep — the sim differential test enforces it), but driven off one
+  /// pre-sorted event vector in allocator-bracketed batches. Batches never
+  /// span a fault event: the batch (and its shared lock) ends before the
+  /// partition arrives at the fault barrier.
+  void replay_partition_batched(const CallRecordDatabase& db,
+                                CallAllocator& allocator,
+                                double freeze_delay_s,
+                                const std::vector<std::uint8_t>& mine,
+                                Partial& out, FaultRuntime* faults,
+                                double bucket_s, bool log_hosting,
+                                std::size_t partition,
+                                std::uint64_t parent_span) const;
   SimReport finalize(const CallRecordDatabase& db, CallAllocator& allocator,
                      const Partial& total, double bucket_s,
                      bool bucket_peaks) const;
@@ -193,6 +229,8 @@ class Simulator {
   EvalContext ctx_;
   Metrics metrics_;
   obs::TimeSeriesRecorder* telemetry_ = nullptr;
+  Engine engine_ = Engine::kBatched;
+  std::size_t batch_events_ = 256;
 };
 
 }  // namespace sb

@@ -11,6 +11,10 @@
 //   sb_fuzz --chaos skip-wal-freeze    # same, for the cluster WAL: a lost
 //                                      # freeze record must trip conservation
 //                                      # across a worker crash + replay
+//   sb_fuzz --chaos skip-replan        # same, for the closed loop: a control
+//                                      # tick that counts its trigger but
+//                                      # drops the re-provision must trip the
+//                                      # loop-replan oracle
 //   sb_fuzz --storm worker-kill        # every case runs the sb_cluster path
 //                                      # under a multi-kill worker storm
 //                                      # (failures here are real bugs)
@@ -63,6 +67,7 @@ struct Args {
   bool chaos_drain = false;
   bool chaos_server = false;
   bool chaos_wal = false;
+  bool chaos_replan = false;
   bool storm_workers = false;
   bool keep_going = false;
   bool no_shrink = false;
@@ -77,7 +82,7 @@ void usage() {
       "usage: sb_fuzz [--seeds N] [--seed-base S] [--budget-s T]\n"
       "               [--out DIR]\n"
       "               [--chaos skip-drain-credit|skip-server-credit|"
-      "skip-wal-freeze]\n"
+      "skip-wal-freeze|skip-replan]\n"
       "               [--storm worker-kill]\n"
       "               [--keep-going] [--no-shrink]\n"
       "               [--flight-capacity N] [--trace-out FILE]\n"
@@ -132,6 +137,8 @@ bool parse_args(int argc, char** argv, Args& a) {
         a.chaos_server = true;
       } else if (v != nullptr && std::strcmp(v, "skip-wal-freeze") == 0) {
         a.chaos_wal = true;
+      } else if (v != nullptr && std::strcmp(v, "skip-replan") == 0) {
+        a.chaos_replan = true;
       } else {
         std::fprintf(stderr, "sb_fuzz: unknown chaos mode\n");
         return false;
@@ -234,8 +241,10 @@ int fuzz(const Args& a) {
   params.chaos_skip_drain_credit = a.chaos_drain;
   params.chaos_skip_server_credit = a.chaos_server;
   params.chaos_skip_wal_freeze = a.chaos_wal;
+  params.chaos_skip_replan = a.chaos_replan;
   params.worker_kill_storm = a.storm_workers;
-  const bool chaos = a.chaos_drain || a.chaos_server || a.chaos_wal;
+  const bool chaos =
+      a.chaos_drain || a.chaos_server || a.chaos_wal || a.chaos_replan;
   const sb::check::ScenarioFuzzer fuzzer(params);
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t run = 0;
